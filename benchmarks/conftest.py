@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results
+are printed (visible with ``pytest -s``) and persisted under
+``benchmarks/results/`` so the run leaves artifacts either way.
+
+Scale knobs (environment variables):
+
+* ``REPRO_T1_RUNS``      — Table 1 campaign size (default 150; paper 1000)
+* ``REPRO_EFF_RUNS``     — effectiveness-study size (default 80)
+* ``REPRO_PP_ITERS``     — ping-pong iterations per size (default 20)
+* ``REPRO_BW_MSGS``      — allsize messages per side (default 20)
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture
+def report():
+    """report(name, text): print and persist one benchmark's output."""
+
+    def _report(name: str, text: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / ("%s.txt" % name)
+        path.write_text(text + "\n")
+        print("\n" + text)
+        return str(path)
+
+    return _report

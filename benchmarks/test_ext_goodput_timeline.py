@@ -1,0 +1,108 @@
+"""Extension E5 — goodput timeline across a fault.
+
+A continuous stream with a mid-run NIC hang, binned into a delivered-
+messages-per-interval time series: full rate, a dead window exactly as
+long as detection + FTD + per-process recovery, then full rate again
+with the backlog draining first.  The area lost in the dip *is* Table 3
+rendered as a workload's-eye view.
+"""
+
+import pytest
+
+from repro.analysis import Series, render_ascii
+from repro.cluster import build_cluster
+from repro.payload import Payload
+
+BIN_US = 200_000.0          # 0.2 s bins
+RUN_US = 6_000_000.0        # 6 s of stream
+HANG_AT = 1_000_000.0       # fault at 1 s
+
+
+def _timeline():
+    cluster = build_cluster(2, flavor="ftgm")
+    sim = cluster.sim
+    deliveries = []          # timestamps
+    state = {"stop": False}
+    ports = {}
+
+    def opener(node, pid, key):
+        ports[key] = yield from cluster[node].driver.open_port(pid)
+
+    cluster[0].host.spawn(opener(0, 1, "s"), "o1")
+    cluster[1].host.spawn(opener(1, 2, "r"), "o2")
+    while len(ports) < 2:
+        sim.step()
+
+    def sender():
+        payload = Payload.phantom(1024, tag=5)
+        while not state["stop"]:
+            while ports["s"].send_tokens == 0 and not state["stop"]:
+                yield from ports["s"].receive(timeout=500.0)
+            if state["stop"]:
+                return
+            try:
+                yield from ports["s"].send(payload, 1, 2)
+            except Exception:
+                return
+            yield from ports["s"].receive(timeout=30.0)
+
+    def receiver():
+        for _ in range(16):
+            yield from ports["r"].provide_receive_buffer(1024)
+        while not state["stop"]:
+            event = yield from ports["r"].receive_message(timeout=2_000.0)
+            if event is not None:
+                deliveries.append(sim.now)
+                yield from ports["r"].provide_receive_buffer(1024)
+
+    def crasher():
+        yield sim.timeout(HANG_AT)
+        cluster[1].mcp.die("timeline hang")
+
+    base = sim.now
+    cluster[1].host.spawn(receiver(), "r")
+    cluster[0].host.spawn(sender(), "s")
+    sim.spawn(crasher())
+    sim.run(until=base + RUN_US)
+    state["stop"] = True
+    sim.run(until=sim.now + 10_000.0)
+    return cluster, base, deliveries
+
+
+def test_ext_goodput_timeline(benchmark, report):
+    cluster, base, deliveries = benchmark.pedantic(_timeline, rounds=1,
+                                                   iterations=1)
+
+    bins = {}
+    for t in deliveries:
+        bins[int((t - base) // BIN_US)] = \
+            bins.get(int((t - base) // BIN_US), 0) + 1
+    n_bins = int(RUN_US // BIN_US)
+    series = Series("msgs/bin")
+    for b in range(n_bins):
+        series.add((b + 0.5) * BIN_US / 1e6, bins.get(b, 0))
+    text = render_ascii(
+        [series],
+        "Extension E5: delivered messages per %.1fs bin (hang at t=1s)"
+        % (BIN_US / 1e6), "time (s)", "messages", log_x=False)
+    dead = [b for b in range(n_bins) if bins.get(b, 0) == 0]
+    text += ("\n\ndead bins: %s (recovery window ~1.7s)"
+             % [round((b + 0.5) * BIN_US / 1e6, 1) for b in dead])
+    report("ext_goodput_timeline", text)
+
+    hang_bin = int(HANG_AT // BIN_US)
+    # Before the fault: every bin busy.
+    for b in range(hang_bin):
+        assert bins.get(b, 0) > 0
+    # The recovery window (~1.7 s after detection) is dead air.
+    assert dead, "expected a dead window after the hang"
+    assert all(hang_bin <= b <= hang_bin + 10 for b in dead)
+    # Traffic resumes and the tail of the run is busy again.
+    assert bins.get(n_bins - 1, 0) > 0 or bins.get(n_bins - 2, 0) > 0
+    # Steady-state rate recovers to the pre-fault level (within 40%).
+    pre = sum(bins.get(b, 0) for b in range(hang_bin)) / hang_bin
+    post_bins = [b for b in range(hang_bin, n_bins)
+                 if bins.get(b, 0) > 0][2:]
+    if post_bins:
+        post = sum(bins[b] for b in post_bins) / len(post_bins)
+        assert post > pre * 0.6

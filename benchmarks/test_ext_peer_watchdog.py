@@ -1,0 +1,91 @@
+"""Extension E2 — detection coverage when the watchdog's assumption
+fails.
+
+The paper (§4.2): the IT1 watchdog "assumes that a network interface
+hang does not affect the timer or the interrupt logic.  While this
+assumption cannot be proved to be correct, our experimental results show
+that this is most often the case."  This benchmark quantifies the
+residual risk and the peer-watchdog fallback we add:
+
+* sweep the fraction of hangs that also kill the timer logic;
+* measure detection coverage and mean detection latency with the local
+  watchdog alone vs local + peer.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.ftgm import PeerWatchdog
+from repro.sim import SeededRng
+
+TIMER_FAIL_FRACTIONS = [0.0, 0.3, 1.0]
+HANGS_PER_CELL = 10
+
+
+def _one_hang(kill_timers: bool, peer_watch: bool, seed: int):
+    """Returns (detected, latency_us)."""
+    cluster = build_cluster(2, flavor="ftgm", seed=seed)
+    sim = cluster.sim
+    watchers = []
+    if peer_watch:
+        watchers = [PeerWatchdog(cluster[0].driver, cluster[1].driver),
+                    PeerWatchdog(cluster[1].driver, cluster[0].driver)]
+        for watcher in watchers:
+            watcher.start()
+    sim.run(until=sim.now + 2_000.0 + (seed % 7) * 100.0)
+    fault_at = sim.now
+    if kill_timers:
+        cluster[1].nic.kill_timers()
+    cluster[1].mcp.die("coverage-experiment")
+    ftd = cluster[1].driver.ftd
+    # The recovery record lands only after the full ~765 ms FTD pass;
+    # the *detection* time inside it is what we extract.
+    deadline = sim.now + 3_000_000.0
+    while not ftd.recoveries and sim.peek() <= deadline:
+        sim.step()
+    if not ftd.recoveries:
+        return False, None
+    return True, ftd.recoveries[0].interrupt_at - fault_at
+
+
+def test_ext_peer_watchdog_coverage(benchmark, report):
+    def sweep():
+        rng = SeededRng(99, "coverage")
+        rows = []
+        for fraction in TIMER_FAIL_FRACTIONS:
+            for peer in (False, True):
+                detected = 0
+                latencies = []
+                for i in range(HANGS_PER_CELL):
+                    kill = rng.random() < fraction
+                    ok, latency = _one_hang(kill, peer, seed=1000 + i)
+                    if ok:
+                        detected += 1
+                        latencies.append(latency)
+                mean_latency = (sum(latencies) / len(latencies)
+                                if latencies else float("nan"))
+                rows.append((fraction, peer, detected, mean_latency))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["Extension E2: hang-detection coverage when timer logic "
+             "also fails",
+             "%18s %12s %12s %18s" % ("P(timers die)", "peer watch",
+                                      "detected", "mean latency (us)")]
+    for fraction, peer, detected, latency in rows:
+        lines.append("%18.1f %12s %9d/%-2d %18.1f"
+                     % (fraction, "yes" if peer else "no",
+                        detected, HANGS_PER_CELL, latency))
+    report("ext_peer_watchdog", "\n".join(lines))
+
+    cells = {(fraction, peer): (detected, latency)
+             for fraction, peer, detected, latency in rows}
+    # Local watchdog alone: full coverage only while the assumption
+    # holds; zero coverage when every hang kills the timers.
+    assert cells[(0.0, False)][0] == HANGS_PER_CELL
+    assert cells[(1.0, False)][0] == 0
+    # Peer watchdog restores full coverage at every fraction.
+    for fraction in TIMER_FAIL_FRACTIONS:
+        assert cells[(fraction, True)][0] == HANGS_PER_CELL
+    # The price: peer detection is slower than IT1 when both work.
+    assert cells[(1.0, True)][1] > cells[(0.0, False)][1]

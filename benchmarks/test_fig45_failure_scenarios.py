@@ -1,0 +1,39 @@
+"""Figures 4 & 5 — the duplicate- and lost-message scenarios, GM vs FTGM.
+
+Not a performance figure but a behaviour matrix: the adversarially timed
+crashes of the paper's §3 reproduce their bugs under plain GM with naive
+reload, and FTGM's restored sequence state / moved commit point remove
+them.
+"""
+
+from repro.faults.scenarios import run_figure4, run_figure5
+
+
+def test_fig45_failure_matrix(benchmark, report):
+    def run_matrix():
+        return {
+            ("fig4", "gm"): run_figure4("gm"),
+            ("fig4", "ftgm"): run_figure4("ftgm"),
+            ("fig5", "gm"): run_figure5("gm"),
+            ("fig5", "ftgm"): run_figure5("ftgm"),
+        }
+
+    matrix = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    lines = [
+        "Figures 4 & 5: failure scenarios under naive-GM vs FTGM",
+        "%-42s %8s %8s" % ("scenario", "GM", "FTGM"),
+        "%-42s %8s %8s" % (
+            "Fig 4: duplicate delivered after crash",
+            "YES" if matrix[("fig4", "gm")].duplicate else "no",
+            "YES" if matrix[("fig4", "ftgm")].duplicate else "no"),
+        "%-42s %8s %8s" % (
+            "Fig 5: message lost (sender told success)",
+            "YES" if matrix[("fig5", "gm")].lost else "no",
+            "YES" if matrix[("fig5", "ftgm")].lost else "no"),
+    ]
+    report("fig45_failure_scenarios", "\n".join(lines))
+
+    assert matrix[("fig4", "gm")].duplicate
+    assert not matrix[("fig4", "ftgm")].duplicate
+    assert matrix[("fig5", "gm")].lost
+    assert not matrix[("fig5", "ftgm")].lost

@@ -1,0 +1,55 @@
+"""Figure 7 — bidirectional bandwidth vs message length, GM vs FTGM.
+
+Shape expectations from the paper: both curves rise from DMA/packet-rate
+limits at small sizes toward ~92 MB/s for long messages; FTGM tracks GM
+closely ("imposes no appreciable performance degradation"); the 4 KB
+fragmentation produces a jagged pattern in the mid range (a size just
+above a multiple of 4 KB pays a whole extra packet).
+"""
+
+import pytest
+from conftest import env_int
+
+from repro.analysis import Series, render_ascii, to_csv
+from repro.cluster import build_cluster
+from repro.workloads import run_allsize
+
+SIZES = [256, 1024, 4096, 4097, 8192, 8193, 16384, 16385, 32768,
+         65536, 131072, 262144, 524288, 1048576]
+
+
+def test_fig7_bandwidth_curves(benchmark, report):
+    msgs = env_int("REPRO_BW_MSGS", 20)
+
+    def sweep():
+        curves = {}
+        for flavor in ("gm", "ftgm"):
+            series = Series(flavor)
+            for size in SIZES:
+                n = max(3, min(msgs, (1 << 22) // max(size, 1)))
+                result = run_allsize(build_cluster(2, flavor=flavor),
+                                     size, messages=n)
+                series.add(size, result.bandwidth_mb_s)
+            curves[flavor] = series
+        return curves
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    gm, ftgm = curves["gm"], curves["ftgm"]
+    text = render_ascii([gm, ftgm],
+                        "Figure 7. Bandwidth comparison of GM and FTGM",
+                        "message length (bytes)", "MB/s")
+    report("fig7_bandwidth", text + "\n\n" + to_csv([gm, ftgm], "bytes"))
+
+    # Asymptote ~92 MB/s for both.
+    assert gm.y_at(1048576) == pytest.approx(92.4, rel=0.08)
+    assert ftgm.y_at(1048576) == pytest.approx(92.0, rel=0.08)
+    # Monotone-ish growth from small to large.
+    assert gm.y_at(256) < gm.y_at(4096) < gm.y_at(1048576)
+    # FTGM close on GM's heels at every size.
+    for size in SIZES:
+        assert ftgm.y_at(size) <= gm.y_at(size) * 1.02
+        assert ftgm.y_at(size) >= gm.y_at(size) * 0.90
+    # Jagged fragmentation pattern: one byte over 4 KB pays a whole
+    # extra packet, so bytes/us drops at the boundary.
+    assert gm.y_at(4097) < gm.y_at(4096)
+    assert gm.y_at(8193) < gm.y_at(8192)

@@ -1,0 +1,53 @@
+"""Figure 8 — half round-trip latency vs message length, GM vs FTGM.
+
+Shape expectations: small-message plateau (~11.5 us GM, ~13.0 us FTGM,
+gap ~1.5 us), then growth dominated by wire/DMA time; FTGM stays a
+near-constant offset above GM ("not far behind the original GM").
+"""
+
+import pytest
+from conftest import env_int
+
+from repro.analysis import Series, render_ascii, to_csv
+from repro.workloads import run_pingpong
+from repro.cluster import build_cluster
+
+SIZES = [1, 16, 64, 100, 256, 1024, 4096, 16384, 65536]
+SMALL = [1, 16, 64, 100]
+
+
+def test_fig8_latency_curves(benchmark, report):
+    iters = env_int("REPRO_PP_ITERS", 20)
+
+    def sweep():
+        curves = {}
+        for flavor in ("gm", "ftgm"):
+            series = Series(flavor)
+            for size in SIZES:
+                result = run_pingpong(build_cluster(2, flavor=flavor),
+                                      size, iterations=iters)
+                series.add(size, result.half_rtt_us)
+            curves[flavor] = series
+        return curves
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    gm, ftgm = curves["gm"], curves["ftgm"]
+    text = render_ascii([gm, ftgm],
+                        "Figure 8. Latency comparison of GM and FTGM",
+                        "message length (bytes)", "half-RTT (us)")
+    report("fig8_latency", text + "\n\n" + to_csv([gm, ftgm], "bytes"))
+
+    # Paper: short-message latency averaged over 1..100 bytes.
+    gm_small = sum(gm.y_at(s) for s in SMALL) / len(SMALL)
+    ftgm_small = sum(ftgm.y_at(s) for s in SMALL) / len(SMALL)
+    assert gm_small == pytest.approx(11.5, rel=0.10)
+    assert ftgm_small == pytest.approx(13.0, rel=0.10)
+    assert ftgm_small - gm_small == pytest.approx(1.5, abs=0.6)
+    # Latency grows with size; FTGM stays above GM everywhere but the
+    # overhead is per-fragment bookkeeping, not multiplicative: the gap
+    # is bounded by a constant plus a small per-4KB-fragment term.
+    assert gm.y_at(65536) > gm.y_at(1)
+    for size in SIZES:
+        nfrags = max(1, -(-size // 4096))
+        assert ftgm.y_at(size) >= gm.y_at(size)
+        assert ftgm.y_at(size) - gm.y_at(size) < 2.5 + 0.6 * nfrags

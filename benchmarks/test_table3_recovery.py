@@ -1,0 +1,57 @@
+"""Table 3 — components of the fault recovery time.
+
+Paper: detection ~800 us, FTD ~765,000 us (500,000 of it reloading the
+MCP), per-process ~900,000 us; total under 2 seconds.
+"""
+
+import pytest
+
+from repro.analysis import Table3
+from repro.gm import constants as C
+from repro.workloads import run_recovery_experiment
+
+
+def test_table3_recovery_components(benchmark, report):
+    def measure():
+        # Average detection over several fault phases relative to the
+        # L_timer period (the paper reports the typical value).
+        experiments = [run_recovery_experiment(hang_offset_us=offset)
+                       for offset in (520.0, 610.0, 700.0, 790.0)]
+        return experiments
+
+    experiments = benchmark.pedantic(measure, rounds=1, iterations=1)
+    detection = sum(e.detection_us for e in experiments) / len(experiments)
+    exp = experiments[0]
+    table = Table3(detection_us=detection, record=exp.record,
+                   per_port_us=exp.per_port_us)
+    report("table3_recovery", table.render())
+
+    assert detection == pytest.approx(800.0, abs=250.0)
+    assert exp.record.ftd_time == pytest.approx(765_000.0, rel=0.05)
+    assert (exp.record.reloaded_at - exp.record.reset_at) \
+        == pytest.approx(C.MCP_RELOAD_US, rel=0.02)
+    assert exp.per_port_us == pytest.approx(900_000.0, rel=0.05)
+    # Headline: complete recovery under 2 seconds.
+    assert exp.total_us < 2_000_000.0
+    assert all(e.completed_after_recovery for e in experiments)
+
+
+def test_recovery_scales_linearly_with_open_ports(benchmark, report):
+    """Paper: "the rest of the recovery time depends on the number of
+    open ports at the time of failure"."""
+
+    def measure():
+        return [run_recovery_experiment(open_ports=n) for n in (1, 2, 3)]
+
+    experiments = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Per-process recovery vs open ports"]
+    for n, exp in zip((1, 2, 3), experiments):
+        lines.append("%d port(s): %d handler runs, total %.0f us"
+                     % (n, len(exp.port_recovery_times), exp.total_us))
+    report("table3_port_scaling", "\n".join(lines))
+    totals = [exp.total_us for exp in experiments]
+    assert totals[1] > totals[0]
+    assert totals[2] > totals[1]
+    # Each extra port adds roughly one per-process handler time.
+    slope = (totals[2] - totals[0]) / 2
+    assert slope == pytest.approx(900_000.0, rel=0.25)

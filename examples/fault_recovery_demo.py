@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Fault-recovery demo: hang a NIC mid-stream and watch FTGM recover.
+
+A sender streams 40 messages to a receiver; at t=+600 us we hang the
+receiver's LANai (the failure mode 28.6% of the paper's fault injections
+produced).  The software watchdog detects the hang in under a
+millisecond, the FTD reloads and restores the interface in ~765 ms, the
+process recovers its port transparently inside ``gm_receive``, and every
+message is delivered exactly once, in order.
+
+Run:  python examples/fault_recovery_demo.py
+"""
+
+from repro.cluster import build_cluster
+from repro.payload import Payload
+
+N_MESSAGES = 40
+
+
+def main():
+    cluster = build_cluster(n_nodes=2, flavor="ftgm", trace=True)
+    sim = cluster.sim
+    received = []
+
+    def sender():
+        port = yield from cluster[0].driver.open_port(1)
+        for i in range(N_MESSAGES):
+            yield from port.send_and_wait(
+                Payload.from_bytes(b"message-%03d" % i), 1, 2)
+            yield sim.timeout(25.0)
+        print("[%12.1f us] sender: all %d sends acknowledged"
+              % (sim.now, N_MESSAGES))
+
+    def receiver():
+        port = yield from cluster[1].driver.open_port(2)
+        for _ in range(8):
+            yield from port.provide_receive_buffer(256)
+        while len(received) < N_MESSAGES:
+            event = yield from port.receive_message()
+            received.append(event.payload.data)
+            if len(received) <= N_MESSAGES - 8:
+                yield from port.provide_receive_buffer(256)
+        print("[%12.1f us] receiver: got all %d messages"
+              % (sim.now, N_MESSAGES))
+
+    def saboteur():
+        yield sim.timeout(600.0)
+        print("[%12.1f us] !!! hanging node 1's LANai (cosmic ray)"
+              % sim.now)
+        cluster[1].mcp.die("demo: injected processor hang")
+
+    cluster[1].host.spawn(receiver(), "receiver")
+    cluster[0].host.spawn(sender(), "sender")
+    sim.spawn(saboteur())
+    sim.run(until=sim.now + 30_000_000.0)
+
+    print()
+    print("delivery check: %d received, %d unique, in order: %s"
+          % (len(received), len(set(received)),
+             received == [b"message-%03d" % i for i in range(N_MESSAGES)]))
+    print()
+    print("recovery timeline (from the trace):")
+    interesting = ("mcp_died", "fatal_interrupt",
+                   "ftd_woken", "ftd_hang_confirmed", "ftd_card_reset",
+                   "ftd_mcp_reloaded", "ftd_tables_restored",
+                   "ftd_recovery_done", "port_recovery_start",
+                   "port_recovery_done")
+    for record in cluster.tracer.records:
+        if record.kind in interesting and "1" in record.source:
+            print("  " + str(record))
+
+    ftd = cluster[1].driver.ftd
+    if ftd.recoveries:
+        rec = ftd.recoveries[0]
+        print()
+        print("FTD recovery time: %.0f us (paper: ~765000 us)"
+              % rec.ftd_time)
+
+
+if __name__ == "__main__":
+    main()

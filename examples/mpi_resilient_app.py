@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""A distributed MPI application surviving a NIC hang — transparently.
+
+Four ranks estimate pi by numerically integrating 4/(1+x^2) over [0,1]:
+each rank sums its slice of the interval, then an ``allreduce`` combines
+the partial sums — with a barrier per round.  Midway through, rank 2's
+network interface hangs.
+
+Run it over plain GM and the job dies with the fatal send error the
+paper describes for MPI-over-GM.  Run it over FTGM — same application
+code, same middleware — and the job completes; the only trace of the
+fault is ~1.7 simulated seconds of recovery time.
+
+Run:  python examples/mpi_resilient_app.py
+"""
+
+from repro.cluster import build_cluster
+from repro.errors import MpiFatalError
+from repro.middleware import mpi_world
+
+RANKS = 4
+ROUNDS = 6
+STEPS_PER_ROUND = 4000
+
+
+def pi_worker(mpi, results):
+    yield from mpi.init()
+    total = 0.0
+    for round_index in range(ROUNDS):
+        # Integrate this round's slab of [0, 1], split across ranks.
+        lo = round_index / ROUNDS
+        step = (1.0 / ROUNDS) / STEPS_PER_ROUND
+        partial = 0.0
+        for i in range(mpi.rank, STEPS_PER_ROUND, mpi.size):
+            x = lo + (i + 0.5) * step
+            partial += 4.0 / (1.0 + x * x) * step
+        # Charge the numeric work as host CPU time (~1000 flops/us on a
+        # Pentium III-class machine) so communication and computation
+        # interleave on the simulated clock.
+        yield from mpi.cluster[mpi.rank].host.cpu_execute(
+            STEPS_PER_ROUND / mpi.size / 200.0, "compute")
+        round_sum = yield from mpi.allreduce(partial, lambda a, b: a + b)
+        total += round_sum
+        yield from mpi.barrier()
+        if mpi.rank == 0:
+            print("  round %d/%d done (running total %.6f)"
+                  % (round_index + 1, ROUNDS, total))
+    results[mpi.rank] = total
+
+
+def run(flavor):
+    print("=== %s ===" % flavor.upper())
+    cluster = build_cluster(RANKS, flavor=flavor)
+    sim = cluster.sim
+    world = mpi_world(cluster)
+    results = {}
+    failures = {}
+
+    finish = {}
+
+    def guarded(rank):
+        try:
+            yield from pi_worker(world[rank], results)
+            finish[rank] = sim.now
+        except MpiFatalError as exc:
+            failures[rank] = str(exc)
+            print("  rank %d ABORTED: %s" % (rank, exc))
+
+    for rank in range(RANKS):
+        cluster[rank].host.spawn(guarded(rank), "rank%d" % rank)
+
+    def saboteur():
+        # Strike midway through the job (round 3 of 6).
+        yield sim.timeout(400.0 + 2.5 * (STEPS_PER_ROUND / RANKS / 200.0))
+        print("  !!! hanging rank 2's NIC at t=%.0f us" % sim.now)
+        cluster[2].mcp.die("cosmic ray in the LANai")
+
+    sim.spawn(saboteur())
+    # Run until every rank finished, or the first abort (under GM the
+    # other ranks then block forever — the "grinding halt").
+    deadline = sim.now + 120_000_000.0
+    while (len(results) < RANKS and not failures
+           and sim.peek() <= deadline):
+        sim.step()
+
+    if failures:
+        print("job FAILED: ranks %s aborted (the paper's 'grinding "
+              "halt')" % sorted(failures))
+    else:
+        print("job COMPLETED: pi = %.6f (all ranks agree: %s), "
+              "finished at t=%.3f s"
+              % (results.get(0, float("nan")),
+                 len(set("%.9f" % v for v in results.values())) == 1,
+                 max(finish.values()) / 1e6))
+    print()
+    return failures
+
+
+def main():
+    gm_failures = run("gm")
+    ftgm_failures = run("ftgm")
+    assert gm_failures, "plain GM should have died"
+    assert not ftgm_failures, "FTGM should have survived"
+    print("Same application, same middleware, same fault.")
+    print("GM: job dead.  FTGM: nobody noticed.  (That is the paper.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Reproduction of "Low Overhead Fault Tolerant Networking in Myrinet"
+(Lakamraju, Koren, Krishna - DSN 2003).
+
+The package rebuilds the paper's whole stack in a discrete-event
+simulation: LANai-class NIC hardware (:mod:`repro.hw`,
+:mod:`repro.lanai`), the Myrinet fabric and mapper (:mod:`repro.net`),
+the GM messaging system (:mod:`repro.gm`), the paper's FTGM fault
+tolerance (:mod:`repro.ftgm`), a fault-injection framework
+(:mod:`repro.faults`), a mini-MPI (:mod:`repro.middleware`), and the
+measurement workloads and analysis used by the benchmark harness
+(:mod:`repro.workloads`, :mod:`repro.analysis`).
+
+Most users start from :func:`repro.build_cluster`::
+
+    from repro import build_cluster, Payload
+
+    cluster = build_cluster(2, flavor="ftgm")
+"""
+
+from .cluster import MyrinetCluster, Node, build_cluster
+from .errors import (
+    GmError,
+    GmNoTokens,
+    GmPortClosed,
+    GmSendError,
+    HostCrashed,
+    MpiFatalError,
+    ReproError,
+)
+from .payload import Payload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GmError",
+    "GmNoTokens",
+    "GmPortClosed",
+    "GmSendError",
+    "HostCrashed",
+    "MpiFatalError",
+    "MyrinetCluster",
+    "Node",
+    "Payload",
+    "ReproError",
+    "build_cluster",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Result aggregation: paper tables, figure series, ASCII rendering."""
+
+from .figures import Series, render_ascii, to_csv
+from .tables import PAPER_TABLE2, PAPER_TABLE3, Table2, Table3
+from .timeline import recovery_timeline, render_timeline
+
+__all__ = [
+    "PAPER_TABLE2",
+    "PAPER_TABLE3",
+    "Series",
+    "Table2",
+    "Table3",
+    "recovery_timeline",
+    "render_ascii",
+    "render_timeline",
+    "to_csv",
+]

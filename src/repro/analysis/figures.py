@@ -1,0 +1,102 @@
+"""Figure-series generation: CSV emission and ASCII plots.
+
+Every figure benchmark produces a :class:`Series` per curve (GM, FTGM);
+``render_ascii`` draws them side by side on a log-x grid the way the
+paper's Figures 7 and 8 are read — close-tracking curves with a small,
+consistent gap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Series", "render_ascii", "to_csv"]
+
+
+@dataclass
+class Series:
+    """One labelled curve of (x, y) points."""
+
+    label: str
+    points: List[Tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> List[float]:
+        return [p[0] for p in self.points]
+
+    def ys(self) -> List[float]:
+        return [p[1] for p in self.points]
+
+    def y_at(self, x: float) -> Optional[float]:
+        for px, py in self.points:
+            if px == x:
+                return py
+        return None
+
+
+def to_csv(series_list: Sequence[Series], x_name: str = "x") -> str:
+    """Merge curves on shared x into CSV text."""
+    xs = sorted({x for series in series_list for x in series.xs()})
+    header = [x_name] + [series.label for series in series_list]
+    lines = [",".join(header)]
+    for x in xs:
+        row = [repr(x)]
+        for series in series_list:
+            y = series.y_at(x)
+            row.append("" if y is None else "%.6g" % y)
+        lines.append(",".join(row))
+    return "\n".join(lines) + "\n"
+
+
+def render_ascii(series_list: Sequence[Series], title: str,
+                 x_label: str, y_label: str,
+                 width: int = 68, height: int = 18,
+                 log_x: bool = True) -> str:
+    """A terminal plot good enough to eyeball curve shapes."""
+    markers = "ox+*#@"
+    points_all = [(x, y) for series in series_list for x, y in series.points]
+    if not points_all:
+        return "%s\n(no data)" % title
+    xs = [p[0] for p in points_all]
+    ys = [p[1] for p in points_all]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    y_lo = min(y_lo, 0.0) if y_lo > 0 and y_lo < 0.2 * y_hi else y_lo
+
+    def x_pos(x: float) -> int:
+        if log_x and x_lo > 0:
+            frac = (math.log(x) - math.log(x_lo)) \
+                / max(math.log(x_hi) - math.log(x_lo), 1e-12)
+        else:
+            frac = (x - x_lo) / max(x_hi - x_lo, 1e-12)
+        return min(int(frac * (width - 1)), width - 1)
+
+    def y_pos(y: float) -> int:
+        frac = (y - y_lo) / (y_hi - y_lo)
+        return min(int(frac * (height - 1)), height - 1)
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, series in enumerate(series_list):
+        mark = markers[index % len(markers)]
+        for x, y in series.points:
+            row = height - 1 - y_pos(y)
+            grid[row][x_pos(x)] = mark
+
+    lines = [title]
+    for i, row in enumerate(grid):
+        y_value = y_hi - (y_hi - y_lo) * i / (height - 1)
+        lines.append("%10.1f |%s" % (y_value, "".join(row)))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(" " * 12 + "%-.10g%s%.10g   (%s, %s)" % (
+        x_lo, " " * max(width - 24, 1), x_hi,
+        "log-x" if log_x else "lin-x", x_label))
+    legend = "   ".join("%s = %s" % (markers[i % len(markers)], s.label)
+                        for i, s in enumerate(series_list))
+    lines.append(" " * 12 + legend + "   [y: %s]" % y_label)
+    return "\n".join(lines)

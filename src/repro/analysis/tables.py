@@ -1,0 +1,107 @@
+"""Renderers for the paper's tables (2 and 3) with paper-vs-measured."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..ftgm.ftd import RecoveryRecord
+from ..gm import constants as C
+from ..workloads.allsize import BandwidthResult
+from ..workloads.pingpong import PingPongResult
+from ..workloads.utilization import UtilizationResult
+
+__all__ = ["Table2", "Table3", "PAPER_TABLE2", "PAPER_TABLE3"]
+
+# Table 2 of the paper: metric -> (GM, FTGM).
+PAPER_TABLE2 = {
+    "Bandwidth (MB/s)": (92.4, 92.0),
+    "Latency (us)": (11.5, 13.0),
+    "Host util. send (us)": (0.30, 0.55),
+    "Host util. recv (us)": (0.75, 1.15),
+    "LANai util. (us)": (6.0, 6.8),
+}
+
+# Table 3 of the paper: component -> value (us).
+PAPER_TABLE3 = {
+    "Fault Detection Time": 800.0,
+    "FTD Recovery Time": 765_000.0,
+    "Per-process Recovery Time": 900_000.0,
+}
+
+
+@dataclass
+class Table2:
+    """Measured GM-vs-FTGM metrics beside the paper's Table 2."""
+
+    gm_bandwidth: BandwidthResult
+    ftgm_bandwidth: BandwidthResult
+    gm_latency: PingPongResult
+    ftgm_latency: PingPongResult
+    gm_util: UtilizationResult
+    ftgm_util: UtilizationResult
+
+    def rows(self) -> List[Tuple[str, float, float, float, float]]:
+        """(metric, GM measured, FTGM measured, GM paper, FTGM paper)."""
+        measured = {
+            "Bandwidth (MB/s)": (self.gm_bandwidth.bandwidth_mb_s,
+                                 self.ftgm_bandwidth.bandwidth_mb_s),
+            "Latency (us)": (self.gm_latency.half_rtt_us,
+                             self.ftgm_latency.half_rtt_us),
+            "Host util. send (us)": (self.gm_util.host_send_us,
+                                     self.ftgm_util.host_send_us),
+            "Host util. recv (us)": (self.gm_util.host_recv_us,
+                                     self.ftgm_util.host_recv_us),
+            "LANai util. (us)": (self.gm_util.lanai_total_us,
+                                 self.ftgm_util.lanai_total_us),
+        }
+        return [(metric, m[0], m[1], p[0], p[1])
+                for (metric, m), (_, p)
+                in zip(measured.items(), PAPER_TABLE2.items())]
+
+    def render(self) -> str:
+        lines = [
+            "Table 2. Comparison of various performance metrics between "
+            "GM and FTGM",
+            "%-22s | %9s %9s | %9s %9s" % ("Performance Metric",
+                                           "GM", "FTGM",
+                                           "GM(paper)", "FTGM(paper)"),
+        ]
+        for metric, gm_m, ftgm_m, gm_p, ftgm_p in self.rows():
+            lines.append("%-22s | %9.2f %9.2f | %9.2f %9.2f"
+                         % (metric, gm_m, ftgm_m, gm_p, ftgm_p))
+        return "\n".join(lines)
+
+
+@dataclass
+class Table3:
+    """Measured recovery-time components beside the paper's Table 3."""
+
+    detection_us: float
+    record: RecoveryRecord
+    per_port_us: float
+
+    def rows(self) -> List[Tuple[str, float, float]]:
+        return [
+            ("Fault Detection Time", self.detection_us,
+             PAPER_TABLE3["Fault Detection Time"]),
+            ("FTD Recovery Time", self.record.ftd_time,
+             PAPER_TABLE3["FTD Recovery Time"]),
+            ("Per-process Recovery Time", self.per_port_us,
+             PAPER_TABLE3["Per-process Recovery Time"]),
+        ]
+
+    @property
+    def total_us(self) -> float:
+        return sum(measured for _, measured, _ in self.rows())
+
+    def render(self) -> str:
+        lines = [
+            "Table 3. Components of the fault recovery time",
+            "%-28s %14s %14s" % ("Component", "measured(us)", "paper(us)"),
+        ]
+        for name, measured, paper in self.rows():
+            lines.append("%-28s %14.0f %14.0f" % (name, measured, paper))
+        lines.append("%-28s %14.0f %14s"
+                     % ("Total", self.total_us, "< 2 sec"))
+        return "\n".join(lines)

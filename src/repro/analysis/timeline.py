@@ -1,0 +1,38 @@
+"""The recovery timeline (Figure 9)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..ftgm.ftd import RecoveryRecord
+
+__all__ = ["recovery_timeline", "render_timeline"]
+
+
+def recovery_timeline(fault_at: float, record: RecoveryRecord,
+                      port_done_at: float) -> List[Tuple[str, float, float]]:
+    """(segment, start, end) triples from fault occurrence to full
+    recovery — the paper's Figure 9 shape: detection, FTD, per-process."""
+    segments = [("fault -> FATAL interrupt (detection)",
+                 fault_at, record.interrupt_at)]
+    segments.extend(record.segments())
+    segments.append(("per-process FAULT_DETECTED handling",
+                     record.events_posted_at, port_done_at))
+    return segments
+
+
+def render_timeline(segments: List[Tuple[str, float, float]],
+                    width: int = 60) -> str:
+    """Draw proportional bars for each timeline segment."""
+    t0 = segments[0][1]
+    t_end = max(end for _, _, end in segments)
+    span = max(t_end - t0, 1e-9)
+    lines = ["Figure 9. The timeline of the fault recovery process",
+             "t=0 is the fault; total %.0f us (%.3f s)"
+             % (span, span / 1e6)]
+    for name, start, end in segments:
+        left = int((start - t0) / span * width)
+        bar = max(int((end - start) / span * width), 1)
+        lines.append("%-38s |%s%s| %10.0f us"
+                     % (name, " " * left, "#" * bar, end - start))
+    return "\n".join(lines)

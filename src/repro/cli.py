@@ -1,0 +1,196 @@
+"""Command-line experiment driver: ``python -m repro <experiment>``.
+
+Runs any of the paper's experiments without pytest and prints the
+rendered table/figure.  Handy for exploring parameter changes::
+
+    python -m repro table1 --runs 300
+    python -m repro table2
+    python -m repro table3
+    python -m repro fig7 --messages 30
+    python -m repro fig8 --iterations 40
+    python -m repro fig9
+    python -m repro fig45
+    python -m repro effectiveness --runs 120
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+__all__ = ["main"]
+
+
+def _cmd_table1(args) -> str:
+    from .faults import run_campaign
+
+    done = {"n": 0}
+
+    def progress(n):
+        done["n"] = n
+        if n % 25 == 0:
+            print("  ... %d/%d runs" % (n, args.runs), file=sys.stderr)
+
+    result = run_campaign(runs=args.runs, seed=args.seed,
+                          progress=progress)
+    return result.render()
+
+
+def _cmd_table2(args) -> str:
+    from .analysis import Table2
+    from .cluster import build_cluster
+    from .workloads import measure_utilization, run_allsize, run_pingpong
+
+    table = Table2(
+        gm_bandwidth=run_allsize(build_cluster(2, flavor="gm"),
+                                 1 << 20, messages=5),
+        ftgm_bandwidth=run_allsize(build_cluster(2, flavor="ftgm"),
+                                   1 << 20, messages=5),
+        gm_latency=run_pingpong(build_cluster(2, flavor="gm"), 64,
+                                iterations=args.iterations),
+        ftgm_latency=run_pingpong(build_cluster(2, flavor="ftgm"), 64,
+                                  iterations=args.iterations),
+        gm_util=measure_utilization("gm", messages=60),
+        ftgm_util=measure_utilization("ftgm", messages=60),
+    )
+    return table.render()
+
+
+def _cmd_table3(args) -> str:
+    from .analysis import Table3
+    from .workloads import run_recovery_experiment
+
+    experiments = [run_recovery_experiment(hang_offset_us=offset)
+                   for offset in (520.0, 610.0, 700.0, 790.0)]
+    detection = sum(e.detection_us for e in experiments) / len(experiments)
+    exp = experiments[0]
+    return Table3(detection_us=detection, record=exp.record,
+                  per_port_us=exp.per_port_us).render()
+
+
+def _cmd_fig7(args) -> str:
+    from .analysis import Series, render_ascii, to_csv
+    from .cluster import build_cluster
+    from .workloads import run_allsize
+
+    sizes = [256, 1024, 4096, 4097, 8192, 16384, 65536, 262144, 1048576]
+    curves = []
+    for flavor in ("gm", "ftgm"):
+        series = Series(flavor)
+        for size in sizes:
+            n = max(3, min(args.messages, (1 << 22) // max(size, 1)))
+            series.add(size, run_allsize(build_cluster(2, flavor=flavor),
+                                         size, messages=n).bandwidth_mb_s)
+        curves.append(series)
+    return render_ascii(curves, "Figure 7. Bandwidth GM vs FTGM",
+                        "message length (bytes)", "MB/s") \
+        + "\n\n" + to_csv(curves, "bytes")
+
+
+def _cmd_fig8(args) -> str:
+    from .analysis import Series, render_ascii, to_csv
+    from .cluster import build_cluster
+    from .workloads import run_pingpong
+
+    sizes = [1, 16, 64, 100, 256, 1024, 4096, 16384, 65536]
+    curves = []
+    for flavor in ("gm", "ftgm"):
+        series = Series(flavor)
+        for size in sizes:
+            series.add(size,
+                       run_pingpong(build_cluster(2, flavor=flavor), size,
+                                    iterations=args.iterations).half_rtt_us)
+        curves.append(series)
+    return render_ascii(curves, "Figure 8. Latency GM vs FTGM",
+                        "message length (bytes)", "half-RTT (us)") \
+        + "\n\n" + to_csv(curves, "bytes")
+
+
+def _cmd_fig9(args) -> str:
+    from .analysis import recovery_timeline, render_timeline
+    from .workloads import run_recovery_experiment
+
+    exp = run_recovery_experiment(hang_offset_us=620.0)
+    port_done = exp.record.events_posted_at + exp.per_port_us
+    return render_timeline(recovery_timeline(exp.fault_at, exp.record,
+                                             port_done))
+
+
+def _cmd_fig45(args) -> str:
+    from .faults.scenarios import run_figure4, run_figure5
+
+    rows = [
+        ("Fig 4 duplicate, naive GM", run_figure4("gm").duplicate),
+        ("Fig 4 duplicate, FTGM", run_figure4("ftgm").duplicate),
+        ("Fig 5 lost message, naive GM", run_figure5("gm").lost),
+        ("Fig 5 lost message, FTGM", run_figure5("ftgm").lost),
+    ]
+    return "\n".join("%-32s %s" % (name, "YES" if bad else "no")
+                     for name, bad in rows)
+
+
+def _cmd_effectiveness(args) -> str:
+    from .faults import run_effectiveness_study
+
+    result = run_effectiveness_study(runs=args.runs, seed=args.seed)
+    return result.render()
+
+
+def _cmd_surface(args) -> str:
+    from .faults import run_campaign
+    from .faults.surface import analyze_surface
+
+    campaign = run_campaign(runs=args.runs, seed=args.seed)
+    return campaign.render() + "\n\n" \
+        + analyze_surface(campaign.outcomes).render()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Experiments from 'Low Overhead Fault Tolerant "
+                    "Networking in Myrinet' (DSN 2003)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="fault-injection campaign")
+    table1.add_argument("--runs", type=int, default=150)
+    table1.add_argument("--seed", type=int, default=2003)
+    table1.set_defaults(fn=_cmd_table1)
+
+    table2 = sub.add_parser("table2", help="GM vs FTGM metrics")
+    table2.add_argument("--iterations", type=int, default=25)
+    table2.set_defaults(fn=_cmd_table2)
+
+    table3 = sub.add_parser("table3", help="recovery-time components")
+    table3.set_defaults(fn=_cmd_table3)
+
+    fig7 = sub.add_parser("fig7", help="bandwidth curves")
+    fig7.add_argument("--messages", type=int, default=20)
+    fig7.set_defaults(fn=_cmd_fig7)
+
+    fig8 = sub.add_parser("fig8", help="latency curves")
+    fig8.add_argument("--iterations", type=int, default=25)
+    fig8.set_defaults(fn=_cmd_fig8)
+
+    fig9 = sub.add_parser("fig9", help="recovery timeline")
+    fig9.set_defaults(fn=_cmd_fig9)
+
+    fig45 = sub.add_parser("fig45", help="duplicate/lost scenarios")
+    fig45.set_defaults(fn=_cmd_fig45)
+
+    effectiveness = sub.add_parser(
+        "effectiveness", help="FTGM recovery coverage (section 5.2)")
+    effectiveness.add_argument("--runs", type=int, default=80)
+    effectiveness.add_argument("--seed", type=int, default=7001)
+    effectiveness.set_defaults(fn=_cmd_effectiveness)
+
+    surface = sub.add_parser(
+        "surface", help="fault outcomes by corrupted instruction field")
+    surface.add_argument("--runs", type=int, default=150)
+    surface.add_argument("--seed", type=int, default=6007)
+    surface.set_defaults(fn=_cmd_surface)
+
+    args = parser.parse_args(argv)
+    print(args.fn(args))
+    return 0

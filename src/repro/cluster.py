@@ -1,0 +1,137 @@
+"""One-call construction of a simulated Myrinet cluster.
+
+Builds the paper's testbed shape — N hosts, each with a LANai9 NIC,
+star-cabled to one 8-port switch — loads GM or FTGM on every node, and
+runs the mapper so routes exist.  Everything the benchmarks and examples
+need starts from here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional
+
+from .hw.host import Host
+from .hw.nic import Nic
+from .net.fabric import Fabric
+from .net.mapper import Mapper
+from .sim import SeededRng, Simulator, Tracer
+
+__all__ = ["Node", "MyrinetCluster", "build_cluster"]
+
+
+class Node:
+    """One cluster node: host machine + NIC + driver (+ open ports)."""
+
+    def __init__(self, node_id: int, host: Host, nic: Nic, driver):
+        self.node_id = node_id
+        self.host = host
+        self.nic = nic
+        self.driver = driver
+
+    @property
+    def mcp(self):
+        return self.driver.mcp
+
+    def __repr__(self) -> str:
+        return "Node(%d)" % self.node_id
+
+
+class MyrinetCluster:
+    """A booted cluster, ready for traffic."""
+
+    def __init__(self, sim: Simulator, nodes: List[Node], fabric: Fabric,
+                 switch, tracer: Tracer, rng: SeededRng, flavor: str):
+        self.sim = sim
+        self.nodes = nodes
+        self.fabric = fabric
+        self.switch = switch
+        self.tracer = tracer
+        self.rng = rng
+        self.flavor = flavor
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, index: int) -> Node:
+        return self.nodes[index]
+
+    def map_network(self, mapper_node: int = 0) -> Generator:
+        """Process: run the GM mapper from ``mapper_node``."""
+        mapper = Mapper(self.nodes[mapper_node].mcp.mapper_agent,
+                        expected_nodes=len(self.nodes))
+        found = yield from mapper.run()
+        return found
+
+    def boot(self) -> None:
+        """Run the mapper to completion (advances simulated time)."""
+        done = []
+
+        def _boot():
+            found = yield from self.map_network()
+            done.append(found)
+
+        self.sim.spawn(_boot(), name="cluster-boot")
+        limit = self.sim.now + 10_000_000.0
+        while not done and self.sim.peek() <= limit:
+            self.sim.step()
+        if not done:
+            raise RuntimeError("cluster mapping did not complete")
+
+    def ftds(self) -> List:
+        """The fault-tolerance daemons (FTGM clusters only)."""
+        return [node.driver.ftd for node in self.nodes
+                if getattr(node.driver, "ftd", None) is not None]
+
+
+def _driver_class(flavor):
+    if not isinstance(flavor, str):
+        return flavor  # a driver class (ablation variants pass one)
+    if flavor == "gm":
+        from .gm.driver import GmDriver
+        return GmDriver
+    if flavor == "ftgm":
+        from .ftgm.driver import FtgmDriver
+        return FtgmDriver
+    raise ValueError("unknown flavor %r (use 'gm' or 'ftgm')" % flavor)
+
+
+def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
+                  trace: bool = False,
+                  interpreted_nodes: Optional[List[int]] = None,
+                  boot: bool = True,
+                  start_ftd: bool = True) -> MyrinetCluster:
+    """Build (and by default boot) an N-node Myrinet cluster.
+
+    ``interpreted_nodes`` lists node ids whose MCP runs ``send_chunk`` on
+    the LANai interpreter (the fault-injection target); all other nodes
+    use the fast native model.
+    """
+    if n_nodes < 2:
+        raise ValueError("a cluster needs at least 2 nodes")
+    sim = Simulator()
+    tracer = Tracer(enabled=trace)
+    rng = SeededRng(seed, "cluster")
+    driver_cls = _driver_class(flavor)
+    interpreted = set(interpreted_nodes or [])
+
+    fabric = Fabric(sim, tracer)
+    nodes: List[Node] = []
+    nics: List[Nic] = []
+    for node_id in range(n_nodes):
+        host = Host(sim, "host%d" % node_id, tracer)
+        nic = Nic(sim, host, node_id, tracer=tracer)
+        nics.append(nic)
+        driver = driver_cls(sim, host, nic, tracer,
+                            interpreted=node_id in interpreted)
+        nodes.append(Node(node_id, host, nic, driver))
+    switch = fabric.star(nics)
+
+    for node in nodes:
+        node.driver.load_mcp()
+        if start_ftd and hasattr(node.driver, "start_ftd"):
+            node.driver.start_ftd()
+
+    cluster = MyrinetCluster(sim, nodes, fabric, switch, tracer, rng, flavor)
+    if boot:
+        cluster.boot()
+    return cluster

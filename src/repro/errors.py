@@ -1,0 +1,96 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "HardwareError",
+    "BusError",
+    "HostCrashed",
+    "LanaiTrap",
+    "InvalidInstruction",
+    "AssemblerError",
+    "NetworkError",
+    "RouteError",
+    "GmError",
+    "GmSendError",
+    "GmNoTokens",
+    "GmPortClosed",
+    "MpiError",
+    "MpiFatalError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class HardwareError(ReproError):
+    """Base class for simulated-hardware faults."""
+
+
+class BusError(HardwareError):
+    """An access outside a memory's bounds (LANai SRAM or host DMA space)."""
+
+    def __init__(self, address: int, size: int = 1, what: str = "memory"):
+        super().__init__(
+            "bus error: %s access at 0x%x (size %d)" % (what, address, size))
+        self.address = address
+        self.size = size
+
+
+class HostCrashed(HardwareError):
+    """The simulated host machine has crashed (fault propagated from NIC)."""
+
+
+class LanaiTrap(HardwareError):
+    """The LANai processor took a fatal trap (it is now hung)."""
+
+    def __init__(self, reason: str, pc: int):
+        super().__init__("LANai trap at pc=0x%x: %s" % (pc, reason))
+        self.reason = reason
+        self.pc = pc
+
+
+class InvalidInstruction(LanaiTrap):
+    """Decode failure: the word at PC is not a valid instruction."""
+
+    def __init__(self, word: int, pc: int):
+        super().__init__("invalid instruction 0x%08x" % (word & 0xFFFFFFFF), pc)
+        self.word = word
+
+
+class AssemblerError(ReproError):
+    """Malformed assembly source."""
+
+
+class NetworkError(ReproError):
+    """Base class for fabric-level errors."""
+
+
+class RouteError(NetworkError):
+    """A source route addresses a non-existent switch port."""
+
+
+class GmError(ReproError):
+    """Base class for GM-layer errors."""
+
+
+class GmSendError(GmError):
+    """A send failed fatally (the condition MPI-over-GM treats as fatal)."""
+
+
+class GmNoTokens(GmError):
+    """The caller has exhausted its send or receive tokens."""
+
+
+class GmPortClosed(GmError):
+    """Operation on a closed port."""
+
+
+class MpiError(ReproError):
+    """Base class for the mini-MPI middleware."""
+
+
+class MpiFatalError(MpiError):
+    """The middleware aborted (plain-GM behaviour on send errors)."""

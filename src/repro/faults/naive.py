@@ -1,0 +1,53 @@
+"""Naive recovery: what you can do about a hung NIC *without* FTGM.
+
+Section 3 of the paper: "The driver could be reloaded and the
+application restarted from a safe checkpoint (if there is one).  But ...
+this does not always ensure correct recovery."  This module implements
+that strawman faithfully — reset the card, reload a fresh MCP, restore
+routes from the driver's copy, re-bind the ports — and nothing else: no
+sequence-number restore, no token re-posting, no commit-point fix.  The
+Figure 4 (duplicate) and Figure 5 (lost message) experiments run this
+baseline against FTGM.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..gm import constants as C
+from ..gm.driver import GmDriver
+from ..sim import Tracer
+
+__all__ = ["naive_reload"]
+
+
+def naive_reload(driver: GmDriver) -> Generator:
+    """Process: reload the MCP after a hang, plain-GM style.
+
+    Takes the same card-handling time as the FTD path (the mechanics are
+    identical); what differs is everything that *isn't* restored.
+    Applications must then re-issue whatever work they know to be
+    incomplete — with fresh (wrong) sequence numbers, since those lived
+    only in the dead LANai.
+    """
+    sim = driver.sim
+    tracer: Tracer = driver.tracer
+    tracer.emit(sim.now, "naive%d" % driver.nic.node_id, "naive_reload_start")
+    if driver.mcp is not None:
+        driver.mcp.stop("naive-reload")
+    driver.nic.reset()
+    driver.nic.sram.clear()
+    yield sim.timeout(C.FTD_RESET_CLEAR_US)
+    yield sim.timeout(C.MCP_RELOAD_US)
+    driver.load_mcp()
+    driver.mcp.install_routes_from_host(driver.host_routes)
+    yield sim.timeout(C.FTD_TABLE_RESTORE_US)
+    # Re-bind existing ports to the fresh MCP so applications can keep
+    # using their handles (the LANai-side port state starts empty).
+    for port_id, port in sorted(driver.ports.items()):
+        port.mcp = driver.mcp
+        driver.mcp.event_sinks[port_id] = port._event_sink
+        done = sim.event()
+        driver.mcp.host_request(("open", port_id, done))
+        yield done
+    tracer.emit(sim.now, "naive%d" % driver.nic.node_id, "naive_reload_done")

@@ -1,0 +1,99 @@
+"""Failure categories and outcome classification (Table 1).
+
+The paper buckets 1000 injections into: Local Interface Hung, Messages
+Corrupted, Remote Interface Hung, MCP Restart, Host Computer Crash,
+Other Errors, No Impact.  Classification here is **observational** — we
+look at what the system did (watchdog state, delivered payloads,
+processor latches, host crash flags), never at the injected bit itself —
+mirroring how the original experimenters classified runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["Category", "InjectionOutcome", "classify", "CATEGORY_ORDER"]
+
+
+class Category:
+    LOCAL_HANG = "Local Interface Hung"
+    CORRUPTED = "Messages Corrupted"
+    REMOTE_HANG = "Remote Interface Hung"
+    MCP_RESTART = "MCP Restart"
+    HOST_CRASH = "Host Computer Crash"
+    OTHER = "Other Errors"
+    NO_IMPACT = "No Impact"
+
+
+CATEGORY_ORDER = [
+    Category.LOCAL_HANG,
+    Category.CORRUPTED,
+    Category.REMOTE_HANG,
+    Category.MCP_RESTART,
+    Category.HOST_CRASH,
+    Category.OTHER,
+    Category.NO_IMPACT,
+]
+
+
+@dataclass
+class InjectionOutcome:
+    """Everything observed during one injection run."""
+
+    run_id: int
+    bit_offset: int
+    injected_at: float
+    faulting_source_line: str = ""
+    # Observations.
+    local_hung: bool = False
+    hang_reason: Optional[str] = None
+    remote_hung: bool = False
+    mcp_restarts: int = 0
+    host_crashed: bool = False
+    messages_expected: int = 0
+    messages_delivered_ok: int = 0
+    messages_corrupted: int = 0
+    sends_errored: int = 0
+    workload_completed: bool = False
+    # FTGM-specific (recovery effectiveness, §5.2).
+    watchdog_fired: bool = False
+    recovery_attempted: bool = False
+    recovered_fully: bool = False
+    category: str = field(default="", init=False)
+
+    def finalize(self) -> "InjectionOutcome":
+        self.category = classify(self)
+        return self
+
+
+def classify(outcome: InjectionOutcome) -> str:
+    """Priority-ordered bucketing into the paper's categories.
+
+    "Messages Corrupted" covers data damage *and* data loss without a
+    hang — the paper groups these ("interface hangs and
+    dropped/corrupted messages account for more than 90% of the
+    failures"); the Stott et al. study it compares against calls the
+    bucket dropped/corrupted messages.
+    """
+    if outcome.host_crashed:
+        return Category.HOST_CRASH
+    if outcome.remote_hung:
+        return Category.REMOTE_HANG
+    if outcome.local_hung:
+        return Category.LOCAL_HANG
+    if outcome.mcp_restarts > 0:
+        return Category.MCP_RESTART
+    if outcome.messages_corrupted > 0 \
+            or outcome.messages_delivered_ok < outcome.messages_expected:
+        return Category.CORRUPTED
+    if outcome.workload_completed and outcome.sends_errored == 0:
+        return Category.NO_IMPACT
+    return Category.OTHER
+
+
+def tabulate(outcomes: List[InjectionOutcome]) -> Dict[str, int]:
+    counts = {category: 0 for category in CATEGORY_ORDER}
+    for outcome in outcomes:
+        counts[outcome.category] += 1
+    return counts

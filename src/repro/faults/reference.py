@@ -1,0 +1,42 @@
+"""Published fault-injection numbers for comparison (Table 1).
+
+Two columns from the paper: the authors' own 1000-run campaign on
+LANai9/GM-1.5.1, and the earlier study by Stott, Hsueh, Ries and Iyer
+(FTCS'97) on older Myrinet hardware.
+"""
+
+from __future__ import annotations
+
+from .outcomes import Category
+
+__all__ = ["PAPER_TABLE1", "IYER_TABLE1", "PAPER_RUNS",
+           "PAPER_HANGS", "PAPER_UNRECOVERED_HANGS"]
+
+PAPER_RUNS = 1000
+
+# "% of Injections" — our work column.
+PAPER_TABLE1 = {
+    Category.LOCAL_HANG: 28.6,
+    Category.CORRUPTED: 18.3,
+    Category.REMOTE_HANG: 0.0,
+    Category.MCP_RESTART: 0.0,
+    Category.HOST_CRASH: 0.6,
+    Category.OTHER: 1.2,
+    Category.NO_IMPACT: 51.3,
+}
+
+# "% of Injections" — Iyer et al. (FTCS'97) column.
+IYER_TABLE1 = {
+    Category.LOCAL_HANG: 23.4,
+    Category.CORRUPTED: 12.7,
+    Category.REMOTE_HANG: 1.2,
+    Category.MCP_RESTART: 3.1,
+    Category.HOST_CRASH: 0.4,
+    Category.OTHER: 1.1,
+    Category.NO_IMPACT: 58.1,
+}
+
+# §5.2: "there was only five cases out of the 286 hangs that FTGM was
+# not able to properly recover from."
+PAPER_HANGS = 286
+PAPER_UNRECOVERED_HANGS = 5

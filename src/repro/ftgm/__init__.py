@@ -1,0 +1,31 @@
+"""FTGM: the paper's fault-tolerant GM (this package is the
+contribution under reproduction)."""
+
+from .driver import FtgmDriver
+from .ftd import MAGIC_WORD, FaultToleranceDaemon, RecoveryRecord
+from .library import FTGM_RECV_EXTRA_US, FTGM_SEND_EXTRA_US, FtgmPort
+from .mcp import FtgmMcp
+from .peerwatch import MGMT_CHANNEL_LATENCY_US, PeerWatchdog
+from .seqgen import (
+    SYNC_LOCK_COST_US,
+    PortSequenceStreams,
+    SharedConnectionStreams,
+)
+from .shadow import ShadowState
+
+__all__ = [
+    "FTGM_RECV_EXTRA_US",
+    "FTGM_SEND_EXTRA_US",
+    "FaultToleranceDaemon",
+    "FtgmDriver",
+    "FtgmMcp",
+    "FtgmPort",
+    "MAGIC_WORD",
+    "MGMT_CHANNEL_LATENCY_US",
+    "PeerWatchdog",
+    "PortSequenceStreams",
+    "RecoveryRecord",
+    "SYNC_LOCK_COST_US",
+    "SharedConnectionStreams",
+    "ShadowState",
+]

@@ -1,0 +1,57 @@
+"""The FTGM host driver: GM's driver plus watchdog wiring and the FTD.
+
+Additions over plain GM:
+
+* at MCP load, unmask IT1 in the interrupt mask register and arm the
+  timer — "the IMR provided by the Myrinet HIC is modified to raise an
+  interrupt when IT1 expires";
+* the FATAL interrupt handler wakes the FTD (it cannot recover inline:
+  "functions such as sleep() and malloc() ... cannot be called in an
+  interrupt handler").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..gm.driver import GmDriver
+from ..hw.registers import IsrBits
+from ..sim import Simulator, Tracer
+from .ftd import FaultToleranceDaemon
+from .library import FtgmPort
+from .mcp import FtgmMcp
+
+__all__ = ["FtgmDriver"]
+
+
+class FtgmDriver(GmDriver):
+    """GM driver with fault-tolerance support."""
+
+    mcp_class = FtgmMcp
+    port_class = FtgmPort
+
+    def __init__(self, sim: Simulator, host, nic,
+                 tracer: Optional[Tracer] = None, interpreted: bool = False):
+        super().__init__(sim, host, nic, tracer, interpreted)
+        self.ftd = FaultToleranceDaemon(sim, self, self.tracer)
+        self.fatal_interrupts = 0
+
+    def start_ftd(self) -> None:
+        """Launch the daemon ("run anytime before fault recovery")."""
+        self.ftd.start()
+
+    def _after_mcp_start(self, mcp: FtgmMcp) -> None:
+        """Arm the software watchdog: IT1 + its IMR bit."""
+        self.nic.status.enable_interrupt(IsrBits.IT1_EXPIRED)
+        self.nic.timers[1].set_us(mcp.watchdog_interval_us)
+
+    def _irq_handler(self, cause) -> None:
+        """The FATAL interrupt: wake the FTD (never recover inline)."""
+        if isinstance(cause, int) and cause & IsrBits.IT1_EXPIRED:
+            self.fatal_interrupts += 1
+            self.tracer.emit(self.sim.now, "driver%d" % self.nic.node_id,
+                             "fatal_interrupt")
+            # Mask further IT1 edges until recovery re-arms the watchdog.
+            self.nic.status.disable_interrupt(IsrBits.IT1_EXPIRED)
+            self.nic.status.clear_bits(IsrBits.IT1_EXPIRED)
+            self.ftd.notify()

@@ -1,0 +1,113 @@
+"""Peer-assisted hang detection (extension beyond the paper).
+
+The paper's watchdog (§4.2) relies on the hung LANai's own interval
+timer and interrupt logic still working: "this assumption cannot be
+proved to be correct, [but] our experimental results show that this is
+most often the case."  When the assumption fails — a fault that stops
+the timers along with the processor — IT1 never expires and the node
+stays dead silently.
+
+This module adds the natural complement the paper leaves as an
+assumption: a **peer watchdog**.  Each node's daemon probes a buddy
+node's interface with heartbeat packets; after ``misses_threshold``
+consecutive unanswered probes it declares the buddy's interface hung
+and pokes the buddy's FTD over the management network (REE-class
+systems, the paper's motivating platform, have one).  The FTD's own
+magic-word confirmation still gates recovery, so a false peer verdict
+(e.g. network congestion) degrades to a harmless false alarm.
+
+Detection latency is ``interval * misses`` — milliseconds instead of the
+local watchdog's sub-millisecond, which is why this is a *fallback*, not
+a replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..net.packet import Packet, PacketType
+from ..sim import Simulator, Tracer
+
+__all__ = ["PeerWatchdog", "MGMT_CHANNEL_LATENCY_US"]
+
+# One-way latency of the out-of-band management network.
+MGMT_CHANNEL_LATENCY_US = 50.0
+
+
+class PeerWatchdog:
+    """Runs on ``driver``'s host; watches ``buddy_driver``'s interface."""
+
+    def __init__(self, driver, buddy_driver,
+                 interval_us: float = 2_000.0,
+                 misses_threshold: int = 3,
+                 tracer: Optional[Tracer] = None):
+        self.sim: Simulator = driver.sim
+        self.driver = driver
+        self.buddy = buddy_driver
+        self.interval_us = interval_us
+        self.misses_threshold = misses_threshold
+        self.tracer = tracer if tracer is not None else driver.tracer
+        self.name = "peerwatch%d->%d" % (driver.nic.node_id,
+                                         buddy_driver.nic.node_id)
+        self._seq = 0
+        self._last_reply_seq = -1
+        self.probes_sent = 0
+        self.detections = 0
+        self.running = False
+        self._proc = None
+
+    def start(self) -> None:
+        if self.running:
+            return
+        self.running = True
+        self.driver.mcp.heartbeat_listener = self._on_reply
+        self._proc = self.driver.host.spawn(self._run(), self.name)
+
+    def stop(self) -> None:
+        self.running = False
+
+    def _on_reply(self, pkt: Packet) -> None:
+        if pkt.src_node == self.buddy.nic.node_id:
+            self._last_reply_seq = max(self._last_reply_seq, pkt.seq)
+
+    def _probe(self) -> int:
+        """Send one heartbeat via our (healthy) interface."""
+        self._seq += 1
+        mcp = self.driver.mcp
+        # Our own MCP may have been reloaded since start(); keep the
+        # listener pointed at the live instance.
+        mcp.heartbeat_listener = self._on_reply
+        route = mcp.routing_table.get(self.buddy.nic.node_id)
+        if route is None:
+            return self._seq
+        probe = Packet(ptype=PacketType.HEARTBEAT,
+                       src_node=self.driver.nic.node_id,
+                       dest_node=self.buddy.nic.node_id,
+                       route=list(route), seq=self._seq)
+        mcp._transmit(probe.seal())
+        self.probes_sent += 1
+        return self._seq
+
+    def _run(self) -> Generator:
+        misses = 0
+        while self.running:
+            sent_seq = self._probe()
+            yield self.sim.timeout(self.interval_us)
+            if self._last_reply_seq >= sent_seq:
+                misses = 0
+                continue
+            misses += 1
+            if misses < self.misses_threshold:
+                continue
+            misses = 0
+            self.detections += 1
+            self.tracer.emit(self.sim.now, self.name, "peer_hang_detected",
+                             buddy=self.buddy.nic.node_id)
+            # Poke the buddy's FTD over the management network.  The
+            # FTD's magic-word probe confirms (or refutes) the verdict.
+            yield self.sim.timeout(MGMT_CHANNEL_LATENCY_US)
+            if getattr(self.buddy, "ftd", None) is not None \
+                    and not self.buddy.host.crashed:
+                self.buddy.ftd.notify()
+            # Back off while the buddy recovers (reload takes ~765 ms).
+            yield self.sim.timeout(2_000_000.0)

@@ -1,0 +1,94 @@
+"""Host-side sequence-number generation (FTGM §4.1).
+
+FTGM moves sequence-number ownership from the MCP to the host so the
+numbers survive an MCP reload.  Two designs are possible:
+
+* **Per-port streams** (what the paper implements): each process
+  generates an independent stream per (local port, remote node).  No
+  cross-process synchronization; the receiver must track ACK numbers per
+  (connection, port) — cheap, since GM allows only 8 ports per node.
+* **Synchronized per-connection streams** (what the paper rejects): all
+  processes on a node sending to the same remote share one stream, which
+  preserves the original GM wire protocol but "can introduce unnecessary
+  overhead" for the inter-process lock.
+
+Both are implemented here — the rejected design is exercised by the A3
+ablation benchmark to quantify the overhead the paper avoided.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, Tuple
+
+from ..sim import Resource, Simulator
+
+__all__ = ["PortSequenceStreams", "SharedConnectionStreams",
+           "SYNC_LOCK_COST_US"]
+
+# Cost of the cross-process lock in the rejected design: futex-style
+# uncontended acquire/release on a 2003-era host.
+SYNC_LOCK_COST_US = 0.45
+
+
+class PortSequenceStreams:
+    """Per-(port, remote node) streams; lock-free (the paper's design)."""
+
+    def __init__(self, port_id: int):
+        self.port_id = port_id
+        self._next: Dict[int, int] = {}   # remote node -> next seq
+
+    def alloc(self, dest_node: int, count: int) -> Generator:
+        """Process: reserve ``count`` sequence numbers toward a node.
+
+        A generator for interface parity with the synchronized variant;
+        completes without yielding.
+        """
+        base = self._next.get(dest_node, 0)
+        self._next[dest_node] = base + count
+        return base
+        yield  # pragma: no cover
+
+    def peek(self, dest_node: int) -> int:
+        return self._next.get(dest_node, 0)
+
+    def snapshot(self) -> Dict[int, int]:
+        return dict(self._next)
+
+
+class SharedConnectionStreams:
+    """Node-wide per-connection streams behind a lock (rejected design).
+
+    All ports/processes of a node share one generator per remote node;
+    every allocation pays a lock round-trip, and concurrent senders
+    serialize on it.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._next: Dict[int, int] = {}
+        self._locks: Dict[int, Resource] = {}
+        self.lock_waits = 0
+
+    def _lock(self, dest_node: int) -> Resource:
+        lock = self._locks.get(dest_node)
+        if lock is None:
+            lock = self._locks[dest_node] = Resource(self.sim)
+        return lock
+
+    def alloc(self, dest_node: int, count: int) -> Generator:
+        """Process: reserve ``count`` numbers; pays the sync cost."""
+        lock = self._lock(dest_node)
+        if lock.in_use:
+            self.lock_waits += 1
+        req = lock.request()
+        yield req
+        try:
+            yield self.sim.timeout(SYNC_LOCK_COST_US)
+            base = self._next.get(dest_node, 0)
+            self._next[dest_node] = base + count
+        finally:
+            lock.release()
+        return base
+
+    def peek(self, dest_node: int) -> int:
+        return self._next.get(dest_node, 0)

@@ -1,0 +1,86 @@
+"""The host-resident backup of NIC state (FTGM §4.1).
+
+"The user keeps a copy of the required LANai state that is not
+implicitly stored in the host memory": outstanding send tokens,
+forfeited receive tokens, and the last-received sequence number per
+(connection, port) stream.  The copies are maintained *continuously* —
+updated on every send/provide/receive, not snapshotted — which is what
+keeps the overhead at a fraction of a microsecond instead of a classical
+checkpoint's cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..gm.tokens import RecvToken, SendToken
+
+__all__ = ["ShadowState"]
+
+# Rough per-entry host-memory accounting, for the paper's ~20 KB figure.
+_SEND_COPY_BYTES = 64
+_RECV_COPY_BYTES = 32
+_ACK_ENTRY_BYTES = 16
+
+
+class ShadowState:
+    """Backup copies for one port."""
+
+    def __init__(self, port_id: int):
+        self.port_id = port_id
+        # msg_id -> send token (removed just before the callback fires).
+        self.send_tokens: Dict[int, SendToken] = {}
+        # recv token id -> recv token (removed when the message arrives).
+        self.recv_tokens: Dict[int, RecvToken] = {}
+        # (sender node, sender port) -> last sequence number delivered to
+        # the host.  "The receiver now has to keep an ACK number for
+        # every (connection, port) pair."
+        self.ack_table: Dict[Tuple[int, int], int] = {}
+
+    # -- maintenance (the continuous "checkpointing") ---------------------------
+
+    def save_send_token(self, token: SendToken) -> None:
+        self.send_tokens[token.msg_id] = token
+
+    def drop_send_token(self, msg_id: int) -> Optional[SendToken]:
+        return self.send_tokens.pop(msg_id, None)
+
+    def save_recv_token(self, token: RecvToken) -> None:
+        self.recv_tokens[token.token_id] = token
+
+    def drop_recv_token(self, token_id: int) -> Optional[RecvToken]:
+        return self.recv_tokens.pop(token_id, None)
+
+    def record_delivery(self, sender_node: int, sender_port: int,
+                        seq: Optional[int]) -> None:
+        if seq is None:
+            return
+        key = (sender_node, sender_port)
+        if seq > self.ack_table.get(key, -1):
+            self.ack_table[key] = seq
+
+    # -- recovery reads -----------------------------------------------------------
+
+    def outstanding_sends(self) -> List[SendToken]:
+        """Unacknowledged sends, oldest first (by host sequence base)."""
+        return sorted(self.send_tokens.values(),
+                      key=lambda t: (t.seq_base if t.seq_base is not None
+                                     else 0, t.msg_id))
+
+    def outstanding_recvs(self) -> List[RecvToken]:
+        return sorted(self.recv_tokens.values(), key=lambda t: t.token_id)
+
+    def stream_restore_points(self) -> Dict[Tuple[int, int], int]:
+        return dict(self.ack_table)
+
+    # -- accounting ----------------------------------------------------------------
+
+    def memory_bytes(self) -> int:
+        return (len(self.send_tokens) * _SEND_COPY_BYTES
+                + len(self.recv_tokens) * _RECV_COPY_BYTES
+                + len(self.ack_table) * _ACK_ENTRY_BYTES)
+
+    def __repr__(self) -> str:
+        return ("ShadowState(port=%d, sends=%d, recvs=%d, streams=%d)"
+                % (self.port_id, len(self.send_tokens),
+                   len(self.recv_tokens), len(self.ack_table)))

@@ -1,0 +1,26 @@
+"""GM: Myricom's message-passing system for Myrinet (modelled)."""
+
+from . import constants
+from .driver import GmDriver
+from .events import EventType, GmEvent
+from .library import Port, SendOutcome
+from .mcp import Mcp, McpPort
+from .streams import FragJob, MsgRecord, RxStream, TxStream
+from .tokens import RecvToken, SendToken
+
+__all__ = [
+    "EventType",
+    "FragJob",
+    "GmDriver",
+    "GmEvent",
+    "Mcp",
+    "McpPort",
+    "MsgRecord",
+    "Port",
+    "RecvToken",
+    "RxStream",
+    "SendOutcome",
+    "SendToken",
+    "TxStream",
+    "constants",
+]

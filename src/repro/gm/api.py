@@ -1,0 +1,107 @@
+"""A C-flavoured facade over the port API, mirroring GM's function names.
+
+GM programs are written against ``gm_open`` / ``gm_send_with_callback``
+/ ``gm_provide_receive_buffer`` / ``gm_receive`` / ``gm_unknown``.  This
+module offers the same vocabulary over our :class:`~repro.gm.library.Port`
+objects so examples and ported snippets read like the original listings
+(Figure 3 of the paper):
+
+    port = yield from gm_open(node, port_id=2)
+    yield from gm_provide_receive_buffer(port, 4096)
+    event = yield from gm_receive(port)
+    gm_unknown(port, event)   # inside the poll loop, for unknown types
+
+All functions are simulation processes unless noted.  Status constants
+follow GM's convention loosely (GM_SUCCESS...).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..payload import Payload
+from .events import EventType, GmEvent
+from .library import Port
+
+__all__ = [
+    "GM_SUCCESS",
+    "GM_FAILURE",
+    "GM_NO_MESSAGE",
+    "gm_open",
+    "gm_close",
+    "gm_send_with_callback",
+    "gm_provide_receive_buffer",
+    "gm_receive",
+    "gm_blocking_receive",
+    "gm_unknown",
+    "gm_set_alarm",
+]
+
+GM_SUCCESS = 0
+GM_FAILURE = 1
+GM_NO_MESSAGE = 2
+
+
+def gm_open(node, port_id: Optional[int] = None) -> Generator:
+    """Open a port on ``node`` (a :class:`repro.cluster.Node`)."""
+    port = yield from node.driver.open_port(port_id)
+    return port
+
+
+def gm_close(port: Port) -> Generator:
+    yield from port.close()
+
+
+def gm_send_with_callback(port: Port, data, size: Optional[int],
+                          dest_node: int, dest_port: int,
+                          callback: Optional[Callable] = None,
+                          context=None, priority: int = 0) -> Generator:
+    """Post a send.  ``data`` is bytes or a Payload; ``size`` may be
+    None to use the whole buffer (GM passes explicit sizes)."""
+    if isinstance(data, bytes):
+        payload = Payload.from_bytes(data if size is None else data[:size])
+    elif isinstance(data, Payload):
+        payload = data if size is None else data.truncate(size)
+    else:
+        raise TypeError("gm_send_with_callback wants bytes or Payload")
+    msg_id = yield from port.send(payload, dest_node, dest_port,
+                                  priority=priority, callback=callback,
+                                  context=context)
+    return msg_id
+
+
+def gm_provide_receive_buffer(port: Port, size: int,
+                              priority: int = 0) -> Generator:
+    token_id = yield from port.provide_receive_buffer(size, priority)
+    return token_id
+
+
+def gm_receive(port: Port, timeout: Optional[float] = 0.0) -> Generator:
+    """Poll once (GM's non-blocking ``gm_receive``).
+
+    Returns a :class:`GmEvent` or None when the queue is empty within
+    ``timeout`` (default: an instantaneous poll).
+    """
+    event = yield from port.receive(timeout=timeout)
+    return event
+
+
+def gm_blocking_receive(port: Port) -> Generator:
+    """Block until any application-visible event arrives."""
+    event = yield from port.receive(timeout=None)
+    return event
+
+
+def gm_unknown(port: Port, event: Optional[GmEvent]) -> Generator:
+    """Hand an unrecognised event to the library (the FTGM recovery
+    hook).  Safe to call with None or with well-known events."""
+    if event is None or event.etype in (EventType.RECEIVED,
+                                        EventType.SENT,
+                                        EventType.ALARM):
+        return
+    yield from port.unknown(event)
+
+
+def gm_set_alarm(port: Port, delay_us: float, context=None) -> None:
+    """Non-process: schedule an ALARM event (GM's gm_set_alarm)."""
+    port.set_alarm(delay_us, context)

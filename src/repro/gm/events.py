@@ -1,0 +1,58 @@
+"""Events the MCP posts into a port's receive queue.
+
+GM's asynchronous model funnels everything through the per-port receive
+queue: message arrivals, send completions, alarms, and — in FTGM — the
+``FAULT_DETECTED`` event the FTD posts after reloading the MCP.  Events
+the application does not recognise must be passed to ``gm_unknown()``,
+which is precisely the hook FTGM uses to make recovery transparent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..payload import Payload
+
+__all__ = ["GmEvent", "EventType"]
+
+
+class EventType:
+    RECEIVED = "received"            # a message landed in a receive buffer
+    SENT = "sent"                    # a send completed; token returns
+    SEND_ERROR = "send_error"        # retransmit budget exhausted, no route…
+    ALARM = "alarm"
+    FAULT_DETECTED = "fault_detected"  # FTD: the NIC was reloaded
+    PORT_CLOSED = "port_closed"
+
+    # Types handled inside gm_unknown() rather than by applications.
+    INTERNAL = (FAULT_DETECTED, PORT_CLOSED)
+
+
+@dataclass
+class GmEvent:
+    """One record in a port's receive queue."""
+
+    etype: str
+    port: int
+    # RECEIVED fields
+    sender_node: Optional[int] = None
+    sender_port: Optional[int] = None
+    payload: Optional[Payload] = None
+    size: int = 0
+    region_id: Optional[int] = None
+    recv_token_id: Optional[int] = None
+    seq: Optional[int] = None        # FTGM: last-ACKed seq for this message
+    # SENT / SEND_ERROR fields
+    msg_id: Optional[int] = None
+    error: Optional[str] = None
+    # ALARM
+    context: object = None
+    posted_at: float = field(default=0.0)
+
+    def __str__(self) -> str:
+        return "GmEvent(%s port=%d%s)" % (
+            self.etype, self.port,
+            ", %dB from %s:%s" % (self.size, self.sender_node,
+                                  self.sender_port)
+            if self.etype == EventType.RECEIVED else "")

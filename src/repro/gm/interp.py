@@ -1,0 +1,142 @@
+"""Hardware glue for the interpreted ``send_chunk`` routine.
+
+The firmware programs device registers over the LANai memory bus; this
+module implements the device side: the E-bus DMA engine front-end and
+the packet-interface TX front-end.  Crucially, the packet that goes onto
+the wire is built **from whatever values the (possibly bit-flipped)
+firmware wrote into the registers** — corrupted lengths truncate the
+payload, corrupted destinations route into the void, corrupted sequence
+numbers derail the Go-Back-N conversation, and a corrupted checksum loop
+gets the packet dropped at the receiver.  Nothing here "knows" the
+intended values; fidelity of failure modes comes from that ignorance.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..lanai.bus import MemoryBus
+from ..lanai.firmware import MMIO
+from ..net.packet import Packet
+from ..payload import Payload
+from ..sim import Event
+
+__all__ = ["SendChunkGlue"]
+
+
+class SendChunkGlue:
+    """MMIO-register backend for one MCP's interpreted send path."""
+
+    def __init__(self, mcp, bus: MemoryBus):
+        self.mcp = mcp
+        self.sim = mcp.sim
+        self.regs = {}
+        self.staged_payload: Optional[Payload] = None
+        self.dma_done: Optional[Event] = None
+        self.dma_in_flight = False
+        self._map(bus)
+
+    def begin_invocation(self) -> None:
+        """Reset per-invocation staging (called before each routine run)."""
+        self.regs = {}
+        self.staged_payload = None
+        self.dma_done = None
+        self.dma_in_flight = False
+
+    # -- register wiring -----------------------------------------------------------
+
+    def _map(self, bus: MemoryBus) -> None:
+        writable = [
+            MMIO.DMA_HOST_ADDR, MMIO.DMA_SRAM_ADDR, MMIO.DMA_LEN,
+            MMIO.TX_DEST, MMIO.TX_LEN, MMIO.TX_SEQ, MMIO.TX_PORTS,
+            MMIO.TX_TYPE, MMIO.TX_SRAM_ADDR, MMIO.TX_CSUM,
+            MMIO.TX_MSGID, MMIO.TX_OFFSET, MMIO.TX_TOTAL,
+        ]
+        for addr in writable:
+            bus.map_register(addr, read=self._reader(addr),
+                             write=self._writer(addr))
+        bus.map_register(MMIO.DMA_GO, write=self._dma_go)
+        bus.map_register(MMIO.DMA_WAIT, read=self._dma_wait)
+        bus.map_register(MMIO.TX_GO, write=self._tx_go)
+        bus.map_register(MMIO.TX_WAIT, read=lambda: 1)
+
+    def _reader(self, addr: int):
+        return lambda: self.regs.get(addr, 0)
+
+    def _writer(self, addr: int):
+        def write(value: int):
+            self.regs[addr] = value
+        return write
+
+    # -- DMA front-end --------------------------------------------------------------
+
+    def _dma_go(self, value: int):
+        """Start the host->SRAM DMA with the staged descriptor."""
+        host_addr = self.regs.get(MMIO.DMA_HOST_ADDR, 0)
+        length = self.regs.get(MMIO.DMA_LEN, 0)
+        done = self.sim.event()
+        self.dma_done = done
+        self.dma_in_flight = True
+        self.sim.spawn(self._dma_run(host_addr, length, done),
+                       name="%s.idma" % self.mcp.name)
+        return None
+
+    def _dma_run(self, host_addr: int, length: int, done: Event):
+        # Clamp absurd corrupted lengths: the real engine would fault or
+        # run to the end of the pull window; either way no more than the
+        # SRAM buffer's worth moves.
+        length = min(length & 0xFFFFFFFF, 1 << 20)
+        result = yield from self.mcp.nic.dma.read_from_host(host_addr, length)
+        self.dma_in_flight = False
+        if result.ok:
+            self.staged_payload = result.payload
+            done.succeed(1)
+        else:
+            self.staged_payload = None
+            done.succeed(0)
+
+    def _dma_wait(self):
+        """Blocking status read: 1 = done OK, 0 = error / nothing pending."""
+        if self.dma_done is None:
+            return 0
+        return self.dma_done  # Event: the CPU parks on it
+
+    # -- TX front-end ----------------------------------------------------------------
+
+    def _tx_go(self, value: int):
+        """Build a packet from the TX registers and put it on the wire."""
+        if self.dma_in_flight:
+            # Firing the packet interface while the E-bus DMA is still
+            # running sends whatever is in the buffer so far: garbage.
+            payload = Payload.phantom(
+                self.regs.get(MMIO.TX_LEN, 0) & 0xFFFF, tag=0xD1517)
+        elif self.staged_payload is not None:
+            payload = self.staged_payload
+        else:
+            payload = Payload.from_bytes(b"")
+        declared = self.regs.get(MMIO.TX_LEN, 0)
+        dest = self.regs.get(MMIO.TX_DEST, 0)
+        ports = self.regs.get(MMIO.TX_PORTS, 0)
+        route = self.mcp.routing_table.get(dest)
+        pkt = Packet(
+            ptype=self.regs.get(MMIO.TX_TYPE, 0),
+            src_node=self.mcp.node_id,
+            dest_node=dest,
+            route=list(route or []),
+            src_port=(ports >> 8) & 0xFF,
+            dst_port=ports & 0xFF,
+            seq=self.regs.get(MMIO.TX_SEQ, 0),
+            msg_id=self.regs.get(MMIO.TX_MSGID, 0),
+            frag_offset=self.regs.get(MMIO.TX_OFFSET, 0),
+            msg_total=self.regs.get(MMIO.TX_TOTAL, 0),
+            declared_len=declared,
+            payload=payload,
+            hdr_csum=self.regs.get(MMIO.TX_CSUM, 0),
+        )
+        # The hardware CRC engine seals whatever it was given: a packet
+        # corrupted *before* this point carries a consistent CRC and will
+        # be accepted (then fail higher-level checks, or be silently
+        # wrong data — Table 1's "Messages Corrupted").
+        pkt.seal()
+        self.mcp._transmit(pkt)
+        return None

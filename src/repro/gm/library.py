@@ -1,0 +1,276 @@
+"""The GM user library: ports and the application-facing API.
+
+GM applications communicate through *ports*: they allocate pinned
+buffers, post sends (relinquishing a send token), provide receive
+buffers (relinquishing a receive token), and poll the port's receive
+queue for events.  Events the application does not recognise go to
+``gm_unknown()`` — the hook FTGM later uses to hide fault recovery.
+
+Method naming follows the GM C API loosely (``send`` ~
+``gm_send_with_callback``, ``provide_receive_buffer`` ~
+``gm_provide_receive_buffer``, ``receive`` ~ ``gm_receive``,
+``unknown`` ~ ``gm_unknown``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional
+
+from ..errors import GmNoTokens, GmPortClosed, GmSendError
+from ..hw.host import DmaRegion, Host
+from ..payload import Payload
+from ..sim import Simulator, Store
+from . import constants as C
+from .events import EventType, GmEvent
+from .tokens import RecvToken, SendToken
+
+__all__ = ["Port", "SendOutcome"]
+
+
+class SendOutcome:
+    """Passed to send callbacks."""
+
+    def __init__(self, ok: bool, error: Optional[str] = None,
+                 context=None):
+        self.ok = ok
+        self.error = error
+        self.context = context
+
+    def __repr__(self) -> str:
+        return "SendOutcome(ok=%r, error=%r)" % (self.ok, self.error)
+
+
+class Port:
+    """One GM port as seen by a user process."""
+
+    def __init__(self, sim: Simulator, host: Host, driver, mcp,
+                 port_id: int):
+        self.sim = sim
+        self.host = host
+        self.driver = driver
+        self.mcp = mcp
+        self.port_id = port_id
+        self.open = True
+        self.send_tokens = C.SEND_TOKENS_PER_PORT
+        self.recv_tokens = C.RECV_TOKENS_PER_PORT
+        self.recv_queue: Store = Store(sim)
+        self._callbacks = {}        # msg_id -> (callback, context)
+        self._send_regions = {}     # msg_id -> DmaRegion
+        self._recv_regions = {}     # recv token id -> DmaRegion
+        # Metrics.
+        self.sends_completed = 0
+        self.sends_errored = 0
+        self.messages_received = 0
+
+    # -- event sink (called by the MCP's event-post DMA) --------------------------
+
+    def _event_sink(self, event: GmEvent) -> None:
+        self.recv_queue.put(event)
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(self, payload: Payload, dest_node: int, dest_port: int,
+             priority: int = 0, callback: Optional[Callable] = None,
+             context=None) -> Generator:
+        """Post a send (~ ``gm_send_with_callback``).
+
+        Relinquishes one send token; the callback fires (from within
+        ``receive``) when the message is acknowledged end-to-end.
+        Returns the message id.
+        """
+        self._check_open()
+        if self.send_tokens <= 0:
+            raise GmNoTokens("port %d is out of send tokens" % self.port_id)
+        self.send_tokens -= 1
+        region = self.host.alloc_dma(max(payload.size, 1), self.port_id)
+        region.payload = payload
+        token = SendToken(
+            src_port=self.port_id, dest_node=dest_node, dest_port=dest_port,
+            region_id=region.region_id, host_addr=region.addr,
+            size=payload.size, priority=priority,
+            callback=callback, context=context)
+        self._callbacks[token.msg_id] = (callback, context)
+        self._send_regions[token.msg_id] = region
+        yield from self._prepare_send(token)
+        yield from self.host.cpu_execute(C.HOST_SEND_OVERHEAD_US, "send")
+        self.mcp.doorbell_send(token)
+        return token.msg_id
+
+    def _prepare_send(self, token: SendToken) -> Generator:
+        """FTGM hook: generate the sequence number, copy the token."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def send_and_wait(self, payload: Payload, dest_node: int,
+                      dest_port: int, priority: int = 0) -> Generator:
+        """Send and poll until this message completes (or fails).
+
+        Convenience for synchronous callers (ping-pong tests, MPI).
+        Events arriving meanwhile are processed normally; RECEIVED
+        events are re-queued for the application.
+        """
+        done = {}
+
+        def callback(outcome: SendOutcome):
+            done["outcome"] = outcome
+
+        yield from self.send(payload, dest_node, dest_port,
+                             priority=priority, callback=callback)
+        stash = []
+        while "outcome" not in done:
+            event = yield from self.receive()
+            if event is not None and event.etype == EventType.RECEIVED:
+                stash.append(event)
+        for event in stash:
+            self.recv_queue.put(event)
+        outcome = done["outcome"]
+        if not outcome.ok:
+            raise GmSendError(outcome.error or "send failed")
+        return outcome
+
+    def receive_message(self, timeout: Optional[float] = None) -> Generator:
+        """Poll until a RECEIVED event arrives (or the timeout passes)."""
+        deadline = None if timeout is None else self.sim.now + timeout
+        while True:
+            remaining = None
+            if deadline is not None:
+                remaining = max(deadline - self.sim.now, 0.0)
+                if remaining == 0.0:
+                    return None
+            event = yield from self.receive(timeout=remaining)
+            if event is None:
+                return None
+            if event.etype == EventType.RECEIVED:
+                return event
+
+    # -- receiving -----------------------------------------------------------------
+
+    def provide_receive_buffer(self, size: int,
+                               priority: int = 0) -> Generator:
+        """Surrender a receive buffer (~ ``gm_provide_receive_buffer``)."""
+        self._check_open()
+        if self.recv_tokens <= 0:
+            raise GmNoTokens("port %d is out of receive tokens"
+                             % self.port_id)
+        self.recv_tokens -= 1
+        region = self.host.alloc_dma(max(size, 1), self.port_id)
+        token = RecvToken(port=self.port_id, region_id=region.region_id,
+                          host_addr=region.addr, size=size,
+                          priority=priority)
+        self._recv_regions[token.token_id] = region
+        yield from self._prepare_receive(token)
+        yield from self.host.cpu_execute(0.1, "recv-post")
+        self.mcp.doorbell_recv(token)
+        return token.token_id
+
+    def _prepare_receive(self, token: RecvToken) -> Generator:
+        """FTGM hook: copy the receive token."""
+        return
+        yield  # pragma: no cover
+
+    def receive(self, timeout: Optional[float] = None) -> Generator:
+        """Poll the receive queue (~ ``gm_receive``).
+
+        Returns the next application-visible event (RECEIVED, SENT,
+        SEND_ERROR, ALARM) or None on timeout.  SENT/SEND_ERROR are
+        *also* handled internally before being returned — callbacks fire
+        here, matching GM's poll-driven callback model — and internal
+        event types go to :meth:`unknown`, which is where FTGM hides its
+        recovery.  Use :meth:`receive_message` to wait for data only.
+        """
+        deadline = None if timeout is None else self.sim.now + timeout
+        while True:
+            self._check_open()
+            get = self.recv_queue.get()
+            if deadline is None:
+                event = yield get
+            else:
+                remaining = max(deadline - self.sim.now, 0.0)
+                waiter = self.sim.timeout(remaining)
+                fired = yield self.sim.any_of([get, waiter])
+                if get not in fired:
+                    self.recv_queue.cancel(get)
+                    return None
+                event = fired[get]
+            handled = yield from self._handle_event(event)
+            if handled is not None:
+                return handled
+
+    def _handle_event(self, event: GmEvent) -> Generator:
+        """Process one event; returns it if the application should see it."""
+        if event.etype == EventType.RECEIVED:
+            yield from self.host.cpu_execute(C.HOST_RECV_OVERHEAD_US, "recv")
+            yield from self._on_received(event)
+            self.recv_tokens += 1
+            region = self._recv_regions.pop(event.recv_token_id, None)
+            if region is not None:
+                self.host.free_dma(region)
+            self.messages_received += 1
+            return event
+        if event.etype == EventType.SENT:
+            yield from self._on_sent(event)
+            self._finish_send(event, SendOutcome(True, context=event.context))
+            return event
+        if event.etype == EventType.SEND_ERROR:
+            self.sends_errored += 1
+            self._finish_send(
+                event, SendOutcome(False, error=event.error,
+                                   context=event.context))
+            return event
+        if event.etype == EventType.ALARM:
+            return event
+        yield from self.unknown(event)
+        return None
+
+    def _on_received(self, event: GmEvent) -> Generator:
+        """FTGM hook: record the ACKed seq, drop the recv-token copy."""
+        return
+        yield  # pragma: no cover
+
+    def _on_sent(self, event: GmEvent) -> Generator:
+        """FTGM hook: drop the send-token copy just before the callback."""
+        return
+        yield  # pragma: no cover
+
+    def _finish_send(self, event: GmEvent, outcome: SendOutcome) -> None:
+        self.send_tokens += 1
+        if outcome.ok:
+            self.sends_completed += 1
+        callback, context = self._callbacks.pop(event.msg_id, (None, None))
+        region = self._send_regions.pop(event.msg_id, None)
+        if region is not None:
+            self.host.free_dma(region)
+        outcome.context = context
+        if callback is not None:
+            callback(outcome)
+
+    def unknown(self, event: GmEvent) -> Generator:
+        """~ ``gm_unknown``: default handling of internal events.
+
+        Plain GM just drops what it does not understand; FTGM overrides
+        this to catch FAULT_DETECTED and run transparent recovery.
+        """
+        return
+        yield  # pragma: no cover
+
+    # -- misc ---------------------------------------------------------------------------
+
+    def set_alarm(self, delay_us: float, context=None) -> None:
+        """Schedule an ALARM event on this port's receive queue."""
+        self._check_open()
+        self.mcp.host_request(("alarm", self.sim.now + delay_us,
+                               self.port_id, context))
+
+    def close(self) -> Generator:
+        """Close the port (host request, serviced by L_timer)."""
+        if not self.open:
+            return
+        self.open = False
+        done = self.sim.event()
+        self.mcp.host_request(("close", self.port_id, done))
+        yield done
+        self.driver._port_closed(self)
+
+    def _check_open(self) -> None:
+        if not self.open:
+            raise GmPortClosed("port %d is closed" % self.port_id)

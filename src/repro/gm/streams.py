@@ -1,0 +1,301 @@
+"""Go-Back-N stream state.
+
+GM guarantees reliable in-order delivery per *connection* using
+cumulative ACKs, NACK-with-expected-seq and sender rewind ("a version of
+the Go-Back-N protocol").  A **stream** is one sequence-number space:
+
+* plain GM: one stream per remote node (all ports multiplexed) — the
+  Figure 6(a) structure;
+* FTGM: one stream per (remote node, local port) — Figure 6(b) — so the
+  *host* can generate sequence numbers without cross-process
+  synchronization.
+
+The classes here are pure protocol state, independent of simulation
+plumbing, so the Go-Back-N invariants are unit- and property-testable in
+isolation.  The MCP (:mod:`repro.gm.mcp`) drives them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..net.packet import GM_MTU
+from .constants import (
+    GBN_WINDOW,
+    RETRANSMIT_BACKOFF,
+    RETRANSMIT_TIMEOUT_CAP_US,
+    RETRANSMIT_TIMEOUT_US,
+    SEND_STALL_TIMEOUT_US,
+)
+from .tokens import RecvToken, SendToken
+
+__all__ = ["FragJob", "MsgRecord", "TxStream", "RxStream", "StreamKey"]
+
+# (remote_node,) under GM; (remote_node, local_port) under FTGM.
+StreamKey = Tuple[int, ...]
+
+
+@dataclass
+class FragJob:
+    """One fragment awaiting (re)transmission."""
+
+    msg_id: int
+    seq: int
+    offset: int
+    length: int
+
+
+@dataclass
+class MsgRecord:
+    """Sender-side record of one in-flight message."""
+
+    token: SendToken
+    seq_base: int
+    nfrags: int
+    acked_frags: int = 0
+    failed: bool = False
+
+    @property
+    def seq_last(self) -> int:
+        return self.seq_base + self.nfrags - 1
+
+    @property
+    def complete(self) -> bool:
+        return self.acked_frags >= self.nfrags
+
+    def fragment(self, index: int, mtu: int = GM_MTU) -> FragJob:
+        offset = index * mtu
+        length = min(mtu, self.token.size - offset) if self.token.size else 0
+        return FragJob(self.token.msg_id, self.seq_base + index, offset,
+                       length)
+
+
+class TxStream:
+    """Sender side of one sequence-number stream."""
+
+    def __init__(self, key: StreamKey, window: int = GBN_WINDOW):
+        self.key = key
+        self.window = window
+        self.next_seq = 0            # next sequence number to assign
+        self.send_cursor = 0         # next sequence number to transmit
+        self.msgs: "OrderedDict[int, MsgRecord]" = OrderedDict()
+        self.acked_upto = -1         # highest cumulatively ACKed seq
+        self.rto = RETRANSMIT_TIMEOUT_US
+        self.retries = 0              # rounds since last forward progress
+        self.deadline: Optional[float] = None  # absolute retransmit deadline
+        self._last_nack_expected = -1
+        self.progressed_via_nack = False
+        # GM's resend budget is time-based: the stream fails once the
+        # receiver has made no forward progress for SEND_STALL_TIMEOUT.
+        self.last_progress_at = 0.0
+
+    # -- admission ----------------------------------------------------------
+
+    def admit(self, token: SendToken, mtu: int = GM_MTU) -> MsgRecord:
+        """Queue a message; honours a host-assigned seq_base (FTGM)."""
+        nfrags = token.fragment_count(mtu)
+        if token.seq_base is not None:
+            if token.seq_base != self.next_seq:
+                # The host's stream generator and the MCP disagree; trust
+                # the host (it survives MCP reloads — that is the point).
+                if not self.msgs and token.seq_base > self.acked_upto + 1:
+                    # Fresh (post-reload) stream adopting host numbering:
+                    # the host only re-posts unacknowledged sends, so all
+                    # sequence numbers below the earliest one are history
+                    # — count them as acknowledged or the window never
+                    # opens.
+                    self.acked_upto = token.seq_base - 1
+                self.next_seq = token.seq_base
+                self.send_cursor = max(self.send_cursor, token.seq_base)
+            seq_base = token.seq_base
+        else:
+            seq_base = self.next_seq
+        record = MsgRecord(token, seq_base, nfrags)
+        self.msgs[token.msg_id] = record
+        self.next_seq = seq_base + nfrags
+        return record
+
+    # -- transmission bookkeeping ------------------------------------------------
+
+    def in_flight(self) -> int:
+        return self.send_cursor - (self.acked_upto + 1)
+
+    def window_open(self) -> bool:
+        return self.in_flight() < self.window
+
+    def next_to_send(self, mtu: int = GM_MTU) -> Optional[FragJob]:
+        """The fragment at the send cursor, or None if nothing to send.
+
+        If failed messages left a hole in the sequence space, the cursor
+        skips to the next live message (the receiver will NACK; the
+        retransmit budget eventually fails such sends — see on_nack).
+        """
+        if not self.window_open():
+            return None
+        job = self._job_for_seq(self.send_cursor, mtu)
+        if job is None:
+            upcoming = [r.seq_base for r in self.msgs.values()
+                        if not r.failed and r.seq_base > self.send_cursor]
+            if not upcoming:
+                return None
+            self.send_cursor = min(upcoming)
+            job = self._job_for_seq(self.send_cursor, mtu)
+        self.send_cursor += 1
+        return job
+
+    def _job_for_seq(self, seq: int, mtu: int) -> Optional[FragJob]:
+        for record in self.msgs.values():
+            if record.failed:
+                continue
+            if record.seq_base <= seq <= record.seq_last:
+                return record.fragment(seq - record.seq_base, mtu)
+        return None
+
+    # -- feedback ---------------------------------------------------------------
+
+    def on_ack(self, ack_seq: int) -> List[MsgRecord]:
+        """Cumulative ACK; returns messages completed by this ACK."""
+        if ack_seq <= self.acked_upto:
+            return []
+        completed = []
+        for record in self.msgs.values():
+            already = record.acked_frags
+            newly = min(ack_seq - record.seq_base + 1, record.nfrags)
+            if newly > already:
+                record.acked_frags = newly
+                if record.complete:
+                    completed.append(record)
+        self.acked_upto = ack_seq
+        self.send_cursor = max(self.send_cursor, ack_seq + 1)
+        self.rto = RETRANSMIT_TIMEOUT_US
+        self.retries = 0
+        for record in completed:
+            del self.msgs[record.token.msg_id]
+        if not self.msgs:
+            self.deadline = None
+        return completed
+
+    def on_nack(self, expected: int) -> List[MsgRecord]:
+        """NACK carrying the receiver's expected sequence number.
+
+        Two regimes, both 'jump to what the receiver expects':
+
+        * ``expected <= next_seq`` — classic Go-Back-N rewind: resume
+          transmission at ``expected``.  The NACK doubles as a cumulative
+          ACK of everything below ``expected``, so messages it completes
+          are returned (like :meth:`on_ack`).
+        * ``expected > next_seq`` — the receiver is *ahead* of us (we
+          restarted with fresh state, Figure 4): adopt its numbering and
+          relabel every queued message.  Under plain GM this silently
+          renumbers already-delivered data — the duplicate-message bug
+          the paper fixes.
+        """
+        if expected > self.next_seq:
+            base = expected
+            for record in self.msgs.values():
+                record.seq_base = base
+                record.acked_frags = 0
+                base += record.nfrags
+            self.next_seq = base
+            self.acked_upto = expected - 1
+            self.send_cursor = expected
+            return []
+        completed = []
+        if expected > self._last_nack_expected:
+            # The receiver's expectation is advancing: it is consuming
+            # data (e.g. draining a post-recovery backlog as buffers
+            # appear), so the conversation is alive even if nothing
+            # completed on our side.
+            self.retries = 0
+            self.progressed_via_nack = True
+        else:
+            self.retries += 1
+            self.progressed_via_nack = False
+        if expected - 1 > self.acked_upto:
+            completed = self.on_ack(expected - 1)
+        self._last_nack_expected = expected
+        self.send_cursor = min(self.send_cursor, expected)
+        return completed
+
+    def on_timeout(self) -> None:
+        """Retransmit timer fired: back off and rewind (Go-Back-N)."""
+        self.retries += 1
+        self.rto = min(self.rto * RETRANSMIT_BACKOFF,
+                       RETRANSMIT_TIMEOUT_CAP_US)
+        # Go-Back-N: rewind the cursor to the first unACKed fragment.
+        self.send_cursor = self.acked_upto + 1
+
+    def note_progress(self, now: float) -> None:
+        self.last_progress_at = now
+
+    def stalled(self, now: float,
+                limit: float = SEND_STALL_TIMEOUT_US) -> bool:
+        """True when the receiver has made no forward progress for
+        ``limit`` — the time-based failure condition of GM's resend
+        machinery."""
+        return now - self.last_progress_at > limit
+
+    def fail_all(self) -> List[MsgRecord]:
+        """Abort every queued message (send-error path).
+
+        The cursor rewinds to the ACK frontier so later admissions are
+        not blocked by phantom in-flight fragments; the resulting hole in
+        the sequence space is handled by next_to_send's gap skip.
+        """
+        failed = [r for r in self.msgs.values() if not r.failed]
+        for record in failed:
+            record.failed = True
+        self.msgs.clear()
+        self.send_cursor = self.acked_upto + 1
+        self.deadline = None
+        self.rto = RETRANSMIT_TIMEOUT_US
+        self.retries = 0
+        return failed
+
+    def has_unacked(self) -> bool:
+        return any(not r.failed for r in self.msgs.values()) \
+            and self.acked_upto + 1 < self.send_cursor
+
+    def has_sendable(self) -> bool:
+        if not self.window_open():
+            return False
+        if self._job_for_seq(self.send_cursor, GM_MTU) is not None:
+            return True
+        return any(not r.failed and r.seq_base > self.send_cursor
+                   for r in self.msgs.values())
+
+
+class RxStream:
+    """Receiver side of one stream: expected seq + reassembly cursor."""
+
+    def __init__(self, key: StreamKey):
+        self.key = key
+        self.expected_seq = 0
+        self.last_acked = -1
+        self.last_nack_at = float("-inf")
+        # In-progress message reassembly (in-order delivery means at most
+        # one message is open per stream).
+        self.open_msg_id: Optional[int] = None
+        self.open_token: Optional[RecvToken] = None
+        self.received_bytes = 0
+
+    def classify(self, seq: int) -> str:
+        """'expected' | 'stale' (already delivered) | 'future' (gap)."""
+        if seq == self.expected_seq:
+            return "expected"
+        return "stale" if seq < self.expected_seq else "future"
+
+    def accept(self, seq: int) -> None:
+        assert seq == self.expected_seq
+        self.expected_seq += 1
+        self.last_acked = seq
+
+    def restore(self, last_delivered_seq: int) -> None:
+        """FTGM recovery: resume after the last seq the *host* saw."""
+        self.expected_seq = last_delivered_seq + 1
+        self.last_acked = last_delivered_seq
+        self.open_msg_id = None
+        self.open_token = None
+        self.received_bytes = 0

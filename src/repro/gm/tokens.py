@@ -1,0 +1,71 @@
+"""GM's implicit flow-control tokens.
+
+"Both sends and receives are regulated by implicit tokens, which
+represent space allocated to the user process in various internal GM
+queues."  A process relinquishes a send token on ``gm_send`` and gets it
+back when the send's callback fires; it relinquishes a receive token
+with ``gm_provide_receive_buffer`` and gets it back when ``gm_receive``
+returns the matching message.
+
+FTGM keeps *shadow copies* of exactly these objects in host memory
+(:mod:`repro.ftgm.shadow`); that is the paper's "just the right amount of
+state" for recovery, so the fields here are the recovery contract.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+__all__ = ["SendToken", "RecvToken"]
+
+_token_ids = itertools.count(1)
+
+
+@dataclass
+class SendToken:
+    """Everything the LANai needs to transmit one message.
+
+    "A send token consists of information about the location, size and
+    priority of the send buffer and the intended destination for the
+    message."  ``seq_base`` is FTGM's addition: the host-generated first
+    sequence number for the message's fragments (None under plain GM,
+    where the MCP owns sequence numbers).
+    """
+
+    src_port: int
+    dest_node: int
+    dest_port: int
+    region_id: int          # pinned host buffer holding the message
+    host_addr: int
+    size: int
+    priority: int = 0
+    callback: Optional[Callable] = None
+    context: object = None
+    seq_base: Optional[int] = None
+    msg_id: int = field(default_factory=lambda: next(_token_ids))
+
+    def fragment_count(self, mtu: int) -> int:
+        if self.size == 0:
+            return 1
+        return -(-self.size // mtu)
+
+
+@dataclass
+class RecvToken:
+    """A receive buffer the process has surrendered to the LANai.
+
+    "A receive token contains information about the receive buffer such
+    as its size and the priority of the message that it can accept."
+    """
+
+    port: int
+    region_id: int
+    host_addr: int
+    size: int
+    priority: int = 0
+    token_id: int = field(default_factory=lambda: next(_token_ids))
+
+    def matches(self, msg_size: int, priority: int) -> bool:
+        return self.size >= msg_size and self.priority == priority

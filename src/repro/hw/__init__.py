@@ -1,0 +1,28 @@
+"""Simulated hardware: SRAM, timers, registers, PCI, DMA, host, NIC."""
+
+from .dma import DmaEngine, DmaResult
+from .host import PAGE_SIZE, USER_DMA_BASE, DmaRegion, Host, PageHashTable
+from .nic import RECV_RING_SLOTS, Nic
+from .pci import PciBus
+from .registers import IsrBits, StatusRegister
+from .sram import WORD_SIZE, Sram
+from .timers import TIMER_TICK_US, IntervalTimer
+
+__all__ = [
+    "DmaEngine",
+    "DmaRegion",
+    "DmaResult",
+    "Host",
+    "IntervalTimer",
+    "IsrBits",
+    "Nic",
+    "PAGE_SIZE",
+    "PageHashTable",
+    "PciBus",
+    "RECV_RING_SLOTS",
+    "Sram",
+    "StatusRegister",
+    "TIMER_TICK_US",
+    "USER_DMA_BASE",
+    "WORD_SIZE",
+]

@@ -1,0 +1,198 @@
+"""The host computer: pinned DMA memory, CPU accounting, interrupts, crash.
+
+GM's zero-copy model requires user processes to allocate *pinned* (DMA-able)
+pages; the driver records the virtual-to-DMA mapping in a **page hash
+table** kept in host memory, which the MCP caches into LANai SRAM.  We
+model the pinned address space directly: :class:`DmaRegion` objects live at
+simulated DMA addresses above :data:`USER_DMA_BASE` and carry
+:class:`~repro.payload.Payload` content.  Anything below the base is
+"kernel space" — a NIC DMA aimed there crashes the host, which is how the
+paper's fault-propagation-to-host failures (Table 1, "Host Computer
+Crash") arise in our model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..errors import BusError, HostCrashed
+from ..payload import Payload
+from ..sim import Process, Resource, Simulator, Store, Tracer
+
+__all__ = ["DmaRegion", "PageHashTable", "Host", "USER_DMA_BASE", "PAGE_SIZE"]
+
+PAGE_SIZE = 4096
+USER_DMA_BASE = 0x1000_0000  # DMA addresses below this are kernel space
+
+
+class DmaRegion:
+    """A pinned, DMA-able buffer owned by one port.
+
+    ``payload`` holds the buffer's current content.  Senders fill it
+    before posting a send token; the NIC fills it when delivering a
+    message into a receive buffer.
+    """
+
+    def __init__(self, region_id: int, addr: int, size: int, owner_port: int):
+        self.region_id = region_id
+        self.addr = addr
+        self.size = size
+        self.owner_port = owner_port
+        self.payload: Optional[Payload] = None
+
+    def contains(self, addr: int, length: int) -> bool:
+        return self.addr <= addr and addr + length <= self.addr + self.size
+
+    def __repr__(self) -> str:
+        return "DmaRegion(id=%d, addr=0x%x, size=%d, port=%d)" % (
+            self.region_id, self.addr, self.size, self.owner_port)
+
+
+class PageHashTable:
+    """Host-resident map of (port, virtual page) -> DMA address.
+
+    It is big (the paper: "it is big, so it is stored in host memory and
+    the MCP caches entries into the LANai SRAM"), and it survives NIC
+    failures, which is why the FTD merely re-tells the reloaded MCP where
+    the table lives rather than rebuilding it.
+    """
+
+    def __init__(self):
+        self._entries: Dict[Tuple[int, int], int] = {}
+
+    def insert(self, port: int, virtual_page: int, dma_addr: int) -> None:
+        self._entries[(port, virtual_page)] = dma_addr
+
+    def remove_port(self, port: int) -> None:
+        stale = [k for k in self._entries if k[0] == port]
+        for key in stale:
+            del self._entries[key]
+
+    def lookup(self, port: int, virtual_page: int) -> Optional[int]:
+        return self._entries.get((port, virtual_page))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Host:
+    """A host machine: CPU, pinned memory, interrupt lines, daemons.
+
+    The CPU is a single :class:`Resource`; library code charges CPU time
+    through :meth:`cpu_execute`, which both advances simulated time and
+    accumulates per-category utilisation figures (Table 2's host-CPU
+    columns come from these counters).
+    """
+
+    def __init__(self, sim: Simulator, name: str, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.name = name
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.cpu = Resource(sim, capacity=1)
+        self.page_hash_table = PageHashTable()
+        self.crashed = False
+        self.crash_reason: Optional[str] = None
+        self._regions: Dict[int, DmaRegion] = {}
+        self._by_id: Dict[int, DmaRegion] = {}
+        self._next_addr = USER_DMA_BASE
+        self._next_region_id = 1
+        self._irq_handlers: Dict[int, Callable[[Any], None]] = {}
+        self._processes: List[Process] = []
+        self.cpu_time: Dict[str, float] = {}
+
+    # -- memory management -----------------------------------------------------
+
+    def alloc_dma(self, size: int, owner_port: int) -> DmaRegion:
+        """Allocate a pinned buffer and register its pages in the hash table."""
+        self._check_alive()
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        # Round the *address space* up to whole pages; the region keeps its
+        # exact size for bounds checking.
+        pages = -(-size // PAGE_SIZE)
+        region = DmaRegion(self._next_region_id, self._next_addr, size,
+                           owner_port)
+        self._next_region_id += 1
+        self._next_addr += pages * PAGE_SIZE
+        self._regions[region.addr] = region
+        self._by_id[region.region_id] = region
+        for page in range(pages):
+            self.page_hash_table.insert(
+                owner_port, region.addr // PAGE_SIZE + page,
+                region.addr + page * PAGE_SIZE)
+        return region
+
+    def free_dma(self, region: DmaRegion) -> None:
+        self._regions.pop(region.addr, None)
+        self._by_id.pop(region.region_id, None)
+
+    def region_at(self, addr: int, length: int = 1) -> DmaRegion:
+        """Resolve a DMA address to its region; raise BusError if unmapped."""
+        for region in self._regions.values():
+            if region.contains(addr, length):
+                return region
+        raise BusError(addr, length, what="host DMA space")
+
+    def region_by_id(self, region_id: int) -> Optional[DmaRegion]:
+        return self._by_id.get(region_id)
+
+    def is_kernel_address(self, addr: int) -> bool:
+        return addr < USER_DMA_BASE
+
+    # -- CPU accounting ----------------------------------------------------------
+
+    def cpu_execute(self, cost_us: float, category: str = "other") -> Generator:
+        """Process helper: occupy the CPU for ``cost_us``, tallied by category."""
+        self._check_alive()
+        if cost_us < 0:
+            raise ValueError("negative CPU cost")
+        req = self.cpu.request()
+        yield req
+        try:
+            yield self.sim.timeout(cost_us)
+            self.cpu_time[category] = self.cpu_time.get(category, 0.0) + cost_us
+        finally:
+            self.cpu.release()
+
+    # -- interrupts ----------------------------------------------------------------
+
+    def register_irq_handler(self, line: int,
+                             handler: Callable[[Any], None]) -> None:
+        """Install an interrupt handler (the GM driver does this at load)."""
+        self._irq_handlers[line] = handler
+
+    def raise_irq(self, line: int, cause: Any = None) -> None:
+        """Deliver an interrupt.  Handlers run in interrupt context —
+        synchronously, no sleeping — matching the paper's point that the
+        recovery work must be deferred to a daemon."""
+        if self.crashed:
+            return
+        handler = self._irq_handlers.get(line)
+        if handler is not None:
+            handler(cause)
+            self.tracer.emit(self.sim.now, self.name, "irq",
+                             line=line, cause=str(cause))
+
+    # -- processes & crash --------------------------------------------------------
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Run a process on this host; it dies if the host crashes."""
+        self._check_alive()
+        proc = self.sim.spawn(gen, name="%s/%s" % (self.name, name))
+        self._processes.append(proc)
+        return proc
+
+    def crash(self, reason: str) -> None:
+        """Crash the machine: all host processes are interrupted."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crash_reason = reason
+        self.tracer.emit(self.sim.now, self.name, "host_crash", reason=reason)
+        for proc in self._processes:
+            if proc.is_alive:
+                proc.interrupt(HostCrashed(reason))
+
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise HostCrashed(self.crash_reason or "host crashed")

@@ -1,0 +1,34 @@
+"""The PCI bus between host memory and the NIC.
+
+The paper's testbed uses 33 MHz PCI (64-bit slots, LANai9 PCI64B cards).
+At this abstraction a DMA transaction holds the bus for
+``setup + bytes / bandwidth``; send-side and receive-side DMAs of the
+same host contend for the one bus, which is what bends the bidirectional
+bandwidth curve of Figure 7 toward its ~92 MB/s asymptote.
+
+Bandwidth is in bytes/µs (== MB/s).  The default effective bandwidth is
+deliberately below the 264 MB/s theoretical peak of 33 MHz x 64-bit PCI —
+real DMA engines lose cycles to arbitration, retries and descriptor
+fetches; the value is calibrated against Table 2.
+"""
+
+from __future__ import annotations
+
+from ..sim import Pipe, Simulator
+
+__all__ = ["PciBus"]
+
+
+class PciBus(Pipe):
+    """A shared, serialized PCI segment."""
+
+    def __init__(self, sim: Simulator, bandwidth: float = 228.0,
+                 setup: float = 0.55):
+        super().__init__(sim, bandwidth=bandwidth, setup=setup, capacity=1)
+
+    def pio_cost(self) -> float:
+        """Cost of one programmed-I/O access (doorbell write, register read).
+
+        PIO over PCI is uncached and serializing; ~0.3 µs at 33 MHz.
+        """
+        return 0.3

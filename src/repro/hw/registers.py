@@ -1,0 +1,100 @@
+"""LANai special-function registers: ISR, IMR and friends.
+
+The LANai exposes an Interface Status Register (ISR) whose bits record
+pending conditions (timer expiry, packet arrival, DMA completion, host
+doorbells) and an Interrupt Mask Register (IMR) selecting which ISR bits
+raise an interrupt to the *host* over the E-bus.  The MCP's dispatch loop
+polls the ISR; the host watchdog of the paper works by enabling the IT1
+bit in the IMR so that a timer the firmware fails to re-arm interrupts
+the host.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["IsrBits", "StatusRegister"]
+
+
+class IsrBits:
+    """Bit assignments for the Interface Status Register.
+
+    The numbering is ours (the real LANai layout is not public in the
+    paper); only the *roles* matter for the reproduction.
+    """
+
+    IT0_EXPIRED = 1 << 0        # MCP housekeeping timer (drives L_timer())
+    IT1_EXPIRED = 1 << 1        # spare timer used by the FTGM watchdog
+    IT2_EXPIRED = 1 << 2        # second spare timer (unused, as on real GM)
+    SEND_POSTED = 1 << 3        # host wrote a send token doorbell
+    RECV_POSTED = 1 << 4        # host provided a receive buffer
+    PACKET_ARRIVED = 1 << 5     # packet interface deposited a packet in SRAM
+    HOST_DMA_DONE = 1 << 6      # E-bus DMA engine finished a transfer
+    HOST_REQUEST = 1 << 7       # host wants attention (open/close/pause port)
+    FATAL = 1 << 8              # used by the driver to flag a fatal condition
+
+    ALL = (1 << 9) - 1
+
+    NAMES = {
+        IT0_EXPIRED: "IT0_EXPIRED",
+        IT1_EXPIRED: "IT1_EXPIRED",
+        IT2_EXPIRED: "IT2_EXPIRED",
+        SEND_POSTED: "SEND_POSTED",
+        RECV_POSTED: "RECV_POSTED",
+        PACKET_ARRIVED: "PACKET_ARRIVED",
+        HOST_DMA_DONE: "HOST_DMA_DONE",
+        HOST_REQUEST: "HOST_REQUEST",
+        FATAL: "FATAL",
+    }
+
+    @classmethod
+    def describe(cls, mask: int) -> str:
+        names = [name for bit, name in cls.NAMES.items() if mask & bit]
+        return "|".join(names) if names else "0"
+
+
+class StatusRegister:
+    """An ISR/IMR pair with set/clear semantics and change listeners.
+
+    ``listeners`` fire on every ISR *set*; the native MCP dispatch loop
+    registers one to wake up, and the host-interrupt logic registers one
+    to deliver E-bus interrupts for bits enabled in the IMR.
+    """
+
+    def __init__(self):
+        self.isr = 0
+        self.imr = 0
+        self._listeners: List[Callable[[int], None]] = []
+
+    def add_listener(self, fn: Callable[[int], None]) -> None:
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn: Callable[[int], None]) -> None:
+        self._listeners.remove(fn)
+
+    def set_bits(self, mask: int) -> None:
+        """OR ``mask`` into the ISR and notify listeners."""
+        self.isr |= mask
+        for listener in list(self._listeners):
+            listener(mask)
+
+    def clear_bits(self, mask: int) -> None:
+        self.isr &= ~mask
+
+    def test(self, mask: int) -> bool:
+        return bool(self.isr & mask)
+
+    def enable_interrupt(self, mask: int) -> None:
+        self.imr |= mask
+
+    def disable_interrupt(self, mask: int) -> None:
+        self.imr &= ~mask
+
+    def pending_interrupts(self) -> int:
+        """ISR bits that are both set and unmasked."""
+        return self.isr & self.imr
+
+    def reset(self) -> None:
+        """Power-on state; listeners survive (they model soldered wires)."""
+        self.isr = 0
+        self.imr = 0

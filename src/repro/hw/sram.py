@@ -1,0 +1,86 @@
+"""LANai local SRAM.
+
+The Myrinet host interface stores the Myrinet Control Program (MCP) and
+its packet buffers in fast local SRAM (512 KB - 8 MB on real cards; the
+LANai9 PCI64B boards in the paper carry 2 MB).  We model it as a flat
+byte-addressable array with 32-bit big-endian word access — the LANai is
+a big-endian processor — plus bounds checking that raises
+:class:`~repro.errors.BusError`, which is how a corrupted firmware address
+turns into a processor hang.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..errors import BusError
+
+__all__ = ["Sram", "WORD_SIZE"]
+
+WORD_SIZE = 4
+
+
+class Sram:
+    """Byte-addressable memory with word (32-bit, big-endian) accessors."""
+
+    def __init__(self, size: int = 2 * 1024 * 1024):
+        if size <= 0 or size % WORD_SIZE:
+            raise ValueError("SRAM size must be a positive multiple of 4")
+        self.size = size
+        self._mem = bytearray(size)
+
+    def _check(self, address: int, length: int) -> None:
+        if address < 0 or length < 0 or address + length > self.size:
+            raise BusError(address, length, what="SRAM")
+
+    # -- byte access ---------------------------------------------------------
+
+    def read_bytes(self, address: int, length: int) -> bytes:
+        self._check(address, length)
+        return bytes(self._mem[address:address + length])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        self._check(address, len(data))
+        self._mem[address:address + len(data)] = data
+
+    # -- word access -----------------------------------------------------------
+
+    def read_word(self, address: int) -> int:
+        """Read an unsigned 32-bit big-endian word."""
+        self._check(address, WORD_SIZE)
+        return int.from_bytes(self._mem[address:address + WORD_SIZE], "big")
+
+    def write_word(self, address: int, value: int) -> None:
+        self._check(address, WORD_SIZE)
+        self._mem[address:address + WORD_SIZE] = (
+            value & 0xFFFFFFFF).to_bytes(WORD_SIZE, "big")
+
+    def read_words(self, address: int, count: int) -> list:
+        return [self.read_word(address + i * WORD_SIZE) for i in range(count)]
+
+    def write_words(self, address: int, values: Iterable[int]) -> None:
+        for i, value in enumerate(values):
+            self.write_word(address + i * WORD_SIZE, value)
+
+    # -- bulk operations -------------------------------------------------------
+
+    def clear(self) -> None:
+        """Zero the whole SRAM (the FTD does this before reloading the MCP)."""
+        self._mem = bytearray(self.size)
+
+    def flip_bit(self, bit_offset: int) -> int:
+        """Flip a single bit; returns the byte address touched.
+
+        This is the fault-injection primitive: the paper flips random bits
+        in the ``send_chunk`` section of the MCP code segment.
+        """
+        byte_addr, bit = divmod(bit_offset, 8)
+        self._check(byte_addr, 1)
+        self._mem[byte_addr] ^= 1 << (7 - bit)  # bit 0 = MSB, matching BE words
+        return byte_addr
+
+    def snapshot(self, address: int = 0, length: int = None) -> bytes:
+        """Copy of a region (defaults to the whole SRAM)."""
+        if length is None:
+            length = self.size - address
+        return self.read_bytes(address, length)

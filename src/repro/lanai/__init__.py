@@ -1,0 +1,40 @@
+"""The LANai processor stand-in: ISA, assembler, interpreter, firmware."""
+
+from .assembler import Program, assemble
+from .bus import MMIO_BASE, MemoryBus
+from .cpu import CYCLE_US, RETURN_SENTINEL, LanaiCpu, RoutineOutcome
+from .firmware import (
+    CODE_BASE,
+    MAGIC_WORD_ADDR,
+    MMIO,
+    SEND_CHUNK_SOURCE,
+    TOKEN_BASE,
+    TOKEN_FIELDS,
+    Firmware,
+    build_firmware,
+)
+from .isa import Instruction, Op, decode, disassemble, encode
+
+__all__ = [
+    "CODE_BASE",
+    "CYCLE_US",
+    "Firmware",
+    "Instruction",
+    "LanaiCpu",
+    "MAGIC_WORD_ADDR",
+    "MMIO",
+    "MMIO_BASE",
+    "MemoryBus",
+    "Op",
+    "Program",
+    "RETURN_SENTINEL",
+    "RoutineOutcome",
+    "SEND_CHUNK_SOURCE",
+    "TOKEN_BASE",
+    "TOKEN_FIELDS",
+    "assemble",
+    "build_firmware",
+    "decode",
+    "disassemble",
+    "encode",
+]

@@ -1,0 +1,263 @@
+"""A two-pass assembler for the LANai stand-in ISA.
+
+Grammar (one statement per line)::
+
+    .equ NAME expr          # define a constant
+    .org expr               # set the location counter (word-aligned bytes)
+    .word expr [, expr ...] # emit literal data words
+    label:                  # define a label (may precede an instruction)
+    mnemonic operands       # see repro.lanai.isa for formats
+
+Operands:
+
+* registers ``r0`` .. ``r15``;
+* immediate expressions: integers (decimal or ``0x`` hex), ``.equ``
+  names, labels, combined with ``+``/``-`` (left-to-right; no parens);
+* loads/stores accept both ``lw rd, imm(ra)`` and ``lw rd, ra, imm``.
+
+Branch targets are labels (or expressions) holding *byte* addresses; the
+assembler converts them to the PC-relative word offsets the hardware
+wants.  ``j``/``jal`` likewise take byte addresses and emit word
+addresses.
+
+Comments start with ``#`` or ``;``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import AssemblerError
+from . import isa
+
+__all__ = ["Program", "assemble"]
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*):")
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_OPERAND_RE = re.compile(r"^(.+)\((r\d+)\)$")
+
+
+@dataclass
+class Program:
+    """Assembled output: code bytes plus symbol and line tables."""
+
+    code: bytes
+    base: int
+    symbols: Dict[str, int]
+    # byte offset (from base) -> source line, for fault-analysis reports
+    lines: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.code)
+
+    def symbol(self, name: str) -> int:
+        try:
+            return self.symbols[name]
+        except KeyError:
+            raise AssemblerError("unknown symbol %r" % name)
+
+    def extent(self, name: str) -> Tuple[int, int]:
+        """(start, end) byte addresses of the region between ``name`` and
+        ``name_end`` symbols — used to aim fault injection at a section."""
+        return self.symbol(name), self.symbol(name + "_end")
+
+
+class _Assembler:
+    def __init__(self, source: str, base: int):
+        self.source = source
+        self.base = base
+        self.symbols: Dict[str, int] = {}
+        self.lines: Dict[int, str] = {}
+
+    def assemble(self) -> Program:
+        statements = self._parse()
+        # Pass 1 assigned symbols; pass 2 encodes with them resolved.
+        words: List[Tuple[int, int]] = []  # (byte offset, word)
+        size = 0
+        for loc, lineno, text, kind, payload in statements:
+            if kind == "word":
+                words.append((loc, self._expr(payload, lineno)))
+                size = max(size, loc + 4)
+            elif kind == "instr":
+                word = self._encode(payload, loc, lineno)
+                words.append((loc, word))
+                self.lines[loc] = text
+                size = max(size, loc + 4)
+        code = bytearray(size)
+        for loc, word in words:
+            code[loc:loc + 4] = (word & 0xFFFFFFFF).to_bytes(4, "big")
+        return Program(bytes(code), self.base, dict(self.symbols), self.lines)
+
+    # -- parsing / pass 1 ------------------------------------------------------
+
+    def _parse(self):
+        statements = []
+        loc = 0
+        for lineno, raw in enumerate(self.source.splitlines(), start=1):
+            line = raw.split("#")[0].split(";")[0].strip()
+            if not line:
+                continue
+            match = _LABEL_RE.match(line)
+            while match:
+                self._define(match.group(1), self.base + loc, lineno)
+                line = line[match.end():].strip()
+                match = _LABEL_RE.match(line)
+            if not line:
+                continue
+            if line.startswith(".equ"):
+                parts = line.split(None, 2)
+                if len(parts) != 3:
+                    self._err(lineno, ".equ NAME expr")
+                self._define(parts[1], None, lineno, defer=parts[2])
+                continue
+            if line.startswith(".org"):
+                loc = self._expr(line.split(None, 1)[1], lineno) - self.base
+                if loc < 0 or loc % 4:
+                    self._err(lineno, "misaligned or negative .org")
+                continue
+            if line.startswith(".word"):
+                for expr in line.split(None, 1)[1].split(","):
+                    statements.append((loc, lineno, line, "word", expr.strip()))
+                    loc += 4
+                continue
+            statements.append((loc, lineno, line, "instr", line))
+            loc += 4
+        # Resolve deferred .equ expressions now that labels are known.
+        for name, value in list(self.symbols.items()):
+            if isinstance(value, str):
+                self.symbols[name] = self._expr(value, 0)
+        return statements
+
+    def _define(self, name: str, value, lineno: int, defer: str = None):
+        if name in self.symbols:
+            self._err(lineno, "duplicate symbol %r" % name)
+        self.symbols[name] = defer if defer is not None else value
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self, text: str, lineno: int) -> int:
+        tokens = re.findall(r"0x[0-9A-Fa-f]+|\d+|[A-Za-z_][A-Za-z0-9_]*|[+\-]",
+                            text.replace(" ", ""))
+        if not tokens or "".join(tokens) != text.replace(" ", ""):
+            self._err(lineno, "cannot parse expression %r" % text)
+        value, op = 0, "+"
+        expecting_term = True
+        for token in tokens:
+            if token in "+-":
+                if expecting_term and token == "-":
+                    # unary minus: flip the sign of the pending operator
+                    op = "-" if op == "+" else "+"
+                    continue
+                if expecting_term:
+                    self._err(lineno, "misplaced operator in %r" % text)
+                op, expecting_term = token, True
+                continue
+            term = self._term(token, lineno)
+            value = value + term if op == "+" else value - term
+            expecting_term = False
+        if expecting_term:
+            self._err(lineno, "dangling operator in %r" % text)
+        return value
+
+    def _term(self, token: str, lineno: int) -> int:
+        if token.startswith("0x"):
+            return int(token, 16)
+        if token.isdigit():
+            return int(token)
+        if token in self.symbols:
+            value = self.symbols[token]
+            if isinstance(value, str):
+                value = self._expr(value, lineno)
+                self.symbols[token] = value
+            return value
+        self._err(lineno, "undefined symbol %r" % token)
+
+    # -- encoding / pass 2 -------------------------------------------------------
+
+    def _encode(self, text: str, loc: int, lineno: int) -> int:
+        parts = text.split(None, 1)
+        mnemonic = parts[0].lower()
+        op = isa.BY_MNEMONIC.get(mnemonic)
+        if op is None:
+            self._err(lineno, "unknown mnemonic %r" % mnemonic)
+        operands = [p.strip() for p in parts[1].split(",")] if len(parts) > 1 \
+            else []
+        try:
+            instr = self._build(op, operands, loc, lineno)
+            return isa.encode(instr)
+        except (ValueError, AssemblerError) as exc:
+            self._err(lineno, str(exc))
+
+    def _build(self, op: isa.Op, operands: List[str], loc: int,
+               lineno: int) -> isa.Instruction:
+        def reg(text: str) -> int:
+            if not re.match(r"^r\d+$", text):
+                raise AssemblerError("expected register, got %r" % text)
+            index = int(text[1:])
+            if not 0 <= index < isa.NUM_REGS:
+                raise AssemblerError("no such register %r" % text)
+            return index
+
+        name = op.mnemonic
+        if name == "nop" or name == "halt":
+            self._arity(operands, 0, lineno, name)
+            return isa.Instruction(op)
+        if name == "jr":
+            self._arity(operands, 1, lineno, name)
+            return isa.Instruction(op, ra=reg(operands[0]))
+        if op.fmt == isa.Format.R:
+            self._arity(operands, 3, lineno, name)
+            return isa.Instruction(op, rd=reg(operands[0]),
+                                   ra=reg(operands[1]), rb=reg(operands[2]))
+        if name == "lui":
+            self._arity(operands, 2, lineno, name)
+            return isa.Instruction(op, rd=reg(operands[0]),
+                                   imm=self._expr(operands[1], lineno))
+        if name in ("lw", "sw"):
+            if len(operands) == 2:  # lw rd, imm(ra)
+                match = _MEM_OPERAND_RE.match(operands[1])
+                if not match:
+                    raise AssemblerError(
+                        "expected imm(ra) operand, got %r" % operands[1])
+                imm = self._expr(match.group(1), lineno)
+                return isa.Instruction(op, rd=reg(operands[0]),
+                                       ra=reg(match.group(2)), imm=imm)
+            self._arity(operands, 3, lineno, name)
+            return isa.Instruction(op, rd=reg(operands[0]),
+                                   ra=reg(operands[1]),
+                                   imm=self._expr(operands[2], lineno))
+        if op.fmt == isa.Format.I:
+            self._arity(operands, 3, lineno, name)
+            return isa.Instruction(op, rd=reg(operands[0]),
+                                   ra=reg(operands[1]),
+                                   imm=self._expr(operands[2], lineno))
+        if op.fmt == isa.Format.B:
+            self._arity(operands, 3, lineno, name)
+            target = self._expr(operands[2], lineno)
+            offset = (target - (self.base + loc + 4)) // 4
+            return isa.Instruction(op, ra=reg(operands[0]),
+                                   rb=reg(operands[1]), imm=offset)
+        if op.fmt == isa.Format.J:
+            self._arity(operands, 1, lineno, name)
+            target = self._expr(operands[0], lineno)
+            if target % 4:
+                raise AssemblerError("jump target not word aligned")
+            return isa.Instruction(op, imm=target // 4)
+        raise AssemblerError("unhandled op %r" % name)  # pragma: no cover
+
+    def _arity(self, operands: List[str], want: int, lineno: int,
+               name: str) -> None:
+        if len(operands) != want:
+            self._err(lineno, "%s takes %d operand(s), got %d"
+                      % (name, want, len(operands)))
+
+    def _err(self, lineno: int, message: str):
+        raise AssemblerError("line %d: %s" % (lineno, message))
+
+
+def assemble(source: str, base: int = 0) -> Program:
+    """Assemble ``source`` with its first byte at address ``base``."""
+    return _Assembler(source, base).assemble()

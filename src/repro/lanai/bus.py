@@ -1,0 +1,71 @@
+"""The LANai memory bus: SRAM plus memory-mapped device registers.
+
+Word accesses below the SRAM size hit SRAM; accesses at or above
+:data:`MMIO_BASE` hit registered device registers (DMA engine, packet
+interface, timers).  Everything else is a bus error, which the CPU turns
+into a fatal trap — one of the organic paths from a corrupted address to
+a "Local Interface Hung" outcome.
+
+A device read handler may return either an ``int`` (immediate value) or a
+:class:`~repro.sim.core.Event`; in the latter case the CPU parks on the
+event and uses its value — this models firmware spinning on a status
+register without simulating every poll iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+from ..errors import BusError
+from ..hw.sram import Sram
+from ..sim import Event
+
+__all__ = ["MemoryBus", "MMIO_BASE"]
+
+MMIO_BASE = 0x00F0_0000  # device registers live here, beyond any SRAM size
+
+ReadHandler = Callable[[], Union[int, Event]]
+WriteHandler = Callable[[int], Optional[Event]]
+
+
+class MemoryBus:
+    """Routes CPU word accesses to SRAM or device registers."""
+
+    def __init__(self, sram: Sram):
+        self.sram = sram
+        self._readers: Dict[int, ReadHandler] = {}
+        self._writers: Dict[int, WriteHandler] = {}
+
+    def map_register(self, address: int,
+                     read: Optional[ReadHandler] = None,
+                     write: Optional[WriteHandler] = None) -> None:
+        """Attach device handlers at an MMIO address."""
+        if address < MMIO_BASE:
+            raise ValueError("MMIO register below MMIO_BASE: 0x%x" % address)
+        if address % 4:
+            raise ValueError("MMIO register not word aligned: 0x%x" % address)
+        if read is not None:
+            self._readers[address] = read
+        if write is not None:
+            self._writers[address] = write
+
+    def unmap_all(self) -> None:
+        self._readers.clear()
+        self._writers.clear()
+
+    def read_word(self, address: int) -> Union[int, Event]:
+        if 0 <= address < self.sram.size:
+            return self.sram.read_word(address)
+        handler = self._readers.get(address)
+        if handler is None:
+            raise BusError(address, 4, what="LANai bus (read)")
+        return handler()
+
+    def write_word(self, address: int, value: int) -> Optional[Event]:
+        if 0 <= address < self.sram.size:
+            self.sram.write_word(address, value)
+            return None
+        handler = self._writers.get(address)
+        if handler is None:
+            raise BusError(address, 4, what="LANai bus (write)")
+        return handler(value & 0xFFFFFFFF)

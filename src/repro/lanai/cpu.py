@@ -1,0 +1,232 @@
+"""The LANai RISC core interpreter.
+
+The CPU executes firmware routines on demand: GM's MCP is event-driven,
+so the dispatch loop (modelled natively for speed) invokes routines such
+as ``send_chunk`` at an entry point and the routine returns via ``jr r15``
+to a sentinel link address.  The interpreter:
+
+* charges simulated time per instruction (132 MHz core clock, matching
+  LANai9);
+* turns decode failures and bus errors into a **hung** processor — once
+  hung, the core never executes again until the card is reset and the
+  MCP reloaded, exactly the failure mode the paper's watchdog detects;
+* detects runaway loops with an instruction-budget guard ("fuel") and
+  classifies them as hangs too (an infinitely looping LANai and a
+  stopped LANai are indistinguishable from the host);
+* reports a **restart** when control reaches the reset vector (address
+  0) — Table 1's rare "MCP Restart" outcome.
+
+Blocking device reads (a read handler returning an Event) park the CPU on
+the event, modelling a spin-wait without simulating each poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, Optional
+
+from ..errors import BusError, InvalidInstruction, LanaiTrap
+from ..sim import Event, Simulator, Tracer
+from . import isa
+from .bus import MemoryBus
+
+__all__ = ["LanaiCpu", "RoutineOutcome", "CYCLE_US", "RETURN_SENTINEL"]
+
+CYCLE_US = 1.0 / 132.0       # LANai9 runs at 132 MHz
+RETURN_SENTINEL = 0xFFFF_FFFC  # link value meaning "routine complete"
+_TIME_CHUNK = 512            # instructions per simulated-time flush
+
+
+def _s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+@dataclass
+class RoutineOutcome:
+    """Result of one ``run_routine`` invocation."""
+
+    status: str                  # "done" | "hung" | "restart"
+    reason: Optional[str] = None
+    pc: int = 0
+    instructions: int = 0
+    faulting_word: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+
+class LanaiCpu:
+    """Interpreter state: 16 registers, a PC, and a hang latch."""
+
+    def __init__(self, sim: Simulator, bus: MemoryBus,
+                 tracer: Optional[Tracer] = None, name: str = "lanai"):
+        self.sim = sim
+        self.bus = bus
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.name = name
+        self.regs = [0] * isa.NUM_REGS
+        self.pc = 0
+        self.hung = False
+        self.hang_reason: Optional[str] = None
+        self.instructions_retired = 0
+        self.busy_time = 0.0
+
+    def reset(self) -> None:
+        """Power-on state (cleared by card reset + MCP reload)."""
+        self.regs = [0] * isa.NUM_REGS
+        self.pc = 0
+        self.hung = False
+        self.hang_reason = None
+
+    def _hang(self, reason: str, pc: int) -> None:
+        self.hung = True
+        self.hang_reason = reason
+        self.tracer.emit(self.sim.now, self.name, "lanai_hang",
+                         reason=reason, pc=pc)
+
+    def run_routine(self, entry: int, args: Optional[Dict[int, int]] = None,
+                    fuel: int = 20000) -> Generator:
+        """Process: execute from ``entry`` until ``jr r15`` (sentinel).
+
+        ``args`` preloads registers (e.g. a pointer to the token block).
+        Returns a :class:`RoutineOutcome`; on a hang the CPU latch is set
+        and subsequent invocations return immediately.
+        """
+        if self.hung:
+            return RoutineOutcome("hung", self.hang_reason, self.pc)
+        self.regs = [0] * isa.NUM_REGS
+        if args:
+            for reg, value in args.items():
+                self.regs[reg] = value & 0xFFFFFFFF
+        self.regs[15] = RETURN_SENTINEL
+        self.pc = entry
+        executed = 0
+        cycles = 0
+        regs = self.regs
+        while True:
+            if executed >= fuel:
+                yield self.sim.timeout(cycles * CYCLE_US)
+                self.busy_time += cycles * CYCLE_US
+                self._hang("infinite-loop", self.pc)
+                return RoutineOutcome("hung", "infinite-loop", self.pc,
+                                      executed)
+            pc = self.pc
+            if pc == 0:
+                yield self.sim.timeout(cycles * CYCLE_US)
+                self.busy_time += cycles * CYCLE_US
+                self.tracer.emit(self.sim.now, self.name, "mcp_restart", pc=pc)
+                return RoutineOutcome("restart", "jumped-to-reset-vector",
+                                      pc, executed)
+            if pc == RETURN_SENTINEL:
+                yield self.sim.timeout(cycles * CYCLE_US)
+                self.busy_time += cycles * CYCLE_US
+                self.instructions_retired += executed
+                return RoutineOutcome("done", pc=pc, instructions=executed)
+            if pc % 4 or not 0 <= pc < self.bus.sram.size:
+                yield self.sim.timeout(cycles * CYCLE_US)
+                self.busy_time += cycles * CYCLE_US
+                self._hang("pc-out-of-bounds", pc)
+                return RoutineOutcome("hung", "pc-out-of-bounds", pc, executed)
+            word = self.bus.sram.read_word(pc)
+            try:
+                instr = isa.decode(word, pc)
+            except InvalidInstruction:
+                yield self.sim.timeout(cycles * CYCLE_US)
+                self.busy_time += cycles * CYCLE_US
+                self._hang("invalid-instruction", pc)
+                return RoutineOutcome("hung", "invalid-instruction", pc,
+                                      executed, faulting_word=word)
+            executed += 1
+            cycles += instr.op.cycles
+            op = instr.op.mnemonic
+            next_pc = pc + 4
+            try:
+                if op == "nop":
+                    pass
+                elif op == "add":
+                    regs[instr.rd] = (regs[instr.ra] + regs[instr.rb]) \
+                        & 0xFFFFFFFF
+                elif op == "sub":
+                    regs[instr.rd] = (regs[instr.ra] - regs[instr.rb]) \
+                        & 0xFFFFFFFF
+                elif op == "and":
+                    regs[instr.rd] = regs[instr.ra] & regs[instr.rb]
+                elif op == "or":
+                    regs[instr.rd] = regs[instr.ra] | regs[instr.rb]
+                elif op == "xor":
+                    regs[instr.rd] = regs[instr.ra] ^ regs[instr.rb]
+                elif op == "sll":
+                    regs[instr.rd] = (regs[instr.ra]
+                                      << (regs[instr.rb] & 31)) & 0xFFFFFFFF
+                elif op == "srl":
+                    regs[instr.rd] = regs[instr.ra] >> (regs[instr.rb] & 31)
+                elif op == "slt":
+                    regs[instr.rd] = int(_s32(regs[instr.ra])
+                                         < _s32(regs[instr.rb]))
+                elif op == "addi":
+                    regs[instr.rd] = (regs[instr.ra] + instr.imm) & 0xFFFFFFFF
+                elif op == "andi":
+                    regs[instr.rd] = regs[instr.ra] & (instr.imm & 0xFFFFFFFF)
+                elif op == "ori":
+                    regs[instr.rd] = regs[instr.ra] | (instr.imm & 0x3FFFF)
+                elif op == "xori":
+                    regs[instr.rd] = regs[instr.ra] ^ (instr.imm & 0x3FFFF)
+                elif op == "lui":
+                    regs[instr.rd] = (instr.imm << 14) & 0xFFFFFFFF
+                elif op == "lw":
+                    addr = (regs[instr.ra] + instr.imm) & 0xFFFFFFFF
+                    result = self.bus.read_word(addr)
+                    if isinstance(result, Event):
+                        yield self.sim.timeout(cycles * CYCLE_US)
+                        self.busy_time += cycles * CYCLE_US
+                        cycles = 0
+                        result = yield result
+                    regs[instr.rd] = int(result) & 0xFFFFFFFF
+                elif op == "sw":
+                    addr = (regs[instr.ra] + instr.imm) & 0xFFFFFFFF
+                    block = self.bus.write_word(addr, regs[instr.rd])
+                    if isinstance(block, Event):
+                        yield self.sim.timeout(cycles * CYCLE_US)
+                        self.busy_time += cycles * CYCLE_US
+                        cycles = 0
+                        yield block
+                elif op == "beq":
+                    if regs[instr.ra] == regs[instr.rb]:
+                        next_pc = pc + 4 + instr.imm * 4
+                elif op == "bne":
+                    if regs[instr.ra] != regs[instr.rb]:
+                        next_pc = pc + 4 + instr.imm * 4
+                elif op == "blt":
+                    if _s32(regs[instr.ra]) < _s32(regs[instr.rb]):
+                        next_pc = pc + 4 + instr.imm * 4
+                elif op == "bge":
+                    if _s32(regs[instr.ra]) >= _s32(regs[instr.rb]):
+                        next_pc = pc + 4 + instr.imm * 4
+                elif op == "j":
+                    next_pc = instr.imm * 4
+                elif op == "jal":
+                    regs[15] = pc + 4
+                    next_pc = instr.imm * 4
+                elif op == "jr":
+                    next_pc = regs[instr.ra]
+                elif op == "halt":
+                    yield self.sim.timeout(cycles * CYCLE_US)
+                    self.busy_time += cycles * CYCLE_US
+                    self._hang("halt-instruction", pc)
+                    return RoutineOutcome("hung", "halt-instruction", pc,
+                                          executed)
+                else:  # pragma: no cover - decode table is closed
+                    raise LanaiTrap("unimplemented op %s" % op, pc)
+            except BusError as exc:
+                yield self.sim.timeout(cycles * CYCLE_US)
+                self.busy_time += cycles * CYCLE_US
+                self._hang("bus-error:0x%x" % exc.address, pc)
+                return RoutineOutcome("hung", "bus-error", pc, executed)
+            regs[0] = 0  # r0 is hardwired to zero
+            self.pc = next_pc & 0xFFFFFFFF
+            if executed % _TIME_CHUNK == 0:
+                yield self.sim.timeout(cycles * CYCLE_US)
+                self.busy_time += cycles * CYCLE_US
+                cycles = 0

@@ -1,0 +1,252 @@
+"""The MCP firmware image and its interpreted ``send_chunk`` routine.
+
+The paper injects faults into one section of GM's Myrinet Control
+Program — ``send_chunk``, "a serial piece of code that is executed by the
+LANai each time a message is sent out" — chosen so every injected fault
+is activated.  We therefore write ``send_chunk`` in real (interpreted)
+assembly; the rest of the MCP's behaviour is modelled natively by
+:mod:`repro.gm.mcp` with calibrated costs.
+
+``send_chunk`` per fragment:
+
+1. read the send-token block the dispatch loop staged at ``TOKEN_BASE``;
+2. program the E-bus DMA engine (host address, SRAM address, length) and
+   spin on its status register;
+3. compute a header checksum over the token words;
+4. program the packet-interface TX registers (destination, length,
+   sequence number, ports, type, checksum) and fire.
+
+Every value flowing to the hardware passes through registers computed by
+this code, so a flipped bit corrupts exactly what it would corrupt on a
+real card: DMA lengths, host addresses, sequence numbers, branch targets,
+or the instruction encoding itself.
+
+SRAM layout::
+
+    0x0000          reset vector (execution reaching here == MCP restart)
+    0x0100          image header: MAGIC_WORD slot, version, build id
+    0x1000          code (send_chunk lives here)
+    0x8000          staged send-token block (written by the dispatch loop)
+    0x9000          scratch
+    0x10000         packet buffers (modelled, not byte-addressed)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .assembler import Program, assemble
+
+__all__ = [
+    "Firmware",
+    "build_firmware",
+    "SEND_CHUNK_SOURCE",
+    "CODE_BASE",
+    "TOKEN_BASE",
+    "MAGIC_WORD_ADDR",
+    "HEADER_BASE",
+    "MMIO",
+    "TOKEN_FIELDS",
+]
+
+CODE_BASE = 0x1000
+TOKEN_BASE = 0x8000
+HEADER_BASE = 0x0100
+MAGIC_WORD_ADDR = HEADER_BASE  # the FTD's liveness-probe location
+VERSION_ADDR = HEADER_BASE + 4
+PACKET_BUFFER_BASE = 0x10000
+
+FIRMWARE_VERSION = 0x0151  # "GM-1.5.1", the version the paper modified
+
+
+class MMIO:
+    """Device-register offsets from :data:`repro.lanai.bus.MMIO_BASE`."""
+
+    BASE = 0x00F0_0000
+    BASE_LUI = BASE >> 14  # value for `lui` to materialize BASE
+
+    DMA_HOST_ADDR = BASE + 0x00
+    DMA_SRAM_ADDR = BASE + 0x04
+    DMA_LEN = BASE + 0x08
+    DMA_GO = BASE + 0x0C
+    DMA_WAIT = BASE + 0x10
+    TX_DEST = BASE + 0x20
+    TX_LEN = BASE + 0x24
+    TX_SEQ = BASE + 0x28
+    TX_PORTS = BASE + 0x2C
+    TX_TYPE = BASE + 0x30
+    TX_SRAM_ADDR = BASE + 0x34
+    TX_GO = BASE + 0x38
+    TX_WAIT = BASE + 0x3C
+    TX_CSUM = BASE + 0x40
+    TX_MSGID = BASE + 0x44
+    TX_OFFSET = BASE + 0x48
+    TX_TOTAL = BASE + 0x4C
+
+
+# Field offsets (bytes) within the staged send-token block at TOKEN_BASE.
+TOKEN_FIELDS: Dict[str, int] = {
+    "host_addr": 0,
+    "sram_addr": 4,
+    "length": 8,
+    "dest_node": 12,
+    "seq": 16,
+    "ports": 20,     # (src_port << 8) | dst_port
+    "type": 24,
+    "msg_id": 28,
+    "offset": 32,
+    "total": 36,
+    "priority": 44,
+    "result": 48,    # routine writes 1 on success, 0 on DMA failure
+}
+
+
+SEND_CHUNK_SOURCE = """
+# --- send_chunk: DMA one fragment from host memory and transmit it ---
+# Structure mirrors a real firmware send routine: staging-buffer
+# rotation, an alignment guard with a cold bounce path, diagnostics
+# counters, a software header checksum, a priority (expedite) branch,
+# and byte accounting.  The cold paths and bookkeeping matter for the
+# fault-injection study: they are the instructions whose corruption is
+# survivable, the mass behind Table 1's "No Impact" row.
+.equ TOKEN      0x8000
+.equ SCRATCH    0x9000
+.equ MMIO_HI    %(mmio_hi)d
+
+send_chunk:
+    lui  r14, MMIO_HI           # r14 -> device registers
+    lw   r1, TOKEN+0(r0)        # host DMA address
+    lw   r2, TOKEN+4(r0)        # SRAM staging address
+    lw   r3, TOKEN+8(r0)        # fragment length
+
+    # double-buffer rotation: alternate staging area per invocation
+    lw   r4, SCRATCH+0(r0)      # staging selector bit
+    xori r4, r4, 1
+    sw   r4, SCRATCH+0(r0)
+    beq  r4, r0, sc_buf_ready
+    addi r2, r2, 0x1000         # odd invocations use the second buffer
+sc_buf_ready:
+
+    # E-bus alignment guard (DMA descriptors must be word aligned)
+    andi r5, r1, 3
+    bne  r5, r0, sc_unaligned   # cold: pinned pages are page-aligned
+sc_aligned:
+
+    # program the E-bus DMA engine: host -> SRAM
+    sw   r1, 0x00(r14)          # DMA_HOST_ADDR
+    sw   r2, 0x04(r14)          # DMA_SRAM_ADDR
+    sw   r3, 0x08(r14)          # DMA_LEN
+    addi r5, r0, 1
+    sw   r5, 0x0C(r14)          # DMA_GO (1 = host to SRAM)
+    lw   r6, 0x10(r14)          # DMA_WAIT: spin until done, 1=ok
+    beq  r6, r0, sc_fail
+    nop                         # E-bus settle slot
+
+    # diagnostics: fragments-staged counter
+    lw   r7, SCRATCH+4(r0)
+    addi r7, r7, 1
+    sw   r7, SCRATCH+4(r0)
+
+    # header checksum over the wire-visible token words
+    # (len, dest, seq, ports, type, msg_id, offset, total)
+    addi r10, r0, 0             # acc = 0
+    addi r11, r0, TOKEN+8
+    addi r12, r0, 8             # 8 words starting at token.length
+sc_csum:
+    lw   r13, 0(r11)
+    add  r10, r10, r13
+    addi r11, r11, 4
+    addi r12, r12, -1
+    bne  r12, r0, sc_csum
+
+    # priority handling: high-priority fragments set the expedite flag
+    lw   r8, TOKEN+44(r0)       # priority (0 = low for bulk data)
+    beq  r8, r0, sc_lowpri
+    addi r9, r0, 1              # cold: mark expedited
+    sw   r9, SCRATCH+8(r0)
+sc_lowpri:
+
+    # program the packet interface and fire
+    lw   r4, TOKEN+12(r0)       # destination node
+    sw   r4, 0x20(r14)          # TX_DEST
+    sw   r3, 0x24(r14)          # TX_LEN
+    lw   r7, TOKEN+16(r0)       # sequence number
+    sw   r7, 0x28(r14)          # TX_SEQ
+    lw   r8, TOKEN+20(r0)       # (src_port << 8) | dst_port
+    sw   r8, 0x2C(r14)          # TX_PORTS
+    lw   r9, TOKEN+24(r0)       # packet type
+    sw   r9, 0x30(r14)          # TX_TYPE
+    lw   r4, TOKEN+28(r0)       # message id
+    sw   r4, 0x44(r14)          # TX_MSGID
+    lw   r4, TOKEN+32(r0)       # fragment offset
+    sw   r4, 0x48(r14)          # TX_OFFSET
+    lw   r4, TOKEN+36(r0)       # message total length
+    sw   r4, 0x4C(r14)          # TX_TOTAL
+    sw   r2, 0x34(r14)          # TX_SRAM_ADDR (staged fragment)
+    sw   r10, 0x40(r14)         # TX_CSUM (header checksum)
+    sw   r5, 0x38(r14)          # TX_GO
+    lw   r6, 0x3C(r14)          # TX_WAIT: spin until wire accepts
+    nop                         # packet-interface settle slot
+
+    # diagnostics: bytes-sent accounting
+    lw   r11, SCRATCH+12(r0)
+    add  r11, r11, r3
+    sw   r11, SCRATCH+12(r0)
+
+    addi r5, r0, 1
+    sw   r5, TOKEN+48(r0)       # token.result = success
+    jr   r15
+
+sc_unaligned:                   # cold: bounce via the aligned shadow
+    sub  r6, r1, r5             # round the host address down
+    or   r1, r6, r0
+    lw   r7, SCRATCH+16(r0)     # count the bounce
+    addi r7, r7, 1
+    sw   r7, SCRATCH+16(r0)
+    j    sc_aligned
+
+sc_fail:
+    lw   r7, SCRATCH+20(r0)     # DMA-error counter
+    addi r7, r7, 1
+    sw   r7, SCRATCH+20(r0)
+    sw   r0, TOKEN+48(r0)       # token.result = failure
+    jr   r15
+send_chunk_end:
+""" % {"mmio_hi": MMIO.BASE_LUI}
+
+
+@dataclass
+class Firmware:
+    """An assembled MCP image ready to load into SRAM."""
+
+    program: Program
+    version: int = FIRMWARE_VERSION
+
+    @property
+    def entry_send_chunk(self) -> int:
+        return self.program.symbol("send_chunk")
+
+    @property
+    def send_chunk_extent(self) -> Tuple[int, int]:
+        """Byte range of the fault-injection target section."""
+        return self.program.extent("send_chunk")
+
+    @property
+    def image_end(self) -> int:
+        return self.program.base + self.program.size
+
+    def load_into(self, sram) -> None:
+        """Write the image (header + code) into SRAM."""
+        sram.write_word(MAGIC_WORD_ADDR, 0)
+        sram.write_word(VERSION_ADDR, self.version)
+        sram.write_bytes(self.program.base, self.program.code)
+
+    def source_line(self, byte_addr: int) -> str:
+        """Source text at a code byte address (for fault reports)."""
+        return self.program.lines.get(byte_addr - self.program.base, "?")
+
+
+def build_firmware() -> Firmware:
+    """Assemble the MCP image (deterministic; safe to cache per-module)."""
+    return Firmware(assemble(SEND_CHUNK_SOURCE, base=CODE_BASE))

@@ -1,0 +1,192 @@
+"""Instruction-set architecture of our LANai stand-in.
+
+The real LANai is a custom 32-bit RISC core; its exact encoding is not
+given in the paper, so we define a compact fixed-width 32-bit ISA with
+the properties that matter for the fault-injection study:
+
+* **dense but not full opcode space** — a single bit flip in the opcode
+  field sometimes yields a different valid instruction (subtle state
+  corruption) and sometimes an invalid one (decode trap, i.e. processor
+  hang), mirroring the failure-mode mix of Table 1;
+* **don't-care bits** — R-format instructions ignore their low 14 bits,
+  so a share of injected flips is architecturally invisible ("No
+  Impact");
+* **big-endian words** in SRAM, like the LANai.
+
+Formats (bit 31 is the MSB)::
+
+    R: opcode[31:26] rd[25:22] ra[21:18] rb[17:14] pad[13:0]
+    I: opcode[31:26] rd[25:22] ra[21:18] imm18[17:0]   (signed)
+    B: opcode[31:26] ra[25:22] rb[21:18] imm18[17:0]   (signed word offset)
+    J: opcode[31:26] imm26[25:0]                        (word address)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import InvalidInstruction
+
+__all__ = [
+    "Format",
+    "Op",
+    "Instruction",
+    "encode",
+    "decode",
+    "disassemble",
+    "NUM_REGS",
+    "IMM18_MIN",
+    "IMM18_MAX",
+]
+
+NUM_REGS = 16
+IMM18_MIN = -(1 << 17)
+IMM18_MAX = (1 << 17) - 1
+_IMM18_MASK = (1 << 18) - 1
+_IMM26_MASK = (1 << 26) - 1
+
+
+class Format:
+    R = "R"
+    I = "I"
+    B = "B"
+    J = "J"
+
+
+@dataclass(frozen=True)
+class Op:
+    """One opcode: mnemonic, 6-bit code, format, cycle cost."""
+
+    mnemonic: str
+    code: int
+    fmt: str
+    cycles: int = 1
+
+
+# The opcode table.  Gaps are deliberate: they are the invalid encodings
+# that a bit flip can land on.
+_OPS = [
+    Op("nop", 0x00, Format.R),
+    Op("add", 0x01, Format.R),
+    Op("sub", 0x02, Format.R),
+    Op("and", 0x03, Format.R),
+    Op("or", 0x04, Format.R),
+    Op("xor", 0x05, Format.R),
+    Op("sll", 0x06, Format.R),
+    Op("srl", 0x07, Format.R),
+    Op("slt", 0x08, Format.R),
+    Op("addi", 0x09, Format.I),
+    Op("andi", 0x0A, Format.I),
+    Op("ori", 0x0B, Format.I),
+    Op("xori", 0x0C, Format.I),
+    Op("lui", 0x0D, Format.I),
+    Op("lw", 0x0E, Format.I, cycles=2),
+    Op("sw", 0x0F, Format.I, cycles=2),
+    Op("beq", 0x10, Format.B),
+    Op("bne", 0x11, Format.B),
+    Op("blt", 0x12, Format.B),
+    Op("bge", 0x13, Format.B),
+    Op("j", 0x14, Format.J),
+    Op("jal", 0x15, Format.J),
+    Op("jr", 0x16, Format.R),
+    Op("halt", 0x17, Format.R),
+]
+
+BY_MNEMONIC: Dict[str, Op] = {op.mnemonic: op for op in _OPS}
+BY_CODE: Dict[int, Op] = {op.code: op for op in _OPS}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction."""
+
+    op: Op
+    rd: int = 0
+    ra: int = 0
+    rb: int = 0
+    imm: int = 0
+
+    def __str__(self) -> str:
+        return disassemble_instruction(self)
+
+
+def _sext18(value: int) -> int:
+    value &= _IMM18_MASK
+    if value & (1 << 17):
+        value -= 1 << 18
+    return value
+
+
+def encode(instr: Instruction) -> int:
+    """Encode to a 32-bit word."""
+    op = instr.op
+    word = op.code << 26
+    for reg, name in ((instr.rd, "rd"), (instr.ra, "ra"), (instr.rb, "rb")):
+        if not 0 <= reg < NUM_REGS:
+            raise ValueError("%s out of range: %d" % (name, reg))
+    if op.fmt == Format.R:
+        word |= instr.rd << 22 | instr.ra << 18 | instr.rb << 14
+    elif op.fmt == Format.I:
+        if not IMM18_MIN <= instr.imm <= IMM18_MAX:
+            raise ValueError("imm18 out of range: %d" % instr.imm)
+        word |= (instr.rd << 22 | instr.ra << 18
+                 | (instr.imm & _IMM18_MASK))
+    elif op.fmt == Format.B:
+        if not IMM18_MIN <= instr.imm <= IMM18_MAX:
+            raise ValueError("imm18 out of range: %d" % instr.imm)
+        word |= (instr.ra << 22 | instr.rb << 18
+                 | (instr.imm & _IMM18_MASK))
+    elif op.fmt == Format.J:
+        if not 0 <= instr.imm <= _IMM26_MASK:
+            raise ValueError("imm26 out of range: %d" % instr.imm)
+        word |= instr.imm
+    else:  # pragma: no cover - table is static
+        raise AssertionError("unknown format %r" % op.fmt)
+    return word
+
+
+def decode(word: int, pc: int = 0) -> Instruction:
+    """Decode a 32-bit word; raises InvalidInstruction on a bad opcode."""
+    code = (word >> 26) & 0x3F
+    op = BY_CODE.get(code)
+    if op is None:
+        raise InvalidInstruction(word, pc)
+    if op.fmt == Format.R:
+        return Instruction(op, rd=(word >> 22) & 0xF, ra=(word >> 18) & 0xF,
+                           rb=(word >> 14) & 0xF)
+    if op.fmt == Format.I:
+        return Instruction(op, rd=(word >> 22) & 0xF, ra=(word >> 18) & 0xF,
+                           imm=_sext18(word))
+    if op.fmt == Format.B:
+        return Instruction(op, ra=(word >> 22) & 0xF, rb=(word >> 18) & 0xF,
+                           imm=_sext18(word))
+    return Instruction(op, imm=word & _IMM26_MASK)
+
+
+def disassemble_instruction(instr: Instruction) -> str:
+    op = instr.op
+    if op.mnemonic in ("nop", "halt"):
+        return op.mnemonic
+    if op.mnemonic == "jr":
+        return "jr r%d" % instr.ra
+    if op.fmt == Format.R:
+        return "%s r%d, r%d, r%d" % (op.mnemonic, instr.rd, instr.ra, instr.rb)
+    if op.fmt == Format.I:
+        if op.mnemonic == "lui":
+            return "lui r%d, %d" % (instr.rd, instr.imm)
+        if op.mnemonic in ("lw", "sw"):
+            return "%s r%d, %d(r%d)" % (op.mnemonic, instr.rd, instr.imm,
+                                        instr.ra)
+        return "%s r%d, r%d, %d" % (op.mnemonic, instr.rd, instr.ra, instr.imm)
+    if op.fmt == Format.B:
+        return "%s r%d, r%d, %d" % (op.mnemonic, instr.ra, instr.rb, instr.imm)
+    return "%s 0x%x" % (op.mnemonic, instr.imm)
+
+
+def disassemble(word: int, pc: int = 0) -> str:
+    """Best-effort one-line disassembly (for fault-analysis reports)."""
+    try:
+        return disassemble_instruction(decode(word, pc))
+    except InvalidInstruction:
+        return ".invalid 0x%08x" % (word & 0xFFFFFFFF)

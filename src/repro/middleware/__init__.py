@@ -1,0 +1,5 @@
+"""Middleware built on GM/FTGM: the mini-MPI of the paper's motivation."""
+
+from .mpi import ANY_SOURCE, ANY_TAG, MPI_PORT, MpiProcess, mpi_world
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "MPI_PORT", "MpiProcess", "mpi_world"]

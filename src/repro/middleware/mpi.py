@@ -1,0 +1,227 @@
+"""A miniature MPI over GM — the middleware of the paper's motivation.
+
+"Middleware, such as MPI, built on top of GM, consider GM send errors to
+be fatal and exit when they encounter such errors.  This can cause a
+distributed application using MPI to come to a grinding halt if proper
+fault tolerance is not implemented."
+
+This layer is deliberately identical for GM and FTGM — point-to-point
+send/recv with tag matching, plus barrier / bcast / reduce / allreduce
+built on them — and it treats any GM send error as fatal, exactly like
+MPICH-over-GM.  Run it over plain GM and a NIC hang kills the job; run
+it over FTGM and the same application code sails through recovery,
+because the library underneath never surfaces an error.  No MPI-level
+code changes: that is the transparency claim, demonstrated.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+from ..cluster import MyrinetCluster
+from ..errors import GmSendError, MpiFatalError
+from ..payload import Payload
+
+__all__ = ["MpiProcess", "mpi_world", "ANY_SOURCE", "ANY_TAG", "MPI_PORT"]
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+MPI_PORT = 4          # every rank talks MPI on this GM port
+_HEADER = struct.Struct(">iii")   # tag, source rank, payload length
+MAX_MSG_BYTES = 256 * 1024
+
+
+class MpiProcess:
+    """One rank's MPI endpoint.
+
+    All methods are simulation processes (``yield from`` them from app
+    code).  ``init`` must complete before any communication.
+    """
+
+    def __init__(self, cluster: MyrinetCluster, rank: int,
+                 recv_window: int = 8):
+        self.cluster = cluster
+        self.rank = rank
+        self.size = len(cluster)
+        self.recv_window = recv_window
+        self.port = None
+        self._unexpected: List[Tuple[int, int, bytes]] = []
+        self.finalized = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def init(self) -> Generator:
+        """MPI_Init: open the port, pre-provide receive buffers."""
+        self.port = yield from \
+            self.cluster[self.rank].driver.open_port(MPI_PORT)
+        for _ in range(self.recv_window):
+            yield from self.port.provide_receive_buffer(MAX_MSG_BYTES)
+
+    def finalize(self) -> Generator:
+        self.finalized = True
+        yield from self.port.close()
+
+    def abort(self, reason: str) -> None:
+        """MPI_Abort: the fatal-error path of MPI-over-GM."""
+        raise MpiFatalError("rank %d aborted: %s" % (self.rank, reason))
+
+    # -- point to point -------------------------------------------------------------
+
+    def send(self, dest: int, data: bytes, tag: int = 0) -> Generator:
+        """MPI_Send (blocking until the GM send completes)."""
+        if not isinstance(data, bytes):
+            raise TypeError("mini-MPI sends bytes; got %r" % type(data))
+        framed = _HEADER.pack(tag, self.rank, len(data)) + data
+        try:
+            yield from self.port.send_and_wait(
+                Payload.from_bytes(framed), dest, MPI_PORT)
+        except GmSendError as exc:
+            # The documented MPICH-over-GM behaviour: fatal.
+            self.abort("GM send error: %s" % exc)
+
+    def recv(self, source: int = ANY_SOURCE,
+             tag: int = ANY_TAG) -> Generator:
+        """MPI_Recv: returns (source, tag, data)."""
+        match = self._match(source, tag)
+        if match is not None:
+            return match
+        while True:
+            event = yield from self.port.receive_message()
+            if event is None:
+                continue
+            got_tag, got_src, length = _HEADER.unpack(
+                event.payload.data[:_HEADER.size])
+            data = event.payload.data[_HEADER.size:_HEADER.size + length]
+            yield from self.port.provide_receive_buffer(MAX_MSG_BYTES)
+            if (source in (ANY_SOURCE, got_src)
+                    and tag in (ANY_TAG, got_tag)):
+                return got_src, got_tag, data
+            self._unexpected.append((got_src, got_tag, data))
+
+    def _match(self, source: int, tag: int):
+        for i, (src, got_tag, data) in enumerate(self._unexpected):
+            if (source in (ANY_SOURCE, src)
+                    and tag in (ANY_TAG, got_tag)):
+                del self._unexpected[i]
+                return src, got_tag, data
+        return None
+
+    def sendrecv(self, dest: int, data: bytes, source: int,
+                 tag: int = 0) -> Generator:
+        yield from self.send(dest, data, tag)
+        result = yield from self.recv(source, tag)
+        return result
+
+    # -- nonblocking operations ---------------------------------------------------
+
+    def isend(self, dest: int, data: bytes, tag: int = 0) -> Generator:
+        """MPI_Isend: post without waiting for completion.
+
+        Returns a request handle for :meth:`wait` / :meth:`waitall`.
+        The GM send itself is posted here (costing only the library's
+        sub-microsecond overhead); completion is the GM callback.
+        """
+        if not isinstance(data, bytes):
+            raise TypeError("mini-MPI sends bytes; got %r" % type(data))
+        framed = _HEADER.pack(tag, self.rank, len(data)) + data
+        request = {"done": False, "error": None}
+
+        def callback(outcome):
+            request["done"] = True
+            if not outcome.ok:
+                request["error"] = outcome.error or "send failed"
+
+        yield from self.port.send(Payload.from_bytes(framed), dest,
+                                  MPI_PORT, callback=callback)
+        return request
+
+    def wait(self, request) -> Generator:
+        """MPI_Wait: drive the progress engine until a request resolves.
+
+        RECEIVED events observed while waiting are re-framed and stashed
+        on the unexpected queue so later ``recv`` calls see them.
+        """
+        while not request["done"]:
+            event = yield from self.port.receive()
+            if event is not None and event.etype == "received":
+                got_tag, got_src, length = _HEADER.unpack(
+                    event.payload.data[:_HEADER.size])
+                data = event.payload.data[
+                    _HEADER.size:_HEADER.size + length]
+                self._unexpected.append((got_src, got_tag, data))
+                yield from self.port.provide_receive_buffer(MAX_MSG_BYTES)
+        if request["error"] is not None:
+            self.abort("GM send error: %s" % request["error"])
+
+    def waitall(self, requests) -> Generator:
+        for request in requests:
+            yield from self.wait(request)
+
+    # -- collectives -------------------------------------------------------------------
+
+    _TAG_BARRIER = 1 << 20
+    _TAG_BCAST = 1 << 21
+    _TAG_REDUCE = 1 << 22
+
+    def barrier(self) -> Generator:
+        """Linear barrier: gather-to-0 then broadcast."""
+        if self.rank == 0:
+            for _ in range(self.size - 1):
+                yield from self.recv(ANY_SOURCE, self._TAG_BARRIER)
+            for peer in range(1, self.size):
+                yield from self.send(peer, b"", self._TAG_BARRIER)
+        else:
+            yield from self.send(0, b"", self._TAG_BARRIER)
+            yield from self.recv(0, self._TAG_BARRIER)
+
+    def bcast(self, data: Optional[bytes], root: int = 0) -> Generator:
+        """MPI_Bcast (linear)."""
+        if self.rank == root:
+            for peer in range(self.size):
+                if peer != root:
+                    yield from self.send(peer, data, self._TAG_BCAST)
+            return data
+        _, _, data = yield from self.recv(root, self._TAG_BCAST)
+        return data
+
+    def reduce(self, value: float, op: Callable[[float, float], float],
+               root: int = 0) -> Generator:
+        """MPI_Reduce on a single float."""
+        if self.rank == root:
+            accumulator = value
+            for _ in range(self.size - 1):
+                _, _, data = yield from self.recv(ANY_SOURCE,
+                                                  self._TAG_REDUCE)
+                accumulator = op(accumulator,
+                                 struct.unpack(">d", data)[0])
+            return accumulator
+        yield from self.send(root, struct.pack(">d", value),
+                             self._TAG_REDUCE)
+        return None
+
+    def allreduce(self, value: float,
+                  op: Callable[[float, float], float]) -> Generator:
+        total = yield from self.reduce(value, op, root=0)
+        if self.rank == 0:
+            data = yield from self.bcast(struct.pack(">d", total), root=0)
+        else:
+            data = yield from self.bcast(None, root=0)
+        return struct.unpack(">d", data)[0]
+
+    def gather(self, data: bytes, root: int = 0) -> Generator:
+        """MPI_Gather: returns the rank-ordered list at root, else None."""
+        tag = self._TAG_REDUCE + 1
+        if self.rank == root:
+            parts: Dict[int, bytes] = {root: data}
+            for _ in range(self.size - 1):
+                src, _, chunk = yield from self.recv(ANY_SOURCE, tag)
+                parts[src] = chunk
+            return [parts[r] for r in range(self.size)]
+        yield from self.send(root, data, tag)
+        return None
+
+
+def mpi_world(cluster: MyrinetCluster) -> List[MpiProcess]:
+    """One MpiProcess per cluster node (call init on each, in-process)."""
+    return [MpiProcess(cluster, rank) for rank in range(len(cluster))]

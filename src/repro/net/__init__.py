@@ -1,0 +1,31 @@
+"""The Myrinet fabric: packets, CRC, links, switches, topology, mapper."""
+
+from .crc import crc32, crc32_words
+from .fabric import Fabric, NicPort
+from .link import LINK_BANDWIDTH, LINK_LATENCY, Link
+from .mapper import Mapper, MapperAgent, MappingFailed, NodeRoutes, derive_route
+from .packet import CRC_BYTES, GM_MTU, HEADER_BYTES, Packet, PacketType
+from .switch import SWITCH_LATENCY, Switch, SwitchPort
+
+__all__ = [
+    "CRC_BYTES",
+    "Fabric",
+    "GM_MTU",
+    "HEADER_BYTES",
+    "LINK_BANDWIDTH",
+    "LINK_LATENCY",
+    "Link",
+    "Mapper",
+    "MapperAgent",
+    "MappingFailed",
+    "NicPort",
+    "NodeRoutes",
+    "Packet",
+    "PacketType",
+    "SWITCH_LATENCY",
+    "Switch",
+    "SwitchPort",
+    "crc32",
+    "crc32_words",
+    "derive_route",
+]

@@ -1,0 +1,46 @@
+"""CRC-32 (IEEE 802.3 polynomial), table-driven, hand-rolled.
+
+Myrinet packets carry a CRC that the receiving interface checks; GM drops
+bad-CRC packets and lets its Go-Back-N layer retransmit.  We implement
+the standard reflected CRC-32 rather than calling :mod:`zlib` so the
+substrate is self-contained and the algorithm is testable on its own
+(zlib is used only as an independent oracle in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["crc32", "crc32_words"]
+
+_POLY = 0xEDB88320  # reflected form of 0x04C11DB7
+
+
+def _build_table() -> List[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ _POLY
+            else:
+                crc >>= 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, seed: int = 0) -> int:
+    """CRC-32 of ``data``; chainable via ``seed`` (pass a prior result)."""
+    crc = seed ^ 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32_words(words: List[int], seed: int = 0) -> int:
+    """CRC-32 over a list of 32-bit values, big-endian byte order."""
+    data = b"".join((w & 0xFFFFFFFF).to_bytes(4, "big") for w in words)
+    return crc32(data, seed)

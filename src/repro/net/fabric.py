@@ -1,0 +1,84 @@
+"""Topology construction: cables, switches and NIC attachment points.
+
+A :class:`Fabric` owns the switches and links of one Myrinet network.
+NICs attach through a :class:`NicPort` adapter that implements the link
+endpoint protocol and hands arrivals to the NIC's receive ring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..hw.nic import Nic
+from ..sim import Simulator, Tracer
+from .link import Link
+from .switch import Switch, SwitchPort
+
+__all__ = ["Fabric", "NicPort"]
+
+
+class NicPort:
+    """Endpoint adapter binding a NIC's packet interface to a link."""
+
+    def __init__(self, nic: Nic):
+        self.nic = nic
+        self.link: Optional[Link] = None
+        self.name = "%s.port" % nic.name
+
+    def deliver_packet(self, packet) -> bool:
+        return self.nic.deliver_packet(packet)
+
+    def send(self, packet):
+        if self.link is None:
+            raise RuntimeError("%s is not cabled" % self.name)
+        return self.link.send(self, packet)
+
+
+class Fabric:
+    """The set of switches, links and NIC attachments of one network."""
+
+    def __init__(self, sim: Simulator, tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.switches: List[Switch] = []
+        self.links: List[Link] = []
+        self.nic_ports: Dict[int, NicPort] = {}
+
+    def add_switch(self, nports: int = 8) -> Switch:
+        switch = Switch(self.sim, len(self.switches), nports, self.tracer)
+        self.switches.append(switch)
+        return switch
+
+    def attach_nic(self, nic: Nic) -> NicPort:
+        """Create the NIC's fabric attachment point (its one link port)."""
+        if nic.node_id in self.nic_ports:
+            raise ValueError("node %d already attached" % nic.node_id)
+        port = NicPort(nic)
+        self.nic_ports[nic.node_id] = port
+        # Give the NIC a handle for its packet interface sends.
+        nic.link = port
+        return port
+
+    def connect(self, end_a, end_b, **link_kwargs) -> Link:
+        """Cable two endpoints (NicPort or SwitchPort) together."""
+        for end in (end_a, end_b):
+            if getattr(end, "link", None) is not None:
+                raise ValueError("%s is already cabled" % end.name)
+        link = Link(self.sim, end_a, end_b, tracer=self.tracer, **link_kwargs)
+        end_a.link = link
+        end_b.link = link
+        self.links.append(link)
+        return link
+
+    # -- convenience topologies ---------------------------------------------------
+
+    def star(self, nics: List[Nic], nports: Optional[int] = None) -> Switch:
+        """The paper's topology: every NIC cabled to one central switch.
+
+        NIC for node ``i`` is cabled to switch port ``i``.
+        """
+        nports = nports or max(8, len(nics))
+        switch = self.add_switch(nports)
+        for index, nic in enumerate(nics):
+            self.connect(self.attach_nic(nic), switch.port(index))
+        return switch

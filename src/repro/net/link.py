@@ -1,0 +1,90 @@
+"""Full-duplex Myrinet links.
+
+A link connects two endpoints (a NIC's packet interface or a switch
+port).  Each direction is an independent serialized pipe at Myrinet's
+2 Gb/s (250 bytes/µs) plus a small fixed propagation/SERDES latency.
+Transmission holds the directional pipe for the packet's wire time —
+that is where link-level contention and therefore backpressure-at-the-
+edge come from.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim import Pipe, Simulator, Tracer
+
+__all__ = ["Link", "LINK_BANDWIDTH", "LINK_LATENCY"]
+
+LINK_BANDWIDTH = 250.0  # bytes/us == 2 Gb/s
+LINK_LATENCY = 0.4      # us per traversal (cable + SERDES)
+
+
+class Link:
+    """Two endpoints, one pipe per direction.
+
+    Endpoints must expose ``deliver_packet(packet) -> bool`` (and, for
+    tracing, a ``name`` attribute).  Use :meth:`send` from the endpoint
+    that is transmitting.
+    """
+
+    def __init__(self, sim: Simulator, end_a, end_b,
+                 bandwidth: float = LINK_BANDWIDTH,
+                 latency: float = LINK_LATENCY,
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.end_a = end_a
+        self.end_b = end_b
+        self.latency = latency
+        self._pipes = {
+            id(end_a): Pipe(sim, bandwidth),  # direction: a -> b
+            id(end_b): Pipe(sim, bandwidth),  # direction: b -> a
+        }
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.up = True
+        self.packets_carried = 0
+        self.packets_dropped = 0
+        # Test/experiment hook: drop (True) or corrupt ("corrupt") packets.
+        self.fault_filter = None  # callable(packet) -> False | True | "corrupt"
+
+    def other(self, endpoint):
+        if endpoint is self.end_a:
+            return self.end_b
+        if endpoint is self.end_b:
+            return self.end_a
+        raise ValueError("%r is not attached to this link" % (endpoint,))
+
+    def send(self, sender, packet) -> Generator:
+        """Process: transmit ``packet`` from ``sender`` to the other end.
+
+        Returns True if the far end accepted the packet (False on a cut
+        link or a full receive ring — either way the sender's protocol
+        layer must recover, which is exactly GM's job).
+        """
+        receiver = self.other(sender)
+        pipe = self._pipes[id(sender)]
+        yield from pipe.transfer(packet.wire_size)
+        if not self.up:
+            self.tracer.emit(self.sim.now, "link", "link_down_drop",
+                             packet=packet.describe())
+            return False
+        if self.fault_filter is not None:
+            verdict = self.fault_filter(packet)
+            if verdict == "corrupt":
+                # Wire bit-rot: the packet arrives but its CRC is stale.
+                packet.corrupt_payload(bit=1)
+            elif verdict:
+                self.packets_dropped += 1
+                self.tracer.emit(self.sim.now, "link", "fault_drop",
+                                 packet=packet.describe())
+                return False
+        yield self.sim.timeout(self.latency)
+        self.packets_carried += 1
+        return receiver.deliver_packet(packet)
+
+    def cut(self) -> None:
+        """Take the link down (packets in flight are lost)."""
+        self.up = False
+
+    def restore(self) -> None:
+        self.up = True

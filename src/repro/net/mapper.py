@@ -1,0 +1,243 @@
+"""The GM mapper: network self-configuration.
+
+GM configures a Myrinet by running a *mapper* program on one node: it
+probes the fabric with scout packets, builds a map, computes a source
+route between every pair of interfaces, and distributes per-interface
+route tables.  The routing table it installs in each LANai is part of
+the state the paper's FTD must restore after a NIC failure.
+
+Protocol (one mapping round):
+
+1. the mapper floods ``MAPPER_SCOUT`` packets (TTL-bounded; switches
+   replicate them, stamping ingress and egress ports);
+2. every interface that sees a scout answers ``MAPPER_REPLY`` carrying
+   the scout's accumulated forward path (egress stamps) — the reply is
+   source-routed back over the reversed ingress stamps;
+3. the mapper derives a route for every ordered pair from the
+   mapper-relative forward/reverse paths (:func:`derive_route`);
+4. it unicasts each interface its table in ``MAPPER_CONFIG`` (retrying
+   on timeout) and waits for ``MAPPER_DONE``.
+
+The mapper can be re-run at any time (e.g. after links appear or
+disappear); interfaces simply install the newest table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim import Simulator, Store, Tracer
+from .packet import Packet, PacketType
+
+__all__ = ["derive_route", "NodeRoutes", "MapperAgent", "Mapper",
+           "MappingFailed"]
+
+
+class MappingFailed(RuntimeError):
+    """A mapping round could not complete (unreachable interfaces)."""
+
+
+def derive_route(forward_x: List[int], reverse_x: List[int],
+                 forward_y: List[int]) -> List[int]:
+    """Source route from interface X to interface Y.
+
+    ``forward_x``/``forward_y`` are the mapper's routes to X and Y
+    (egress-port bytes); ``reverse_x`` is the route from X back to the
+    mapper (reversed ingress stamps).  The route climbs from X to the
+    switch where the two mapper paths diverge, then follows the mapper's
+    path down to Y.
+    """
+    if forward_x == forward_y:
+        raise ValueError("X and Y are the same interface")
+    if len(reverse_x) != len(forward_x):
+        raise ValueError("forward/reverse length mismatch for X")
+    common = 0
+    for a, b in zip(forward_x, forward_y):
+        if a != b:
+            break
+        common += 1
+    k = len(forward_x)
+    # Distinct interfaces cannot have one path be a prefix of the other
+    # (paths terminate at NICs), so common < min(len(fx), len(fy)).
+    if common >= k or common >= len(forward_y):
+        raise ValueError("inconsistent mapper paths (prefix overlap)")
+    return list(reverse_x[:k - common - 1]) + list(forward_y[common:])
+
+
+@dataclass
+class NodeRoutes:
+    """What the mapper learned about one interface."""
+
+    node_id: int
+    forward: List[int]          # mapper -> node (egress stamps)
+    reverse: List[int]          # node -> mapper (reversed ingress stamps)
+    hops: int = field(init=False)
+
+    def __post_init__(self):
+        self.hops = len(self.forward)
+
+
+class MapperAgent:
+    """Per-node mapper protocol endpoint, driven by that node's MCP.
+
+    ``send_raw(packet)`` must inject a packet onto the node's link
+    (the MCP provides this).  ``install_routes`` is called with the
+    node's new ``{dest_node: route_bytes}`` table when a CONFIG arrives.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int,
+                 send_raw: Callable[[Packet], None],
+                 install_routes: Callable[[Dict[int, List[int]]], None],
+                 tracer: Optional[Tracer] = None):
+        self.sim = sim
+        self.node_id = node_id
+        self.send_raw = send_raw
+        self.install_routes = install_routes
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        # Inboxes read by a co-located Mapper, when one runs on this node.
+        self.replies: Store = Store(sim)
+        self.dones: Store = Store(sim)
+        self.scouts_seen = 0
+        self.configs_installed = 0
+
+    def handle(self, packet: Packet) -> bool:
+        """Dispatch a MAPPER_* packet; returns False for other types."""
+        if packet.ptype == PacketType.MAPPER_SCOUT:
+            self.scouts_seen += 1
+            reply = Packet(
+                ptype=PacketType.MAPPER_REPLY,
+                src_node=self.node_id,
+                dest_node=packet.src_node,
+                route=list(reversed(packet.ingress_ports)),
+                control={
+                    "node_id": self.node_id,
+                    "forward": list(packet.egress_ports),
+                    "reverse": list(reversed(packet.ingress_ports)),
+                },
+            )
+            self.send_raw(reply)
+            return True
+        if packet.ptype == PacketType.MAPPER_REPLY:
+            self.replies.put(packet.control)
+            return True
+        if packet.ptype == PacketType.MAPPER_CONFIG:
+            table = {int(dest): list(route)
+                     for dest, route in packet.control["routes"].items()}
+            self.install_routes(table)
+            self.configs_installed += 1
+            done = Packet(
+                ptype=PacketType.MAPPER_DONE,
+                src_node=self.node_id,
+                dest_node=packet.src_node,
+                route=list(reversed(packet.ingress_ports)),
+                control={"node_id": self.node_id},
+            )
+            self.send_raw(done)
+            return True
+        if packet.ptype == PacketType.MAPPER_DONE:
+            self.dones.put(packet.control)
+            return True
+        return False
+
+
+class Mapper:
+    """The mapping program; runs on one node's agent."""
+
+    SCOUT_TTL = 8
+    SETTLE_US = 300.0        # silence window ending scout collection
+    CONFIG_TIMEOUT_US = 500.0
+    CONFIG_RETRIES = 3
+
+    def __init__(self, agent: MapperAgent,
+                 expected_nodes: Optional[int] = None):
+        self.agent = agent
+        self.sim = agent.sim
+        self.expected_nodes = expected_nodes
+        self.discovered: Dict[int, NodeRoutes] = {}
+        self.tables: Dict[int, Dict[int, List[int]]] = {}
+
+    # -- discovery ------------------------------------------------------------
+
+    def run(self):
+        """Process: one full mapping round.  Returns the node-id list."""
+        yield from self._discover()
+        self._compute_tables()
+        yield from self._distribute()
+        # Install the mapper's own table locally, no wire round-trip.
+        self.agent.install_routes(self.tables[self.agent.node_id])
+        return sorted(self.discovered) + [self.agent.node_id]
+
+    def _discover(self):
+        scout = Packet(
+            ptype=PacketType.MAPPER_SCOUT,
+            src_node=self.agent.node_id,
+            dest_node=-1,
+            flood=True,
+            ttl=self.SCOUT_TTL,
+        )
+        self.agent.send_raw(scout)
+        deadline = self.sim.now + self.SETTLE_US
+        while True:
+            get = self.agent.replies.get()
+            timeout = self.sim.timeout(max(deadline - self.sim.now, 0.0))
+            fired = yield self.sim.any_of([get, timeout])
+            if get in fired:
+                info = fired[get]
+                node_id = info["node_id"]
+                routes = NodeRoutes(node_id, info["forward"], info["reverse"])
+                known = self.discovered.get(node_id)
+                if known is None or routes.hops < known.hops:
+                    self.discovered[node_id] = routes
+                deadline = self.sim.now + self.SETTLE_US
+                if (self.expected_nodes is not None
+                        and len(self.discovered) >= self.expected_nodes - 1):
+                    return
+            else:
+                self.agent.replies.cancel(get)
+                if (self.expected_nodes is not None
+                        and len(self.discovered) < self.expected_nodes - 1):
+                    raise MappingFailed(
+                        "found %d of %d expected interfaces"
+                        % (len(self.discovered) + 1, self.expected_nodes))
+                return
+
+    # -- route computation --------------------------------------------------------
+
+    def _compute_tables(self) -> None:
+        me = self.agent.node_id
+        nodes = self.discovered
+        self.tables = {me: {x: list(r.forward) for x, r in nodes.items()}}
+        for x, rx in nodes.items():
+            table: Dict[int, List[int]] = {me: list(rx.reverse)}
+            for y, ry in nodes.items():
+                if y == x:
+                    continue
+                table[y] = derive_route(rx.forward, rx.reverse, ry.forward)
+            self.tables[x] = table
+
+    # -- distribution ---------------------------------------------------------------
+
+    def _distribute(self):
+        for x, rx in self.discovered.items():
+            delivered = False
+            for _attempt in range(self.CONFIG_RETRIES):
+                config = Packet(
+                    ptype=PacketType.MAPPER_CONFIG,
+                    src_node=self.agent.node_id,
+                    dest_node=x,
+                    route=list(rx.forward),
+                    control={"routes": self.tables[x]},
+                )
+                self.agent.send_raw(config)
+                get = self.agent.dones.get()
+                timeout = self.sim.timeout(self.CONFIG_TIMEOUT_US)
+                fired = yield self.sim.any_of([get, timeout])
+                if get in fired:
+                    if fired[get]["node_id"] == x:
+                        delivered = True
+                        break
+                else:
+                    self.agent.dones.cancel(get)
+            if not delivered:
+                raise MappingFailed("node %d never acknowledged its routes" % x)

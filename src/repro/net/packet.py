@@ -1,0 +1,162 @@
+"""Myrinet packets as GM builds them.
+
+A wire packet carries a **source route** (one output-port byte per switch
+hop, consumed as it travels), a GM header, a payload and a CRC.  GM
+multiplexes all traffic between two nodes over one *connection*; the
+header identifies the connection (by sender node), the ports, the packet
+type and the Go-Back-N sequence number.
+
+FTGM's deviation from stock GM lives in how the *values* in these fields
+are chosen (host-generated per-(port, node) sequence streams; ACKs keyed
+by (connection, port)) — the paper stresses that the packet format itself
+is unchanged ("there is absolutely no change in the packet header"), and
+we keep that property: both stacks use this same class.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Tuple
+
+from ..payload import Payload
+from .crc import crc32_words
+
+__all__ = ["PacketType", "Packet", "GM_MTU", "HEADER_BYTES", "CRC_BYTES"]
+
+GM_MTU = 4096       # GM fragments messages into packets of at most 4 KB
+HEADER_BYTES = 16   # modelled header size on the wire
+CRC_BYTES = 4
+
+_packet_ids = itertools.count(1)
+
+
+class PacketType:
+    """GM wire packet types (plus the mapper's control types)."""
+
+    DATA = 1
+    ACK = 2
+    NACK = 3
+    MAPPER_SCOUT = 4      # mapper probe: "any interface out there?"
+    MAPPER_REPLY = 5      # interface's answer to a scout
+    MAPPER_CONFIG = 6     # mapper installs a route table
+    MAPPER_DONE = 7       # interface acknowledges configuration
+    HEARTBEAT = 8         # peer-watchdog liveness probe (extension)
+    HEARTBEAT_REPLY = 9
+
+    NAMES = {
+        DATA: "DATA", ACK: "ACK", NACK: "NACK",
+        MAPPER_SCOUT: "SCOUT", MAPPER_REPLY: "REPLY",
+        MAPPER_CONFIG: "CONFIG", MAPPER_DONE: "DONE",
+        HEARTBEAT: "HB", HEARTBEAT_REPLY: "HB-RE",
+    }
+
+
+@dataclass
+class Packet:
+    """One wire packet.
+
+    ``route`` is consumed in place by switches; ``ingress_ports`` is the
+    reverse-route accumulator that switches stamp into mapper packets
+    (see DESIGN.md for why this mild idealization is acceptable).
+    """
+
+    ptype: int
+    src_node: int
+    dest_node: int
+    route: List[int] = field(default_factory=list)
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack_seq: int = 0
+    # Fragmentation: byte offset of this fragment and total message size.
+    msg_id: int = 0
+    frag_offset: int = 0
+    msg_total: int = 0
+    declared_len: int = -1   # length the sender's firmware *claims*; -1 = unset
+    priority: int = 0
+    payload: Payload = field(default_factory=lambda: Payload.from_bytes(b""))
+    hdr_csum: int = 0           # firmware-computed header checksum
+    crc: int = 0
+    ingress_ports: List[int] = field(default_factory=list)
+    egress_ports: List[int] = field(default_factory=list)
+    flood: bool = False         # mapper scouts flood instead of routing
+    ttl: int = 0                # hop budget for flooded scouts
+    control: Optional[object] = None  # mapper control data (not on GM path)
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def clone_flood_copy(self, in_port: int, out_port: int) -> "Packet":
+        """A replica of a flooded scout exiting ``out_port``."""
+        return replace(
+            self,
+            packet_id=next(_packet_ids),
+            route=[],
+            ttl=self.ttl - 1,
+            ingress_ports=self.ingress_ports + [in_port],
+            egress_ports=self.egress_ports + [out_port],
+        )
+
+    # -- wire properties ---------------------------------------------------------
+
+    @property
+    def wire_size(self) -> int:
+        """Bytes occupying a link: route + header + payload + CRC."""
+        return len(self.route) + HEADER_BYTES + self.payload.size + CRC_BYTES
+
+    def header_words(self) -> List[int]:
+        return [
+            self.ptype, self.src_node, self.dest_node,
+            (self.src_port << 8) | self.dst_port,
+            self.seq & 0xFFFFFFFF, self.ack_seq & 0xFFFFFFFF,
+            self.msg_id & 0xFFFFFFFF, self.frag_offset, self.msg_total,
+            self.effective_len() & 0xFFFFFFFF, self.priority,
+            self.hdr_csum & 0xFFFFFFFF,
+        ]
+
+    def compute_crc(self) -> int:
+        words = self.header_words() + [
+            self.payload.size,
+            self.payload.fingerprint & 0xFFFFFFFF,
+            (self.payload.fingerprint >> 32) & 0xFFFFFFFF,
+        ]
+        return crc32_words(words)
+
+    def seal(self) -> "Packet":
+        """Stamp the CRC (done by sending hardware after payload DMA)."""
+        self.crc = self.compute_crc()
+        return self
+
+    def crc_ok(self) -> bool:
+        return self.crc == self.compute_crc()
+
+    def header_checksum(self) -> int:
+        """The checksum ``send_chunk`` computes over its token block.
+
+        Covers the wire-visible token words in firmware order; the
+        receiving MCP recomputes this from header fields and drops
+        mismatches (which is how post-checksum firmware corruption of a
+        header field becomes a detected drop rather than a delivery).
+        """
+        total = (self.effective_len() + self.dest_node + self.seq
+                 + ((self.src_port << 8) | self.dst_port) + self.ptype
+                 + self.msg_id + self.frag_offset + self.msg_total)
+        return total & 0xFFFFFFFF
+
+    def effective_len(self) -> int:
+        return self.payload.size if self.declared_len < 0 else self.declared_len
+
+    def corrupt_payload(self, bit: int = 0) -> None:
+        """Flip a payload bit *without* fixing the CRC (wire corruption)."""
+        self.payload = self.payload.corrupt(bit)
+
+    def clone_for_retransmit(self) -> "Packet":
+        """Fresh copy with a new packet id and un-consumed route."""
+        return replace(self, packet_id=next(_packet_ids),
+                       route=list(self.route),
+                       ingress_ports=[])
+
+    def describe(self) -> str:
+        return "%s %d->%d port %d->%d seq=%d frag@%d/%d (%dB)" % (
+            PacketType.NAMES.get(self.ptype, "?"), self.src_node,
+            self.dest_node, self.src_port, self.dst_port, self.seq,
+            self.frag_offset, self.msg_total, self.payload.size)

@@ -1,0 +1,122 @@
+"""Wormhole crossbar switches with source routing.
+
+A Myrinet switch reads the leading route byte of an incoming packet,
+strips it, and cuts the packet through to that output port; contention
+for an output is resolved by blocking (backpressure), which we model by
+queueing on the output link's directional pipe.  The M3M-SW8 used in the
+paper is an 8-port crossbar.
+
+Simplifications (documented in DESIGN.md):
+
+* routing is at packet granularity (virtual cut-through) rather than
+  flit-level wormhole — identical semantics for the paper's experiments,
+  which never create multi-hop blocking chains;
+* route bytes are absolute output-port numbers, not Myrinet's signed
+  deltas;
+* switches stamp the ingress port into mapper packets so scout replies
+  can be source-routed back (GM's mapper achieves this with incremental
+  map construction).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..sim import Simulator, Tracer
+from .packet import Packet, PacketType
+
+__all__ = ["Switch", "SwitchPort", "SWITCH_LATENCY"]
+
+SWITCH_LATENCY = 0.15  # us of cut-through routing delay per hop
+
+_MAPPER_TYPES = (PacketType.MAPPER_SCOUT, PacketType.MAPPER_REPLY,
+                 PacketType.MAPPER_CONFIG, PacketType.MAPPER_DONE)
+
+
+class SwitchPort:
+    """One port of a switch; the endpoint object links attach to."""
+
+    def __init__(self, switch: "Switch", index: int):
+        self.switch = switch
+        self.index = index
+        self.link = None  # set when cabled
+        self.name = "%s.p%d" % (switch.name, index)
+
+    def deliver_packet(self, packet: Packet) -> bool:
+        return self.switch._arrived(self.index, packet)
+
+    def __repr__(self) -> str:
+        return "<%s>" % self.name
+
+
+class Switch:
+    """An N-port source-routing crossbar."""
+
+    def __init__(self, sim: Simulator, switch_id: int, nports: int = 8,
+                 tracer: Optional[Tracer] = None):
+        if nports < 2:
+            raise ValueError("a switch needs at least 2 ports")
+        self.sim = sim
+        self.switch_id = switch_id
+        self.name = "sw%d" % switch_id
+        self.nports = nports
+        self.ports: List[SwitchPort] = [SwitchPort(self, i)
+                                        for i in range(nports)]
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.forwarded = 0
+        self.absorbed = 0       # packets whose route ended here
+        self.misrouted = 0      # invalid or uncabled output port
+
+    def port(self, index: int) -> SwitchPort:
+        return self.ports[index]
+
+    def _arrived(self, in_port: int, packet: Packet) -> bool:
+        if packet.ptype == PacketType.MAPPER_SCOUT and packet.flood:
+            return self._flood(in_port, packet)
+        if not packet.route:
+            # Route exhausted inside the fabric: the packet dies here.
+            # (Mapper scouts probing a switch-terminated route do this.)
+            self.absorbed += 1
+            self.tracer.emit(self.sim.now, self.name, "switch_absorb",
+                             packet=packet.describe())
+            return False
+        out_index = packet.route.pop(0)
+        if packet.ptype in _MAPPER_TYPES:
+            packet.ingress_ports.append(in_port)
+        if not 0 <= out_index < self.nports \
+                or self.ports[out_index].link is None \
+                or out_index == in_port:
+            self.misrouted += 1
+            self.tracer.emit(self.sim.now, self.name, "switch_misroute",
+                             out_port=out_index, packet=packet.describe())
+            return False
+        out_port = self.ports[out_index]
+        self.sim.spawn(self._forward(out_port, packet),
+                       name="%s.fwd" % self.name)
+        return True
+
+    def _forward(self, out_port: SwitchPort, packet: Packet):
+        yield self.sim.timeout(SWITCH_LATENCY)
+        ok = yield from out_port.link.send(out_port, packet)
+        if ok:
+            self.forwarded += 1
+
+    def _flood(self, in_port: int, packet: Packet) -> bool:
+        """Replicate a mapper scout out every cabled port except ingress.
+
+        Real GM maps with waves of scout packets; replication-in-switch
+        is our idealization of one wave (see DESIGN.md).  TTL bounds the
+        flood on cyclic topologies.
+        """
+        if packet.ttl <= 0:
+            self.absorbed += 1
+            return False
+        sent_any = False
+        for out_port in self.ports:
+            if out_port.index == in_port or out_port.link is None:
+                continue
+            copy = packet.clone_flood_copy(in_port, out_port.index)
+            self.sim.spawn(self._forward(out_port, copy),
+                           name="%s.flood" % self.name)
+            sent_any = True
+        return sent_any

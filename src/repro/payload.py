@@ -1,0 +1,182 @@
+"""Message payload abstraction.
+
+Payloads travel from a sender's pinned buffer, over DMA into LANai SRAM,
+through the fabric, and back out to a receiver's pinned buffer.  Tests
+need *real bytes* so corruption is observable end-to-end; performance
+sweeps move megabytes per simulated second and must not copy real memory.
+:class:`Payload` supports both:
+
+* **concrete** payloads wrap real ``bytes``;
+* **phantom** payloads carry only (size, fingerprint), where the
+  fingerprint is a stable 64-bit token standing in for the content.
+
+Both kinds support slicing (fragmentation), concatenation (reassembly)
+and deterministic corruption, and both feed the CRC calculation, so the
+protocol stack is oblivious to which kind it is moving.  Phantom slices
+remember their lineage so that a complete in-order reassembly yields a
+payload equal to the original — exactly-once delivery checks therefore
+work in both modes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Optional, Sequence, Tuple
+
+__all__ = ["Payload"]
+
+_U64 = 2**64 - 1
+
+
+def _mix(a: int, b: int) -> int:
+    """Cheap 64-bit hash combiner (splitmix-style)."""
+    x = (a ^ (b + 0x9E3779B97F4A7C15 + ((a << 6) & _U64) + (a >> 2))) & _U64
+    x ^= x >> 31
+    x = (x * 0xBF58476D1CE4E5B9) & _U64
+    x ^= x >> 27
+    return x
+
+
+class Payload:
+    """Immutable message content, concrete or phantom."""
+
+    __slots__ = ("size", "_data", "_fingerprint", "_lineage")
+
+    def __init__(self, size: int, data: Optional[bytes] = None,
+                 fingerprint: Optional[int] = None,
+                 lineage: Optional[Tuple[int, int]] = None):
+        if size < 0:
+            raise ValueError("negative payload size")
+        if data is not None and len(data) != size:
+            raise ValueError("data length %d != size %d" % (len(data), size))
+        self.size = size
+        self._data = data
+        # lineage = (parent_fingerprint, offset) for phantom slices, enabling
+        # lossless reassembly without concrete bytes.
+        self._lineage = lineage
+        if data is not None:
+            self._fingerprint = zlib.crc32(data) | (size << 32)
+        elif fingerprint is not None:
+            self._fingerprint = fingerprint
+        else:
+            self._fingerprint = _mix(size, 0xDEADBEEF)
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Payload":
+        return cls(len(data), data=data)
+
+    @classmethod
+    def phantom(cls, size: int, tag: int = 0) -> "Payload":
+        """A contents-free payload of ``size`` bytes identified by ``tag``."""
+        return cls(size, fingerprint=_mix(size, tag))
+
+    @classmethod
+    def pattern(cls, size: int, seed: int = 0) -> "Payload":
+        """A concrete payload with a cheap deterministic byte pattern."""
+        if size == 0:
+            return cls.from_bytes(b"")
+        block = bytes((seed + i) & 0xFF for i in range(min(size, 256)))
+        reps = size // len(block) + 1
+        return cls.from_bytes((block * reps)[:size])
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def is_concrete(self) -> bool:
+        return self._data is not None
+
+    @property
+    def data(self) -> bytes:
+        if self._data is None:
+            raise ValueError("phantom payload has no concrete bytes")
+        return self._data
+
+    @property
+    def fingerprint(self) -> int:
+        """Stable token covering size and content; fed to the packet CRC."""
+        return self._fingerprint
+
+    # -- transformations -------------------------------------------------------
+
+    def slice(self, offset: int, length: int) -> "Payload":
+        """Sub-payload (used by 4 KB fragmentation)."""
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise ValueError("slice [%d:%d) outside payload of %d bytes"
+                             % (offset, offset + length, self.size))
+        if self._data is not None:
+            return Payload.from_bytes(self._data[offset:offset + length])
+        if offset == 0 and length == self.size:
+            return self
+        return Payload(
+            length,
+            fingerprint=_mix(self._fingerprint, _mix(offset, length)),
+            lineage=(self._fingerprint, offset))
+
+    @classmethod
+    def concat(cls, parts: Sequence["Payload"]) -> "Payload":
+        """Reassemble fragments (inverse of repeated ``slice``).
+
+        If the parts are contiguous phantom slices of one parent starting
+        at offset 0, the parent payload is reconstituted exactly.
+        """
+        parts = list(parts)
+        if len(parts) == 1:
+            return parts[0]
+        if all(p.is_concrete for p in parts):
+            return cls.from_bytes(b"".join(p.data for p in parts))
+        size = sum(p.size for p in parts)
+        parent = cls._common_parent(parts)
+        if parent is not None:
+            return cls(size, fingerprint=parent)
+        fp = 0x5EED
+        for p in parts:
+            fp = _mix(fp, p.fingerprint)
+        return cls(size, fingerprint=fp)
+
+    @staticmethod
+    def _common_parent(parts: Sequence["Payload"]) -> Optional[int]:
+        """Parent fingerprint if parts tile a single phantom from offset 0."""
+        parent = None
+        expected_offset = 0
+        for p in parts:
+            if p._lineage is None:
+                return None
+            parent_fp, offset = p._lineage
+            if parent is None:
+                parent = parent_fp
+            if parent_fp != parent or offset != expected_offset:
+                return None
+            expected_offset += p.size
+        return parent
+
+    def corrupt(self, bit_offset: int = 0) -> "Payload":
+        """A corrupted copy: one bit flipped (or fingerprint perturbed)."""
+        if self._data is not None and self.size > 0:
+            mutated = bytearray(self._data)
+            byte_addr, bit = divmod(bit_offset % (self.size * 8), 8)
+            mutated[byte_addr] ^= 1 << bit
+            return Payload.from_bytes(bytes(mutated))
+        return Payload(self.size,
+                       fingerprint=_mix(self._fingerprint, bit_offset + 1))
+
+    def truncate(self, length: int) -> "Payload":
+        """First ``length`` bytes (a corrupted DMA length manifests so)."""
+        return self.slice(0, min(length, self.size))
+
+    # -- comparison ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Payload):
+            return NotImplemented
+        return (self.size == other.size
+                and self._fingerprint == other._fingerprint)
+
+    def __hash__(self) -> int:
+        return hash((self.size, self._fingerprint))
+
+    def __repr__(self) -> str:
+        kind = "concrete" if self.is_concrete else "phantom"
+        return "Payload(%s, %d bytes, fp=0x%x)" % (
+            kind, self.size, self._fingerprint)

@@ -1,0 +1,33 @@
+"""Discrete-event simulation kernel (time unit: microseconds)."""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .resources import Pipe, Resource, Store
+from .rng import SeededRng, derive_seed
+from .trace import TraceRecord, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Pipe",
+    "Process",
+    "Resource",
+    "SeededRng",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "TraceRecord",
+    "Tracer",
+    "derive_seed",
+]

@@ -1,0 +1,391 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction — hosts, LANai processors, DMA engines,
+links, switches, daemons — runs on this kernel.  It is a small, hand-rolled
+cousin of SimPy: time is a float (we use microseconds throughout the
+project), processes are Python generators that ``yield`` events, and the
+simulator advances a heap of scheduled events.
+
+The kernel is deliberately deterministic: events scheduled for the same
+instant fire in insertion order, and all randomness in the project flows
+through :mod:`repro.sim.rng` seeded generators, so every experiment is
+exactly reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "Simulator",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (double-triggering events, etc.)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``;
+    processes modelling crash-able entities catch this to unwind.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    *triggers* it, which schedules its callbacks to run at the current
+    simulation time.  Yielding a pending event from a process suspends the
+    process until the event triggers; the event's value becomes the value
+    of the ``yield`` expression (or, for a failed event, its exception is
+    raised inside the process).
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exc: Optional[BaseException] = None
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once ``succeed``/``fail`` has been called."""
+        return self.callbacks is None or self.sim._is_scheduled(self)
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        return self._exc is None
+
+    @property
+    def value(self) -> Any:
+        if self._exc is not None:
+            return self._exc
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def fail(self, exc: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        A failed event re-raises ``exc`` inside every waiting process.  If
+        nobody is waiting, the failure escapes :meth:`Simulator.run` unless
+        :meth:`defuse` was called.
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._exc = exc
+        self.sim._schedule(self, 0.0)
+        return self
+
+    def defuse(self) -> "Event":
+        """Mark a failure as handled even if no process observes it."""
+        self._defused = True
+        return self
+
+    def _run_callbacks(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        assert callbacks is not None
+        handled = self._defused or bool(callbacks)
+        for callback in callbacks:
+            callback(self)
+        if self._exc is not None and not handled:
+            raise self._exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return "<%s %s at t=%s>" % (type(self).__name__, state, self.sim.now)
+
+
+class Timeout(Event):
+    """An event that triggers ``delay`` time units after creation."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative delay: %r" % (delay,))
+        super().__init__(sim)
+        self.delay = delay
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A generator-based process; also an event that fires on completion.
+
+    The wrapped generator yields :class:`Event` instances.  When the
+    generator returns, the process event succeeds with the return value;
+    when it raises, the process event fails with the exception.
+    """
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(gen, "send"):
+            raise TypeError("Process requires a generator, got %r" % (gen,))
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[Event] = None
+        self._injected: Optional[BaseException] = None
+        # Bootstrap: step the generator at the current instant.
+        init = Event(sim)
+        init._value = None
+        init.callbacks.append(self._resume)
+        sim._schedule(init, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        return self.callbacks is not None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw an exception into the process at the current time.
+
+        If ``cause`` is itself an exception instance it is thrown
+        directly (so victims can catch domain errors like ``HostCrashed``
+        by type); otherwise an :class:`Interrupt` wrapping ``cause`` is
+        thrown.  Either way, if the process does not catch it, the
+        process terminates *quietly* — interrupts model kills and
+        crashes, which should not escalate out of ``run()``.
+
+        A process may not interrupt itself, and interrupting a finished
+        process is a silent no-op (the usual race when a victim completes
+        in the same instant the interrupter fires).
+        """
+        if not self.is_alive:
+            return
+        if self is self.sim.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        exc = cause if isinstance(cause, BaseException) else Interrupt(cause)
+        self._injected = exc
+        hit = Event(self.sim)
+        hit._exc = exc
+        hit._defused = True
+        hit.callbacks.append(self._resume)
+        self.sim._schedule(hit, 0.0)
+
+    def _resume(self, event: Event) -> None:
+        if self.callbacks is None:
+            return
+        self._waiting_on = None
+        self.sim.active_process = self
+        try:
+            if event._exc is not None:
+                target = self._gen.throw(event._exc)
+            else:
+                target = self._gen.send(event._value)
+        except StopIteration as stop:
+            self.sim.active_process = None
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.sim.active_process = None
+            if self.triggered:
+                raise
+            if isinstance(exc, Interrupt) or exc is self._injected:
+                # An uncaught interrupt/kill terminates quietly-by-design:
+                # interrupts model crashes, and a killed process "failing"
+                # would needlessly escalate to run().  Waiters, if any,
+                # still observe the exception.
+                self._exc = exc
+                self._defused = True
+                self.sim._schedule(self, 0.0)
+            else:
+                self.fail(exc)
+            return
+        self.sim.active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                "process %r yielded %r; processes must yield Event instances"
+                % (self.name, target))
+        if target.callbacks is None:
+            # Already processed: resume immediately (at the current instant).
+            rerun = Event(self.sim)
+            rerun._value = target._value
+            rerun._exc = target._exc
+            rerun._defused = True
+            rerun.callbacks.append(self._resume)
+            self.sim._schedule(rerun, 0.0)
+        else:
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._done = 0
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("cannot mix events from two simulators")
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value for ev in self._events
+            if ev.callbacks is None and ev._exc is None
+        }
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Triggers when the first of ``events`` triggers."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            event._defused = True
+            self.fail(event._exc)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Triggers when all of ``events`` have triggered."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exc is not None:
+            event._defused = True
+            self.fail(event._exc)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+
+        def hello(sim):
+            yield sim.timeout(5.0)
+            return "done"
+
+        proc = sim.spawn(hello(sim))
+        sim.run()
+        assert sim.now == 5.0
+    """
+
+    def __init__(self):
+        self._now = 0.0
+        self._queue: List = []
+        self._seq = itertools.count()
+        self._scheduled: set = set()
+        self.active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (microseconds by project convention)."""
+        return self._now
+
+    # -- event construction ------------------------------------------------
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Start a new process running ``gen``."""
+        return Process(self, gen, name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    # -- scheduling internals ----------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        self._scheduled.add(id(event))
+
+    def _is_scheduled(self, event: Event) -> bool:
+        return id(event) in self._scheduled
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._queue)
+        self._scheduled.discard(id(event))
+        self._now = when
+        event._run_callbacks()
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or the clock would pass ``until``.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the queue drains earlier, so back-to-back ``run`` calls see
+        a monotonic clock.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        if until < self._now:
+            raise ValueError(
+                "cannot run backwards: until=%r < now=%r" % (until, self._now))
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self._now = until

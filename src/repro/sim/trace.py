@@ -1,0 +1,79 @@
+"""Structured event tracing.
+
+A :class:`Tracer` collects (time, source, kind, details) records.  Traces
+feed three consumers: debugging, the recovery-timeline figure (Fig. 9 of
+the paper), and assertions in integration tests ("the watchdog fired
+before the FTD woke").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["TraceRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: float
+    source: str
+    kind: str
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join("%s=%r" % kv for kv in sorted(self.details.items()))
+        return "[%12.3f] %-18s %-24s %s" % (
+            self.time, self.source, self.kind, extra)
+
+
+class Tracer:
+    """Collects trace records; optionally filters by kind."""
+
+    def __init__(self, enabled: bool = True,
+                 kinds: Optional[set] = None,
+                 sink: Optional[Callable[[TraceRecord], None]] = None):
+        self.enabled = enabled
+        self.kinds = kinds
+        self.records: List[TraceRecord] = []
+        self.sink = sink
+
+    def emit(self, time: float, source: str, kind: str, **details: Any) -> None:
+        if not self.enabled:
+            return
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        record = TraceRecord(time, source, kind, details)
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+
+    def filter(self, kind: Optional[str] = None,
+               source: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given kind and/or source."""
+        out = self.records
+        if kind is not None:
+            out = [r for r in out if r.kind == kind]
+        if source is not None:
+            out = [r for r in out if r.source == source]
+        return list(out)
+
+    def first(self, kind: str) -> Optional[TraceRecord]:
+        for record in self.records:
+            if record.kind == kind:
+                return record
+        return None
+
+    def last(self, kind: str) -> Optional[TraceRecord]:
+        for record in reversed(self.records):
+            if record.kind == kind:
+                return record
+        return None
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)

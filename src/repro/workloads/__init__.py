@@ -1,0 +1,19 @@
+"""Measurement workloads: ping-pong, allsize streaming, utilization."""
+
+from .allsize import BandwidthResult, allsize_sweep, run_allsize
+from .pingpong import PingPongResult, pingpong_sweep, run_pingpong
+from .recovery import RecoveryExperiment, run_recovery_experiment
+from .utilization import UtilizationResult, measure_utilization
+
+__all__ = [
+    "BandwidthResult",
+    "PingPongResult",
+    "RecoveryExperiment",
+    "UtilizationResult",
+    "allsize_sweep",
+    "measure_utilization",
+    "pingpong_sweep",
+    "run_allsize",
+    "run_pingpong",
+    "run_recovery_experiment",
+]

@@ -1,0 +1,85 @@
+"""Ping-pong latency workload (Figure 8, Table 2 "Latency").
+
+"The measurement was performed as a repetitive ping-pong exchange of
+messages between processes in the two machines, with the one-way latency
+for each message length plotted as half of the average round-trip time."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..cluster import MyrinetCluster
+from ..payload import Payload
+
+__all__ = ["PingPongResult", "run_pingpong", "pingpong_sweep"]
+
+
+@dataclass
+class PingPongResult:
+    size: int
+    iterations: int
+    rtts: List[float] = field(default_factory=list)
+
+    @property
+    def half_rtt_us(self) -> float:
+        return (sum(self.rtts) / len(self.rtts)) / 2.0 if self.rtts else 0.0
+
+    @property
+    def min_half_rtt_us(self) -> float:
+        return min(self.rtts) / 2.0 if self.rtts else 0.0
+
+
+def run_pingpong(cluster: MyrinetCluster, size: int, iterations: int = 50,
+                 warmup: int = 3, a: int = 0, b: int = 1) -> PingPongResult:
+    """Run one ping-pong series on an already-booted cluster."""
+    sim = cluster.sim
+    result = PingPongResult(size, iterations)
+    state = {"done": False}
+    ping = Payload.phantom(size, tag=0xA)
+    pong = Payload.phantom(size, tag=0xB)
+
+    def initiator():
+        port = yield from cluster[a].driver.open_port()
+        for i in range(warmup + iterations):
+            yield from port.provide_receive_buffer(max(size, 1))
+            start = sim.now
+            yield from port.send(ping, b, _PONG_PORT, context=i)
+            event = yield from port.receive_message()
+            assert event is not None
+            if i >= warmup:
+                result.rtts.append(sim.now - start)
+        state["done"] = True
+
+    def responder():
+        port = yield from cluster[b].driver.open_port(_PONG_PORT)
+        for _ in range(warmup + iterations):
+            yield from port.provide_receive_buffer(max(size, 1))
+            event = yield from port.receive_message()
+            assert event is not None
+            yield from port.send(pong, a, event.sender_port)
+
+    _PONG_PORT = 5
+    cluster[b].host.spawn(responder(), "pong")
+    cluster[a].host.spawn(initiator(), "ping")
+    deadline = sim.now + 60_000_000.0
+    while not state["done"] and sim.peek() <= deadline:
+        sim.step()
+    if not state["done"]:
+        raise RuntimeError("ping-pong did not finish (size=%d)" % size)
+    return result
+
+
+def pingpong_sweep(flavor: str, sizes: List[int], iterations: int = 30,
+                   seed: int = 0) -> List[PingPongResult]:
+    """One fresh cluster per flavor, reused across all sizes."""
+    from ..cluster import build_cluster
+
+    results = []
+    for size in sizes:
+        # A fresh cluster per size keeps ports/token pools pristine and
+        # runs are independent (the paper also measured per length).
+        cluster = build_cluster(2, flavor=flavor, seed=seed)
+        results.append(run_pingpong(cluster, size, iterations))
+    return results

@@ -1,0 +1,82 @@
+"""Host-CPU and LANai utilization probes (Table 2 rows 3-5).
+
+* **Host util. (send/recv)** — CPU time the host burns per message in
+  the library's send and receive paths; measured from the host's
+  per-category CPU accounting over a one-way stream.
+* **LANai util.** — LANai occupancy per small message, split into
+  send-side and receive-side busy time (the paper reports the sum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster import MyrinetCluster, build_cluster
+from ..payload import Payload
+
+__all__ = ["UtilizationResult", "measure_utilization"]
+
+
+@dataclass
+class UtilizationResult:
+    messages: int
+    size: int
+    host_send_us: float      # per message
+    host_recv_us: float
+    lanai_send_us: float
+    lanai_recv_us: float
+
+    @property
+    def lanai_total_us(self) -> float:
+        return self.lanai_send_us + self.lanai_recv_us
+
+
+def measure_utilization(flavor: str, messages: int = 100, size: int = 64,
+                        seed: int = 0) -> UtilizationResult:
+    """One-way stream of small messages; read the cost meters."""
+    cluster = build_cluster(2, flavor=flavor, seed=seed)
+    sim = cluster.sim
+    state = {"recv": 0, "sent": 0}
+
+    def sender():
+        port = yield from cluster[0].driver.open_port(1)
+        payload = Payload.phantom(size, tag=0x11)
+        for _ in range(messages):
+            yield from port.send_and_wait(payload, 1, 2)
+            state["sent"] += 1
+
+    def receiver():
+        port = yield from cluster[1].driver.open_port(2)
+        for _ in range(8):
+            yield from port.provide_receive_buffer(max(size, 1))
+        while state["recv"] < messages:
+            event = yield from port.receive_message()
+            state["recv"] += 1
+            if state["recv"] <= messages - 8:
+                yield from port.provide_receive_buffer(max(size, 1))
+
+    # Zero the meters that boot-time activity already touched.
+    cluster[0].host.cpu_time.clear()
+    cluster[1].host.cpu_time.clear()
+
+    cluster[1].host.spawn(receiver(), "util-r")
+    cluster[0].host.spawn(sender(), "util-s")
+    deadline = sim.now + 120_000_000.0
+    while (state["sent"] < messages or state["recv"] < messages) \
+            and sim.peek() <= deadline:
+        sim.step()
+
+    send_cpu = cluster[0].host.cpu_time.get("send", 0.0)
+    recv_cpu = cluster[1].host.cpu_time.get("recv", 0.0)
+    mcp_tx = cluster[0].mcp
+    mcp_rx = cluster[1].mcp
+    return UtilizationResult(
+        messages=messages,
+        size=size,
+        host_send_us=send_cpu / messages,
+        host_recv_us=recv_cpu / messages,
+        lanai_send_us=mcp_tx.send_busy_time
+        / max(mcp_tx.stats["packets_sent"], 1),
+        lanai_recv_us=mcp_rx.recv_busy_time
+        / max(mcp_rx.stats["packets_received"], 1),
+    )

@@ -1,0 +1,14 @@
+"""Test-suite-wide configuration."""
+
+from hypothesis import HealthCheck, settings
+
+# Simulation-heavy property tests can blow hypothesis' default 200 ms
+# per-example deadline on a loaded machine; correctness, not wall time,
+# is what these tests check.  derandomize keeps CI runs reproducible.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

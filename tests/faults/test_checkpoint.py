@@ -1,0 +1,130 @@
+"""Tests for MCP pause/resume and the classical-checkpoint baseline."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.faults.checkpoint import CheckpointDaemon
+from repro.gm import constants as C
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit=30_000_000.0):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    return predicate()
+
+
+class TestPauseResume:
+    def test_pause_freezes_data_path_but_not_l_timer(self):
+        cluster = build_cluster(2, flavor="gm")
+        sim = cluster.sim
+        mcp = cluster[0].mcp
+        done = sim.event()
+        mcp.host_request(("pause", done))
+        run_until(cluster, lambda: done.processed)
+        assert mcp.paused
+        ticks = mcp.l_timer_invocations
+        sim.run(until=sim.now + 5 * C.L_TIMER_INTERVAL_US)
+        assert mcp.l_timer_invocations > ticks  # housekeeping continues
+
+    def test_resume_restores_service(self):
+        cluster = build_cluster(2, flavor="gm")
+        sim = cluster.sim
+        mcp = cluster[0].mcp
+        pause_done = sim.event()
+        mcp.host_request(("pause", pause_done))
+        run_until(cluster, lambda: pause_done.processed)
+        resume_done = sim.event()
+        mcp.host_request(("resume", resume_done))
+        run_until(cluster, lambda: resume_done.processed)
+        assert not mcp.paused
+
+    def test_messages_arriving_during_pause_deliver_after_resume(self):
+        cluster = build_cluster(2, flavor="gm")
+        sim = cluster.sim
+        got = {}
+        ports = {}
+
+        def opener(node, pid, key):
+            ports[key] = yield from cluster[node].driver.open_port(pid)
+
+        cluster[0].host.spawn(opener(0, 1, "s"), "o1")
+        cluster[1].host.spawn(opener(1, 2, "r"), "o2")
+        run_until(cluster, lambda: len(ports) == 2)
+
+        # Pause the receiver.
+        pause_done = sim.event()
+        cluster[1].mcp.host_request(("pause", pause_done))
+        run_until(cluster, lambda: pause_done.processed)
+
+        def sender():
+            yield from ports["s"].send_and_wait(
+                Payload.from_bytes(b"parked"), 1, 2)
+            got["sent_at"] = sim.now
+
+        def receiver():
+            yield from ports["r"].provide_receive_buffer(64)
+            event = yield from ports["r"].receive_message()
+            got["recv_at"] = sim.now
+            got["data"] = event.payload.data
+
+        cluster[1].host.spawn(receiver(), "r")
+        cluster[0].host.spawn(sender(), "s")
+        sim.run(until=sim.now + 3_000.0)
+        assert "recv_at" not in got  # frozen: nothing delivered
+
+        resume_done = sim.event()
+        cluster[1].mcp.host_request(("resume", resume_done))
+        assert run_until(cluster, lambda: "recv_at" in got)
+        assert got["data"] == b"parked"
+
+
+class TestCheckpointDaemon:
+    def test_single_checkpoint_cycle(self):
+        cluster = build_cluster(2, flavor="gm")
+        daemon = CheckpointDaemon(cluster[0].driver,
+                                  interval_us=50_000.0)
+        pauses = []
+
+        def once():
+            pause = yield from daemon.checkpoint_once()
+            pauses.append(pause)
+
+        cluster[0].host.spawn(once(), "c")
+        run_until(cluster, lambda: bool(pauses))
+        # The pause spans two L_timer round-trips plus the PCI copy.
+        copy_time = daemon.state_bytes / cluster[0].nic.pci.bandwidth
+        assert pauses[0] >= copy_time
+        assert not cluster[0].mcp.paused  # resumed
+
+    def test_periodic_daemon_accumulates_stats(self):
+        cluster = build_cluster(2, flavor="gm")
+        daemon = CheckpointDaemon(cluster[0].driver,
+                                  interval_us=10_000.0)
+        daemon.start()
+        cluster.sim.run(until=cluster.sim.now + 65_000.0)
+        assert daemon.stats.checkpoints >= 4
+        assert daemon.stats.mean_pause_us > 1_000.0
+        assert 0.0 < daemon.overhead_fraction(65_000.0) < 0.5
+
+    def test_daemon_skips_dead_mcp(self):
+        cluster = build_cluster(2, flavor="gm")
+        cluster[0].mcp.die("gone")
+        daemon = CheckpointDaemon(cluster[0].driver,
+                                  interval_us=5_000.0)
+        daemon.start()
+        cluster.sim.run(until=cluster.sim.now + 20_000.0)
+        assert daemon.stats.checkpoints == 0
+
+    def test_stop_halts_daemon(self):
+        cluster = build_cluster(2, flavor="gm")
+        daemon = CheckpointDaemon(cluster[0].driver,
+                                  interval_us=5_000.0)
+        daemon.start()
+        cluster.sim.run(until=cluster.sim.now + 12_000.0)
+        count = daemon.stats.checkpoints
+        daemon.stop()
+        cluster.sim.run(until=cluster.sim.now + 20_000.0)
+        assert daemon.stats.checkpoints <= count + 1  # at most in-flight

@@ -1,0 +1,30 @@
+"""FTGM recovery-effectiveness (§5.2) on a small injected population."""
+
+import pytest
+
+from repro.faults import run_effectiveness_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_effectiveness_study(runs=30, seed=4242, messages=8)
+
+
+def test_hang_population_nonempty(study):
+    assert study.hangs > 0
+
+
+def test_all_hangs_detected(study):
+    """"this simple fault detection mechanism was able to detect all the
+    interface hangs" — our watchdog must match."""
+    assert study.detected == study.hangs
+
+
+def test_recovery_rate_matches_paper_band(study):
+    """Paper: 281/286 (98.3%) recovered.  Require >= 90% here."""
+    assert study.recovery_rate >= 0.90
+
+
+def test_render_mentions_paper_numbers(study):
+    text = study.render()
+    assert "286" in text and "98.3" in text

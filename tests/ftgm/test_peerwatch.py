@@ -1,0 +1,118 @@
+"""Tests for the peer-watchdog extension (fallback hang detection)."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.ftgm import PeerWatchdog
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit=60_000_000.0):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    return predicate()
+
+
+def watched_pair():
+    cluster = build_cluster(2, flavor="ftgm")
+    watchers = [
+        PeerWatchdog(cluster[0].driver, cluster[1].driver),
+        PeerWatchdog(cluster[1].driver, cluster[0].driver),
+    ]
+    for watcher in watchers:
+        watcher.start()
+    return cluster, watchers
+
+
+class TestPeerWatchdog:
+    def test_healthy_buddy_never_flagged(self):
+        cluster, watchers = watched_pair()
+        cluster.sim.run(until=cluster.sim.now + 100_000.0)
+        assert all(w.detections == 0 for w in watchers)
+        assert all(w.probes_sent > 10 for w in watchers)
+        assert all(node.driver.ftd.false_alarms == 0
+                   for node in cluster.nodes)
+
+    def test_silent_hang_with_dead_timers_is_invisible_to_it1(self):
+        """The failure mode the paper's watchdog cannot see."""
+        cluster = build_cluster(2, flavor="ftgm")  # no peer watch
+        sim = cluster.sim
+        sim.run(until=sim.now + 2_000.0)
+        cluster[1].nic.kill_timers()
+        cluster[1].mcp.die("hang + timer logic dead")
+        sim.run(until=sim.now + 100_000.0)
+        assert cluster[1].driver.fatal_interrupts == 0
+        assert not cluster[1].driver.ftd.recoveries
+
+    def test_peer_watchdog_catches_silent_hang(self):
+        cluster, watchers = watched_pair()
+        sim = cluster.sim
+        sim.run(until=sim.now + 2_000.0)
+        cluster[1].nic.kill_timers()
+        cluster[1].mcp.die("hang + timer logic dead")
+        ftd = cluster[1].driver.ftd
+        assert run_until(cluster, lambda: bool(ftd.recoveries),
+                         limit=30_000_000.0)
+        record = ftd.recoveries[0]
+        assert not record.false_alarm
+        assert watchers[0].detections >= 1
+        # Detection is slower than IT1 (interval * misses + channel).
+        assert record.interrupt_at - 2_000.0 \
+            >= watchers[0].interval_us * watchers[0].misses_threshold - 1
+
+    def test_peer_verdict_gated_by_magic_word(self):
+        """A spurious peer detection ends as a harmless false alarm."""
+        cluster, watchers = watched_pair()
+        sim = cluster.sim
+        sim.run(until=sim.now + 5_000.0)
+        # Fake a detection against a perfectly healthy buddy.
+        cluster[1].driver.ftd.notify()
+        run_until(cluster,
+                  lambda: cluster[1].driver.ftd.false_alarms > 0,
+                  limit=1_000_000.0)
+        assert cluster[1].driver.ftd.false_alarms == 1
+        assert cluster[1].mcp.running  # untouched
+
+    def test_traffic_survives_silent_hang_with_peer_watch(self):
+        """End to end: exactly-once delivery across a timer-dead hang."""
+        cluster, watchers = watched_pair()
+        sim = cluster.sim
+        received = []
+        opened = {}
+
+        def opener(node, pid, key):
+            opened[key] = yield from cluster[node].driver.open_port(pid)
+
+        cluster[0].host.spawn(opener(0, 1, "s"), "o1")
+        cluster[1].host.spawn(opener(1, 2, "r"), "o2")
+        run_until(cluster, lambda: len(opened) == 2)
+
+        def sender():
+            for i in range(20):
+                yield from opened["s"].send_and_wait(
+                    Payload.from_bytes(b"m%03d" % i), 1, 2)
+                yield sim.timeout(25.0)
+
+        def receiver():
+            for _ in range(8):
+                yield from opened["r"].provide_receive_buffer(64)
+            while len(received) < 20:
+                event = yield from opened["r"].receive_message()
+                received.append(event.payload.data)
+                if len(received) <= 12:
+                    yield from opened["r"].provide_receive_buffer(64)
+
+        def saboteur():
+            yield sim.timeout(700.0)
+            cluster[1].nic.kill_timers()
+            cluster[1].mcp.die("silent hang")
+
+        cluster[1].host.spawn(receiver(), "r")
+        cluster[0].host.spawn(sender(), "s")
+        sim.spawn(saboteur())
+        assert run_until(cluster, lambda: len(received) == 20,
+                         limit=60_000_000.0)
+        assert received == [b"m%03d" % i for i in range(20)]
+        assert cluster[1].driver.ftd.recoveries

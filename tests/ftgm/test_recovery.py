@@ -1,0 +1,290 @@
+"""Integration tests for FTGM fault detection and transparent recovery."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.gm import constants as C
+from repro.hw.registers import IsrBits
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit=60_000_000.0):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    assert predicate(), "condition not reached within %.0f us" % limit
+
+
+def open_ports(cluster, specs):
+    out = {}
+
+    def opener(node, port_id, key):
+        port = yield from cluster[node].driver.open_port(port_id)
+        out[key] = port
+
+    for i, (node, port_id) in enumerate(specs):
+        cluster[node].host.spawn(opener(node, port_id, i), "open%d" % i)
+    run_until(cluster, lambda: len(out) == len(specs))
+    return [out[i] for i in range(len(specs))]
+
+
+class TestWatchdog:
+    def test_healthy_mcp_never_trips_watchdog(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        cluster.sim.run(until=cluster.sim.now + 100_000.0)
+        for node in cluster.nodes:
+            assert node.driver.fatal_interrupts == 0
+            assert node.mcp.running
+
+    def test_hang_raises_fatal_interrupt_within_watchdog_interval(self):
+        cluster = build_cluster(2, flavor="ftgm", start_ftd=False)
+        sim = cluster.sim
+        t_hang = sim.now + 5_000.0
+
+        def crasher():
+            yield sim.timeout(5_000.0)
+            cluster[1].mcp.die("test hang")
+
+        sim.spawn(crasher())
+        run_until(cluster, lambda: cluster[1].driver.fatal_interrupts > 0,
+                  limit=50_000.0)
+        detection_latency = sim.now - t_hang
+        # IT1 was last reset by L_timer at most L_TIMER_INTERVAL before
+        # the hang, so detection falls within one watchdog interval.
+        assert detection_latency <= C.WATCHDOG_INTERVAL_US + 1.0
+        assert detection_latency > 0
+
+    def test_detection_time_band_matches_paper(self):
+        """Fault detection ~800us (Table 3): between IT1 - L_timer gap
+        and the full IT1 interval."""
+        latencies = []
+        for offset in (50.0, 150.0, 250.0, 350.0):
+            cluster = build_cluster(2, flavor="ftgm", start_ftd=False)
+            sim = cluster.sim
+            base = sim.now
+
+            def crasher(off=offset):
+                yield sim.timeout(10_000.0 + off)
+                cluster[1].mcp.die("test")
+
+            sim.spawn(crasher())
+            t_hang = base + 10_000.0 + offset
+            run_until(cluster,
+                      lambda: cluster[1].driver.fatal_interrupts > 0,
+                      limit=50_000.0)
+            latencies.append(sim.now - t_hang)
+        mean = sum(latencies) / len(latencies)
+        assert C.WATCHDOG_INTERVAL_US - C.L_TIMER_INTERVAL_US \
+            <= mean <= C.WATCHDOG_INTERVAL_US
+
+    def test_watchdog_detects_interpreted_lanai_hang(self):
+        cluster = build_cluster(2, flavor="ftgm", interpreted_nodes=[0],
+                                start_ftd=False)
+        sport, rport = open_ports(cluster, [(0, 1), (1, 2)])
+        # Corrupt send_chunk so the CPU halts: overwrite the entry with
+        # an invalid opcode.
+        mcp = cluster[0].mcp
+        entry = mcp.firmware.entry_send_chunk
+        mcp.nic.sram.write_word(entry, 0x3F << 26)
+        sent = {}
+
+        def sender():
+            yield from sport.send(Payload.from_bytes(b"doomed"), 1, 2)
+            sent["posted"] = True
+
+        cluster[0].host.spawn(sender(), "s")
+        run_until(cluster, lambda: cluster[0].driver.fatal_interrupts > 0,
+                  limit=100_000.0)
+        assert mcp.cpu.hung
+        assert mcp.hung
+
+
+class TestFtdRecovery:
+    def _hang_and_recover(self, cluster, node=1, at=5_000.0):
+        sim = cluster.sim
+
+        def crasher():
+            yield sim.timeout(at)
+            cluster[node].mcp.die("test hang")
+
+        sim.spawn(crasher())
+        ftd = cluster[node].driver.ftd
+        run_until(cluster, lambda: len(ftd.recoveries) > 0)
+        return ftd.recoveries[0]
+
+    def test_ftd_confirms_hang_via_magic_word(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        record = self._hang_and_recover(cluster)
+        assert not record.false_alarm
+        assert record.confirmed_at - record.woken_at \
+            >= C.MAGIC_WORD_SETTLE_US
+
+    def test_ftd_time_matches_table3(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        record = self._hang_and_recover(cluster)
+        # ~765000us total, ~500000us reloading the MCP.
+        assert record.ftd_time == pytest.approx(765_000.0, rel=0.05)
+        assert record.reloaded_at - record.reset_at \
+            == pytest.approx(C.MCP_RELOAD_US, rel=0.01)
+
+    def test_recovery_reloads_fresh_mcp_and_restores_routes(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        old_mcp = cluster[1].mcp
+        self._hang_and_recover(cluster)
+        new_mcp = cluster[1].mcp
+        assert new_mcp is not old_mcp
+        assert new_mcp.running
+        assert new_mcp.routing_table == old_mcp.routing_table
+        assert cluster[1].nic.resets == 1
+
+    def test_recovered_watchdog_guards_next_fault(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        self._hang_and_recover(cluster)
+        sim = cluster.sim
+
+        def crasher():
+            yield sim.timeout(1_000.0)
+            cluster[1].mcp.die("second hang")
+
+        sim.spawn(crasher())
+        ftd = cluster[1].driver.ftd
+        run_until(cluster, lambda: len(ftd.recoveries) >= 2)
+        assert not ftd.recoveries[1].false_alarm
+
+    def test_false_alarm_when_lanai_healthy(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        # Trip the FATAL path by hand without hanging the MCP.
+        cluster[1].driver.ftd.notify()
+        ftd = cluster[1].driver.ftd
+        run_until(cluster, lambda: ftd.false_alarms > 0
+                  or len(ftd.recoveries) > 0, limit=100_000.0)
+        assert ftd.false_alarms == 1
+        assert cluster[1].mcp.running  # untouched
+
+    def test_fault_detected_posted_to_all_open_ports(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        ports = open_ports(cluster, [(1, 0), (1, 3), (1, 5)])
+        record = self._hang_and_recover(cluster)
+        assert record.ports_notified == 3
+
+
+class TestTransparentRecovery:
+    def _traffic_with_hang(self, hang_at, n_msgs=25, gap=25.0,
+                           hang_node=1):
+        cluster = build_cluster(2, flavor="ftgm")
+        sim = cluster.sim
+        state = {"recv": [], "sent": 0, "errors": []}
+        sport, rport = open_ports(cluster, [(0, 1), (1, 2)])
+        state["rport"] = rport
+
+        def sender():
+            for i in range(n_msgs):
+                try:
+                    yield from sport.send_and_wait(
+                        Payload.from_bytes(b"msg-%03d" % i), 1, 2)
+                    state["sent"] += 1
+                except Exception as exc:
+                    state["errors"].append(str(exc))
+                    return
+                yield sim.timeout(gap)
+
+        def receiver():
+            for _ in range(8):
+                yield from rport.provide_receive_buffer(256)
+            while len(state["recv"]) < n_msgs:
+                event = yield from rport.receive_message()
+                state["recv"].append(event.payload.data)
+                if len(state["recv"]) <= n_msgs - 8:
+                    yield from rport.provide_receive_buffer(256)
+
+        def crasher():
+            yield sim.timeout(hang_at)
+            cluster[hang_node].mcp.die("injected")
+
+        cluster[1].host.spawn(receiver(), "r")
+        cluster[0].host.spawn(sender(), "s")
+        sim.spawn(crasher())
+        run_until(cluster,
+                  lambda: len(state["recv"]) == n_msgs or state["errors"])
+        return cluster, state
+
+    def test_receiver_hang_recovers_exactly_once_in_order(self):
+        cluster, state = self._traffic_with_hang(hang_at=600.0)
+        assert not state["errors"]
+        expected = [b"msg-%03d" % i for i in range(25)]
+        assert state["recv"] == expected          # in order, no dup, no loss
+        assert state["rport"].recoveries == 1
+
+    def test_sender_hang_recovers_exactly_once_in_order(self):
+        cluster, state = self._traffic_with_hang(hang_at=600.0, hang_node=0)
+        assert not state["errors"]
+        expected = [b"msg-%03d" % i for i in range(25)]
+        assert state["recv"] == expected
+
+    def test_hang_during_idle_recovers_cleanly(self):
+        cluster, state = self._traffic_with_hang(hang_at=300.0, n_msgs=5,
+                                                 gap=3_000_000.0)
+        assert not state["errors"]
+        assert len(state["recv"]) == 5
+
+    def test_recovery_under_two_seconds(self):
+        """Headline claim: complete fault recovery in under 2 seconds."""
+        cluster, state = self._traffic_with_hang(hang_at=600.0)
+        ftd = cluster[1].driver.ftd
+        assert len(ftd.recoveries) == 1
+        record = ftd.recoveries[0]
+        trace_done = None
+        for rec in cluster.tracer.records:
+            if rec.kind == "port_recovery_done":
+                trace_done = rec.time
+        # Tracer is disabled by default; derive from the record instead.
+        total = (record.events_posted_at - record.interrupt_at) \
+            + C.PER_PORT_RECOVERY_US
+        assert total < 2_000_000.0
+
+    def test_large_message_interrupted_mid_fragments(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        sim = cluster.sim
+        payload = Payload.pattern(60_000, seed=4)
+        state = {}
+        sport, rport = open_ports(cluster, [(0, 1), (1, 2)])
+
+        def sender():
+            yield from sport.send_and_wait(payload, 1, 2)
+            state["sent"] = True
+
+        def receiver():
+            yield from rport.provide_receive_buffer(64_000)
+            event = yield from rport.receive_message()
+            state["event"] = event
+
+        def crasher():
+            # 60KB = 15 fragments; kill the receiver mid-message, i.e.
+            # once it has accepted a few fragments but not all.
+            target = cluster[1].mcp
+            while target.stats["packets_received"] < 5:
+                yield sim.timeout(5.0)
+            target.die("mid-message")
+
+        cluster[1].host.spawn(receiver(), "r")
+        cluster[0].host.spawn(sender(), "s")
+        sim.spawn(crasher())
+        run_until(cluster, lambda: "event" in state and "sent" in state)
+        assert state["event"].payload == payload
+        assert cluster[1].driver.ftd.recoveries
+
+    def test_shadow_state_is_small(self):
+        """Paper: ~20KB extra virtual memory per process."""
+        cluster = build_cluster(2, flavor="ftgm")
+        sport, rport = open_ports(cluster, [(0, 1), (1, 2)])
+        state = {}
+
+        def sender():
+            for i in range(C.SEND_TOKENS_PER_PORT):
+                yield from sport.send(Payload.from_bytes(b"x" * 64), 1, 2)
+            state["mem"] = sport.shadow.memory_bytes()
+
+        cluster[0].host.spawn(sender(), "s")
+        run_until(cluster, lambda: "mem" in state)
+        assert 0 < state["mem"] < C.EXTRA_HOST_MEMORY_BYTES

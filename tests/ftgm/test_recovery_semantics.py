@@ -1,0 +1,162 @@
+"""Tests pinning the recovery-semantics refinements found by E5.
+
+Three behaviours, each of which closed a real exactly-once hole:
+
+1. the host's shadow (ACK table + recv-token copies) updates at
+   event-POST time, not application consumption;
+2. the RECEIVED event is posted before the delayed final ACK;
+3. port recovery salvages RECEIVED events when clearing the queue.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.gm.events import EventType, GmEvent
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit=30_000_000.0):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    return predicate()
+
+
+def open_ports(cluster, specs):
+    out = {}
+
+    def opener(node, port_id, key):
+        port = yield from cluster[node].driver.open_port(port_id)
+        out[key] = port
+
+    for i, (node, port_id) in enumerate(specs):
+        cluster[node].host.spawn(opener(node, port_id, i), "open%d" % i)
+    assert run_until(cluster, lambda: len(out) == len(specs))
+    return [out[i] for i in range(len(specs))]
+
+
+class TestShadowUpdatesAtPostTime:
+    def test_ack_table_current_before_app_polls(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        sport, rport = open_ports(cluster, [(0, 1), (1, 2)])
+        sent = {}
+
+        def sender():
+            yield from sport.send_and_wait(
+                Payload.from_bytes(b"unpolled"), 1, 2)
+            sent["ok"] = True
+
+        def receiver_provides_only():
+            yield from rport.provide_receive_buffer(64)
+            # Deliberately never polls.
+
+        cluster[1].host.spawn(receiver_provides_only(), "r")
+        cluster[0].host.spawn(sender(), "s")
+        assert run_until(cluster, lambda: "ok" in sent)
+        # The app never consumed the event, yet the shadow already
+        # reflects the delivery (post-time update)...
+        assert rport.shadow.stream_restore_points() == {(0, 1): 0}
+        assert rport.shadow.outstanding_recvs() == []
+        # ...and the event is still queued for the application.
+        assert len(rport.recv_queue) == 1
+
+    def test_sender_completion_implies_host_copy_covers_it(self):
+        """Invariant R1: acked at the sender => in the host copy."""
+        cluster = build_cluster(2, flavor="ftgm")
+        sport, rport = open_ports(cluster, [(0, 1), (1, 2)])
+        progress = {"sent": 0}
+
+        def sender():
+            for i in range(10):
+                yield from sport.send_and_wait(
+                    Payload.from_bytes(b"m%d" % i), 1, 2)
+                progress["sent"] += 1
+                # R1 must hold at every completion, poll-free.
+                acked = cluster[0].mcp.tx_streams[(1, 1)].acked_upto
+                copied = rport.shadow.stream_restore_points().get(
+                    (0, 1), -1)
+                assert copied >= acked
+
+        def receiver():
+            for _ in range(10):
+                yield from rport.provide_receive_buffer(64)
+            # Poll lazily — consumption must not matter for R1.
+            while progress["sent"] < 10:
+                yield from rport.receive_message(timeout=2_000.0)
+
+        cluster[1].host.spawn(receiver(), "r")
+        cluster[0].host.spawn(sender(), "s")
+        assert run_until(cluster, lambda: progress["sent"] == 10)
+
+
+class TestQueueSalvage:
+    def test_recovery_requeues_unconsumed_received_events(self):
+        """Messages acked-but-unpolled at fault time must survive."""
+        cluster = build_cluster(2, flavor="ftgm")
+        sim = cluster.sim
+        sport, rport = open_ports(cluster, [(0, 1), (1, 2)])
+        state = {"sent": 0, "recv": []}
+
+        def sender():
+            # Burst of 5 messages, fire-and-forget completion tracking.
+            for _ in range(5):
+                yield from rport.provide_receive_buffer(64)
+            for i in range(5):
+                yield from sport.send_and_wait(
+                    Payload.from_bytes(b"burst-%d" % i), 1, 2)
+                state["sent"] += 1
+
+        cluster[0].host.spawn(sender(), "s")
+        assert run_until(cluster, lambda: state["sent"] == 5)
+        # 5 RECEIVED events sit unconsumed; the sender believes all 5
+        # completed.  Now the receiver NIC hangs.
+        assert len(rport.recv_queue) == 5
+        cluster[1].mcp.die("hang with queued events")
+
+        def receiver():
+            while len(state["recv"]) < 5:
+                event = yield from rport.receive_message(timeout=50_000.0)
+                if event is not None:
+                    state["recv"].append(event.payload.data)
+
+        cluster[1].host.spawn(receiver(), "r")
+        assert run_until(cluster, lambda: len(state["recv"]) == 5,
+                         limit=60_000_000.0)
+        assert state["recv"] == [b"burst-%d" % i for i in range(5)]
+
+        # The queued events may drain before FAULT_DETECTED even lands
+        # (the FTD takes ~766 ms); either way the port then recovers and
+        # stays usable.
+        def idle_poller():
+            while rport.recoveries == 0:
+                yield from rport.receive(timeout=100_000.0)
+
+        cluster[1].host.spawn(idle_poller(), "poll")
+        assert run_until(cluster, lambda: rport.recoveries == 1,
+                         limit=60_000_000.0)
+
+    def test_non_received_events_still_dropped(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        (rport,) = open_ports(cluster, [(1, 2)])
+        # Seed the queue with a stale alarm and a stale RECEIVED.
+        rport._event_sink(GmEvent(EventType.ALARM, 2, context="stale"))
+        region = cluster[1].host.alloc_dma(64, 2)
+        region.payload = Payload.from_bytes(b"keep me")
+        rport.recv_queue.put(GmEvent(
+            EventType.RECEIVED, 2, sender_node=0, sender_port=1,
+            payload=region.payload, size=7, region_id=region.region_id,
+            recv_token_id=999, seq=0))
+        cluster[1].mcp.die("hang")
+        kept = {}
+
+        def receiver():
+            event = yield from rport.receive_message(timeout=None)
+            kept["event"] = event
+
+        cluster[1].host.spawn(receiver(), "r")
+        assert run_until(cluster, lambda: "event" in kept,
+                         limit=60_000_000.0)
+        assert kept["event"].payload.data == b"keep me"
+        # The stale alarm did not survive recovery.
+        assert len(rport.recv_queue) == 0

@@ -1,0 +1,173 @@
+"""Unit tests for FTGM's shadow state and sequence generators."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ftgm.seqgen import (
+    SYNC_LOCK_COST_US,
+    PortSequenceStreams,
+    SharedConnectionStreams,
+)
+from repro.ftgm.shadow import ShadowState
+from repro.gm.tokens import RecvToken, SendToken
+from repro.sim import Simulator
+
+
+def make_send_token(msg_id_hint=None, seq_base=0, dest=1):
+    token = SendToken(src_port=1, dest_node=dest, dest_port=2,
+                      region_id=1, host_addr=0x1000_0000, size=64,
+                      seq_base=seq_base)
+    return token
+
+
+def make_recv_token():
+    return RecvToken(port=1, region_id=2, host_addr=0x1000_1000, size=256)
+
+
+class TestShadowState:
+    def test_send_token_lifecycle(self):
+        shadow = ShadowState(1)
+        token = make_send_token()
+        shadow.save_send_token(token)
+        assert shadow.outstanding_sends() == [token]
+        assert shadow.drop_send_token(token.msg_id) is token
+        assert shadow.outstanding_sends() == []
+
+    def test_drop_unknown_token_is_none(self):
+        shadow = ShadowState(1)
+        assert shadow.drop_send_token(999) is None
+        assert shadow.drop_recv_token(999) is None
+
+    def test_outstanding_sends_ordered_by_seq_base(self):
+        shadow = ShadowState(1)
+        late = make_send_token(seq_base=10)
+        early = make_send_token(seq_base=3)
+        shadow.save_send_token(late)
+        shadow.save_send_token(early)
+        assert shadow.outstanding_sends() == [early, late]
+
+    def test_recv_token_lifecycle(self):
+        shadow = ShadowState(1)
+        token = make_recv_token()
+        shadow.save_recv_token(token)
+        assert shadow.outstanding_recvs() == [token]
+        shadow.drop_recv_token(token.token_id)
+        assert shadow.outstanding_recvs() == []
+
+    def test_ack_table_monotone(self):
+        shadow = ShadowState(1)
+        shadow.record_delivery(0, 1, 5)
+        shadow.record_delivery(0, 1, 3)   # stale: ignored
+        shadow.record_delivery(0, 1, 9)
+        assert shadow.stream_restore_points() == {(0, 1): 9}
+
+    def test_none_seq_ignored(self):
+        shadow = ShadowState(1)
+        shadow.record_delivery(0, 1, None)
+        assert shadow.stream_restore_points() == {}
+
+    def test_memory_accounting_small(self):
+        shadow = ShadowState(1)
+        for _ in range(16):
+            shadow.save_send_token(make_send_token())
+            shadow.save_recv_token(make_recv_token())
+        shadow.record_delivery(0, 1, 4)
+        assert 0 < shadow.memory_bytes() < 20 * 1024
+
+    def test_repr_is_informative(self):
+        shadow = ShadowState(3)
+        assert "port=3" in repr(shadow)
+
+
+class TestPortSequenceStreams:
+    def _alloc(self, streams, dest, count):
+        sim = Simulator()
+        out = []
+
+        def body():
+            base = yield from streams.alloc(dest, count)
+            out.append(base)
+
+        sim.spawn(body())
+        sim.run()
+        return out[0]
+
+    def test_contiguous_per_destination(self):
+        streams = PortSequenceStreams(1)
+        assert self._alloc(streams, 1, 3) == 0
+        assert self._alloc(streams, 1, 2) == 3
+        assert streams.peek(1) == 5
+
+    def test_destinations_independent(self):
+        streams = PortSequenceStreams(1)
+        self._alloc(streams, 1, 5)
+        assert self._alloc(streams, 2, 1) == 0
+
+    def test_snapshot(self):
+        streams = PortSequenceStreams(1)
+        self._alloc(streams, 7, 4)
+        assert streams.snapshot() == {7: 4}
+
+
+class TestSharedConnectionStreams:
+    def test_serialized_allocation_is_gap_free(self):
+        sim = Simulator()
+        shared = SharedConnectionStreams(sim)
+        grabbed = []
+
+        def worker():
+            for _ in range(20):
+                base = yield from shared.alloc(3, 1)
+                grabbed.append(base)
+
+        for _ in range(5):
+            sim.spawn(worker())
+        sim.run()
+        assert sorted(grabbed) == list(range(100))
+
+    def test_lock_cost_charged(self):
+        sim = Simulator()
+        shared = SharedConnectionStreams(sim)
+
+        def worker():
+            yield from shared.alloc(1, 1)
+
+        sim.spawn(worker())
+        sim.run()
+        assert sim.now == pytest.approx(SYNC_LOCK_COST_US)
+
+    def test_contention_counted(self):
+        sim = Simulator()
+        shared = SharedConnectionStreams(sim)
+
+        def worker():
+            yield from shared.alloc(1, 1)
+
+        for _ in range(3):
+            sim.spawn(worker())
+        sim.run()
+        assert shared.lock_waits == 2
+
+
+@given(counts=st.lists(st.integers(min_value=1, max_value=20),
+                       min_size=1, max_size=30))
+def test_prop_port_streams_partition_sequence_space(counts):
+    """Allocations tile [0, total) with no gaps or overlaps."""
+    streams = PortSequenceStreams(0)
+    sim = Simulator()
+    spans = []
+
+    def body():
+        for count in counts:
+            base = yield from streams.alloc(5, count)
+            spans.append((base, base + count))
+
+    sim.spawn(body())
+    sim.run()
+    spans.sort()
+    cursor = 0
+    for start, end in spans:
+        assert start == cursor
+        cursor = end
+    assert cursor == sum(counts)

@@ -1,0 +1,89 @@
+"""Soak test: repeated hangs over one long-running stream.
+
+The FTD "rewinds and stands guard for the recovery of the next fault" —
+so a node must survive *any number* of sequential hangs.  This drives a
+long message stream through three successive NIC hangs (alternating
+sides) and checks exactly-once in-order delivery end to end, plus one
+run where hangs strike both sides.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    return predicate()
+
+
+def _soak(hang_plan, n_msgs=30, gap=100_000.0):
+    """A slow stream (one message per 100 ms) spanning several seconds,
+    so multiple hang/recovery cycles land mid-stream."""
+    """hang_plan: list of (delay_after_previous_event_us, node)."""
+    cluster = build_cluster(2, flavor="ftgm")
+    sim = cluster.sim
+    received = []
+    ports = {}
+
+    def opener(node, pid, key):
+        ports[key] = yield from cluster[node].driver.open_port(pid)
+
+    cluster[0].host.spawn(opener(0, 1, "s"), "o1")
+    cluster[1].host.spawn(opener(1, 2, "r"), "o2")
+    assert run_until(cluster, lambda: len(ports) == 2, 10_000.0)
+
+    def sender():
+        for i in range(n_msgs):
+            yield from ports["s"].send_and_wait(
+                Payload.from_bytes(b"soak-%04d" % i), 1, 2)
+            yield sim.timeout(gap)
+
+    def receiver():
+        for _ in range(8):
+            yield from ports["r"].provide_receive_buffer(64)
+        while len(received) < n_msgs:
+            event = yield from ports["r"].receive_message()
+            received.append(event.payload.data)
+            if len(received) <= n_msgs - 8:
+                yield from ports["r"].provide_receive_buffer(64)
+
+    def saboteur():
+        for delay, node in hang_plan:
+            yield sim.timeout(delay)
+            # Wait until the node's current MCP is actually running
+            # (prior recovery may still be in flight).
+            while not cluster[node].mcp.running:
+                yield sim.timeout(100_000.0)
+            cluster[node].mcp.die("soak hang on node %d" % node)
+
+    cluster[1].host.spawn(receiver(), "r")
+    cluster[0].host.spawn(sender(), "s")
+    sim.spawn(saboteur())
+    finished = run_until(cluster, lambda: len(received) == n_msgs,
+                         limit=120_000_000.0)
+    return cluster, received, finished
+
+
+def test_three_sequential_receiver_hangs():
+    cluster, received, finished = _soak(
+        [(600.0, 1), (1_500_000.0, 1), (1_500_000.0, 1)])
+    assert finished
+    assert received == [b"soak-%04d" % i for i in range(30)]
+    assert len(cluster[1].driver.ftd.recoveries) == 3
+    assert all(not r.false_alarm
+               for r in cluster[1].driver.ftd.recoveries)
+
+
+def test_alternating_side_hangs():
+    cluster, received, finished = _soak(
+        [(700.0, 1), (1_600_000.0, 0), (1_600_000.0, 1)])
+    assert finished
+    assert received == [b"soak-%04d" % i for i in range(30)]
+    total = (len(cluster[0].driver.ftd.recoveries)
+             + len(cluster[1].driver.ftd.recoveries))
+    assert total == 3

@@ -1,0 +1,139 @@
+"""Tests for the C-style GM API facade."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.gm.api import (
+    gm_blocking_receive,
+    gm_close,
+    gm_open,
+    gm_provide_receive_buffer,
+    gm_receive,
+    gm_send_with_callback,
+    gm_set_alarm,
+    gm_unknown,
+)
+from repro.gm.events import EventType
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit=10_000_000.0):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    return predicate()
+
+
+def test_figure3_style_control_flow():
+    """The paper's Figure 3 loop, written against the C-ish facade."""
+    cluster = build_cluster(2, flavor="gm")
+    state = {"received": None, "callbacks": []}
+
+    def receiver():
+        port = yield from gm_open(cluster[1], 2)
+        yield from gm_provide_receive_buffer(port, 4096)
+        while state["received"] is None:
+            event = yield from gm_blocking_receive(port)
+            if event.etype == EventType.RECEIVED:
+                state["received"] = event.payload.data
+            else:
+                yield from gm_unknown(port, event)
+
+    def sender():
+        port = yield from gm_open(cluster[0], 1)
+        yield from gm_send_with_callback(
+            port, b"figure 3 flow", None, 1, 2,
+            callback=lambda outcome: state["callbacks"].append(outcome))
+        # Poll until the send-complete callback fires.
+        while not state["callbacks"]:
+            yield from gm_receive(port, timeout=100.0)
+        yield from gm_close(port)
+
+    cluster[1].host.spawn(receiver(), "r")
+    cluster[0].host.spawn(sender(), "s")
+    assert run_until(cluster, lambda: state["received"] is not None
+                     and state["callbacks"])
+    assert state["received"] == b"figure 3 flow"
+    assert state["callbacks"][0].ok
+
+
+def test_send_accepts_payload_and_size():
+    cluster = build_cluster(2, flavor="gm")
+    got = {}
+
+    def receiver():
+        port = yield from gm_open(cluster[1], 2)
+        yield from gm_provide_receive_buffer(port, 64)
+        event = yield from gm_blocking_receive(port)
+        got["data"] = event.payload.data
+
+    def sender():
+        port = yield from gm_open(cluster[0], 1)
+        yield from gm_send_with_callback(port, b"0123456789", 4, 1, 2)
+
+    cluster[1].host.spawn(receiver(), "r")
+    cluster[0].host.spawn(sender(), "s")
+    assert run_until(cluster, lambda: "data" in got)
+    assert got["data"] == b"0123"
+
+
+def test_send_rejects_bad_type():
+    cluster = build_cluster(2, flavor="gm")
+    errors = []
+
+    def sender():
+        port = yield from gm_open(cluster[0], 1)
+        try:
+            yield from gm_send_with_callback(port, 12345, None, 1, 2)
+        except TypeError as exc:
+            errors.append(str(exc))
+
+    cluster[0].host.spawn(sender(), "s")
+    assert run_until(cluster, lambda: bool(errors))
+
+
+def test_nonblocking_receive_returns_none():
+    cluster = build_cluster(2, flavor="gm")
+    got = {}
+
+    def app():
+        port = yield from gm_open(cluster[0], 1)
+        event = yield from gm_receive(port)   # instantaneous poll
+        got["event"] = event
+
+    cluster[0].host.spawn(app(), "a")
+    assert run_until(cluster, lambda: "event" in got or True)
+    run_until(cluster, lambda: "event" in got)
+    assert got["event"] is None
+
+
+def test_alarm_via_facade():
+    cluster = build_cluster(2, flavor="gm")
+    got = {}
+
+    def app():
+        port = yield from gm_open(cluster[0], 1)
+        gm_set_alarm(port, 1_500.0, context="tick")
+        event = yield from gm_blocking_receive(port)
+        got["event"] = event
+
+    cluster[0].host.spawn(app(), "a")
+    assert run_until(cluster, lambda: "event" in got)
+    assert got["event"].etype == EventType.ALARM
+    assert got["event"].context == "tick"
+
+
+def test_gm_unknown_ignores_well_known_and_none():
+    cluster = build_cluster(2, flavor="ftgm")
+    done = {}
+
+    def app():
+        port = yield from gm_open(cluster[0], 1)
+        yield from gm_unknown(port, None)
+        from repro.gm.events import GmEvent
+        yield from gm_unknown(port, GmEvent(EventType.ALARM, 1))
+        done["ok"] = True
+
+    cluster[0].host.spawn(app(), "a")
+    assert run_until(cluster, lambda: "ok" in done)

@@ -1,0 +1,145 @@
+"""Unit tests for the GM driver and naive reload."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import GmError
+from repro.faults import naive_reload
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit=10_000_000.0):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    return predicate()
+
+
+class TestDriver:
+    def test_double_load_rejected(self):
+        cluster = build_cluster(2, flavor="gm")
+        with pytest.raises(GmError):
+            cluster[0].driver.load_mcp()
+
+    def test_reload_after_stop_allowed(self):
+        cluster = build_cluster(2, flavor="gm")
+        cluster[0].mcp.stop()
+        mcp = cluster[0].driver.load_mcp()
+        assert mcp.running
+        assert cluster[0].mcp is mcp
+
+    def test_port_ids_allocated_lowest_free(self):
+        cluster = build_cluster(2, flavor="gm")
+        got = []
+
+        def opener():
+            a = yield from cluster[0].driver.open_port()
+            b = yield from cluster[0].driver.open_port(4)
+            c = yield from cluster[0].driver.open_port()
+            got.extend([a.port_id, b.port_id, c.port_id])
+
+        cluster[0].host.spawn(opener(), "o")
+        run_until(cluster, lambda: len(got) == 3)
+        assert got == [0, 4, 1]
+
+    def test_duplicate_port_id_rejected(self):
+        cluster = build_cluster(2, flavor="gm")
+        errors = []
+
+        def opener():
+            yield from cluster[0].driver.open_port(2)
+            try:
+                yield from cluster[0].driver.open_port(2)
+            except GmError as exc:
+                errors.append(str(exc))
+
+        cluster[0].host.spawn(opener(), "o")
+        run_until(cluster, lambda: bool(errors))
+        assert "already open" in errors[0]
+
+    def test_out_of_range_port_rejected(self):
+        cluster = build_cluster(2, flavor="gm")
+        errors = []
+
+        def opener():
+            try:
+                yield from cluster[0].driver.open_port(8)
+            except GmError as exc:
+                errors.append(str(exc))
+
+        cluster[0].host.spawn(opener(), "o")
+        run_until(cluster, lambda: bool(errors))
+
+    def test_closed_port_frees_id(self):
+        cluster = build_cluster(2, flavor="gm")
+        got = []
+
+        def app():
+            port = yield from cluster[0].driver.open_port(0)
+            yield from port.close()
+            port2 = yield from cluster[0].driver.open_port(0)
+            got.append(port2.port_id)
+
+        cluster[0].host.spawn(app(), "a")
+        run_until(cluster, lambda: bool(got))
+        assert got == [0]
+
+
+class TestNaiveReload:
+    def test_reload_produces_fresh_working_stack(self):
+        cluster = build_cluster(2, flavor="gm")
+        sim = cluster.sim
+        ports = {}
+
+        def opener(node, pid, key):
+            ports[key] = yield from cluster[node].driver.open_port(pid)
+
+        cluster[0].host.spawn(opener(0, 1, "s"), "o1")
+        cluster[1].host.spawn(opener(1, 2, "r"), "o2")
+        run_until(cluster, lambda: len(ports) == 2)
+
+        cluster[0].mcp.die("hang")
+        old = cluster[0].mcp
+        done = []
+
+        def reloader():
+            yield from naive_reload(cluster[0].driver)
+            done.append(True)
+
+        cluster[0].host.spawn(reloader(), "n")
+        run_until(cluster, lambda: bool(done), limit=60_000_000.0)
+        assert cluster[0].mcp is not old
+        assert cluster[0].mcp.running
+        # Ports are re-bound to the fresh MCP and usable again.
+        got = {}
+
+        def traffic():
+            yield from ports["r"].provide_receive_buffer(64)
+            yield from ports["s"].send_and_wait(
+                Payload.from_bytes(b"post-reload"), 1, 2)
+            event = yield from ports["r"].receive_message()
+            got["data"] = event.payload.data
+
+        cluster[0].host.spawn(traffic(), "t")
+        run_until(cluster, lambda: "data" in got, limit=60_000_000.0)
+        assert got["data"] == b"post-reload"
+
+    def test_reload_loses_lanai_state(self):
+        """What naive reload does NOT restore: streams and tokens."""
+        cluster = build_cluster(2, flavor="gm")
+        sim = cluster.sim
+        cluster[0].mcp.tx_streams[(1,)] = object()  # fake LANai state
+        cluster[0].mcp.die("hang")
+        done = []
+
+        def reloader():
+            yield from naive_reload(cluster[0].driver)
+            done.append(True)
+
+        cluster[0].host.spawn(reloader(), "n")
+        run_until(cluster, lambda: bool(done), limit=60_000_000.0)
+        assert cluster[0].mcp.tx_streams == {}
+        # But routes were restored from the driver's host copy.
+        assert cluster[0].mcp.routing_table == \
+            cluster[0].driver.host_routes

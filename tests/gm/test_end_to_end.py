@@ -1,0 +1,411 @@
+"""Integration tests: GM messaging over the full simulated stack."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import GmNoTokens, GmSendError
+from repro.gm.constants import SEND_TOKENS_PER_PORT
+from repro.gm.events import EventType
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit=5_000_000.0):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    assert predicate(), "condition not reached within %.0f us" % limit
+
+
+@pytest.fixture
+def pair():
+    return build_cluster(2, flavor="gm")
+
+
+def open_ports(cluster, specs):
+    """specs: list of (node, port_id).  Returns ports in order."""
+    out = {}
+
+    def opener(node, port_id, key):
+        port = yield from cluster[node].driver.open_port(port_id)
+        out[key] = port
+
+    for i, (node, port_id) in enumerate(specs):
+        cluster[node].host.spawn(opener(node, port_id, i), "open%d" % i)
+    run_until(cluster, lambda: len(out) == len(specs))
+    return [out[i] for i in range(len(specs))]
+
+
+class TestBasicMessaging:
+    def test_small_message_delivery(self, pair):
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        got = {}
+
+        def receiver():
+            yield from rport.provide_receive_buffer(1024)
+            event = yield from rport.receive_message()
+            got["event"] = event
+
+        def sender():
+            yield from sport.send_and_wait(
+                Payload.from_bytes(b"the quick brown fox"), 1, 2)
+            got["sent"] = True
+
+        pair[1].host.spawn(receiver(), "r")
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: "event" in got and "sent" in got)
+        assert got["event"].payload.data == b"the quick brown fox"
+        assert got["event"].sender_node == 0
+        assert got["event"].sender_port == 1
+
+    def test_zero_byte_message(self, pair):
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        got = {}
+
+        def receiver():
+            yield from rport.provide_receive_buffer(64)
+            got["event"] = yield from rport.receive_message()
+
+        def sender():
+            yield from sport.send_and_wait(Payload.from_bytes(b""), 1, 2)
+
+        pair[1].host.spawn(receiver(), "r")
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: "event" in got)
+        assert got["event"].size == 0
+
+    def test_large_message_fragmented_and_reassembled(self, pair):
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        payload = Payload.pattern(50_000, seed=9)
+        got = {}
+
+        def receiver():
+            yield from rport.provide_receive_buffer(64_000)
+            got["event"] = yield from rport.receive_message()
+
+        def sender():
+            yield from sport.send_and_wait(payload, 1, 2)
+
+        pair[1].host.spawn(receiver(), "r")
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: "event" in got)
+        assert got["event"].payload == payload
+        # 50000 / 4096 -> 13 fragments on the wire.
+        assert pair[0].mcp.stats["packets_sent"] == 13
+
+    def test_many_messages_in_order(self, pair):
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        received = []
+
+        def receiver():
+            for _ in range(10):
+                yield from rport.provide_receive_buffer(256)
+            while len(received) < 10:
+                event = yield from rport.receive_message()
+                received.append(event.payload.data)
+
+        def sender():
+            for i in range(10):
+                yield from sport.send_and_wait(
+                    Payload.from_bytes(b"msg-%02d" % i), 1, 2)
+
+        pair[1].host.spawn(receiver(), "r")
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: len(received) == 10)
+        assert received == [b"msg-%02d" % i for i in range(10)]
+
+    def test_bidirectional_traffic(self, pair):
+        pa, pb = open_ports(pair, [(0, 1), (1, 1)])
+        got = {}
+
+        def side(port, me, peer, key):
+            yield from port.provide_receive_buffer(1024)
+            yield from port.send(Payload.from_bytes(b"from-%d" % me),
+                                 peer, 1)
+            event = yield from port.receive_message()
+            got[key] = event.payload.data
+
+        pair[0].host.spawn(side(pa, 0, 1, "a"), "a")
+        pair[1].host.spawn(side(pb, 1, 0, "b"), "b")
+        run_until(pair, lambda: len(got) == 2)
+        assert got == {"a": b"from-1", "b": b"from-0"}
+
+    def test_multiple_ports_same_node(self, pair):
+        s1, s2, r1, r2 = open_ports(pair, [(0, 1), (0, 3), (1, 1), (1, 3)])
+        got = {}
+
+        def receiver(port, key):
+            yield from port.provide_receive_buffer(256)
+            event = yield from port.receive_message()
+            got[key] = event.payload.data
+
+        def sender(port, dport, text):
+            yield from port.send_and_wait(Payload.from_bytes(text), 1, dport)
+
+        pair[1].host.spawn(receiver(r1, "p1"), "r1")
+        pair[1].host.spawn(receiver(r2, "p3"), "r2")
+        pair[0].host.spawn(sender(s1, 1, b"to-port-1"), "s1")
+        pair[0].host.spawn(sender(s2, 3, b"to-port-3"), "s2")
+        run_until(pair, lambda: len(got) == 2)
+        assert got == {"p1": b"to-port-1", "p3": b"to-port-3"}
+
+    def test_three_node_cluster(self):
+        cluster = build_cluster(3, flavor="gm")
+        p0, p1, p2 = open_ports(cluster, [(0, 1), (1, 1), (2, 1)])
+        got = []
+
+        def receiver():
+            yield from p2.provide_receive_buffer(256)
+            yield from p2.provide_receive_buffer(256)
+            while len(got) < 2:
+                event = yield from p2.receive_message()
+                got.append((event.sender_node, event.payload.data))
+
+        def sender(port, text):
+            yield from port.send_and_wait(Payload.from_bytes(text), 2, 1)
+
+        cluster[2].host.spawn(receiver(), "r")
+        cluster[0].host.spawn(sender(p0, b"from-0"), "s0")
+        cluster[1].host.spawn(sender(p1, b"from-1"), "s1")
+        run_until(cluster, lambda: len(got) == 2)
+        assert sorted(got) == [(0, b"from-0"), (1, b"from-1")]
+
+
+class TestTokens:
+    def test_send_token_exhaustion_raises(self, pair):
+        sport, _ = open_ports(pair, [(0, 1), (1, 2)])
+        failures = []
+
+        def sender():
+            try:
+                for _ in range(SEND_TOKENS_PER_PORT + 1):
+                    yield from sport.send(Payload.from_bytes(b"x"), 1, 2)
+            except GmNoTokens as exc:
+                failures.append(str(exc))
+
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: bool(failures))
+
+    def test_tokens_return_after_completion(self, pair):
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        done = {}
+
+        def receiver():
+            for _ in range(SEND_TOKENS_PER_PORT * 2):
+                yield from rport.provide_receive_buffer(64)
+                event = yield from rport.receive_message()
+                assert event is not None
+
+        def sender():
+            # Twice the token pool: must recycle tokens to finish.
+            for i in range(SEND_TOKENS_PER_PORT * 2):
+                yield from sport.send_and_wait(
+                    Payload.from_bytes(b"m%d" % i), 1, 2)
+            done["ok"] = sport.send_tokens
+
+        pair[1].host.spawn(receiver(), "r")
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: "ok" in done)
+        assert done["ok"] == SEND_TOKENS_PER_PORT
+
+    def test_no_receive_buffer_stalls_until_provided(self, pair):
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        got = {}
+
+        def sender():
+            yield from sport.send_and_wait(Payload.from_bytes(b"wait"), 1, 2)
+            got["sent_at"] = pair.sim.now
+
+        def receiver():
+            # Provide the buffer only after 5000 us.
+            yield pair.sim.timeout(5000.0)
+            yield from rport.provide_receive_buffer(64)
+            event = yield from rport.receive_message()
+            got["recv_at"] = pair.sim.now
+
+        pair[0].host.spawn(sender(), "s")
+        pair[1].host.spawn(receiver(), "r")
+        run_until(pair, lambda: "sent_at" in got and "recv_at" in got)
+        assert got["recv_at"] >= 5000.0
+        # The sender needed retransmissions while no buffer existed.
+        assert pair[1].mcp.stats["no_token_drops"] > 0
+
+
+class TestReliability:
+    def test_dropped_data_packet_retransmitted(self, pair):
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        link = pair.fabric.links[0]  # node0 <-> switch
+        dropped = {"count": 0}
+
+        def drop_first_data(pkt):
+            from repro.net.packet import PacketType
+            if pkt.ptype == PacketType.DATA and dropped["count"] == 0:
+                dropped["count"] += 1
+                return True
+            return False
+
+        link.fault_filter = drop_first_data
+        got = {}
+
+        def receiver():
+            yield from rport.provide_receive_buffer(256)
+            got["event"] = yield from rport.receive_message()
+
+        def sender():
+            yield from sport.send_and_wait(Payload.from_bytes(b"retry me"),
+                                           1, 2)
+
+        pair[1].host.spawn(receiver(), "r")
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: "event" in got)
+        assert got["event"].payload.data == b"retry me"
+        assert dropped["count"] == 1
+        assert pair[0].mcp.stats["retransmit_rounds"] >= 1
+
+    def test_corrupted_packet_dropped_by_crc_then_recovered(self, pair):
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        link = pair.fabric.links[0]
+        state = {"corrupted": 0}
+
+        def corrupt_first_data(pkt):
+            from repro.net.packet import PacketType
+            if pkt.ptype == PacketType.DATA and state["corrupted"] == 0:
+                state["corrupted"] += 1
+                return "corrupt"
+            return False
+
+        link.fault_filter = corrupt_first_data
+        got = {}
+
+        def receiver():
+            yield from rport.provide_receive_buffer(256)
+            got["event"] = yield from rport.receive_message()
+
+        def sender():
+            yield from sport.send_and_wait(
+                Payload.from_bytes(b"crc protected"), 1, 2)
+
+        pair[1].host.spawn(receiver(), "r")
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: "event" in got)
+        assert got["event"].payload.data == b"crc protected"
+        assert pair[1].mcp.stats["crc_drops"] == 1
+
+    def test_lossy_link_exactly_once_delivery(self, pair):
+        """20% loss both ways: every message delivered exactly once, in
+        order — GM's headline guarantee."""
+        import random
+        rng = random.Random(42)
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        for link in pair.fabric.links:
+            link.fault_filter = lambda pkt: rng.random() < 0.2
+        received = []
+        n = 12
+
+        def receiver():
+            for _ in range(n):
+                yield from rport.provide_receive_buffer(256)
+            while len(received) < n:
+                event = yield from rport.receive_message()
+                received.append(event.payload.data)
+
+        def sender():
+            for i in range(n):
+                yield from sport.send_and_wait(
+                    Payload.from_bytes(b"seq-%03d" % i), 1, 2)
+
+        pair[1].host.spawn(receiver(), "r")
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: len(received) == n, limit=60_000_000.0)
+        assert received == [b"seq-%03d" % i for i in range(n)]
+
+    def test_unreachable_destination_fails_send(self, pair):
+        sport, _ = open_ports(pair, [(0, 1), (1, 2)])
+        failures = []
+
+        def sender():
+            try:
+                yield from sport.send_and_wait(
+                    Payload.from_bytes(b"to nowhere"), 7, 2)
+            except GmSendError as exc:
+                failures.append(str(exc))
+
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: bool(failures))
+        assert "no-route" in failures[0]
+
+    def test_dead_peer_send_times_out(self, pair):
+        sport, rport = open_ports(pair, [(0, 1), (1, 2)])
+        pair[1].mcp.die("test: peer killed")
+        failures = []
+
+        def sender():
+            try:
+                yield from sport.send_and_wait(
+                    Payload.from_bytes(b"into the void"), 1, 2)
+            except GmSendError as exc:
+                failures.append(str(exc))
+
+        pair[0].host.spawn(sender(), "s")
+        run_until(pair, lambda: bool(failures), limit=60_000_000.0)
+        assert "send-timeout" in failures[0]
+
+
+class TestAlarmsAndPorts:
+    def test_alarm_event_delivered(self, pair):
+        port, = open_ports(pair, [(0, 1)])
+        got = {}
+
+        def app():
+            port.set_alarm(2000.0, context="wake-up")
+            event = yield from port.receive()
+            got["event"] = event
+            got["at"] = pair.sim.now
+
+        pair[0].host.spawn(app(), "a")
+        run_until(pair, lambda: "event" in got)
+        assert got["event"].etype == EventType.ALARM
+        assert got["event"].context == "wake-up"
+        assert got["at"] >= 2000.0
+
+    def test_receive_timeout_returns_none(self, pair):
+        port, = open_ports(pair, [(0, 1)])
+        got = {}
+
+        def app():
+            event = yield from port.receive(timeout=500.0)
+            got["event"] = event
+
+        pair[0].host.spawn(app(), "a")
+        run_until(pair, lambda: "event" in got)
+        assert got["event"] is None
+
+    def test_close_port_rejects_further_use(self, pair):
+        port, = open_ports(pair, [(0, 1)])
+        got = {}
+
+        def app():
+            yield from port.close()
+            try:
+                yield from port.send(Payload.from_bytes(b"x"), 1, 2)
+            except Exception as exc:
+                got["error"] = type(exc).__name__
+
+        pair[0].host.spawn(app(), "a")
+        run_until(pair, lambda: "error" in got)
+        assert got["error"] == "GmPortClosed"
+
+    def test_port_ids_exhaust_at_eight(self, pair):
+        from repro.errors import GmError
+        ports = open_ports(pair, [(0, i) for i in range(8)])
+        assert len(ports) == 8
+        errors = []
+
+        def opener():
+            try:
+                yield from pair[0].driver.open_port()
+            except GmError as exc:
+                errors.append(str(exc))
+
+        pair[0].host.spawn(opener(), "o")
+        run_until(pair, lambda: bool(errors))

@@ -1,0 +1,109 @@
+"""Tests for GM's two message priority levels.
+
+GM offers "two non-preemptive priority levels"; receive buffers are
+matched by (size, priority) — a high-priority message only lands in a
+high-priority buffer.
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit=10_000_000.0):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    return predicate()
+
+
+def open_pair(cluster):
+    out = {}
+
+    def opener(node, pid, key):
+        out[key] = yield from cluster[node].driver.open_port(pid)
+
+    cluster[0].host.spawn(opener(0, 1, "s"), "o1")
+    cluster[1].host.spawn(opener(1, 2, "r"), "o2")
+    assert run_until(cluster, lambda: len(out) == 2)
+    return out["s"], out["r"]
+
+
+def test_priority_matched_to_buffer_priority():
+    cluster = build_cluster(2, flavor="gm")
+    sport, rport = open_pair(cluster)
+    got = []
+
+    def receiver():
+        yield from rport.provide_receive_buffer(64, priority=1)
+        yield from rport.provide_receive_buffer(64, priority=0)
+        while len(got) < 2:
+            event = yield from rport.receive_message()
+            got.append(event.payload.data)
+
+    def sender():
+        yield from sport.send_and_wait(Payload.from_bytes(b"urgent"),
+                                       1, 2, priority=1)
+        yield from sport.send_and_wait(Payload.from_bytes(b"bulk"),
+                                       1, 2, priority=0)
+
+    cluster[1].host.spawn(receiver(), "r")
+    cluster[0].host.spawn(sender(), "s")
+    assert run_until(cluster, lambda: len(got) == 2)
+    assert got == [b"urgent", b"bulk"]
+
+
+def test_wrong_priority_buffer_does_not_match():
+    """A high-priority message stalls until a matching buffer appears."""
+    cluster = build_cluster(2, flavor="gm")
+    sport, rport = open_pair(cluster)
+    sim = cluster.sim
+    got = {}
+
+    def receiver():
+        yield from rport.provide_receive_buffer(64, priority=0)  # wrong
+        yield sim.timeout(5_000.0)
+        yield from rport.provide_receive_buffer(64, priority=1)  # right
+        event = yield from rport.receive_message()
+        got["data"] = event.payload.data
+        got["at"] = sim.now
+
+    def sender():
+        yield from sport.send_and_wait(Payload.from_bytes(b"important"),
+                                       1, 2, priority=1)
+        got["sent_at"] = sim.now
+
+    cluster[1].host.spawn(receiver(), "r")
+    cluster[0].host.spawn(sender(), "s")
+    assert run_until(cluster, lambda: "data" in got)
+    assert got["data"] == b"important"
+    assert got["at"] >= 5_000.0               # waited for the right buffer
+    assert cluster[1].mcp.stats["no_token_drops"] > 0
+
+
+def test_priority_preserved_under_ftgm_recovery():
+    cluster = build_cluster(2, flavor="ftgm")
+    sport, rport = open_pair(cluster)
+    sim = cluster.sim
+    got = []
+
+    def receiver():
+        yield from rport.provide_receive_buffer(64, priority=1)
+        event = yield from rport.receive_message()
+        got.append((event.payload.data, sim.now))
+
+    def sender():
+        yield from sport.send_and_wait(Payload.from_bytes(b"survivor"),
+                                       1, 2, priority=1)
+
+    def crasher():
+        yield sim.timeout(405.0)   # just as the send leaves
+        cluster[1].mcp.die("priority test hang")
+
+    cluster[1].host.spawn(receiver(), "r")
+    cluster[0].host.spawn(sender(), "s")
+    sim.spawn(crasher())
+    assert run_until(cluster, lambda: bool(got), limit=60_000_000.0)
+    assert got[0][0] == b"survivor"

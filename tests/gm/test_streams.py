@@ -1,0 +1,223 @@
+"""Unit and property tests for Go-Back-N stream state."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gm.constants import GBN_WINDOW, SEND_STALL_TIMEOUT_US
+from repro.gm.streams import RxStream, TxStream
+from repro.gm.tokens import SendToken
+
+
+def make_token(size=100, seq_base=None, dest=1, port=0):
+    return SendToken(src_port=port, dest_node=dest, dest_port=2,
+                     region_id=1, host_addr=0x1000_0000, size=size,
+                     seq_base=seq_base)
+
+
+class TestTxStream:
+    def test_admit_assigns_contiguous_seqs(self):
+        stream = TxStream((1,))
+        r1 = stream.admit(make_token(size=100))       # 1 fragment
+        r2 = stream.admit(make_token(size=10000))     # 3 fragments
+        assert (r1.seq_base, r1.nfrags) == (0, 1)
+        assert (r2.seq_base, r2.nfrags) == (1, 3)
+        assert stream.next_seq == 4
+
+    def test_host_assigned_seq_base_respected(self):
+        stream = TxStream((1,))
+        record = stream.admit(make_token(size=100, seq_base=7))
+        assert record.seq_base == 7
+        assert stream.next_seq == 8
+
+    def test_next_to_send_walks_fragments_in_order(self):
+        stream = TxStream((1,))
+        stream.admit(make_token(size=9000))  # 3 frags: seq 0,1,2
+        jobs = [stream.next_to_send() for _ in range(3)]
+        assert [j.seq for j in jobs] == [0, 1, 2]
+        assert [j.offset for j in jobs] == [0, 4096, 8192]
+        assert jobs[2].length == 9000 - 8192
+        assert stream.next_to_send() is None
+
+    def test_zero_byte_message_is_one_fragment(self):
+        stream = TxStream((1,))
+        record = stream.admit(make_token(size=0))
+        assert record.nfrags == 1
+        job = stream.next_to_send()
+        assert job.length == 0
+
+    def test_window_blocks_after_limit(self):
+        stream = TxStream((1,))
+        stream.admit(make_token(size=GBN_WINDOW * 4096 * 2))
+        sent = 0
+        while stream.next_to_send() is not None:
+            sent += 1
+        assert sent == GBN_WINDOW
+
+    def test_ack_opens_window_and_completes_messages(self):
+        stream = TxStream((1,))
+        stream.admit(make_token(size=8000))  # seq 0,1
+        stream.next_to_send(), stream.next_to_send()
+        assert stream.on_ack(0) == []       # partial
+        completed = stream.on_ack(1)
+        assert len(completed) == 1
+        assert not stream.msgs
+
+    def test_stale_ack_ignored(self):
+        stream = TxStream((1,))
+        stream.admit(make_token(size=8000))
+        stream.next_to_send()
+        stream.on_ack(0)
+        assert stream.on_ack(0) == []
+        assert stream.acked_upto == 0
+
+    def test_timeout_rewinds_cursor(self):
+        stream = TxStream((1,))
+        stream.admit(make_token(size=12000))  # seq 0,1,2
+        for _ in range(3):
+            stream.next_to_send()
+        stream.on_ack(0)
+        stream.on_timeout()
+        # Go-Back-N: resend from first unacked (seq 1).
+        assert stream.next_to_send().seq == 1
+
+    def test_stall_clock_governs_failure(self):
+        stream = TxStream((1,))
+        stream.admit(make_token(size=100))
+        stream.next_to_send()
+        stream.note_progress(now=1_000.0)
+        assert not stream.stalled(now=1_000.0 + SEND_STALL_TIMEOUT_US)
+        assert stream.stalled(now=1_001.0 + SEND_STALL_TIMEOUT_US)
+        # ACK progress resets the clock (via the MCP calling
+        # note_progress); failing the stream marks every message.
+        failed = stream.fail_all()
+        assert len(failed) == 1 and failed[0].failed
+
+    def test_rto_backs_off_and_resets_on_progress(self):
+        stream = TxStream((1,))
+        stream.admit(make_token(size=8000))
+        stream.next_to_send()
+        base_rto = stream.rto
+        stream.on_timeout()
+        assert stream.rto > base_rto
+        stream.next_to_send()
+        stream.on_ack(0)
+        assert stream.rto == base_rto
+
+    def test_nack_rewind_classic(self):
+        stream = TxStream((1,))
+        stream.admit(make_token(size=12000))  # seq 0,1,2
+        for _ in range(3):
+            stream.next_to_send()
+        stream.on_nack(1)   # receiver expected seq 1
+        assert stream.next_to_send().seq == 1
+
+    def test_nack_adopt_future_numbering_relabels(self):
+        """The Figure 4 flaw: a restarted sender adopts the receiver's
+        expected seq and renumbers queued (possibly already-delivered)
+        messages."""
+        stream = TxStream((1,))  # fresh post-reload stream
+        record = stream.admit(make_token(size=100))
+        stream.next_to_send()    # transmit with seq 0
+        stream.on_nack(5)        # receiver says: I expect 5
+        assert record.seq_base == 5
+        job = stream.next_to_send()
+        assert job.seq == 5
+
+    def test_gap_skip_after_failures(self):
+        stream = TxStream((1,))
+        stream.admit(make_token(size=100))     # seq 0
+        stream.next_to_send()
+        stream.on_timeout()
+        stream.fail_all()  # the MCP fails stalled streams
+        stream.admit(make_token(size=100))     # seq 1 (gap at 0)
+        job = stream.next_to_send()
+        assert job is not None and job.seq == 1
+
+
+class TestRxStream:
+    def test_in_order_acceptance(self):
+        stream = RxStream((0,))
+        assert stream.classify(0) == "expected"
+        stream.accept(0)
+        assert stream.expected_seq == 1
+        assert stream.last_acked == 0
+
+    def test_stale_and_future(self):
+        stream = RxStream((0,))
+        stream.accept(0)
+        assert stream.classify(0) == "stale"
+        assert stream.classify(2) == "future"
+
+    def test_restore_resumes_after_host_seq(self):
+        stream = RxStream((0,))
+        for seq in range(5):
+            stream.accept(seq)
+        stream.open_msg_id = 99
+        stream.restore(2)   # host only saw through seq 2
+        assert stream.expected_seq == 3
+        assert stream.open_msg_id is None
+
+
+@settings(max_examples=60)
+@given(sizes=st.lists(st.integers(min_value=0, max_value=50_000),
+                      min_size=1, max_size=8))
+def test_prop_fragments_tile_messages_exactly(sizes):
+    """Every admitted message fragments into jobs whose extents tile it."""
+    stream = TxStream((1,), window=10_000)
+    records = [stream.admit(make_token(size=size)) for size in sizes]
+    jobs = []
+    while True:
+        job = stream.next_to_send()
+        if job is None:
+            break
+        jobs.append(job)
+    for record in records:
+        mine = [j for j in jobs if j.msg_id == record.token.msg_id]
+        assert len(mine) == record.nfrags
+        assert sum(j.length for j in mine) == record.token.size
+        offsets = sorted(j.offset for j in mine)
+        assert offsets[0] == 0
+        seqs = sorted(j.seq for j in mine)
+        assert seqs == list(range(record.seq_base,
+                                  record.seq_base + record.nfrags))
+
+
+@settings(max_examples=60)
+@given(acks=st.lists(st.integers(min_value=-1, max_value=30), max_size=20))
+def test_prop_cumulative_ack_monotone(acks):
+    """acked_upto never regresses, whatever ACK sequence arrives."""
+    stream = TxStream((1,), window=100)
+    stream.admit(make_token(size=31 * 4096))
+    while stream.next_to_send() is not None:
+        pass
+    high_water = stream.acked_upto
+    for ack in acks:
+        stream.on_ack(ack)
+        assert stream.acked_upto >= high_water
+        high_water = stream.acked_upto
+
+
+@settings(max_examples=40)
+@given(ops=st.lists(st.sampled_from(["send", "ack", "nack", "timeout"]),
+                    min_size=1, max_size=60))
+def test_prop_stream_never_crashes_under_random_ops(ops):
+    """State machine robustness under arbitrary event interleavings."""
+    stream = TxStream((1,))
+    stream.admit(make_token(size=20_000))
+    sent_high = -1
+    for op in ops:
+        if op == "send":
+            job = stream.next_to_send()
+            if job is not None:
+                sent_high = max(sent_high, job.seq)
+        elif op == "ack" and sent_high >= 0:
+            stream.on_ack(sent_high)
+        elif op == "nack":
+            stream.on_nack(max(stream.acked_upto + 1, 0))
+        elif op == "timeout":
+            stream.on_timeout()
+            if stream.stalled(now=10**9):
+                stream.fail_all()
+    # Invariant: the cursor never runs past what has been assigned.
+    assert stream.send_cursor <= stream.next_seq

@@ -1,0 +1,140 @@
+"""Unit tests for status registers and interval timers."""
+
+import pytest
+
+from repro.hw import IntervalTimer, IsrBits, StatusRegister, TIMER_TICK_US
+from repro.sim import Simulator
+
+
+class TestStatusRegister:
+    def test_set_and_test_bits(self):
+        reg = StatusRegister()
+        reg.set_bits(IsrBits.SEND_POSTED)
+        assert reg.test(IsrBits.SEND_POSTED)
+        assert not reg.test(IsrBits.RECV_POSTED)
+
+    def test_clear_bits(self):
+        reg = StatusRegister()
+        reg.set_bits(IsrBits.SEND_POSTED | IsrBits.RECV_POSTED)
+        reg.clear_bits(IsrBits.SEND_POSTED)
+        assert not reg.test(IsrBits.SEND_POSTED)
+        assert reg.test(IsrBits.RECV_POSTED)
+
+    def test_listener_fires_on_set(self):
+        reg = StatusRegister()
+        seen = []
+        reg.add_listener(seen.append)
+        reg.set_bits(IsrBits.IT1_EXPIRED)
+        assert seen == [IsrBits.IT1_EXPIRED]
+
+    def test_pending_interrupts_respects_mask(self):
+        reg = StatusRegister()
+        reg.set_bits(IsrBits.IT0_EXPIRED | IsrBits.IT1_EXPIRED)
+        reg.enable_interrupt(IsrBits.IT1_EXPIRED)
+        assert reg.pending_interrupts() == IsrBits.IT1_EXPIRED
+
+    def test_disable_interrupt(self):
+        reg = StatusRegister()
+        reg.enable_interrupt(IsrBits.IT1_EXPIRED)
+        reg.disable_interrupt(IsrBits.IT1_EXPIRED)
+        reg.set_bits(IsrBits.IT1_EXPIRED)
+        assert reg.pending_interrupts() == 0
+
+    def test_reset_clears_isr_and_imr_but_keeps_listeners(self):
+        reg = StatusRegister()
+        seen = []
+        reg.add_listener(seen.append)
+        reg.set_bits(IsrBits.FATAL)
+        reg.enable_interrupt(IsrBits.FATAL)
+        reg.reset()
+        assert reg.isr == 0 and reg.imr == 0
+        reg.set_bits(IsrBits.SEND_POSTED)
+        assert len(seen) == 2  # listener survived the reset
+
+    def test_describe_bits(self):
+        text = IsrBits.describe(IsrBits.IT0_EXPIRED | IsrBits.FATAL)
+        assert "IT0_EXPIRED" in text and "FATAL" in text
+        assert IsrBits.describe(0) == "0"
+
+
+class TestIntervalTimer:
+    def test_expires_after_interval(self):
+        sim = Simulator()
+        timer = IntervalTimer(sim, 0)
+        fired = []
+        timer.on_expire = lambda t: fired.append(sim.now)
+        timer.set_us(100.0)
+        sim.run()
+        assert fired == [100.0]
+
+    def test_count_ticks_are_half_microseconds(self):
+        sim = Simulator()
+        timer = IntervalTimer(sim, 1)
+        fired = []
+        timer.on_expire = lambda t: fired.append(sim.now)
+        timer.set_count(1600)  # 1600 * 0.5us = 800us
+        sim.run()
+        assert fired == [pytest.approx(1600 * TIMER_TICK_US)]
+
+    def test_rearm_cancels_previous_expiry(self):
+        sim = Simulator()
+        timer = IntervalTimer(sim, 1)
+        fired = []
+        timer.on_expire = lambda t: fired.append(sim.now)
+        timer.set_us(100.0)
+
+        def rearm():
+            yield sim.timeout(50.0)
+            timer.set_us(100.0)  # push deadline to t=150
+
+        sim.spawn(rearm())
+        sim.run()
+        assert fired == [150.0]
+
+    def test_periodic_rearm_never_fires(self):
+        """A healthy L_timer() resetting IT1 keeps the watchdog silent."""
+        sim = Simulator()
+        timer = IntervalTimer(sim, 1)
+        fired = []
+        timer.on_expire = lambda t: fired.append(sim.now)
+        timer.set_us(1000.0)
+
+        def healthy_firmware():
+            for _ in range(20):
+                yield sim.timeout(800.0)
+                timer.set_us(1000.0)
+
+        sim.spawn(healthy_firmware())
+        sim.run(until=16000.0)
+        assert fired == []
+        # Once the firmware "hangs" (stops re-arming), the timer fires.
+        sim.run()
+        assert len(fired) == 1
+
+    def test_stop_disarms(self):
+        sim = Simulator()
+        timer = IntervalTimer(sim, 2)
+        fired = []
+        timer.on_expire = lambda t: fired.append(sim.now)
+        timer.set_us(10.0)
+        timer.stop()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_deadline_visibility(self):
+        sim = Simulator()
+        timer = IntervalTimer(sim, 0)
+        assert timer.deadline is None
+        timer.set_us(42.0)
+        assert timer.deadline == 42.0
+
+    def test_invalid_intervals_rejected(self):
+        sim = Simulator()
+        timer = IntervalTimer(sim, 0)
+        with pytest.raises(ValueError):
+            timer.set_us(0)
+        with pytest.raises(ValueError):
+            timer.set_count(0)
+        with pytest.raises(ValueError):
+            timer.set_count(IntervalTimer.MAX_COUNT + 1)

@@ -1,0 +1,94 @@
+"""Unit tests for the LANai SRAM model."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.hw import Sram
+
+
+def test_word_roundtrip_big_endian():
+    sram = Sram(1024)
+    sram.write_word(0, 0x01020304)
+    assert sram.read_bytes(0, 4) == b"\x01\x02\x03\x04"
+    assert sram.read_word(0) == 0x01020304
+
+
+def test_word_truncates_to_32_bits():
+    sram = Sram(1024)
+    sram.write_word(4, 0x1_FFFF_FFFF)
+    assert sram.read_word(4) == 0xFFFFFFFF
+
+
+def test_bytes_roundtrip():
+    sram = Sram(1024)
+    sram.write_bytes(100, b"hello")
+    assert sram.read_bytes(100, 5) == b"hello"
+
+
+def test_words_roundtrip():
+    sram = Sram(1024)
+    sram.write_words(0, [1, 2, 3])
+    assert sram.read_words(0, 3) == [1, 2, 3]
+
+
+def test_out_of_bounds_read_raises_bus_error():
+    sram = Sram(64)
+    with pytest.raises(BusError):
+        sram.read_word(64)
+    with pytest.raises(BusError):
+        sram.read_bytes(60, 8)
+
+
+def test_negative_address_raises_bus_error():
+    sram = Sram(64)
+    with pytest.raises(BusError):
+        sram.read_word(-4)
+
+
+def test_out_of_bounds_write_raises_bus_error():
+    sram = Sram(64)
+    with pytest.raises(BusError):
+        sram.write_bytes(62, b"abcd")
+
+
+def test_clear_zeroes_everything():
+    sram = Sram(128)
+    sram.write_bytes(0, b"\xff" * 128)
+    sram.clear()
+    assert sram.read_bytes(0, 128) == b"\x00" * 128
+
+
+def test_flip_bit_is_involutive():
+    sram = Sram(64)
+    sram.write_word(0, 0xAAAAAAAA)
+    sram.flip_bit(5)
+    assert sram.read_word(0) != 0xAAAAAAAA
+    sram.flip_bit(5)
+    assert sram.read_word(0) == 0xAAAAAAAA
+
+
+def test_flip_bit_msb_first_convention():
+    sram = Sram(64)
+    sram.flip_bit(0)  # bit 0 == MSB of byte 0 == MSB of word 0
+    assert sram.read_word(0) == 0x80000000
+
+
+def test_flip_bit_out_of_range():
+    sram = Sram(64)
+    with pytest.raises(BusError):
+        sram.flip_bit(64 * 8)
+
+
+def test_snapshot_defaults_to_whole_memory():
+    sram = Sram(64)
+    sram.write_bytes(10, b"xyz")
+    snap = sram.snapshot()
+    assert len(snap) == 64
+    assert snap[10:13] == b"xyz"
+
+
+def test_invalid_size_rejected():
+    with pytest.raises(ValueError):
+        Sram(0)
+    with pytest.raises(ValueError):
+        Sram(1023)  # not a word multiple

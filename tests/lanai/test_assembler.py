@@ -1,0 +1,161 @@
+"""Unit tests for the assembler."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.lanai import assemble, decode, disassemble
+
+
+def words(program):
+    return [int.from_bytes(program.code[i:i + 4], "big")
+            for i in range(0, len(program.code), 4)]
+
+
+def test_simple_program():
+    prog = assemble("""
+        addi r1, r0, 5
+        add  r2, r1, r1
+    """)
+    assert prog.size == 8
+    assert disassemble(words(prog)[0]) == "addi r1, r0, 5"
+    assert disassemble(words(prog)[1]) == "add r2, r1, r1"
+
+
+def test_labels_and_branches():
+    prog = assemble("""
+    start:
+        addi r1, r0, 3
+    loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        jr   r15
+    """)
+    branch = decode(words(prog)[2])
+    # branch at byte 8 targets byte 4: offset = (4 - 12) / 4 = -2
+    assert branch.imm == -2
+
+
+def test_forward_reference():
+    prog = assemble("""
+        beq r0, r0, done
+        nop
+    done:
+        jr r15
+    """)
+    branch = decode(words(prog)[0])
+    assert branch.imm == 1  # skip one instruction
+
+
+def test_base_address_affects_jumps():
+    prog = assemble("""
+    entry:
+        j entry
+    """, base=0x1000)
+    jump = decode(words(prog)[0])
+    assert jump.imm == 0x1000 // 4
+    assert prog.symbol("entry") == 0x1000
+
+
+def test_equ_and_expressions():
+    prog = assemble("""
+        .equ BASE 0x100
+        .equ OFF  8
+        lw r1, BASE+OFF(r0)
+        lw r2, BASE-4(r0)
+    """)
+    assert decode(words(prog)[0]).imm == 0x108
+    assert decode(words(prog)[1]).imm == 0xFC
+
+
+def test_negative_literal():
+    prog = assemble("addi r1, r0, -42")
+    assert decode(words(prog)[0]).imm == -42
+
+
+def test_mem_operand_styles_equivalent():
+    a = assemble("lw r1, 16(r2)")
+    b = assemble("lw r1, r2, 16")
+    assert a.code == b.code
+
+
+def test_word_directive():
+    prog = assemble("""
+        .word 0xDEADBEEF, 42
+    """)
+    assert words(prog) == [0xDEADBEEF, 42]
+
+
+def test_org_directive():
+    prog = assemble("""
+        nop
+        .org 16
+        jr r15
+    """)
+    assert prog.size == 20
+    assert disassemble(words(prog)[4]) == "jr r15"
+
+
+def test_comments_ignored():
+    prog = assemble("""
+        # full line comment
+        nop        # trailing comment
+        nop        ; alt comment
+    """)
+    assert prog.size == 8
+
+
+def test_extent_helper():
+    prog = assemble("""
+    routine:
+        nop
+        nop
+    routine_end:
+        jr r15
+    """, base=0x100)
+    assert prog.extent("routine") == (0x100, 0x108)
+
+
+def test_line_table_maps_addresses_to_source():
+    prog = assemble("""
+        addi r1, r0, 1
+        addi r2, r0, 2
+    """, base=0x10)
+    assert "addi r1" in prog.lines[0]
+    assert "addi r2" in prog.lines[4]
+
+
+def test_lui_materializes_high_bits():
+    prog = assemble("lui r14, 960")
+    instr = decode(words(prog)[0])
+    assert instr.op.mnemonic == "lui"
+    assert (instr.imm << 14) == 0xF00000
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError, match="unknown mnemonic"):
+            assemble("frobnicate r1, r2")
+
+    def test_undefined_symbol(self):
+        with pytest.raises(AssemblerError, match="undefined symbol"):
+            assemble("j nowhere")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblerError, match="duplicate"):
+            assemble("x:\nx:\n  nop")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            assemble("add r1, r2, r99")
+
+    def test_wrong_arity(self):
+        with pytest.raises(AssemblerError, match="operand"):
+            assemble("add r1, r2")
+
+    def test_misaligned_org(self):
+        with pytest.raises(AssemblerError, match="misaligned"):
+            assemble(".org 3\nnop")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble("nop\nnop\nbogus r1\n")

@@ -1,0 +1,200 @@
+"""Tests for the interpreted send path: firmware + MMIO glue end to end.
+
+These verify that the assembly ``send_chunk``, executing on the
+interpreter against the device glue, produces byte-identical protocol
+behaviour to the native path — and that *specific* corruptions produce
+their expected failure modes (the mechanism behind Table 1).
+"""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.lanai import build_firmware, decode
+from repro.lanai.firmware import TOKEN_FIELDS
+from repro.payload import Payload
+
+
+def run_until(cluster, predicate, limit=30_000_000.0):
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while not predicate() and sim.peek() <= deadline:
+        sim.step()
+    return predicate()
+
+
+def interp_pair():
+    return build_cluster(2, flavor="gm", interpreted_nodes=[0])
+
+
+def send_one(cluster, payload, wait=True):
+    state = {}
+
+    def sender():
+        port = yield from cluster[0].driver.open_port(1)
+        state["port"] = port
+        if wait:
+            yield from port.send_and_wait(payload, 1, 2)
+            state["sent"] = True
+        else:
+            yield from port.send(payload, 1, 2)
+            state["sent"] = True
+
+    def receiver():
+        port = yield from cluster[1].driver.open_port(2)
+        yield from port.provide_receive_buffer(max(payload.size, 1))
+        event = yield from port.receive_message()
+        state["event"] = event
+
+    cluster[1].host.spawn(receiver(), "r")
+    cluster[0].host.spawn(sender(), "s")
+    return state
+
+
+class TestFirmware:
+    def test_firmware_assembles_with_symbols(self):
+        firmware = build_firmware()
+        start, end = firmware.send_chunk_extent
+        assert end > start
+        assert (end - start) % 4 == 0
+        assert firmware.entry_send_chunk == start
+        # Every word in the section is a valid instruction or data-free.
+        code = firmware.program.code
+        base = firmware.program.base
+        for off in range(start - base, end - base, 4):
+            word = int.from_bytes(code[off:off + 4], "big")
+            decode(word)  # must not raise
+
+    def test_firmware_loads_into_sram(self):
+        from repro.hw import Sram
+        from repro.lanai.firmware import MAGIC_WORD_ADDR, VERSION_ADDR
+        firmware = build_firmware()
+        sram = Sram(256 * 1024)
+        firmware.load_into(sram)
+        assert sram.read_word(MAGIC_WORD_ADDR) == 0
+        assert sram.read_word(VERSION_ADDR) == firmware.version
+        start, _ = firmware.send_chunk_extent
+        assert sram.read_word(start) != 0
+
+    def test_source_line_lookup(self):
+        firmware = build_firmware()
+        start, _ = firmware.send_chunk_extent
+        assert "lui" in firmware.source_line(start)
+
+
+class TestInterpretedSendPath:
+    def test_small_message_delivered_identically(self):
+        cluster = interp_pair()
+        state = send_one(cluster, Payload.from_bytes(b"via the interpreter"))
+        assert run_until(cluster, lambda: "event" in state and
+                         "sent" in state)
+        assert state["event"].payload.data == b"via the interpreter"
+
+    def test_fragmented_message_delivered(self):
+        cluster = interp_pair()
+        payload = Payload.pattern(10_000, seed=5)
+        state = send_one(cluster, payload)
+        assert run_until(cluster, lambda: "event" in state)
+        assert state["event"].payload == payload
+        assert cluster[0].mcp.stats["packets_sent"] == 3
+
+    def test_cpu_retires_instructions(self):
+        cluster = interp_pair()
+        state = send_one(cluster, Payload.from_bytes(b"count me"))
+        assert run_until(cluster, lambda: "event" in state)
+        assert cluster[0].mcp.cpu.instructions_retired > 30
+
+    def test_interpreted_matches_native_delivery(self):
+        for interpreted in ([], [0]):
+            cluster = build_cluster(2, flavor="gm",
+                                    interpreted_nodes=interpreted)
+            payload = Payload.pattern(5_000, seed=1)
+            state = send_one(cluster, payload)
+            assert run_until(cluster, lambda: "event" in state)
+            assert state["event"].payload == payload
+            assert state["event"].size == 5_000
+
+
+class TestTargetedCorruption:
+    """Deterministic single-instruction corruptions and their organic
+    failure modes."""
+
+    def _corrupt_and_send(self, mutate, payload=None):
+        cluster = interp_pair()
+        mcp = cluster[0].mcp
+        mutate(mcp)
+        state = send_one(cluster, payload or Payload.from_bytes(b"doomed"),
+                         wait=False)
+        return cluster, state
+
+    def test_invalid_opcode_hangs_cpu(self):
+        def mutate(mcp):
+            mcp.nic.sram.write_word(mcp.firmware.entry_send_chunk,
+                                    0x3F << 26)
+
+        cluster, state = self._corrupt_and_send(mutate)
+        run_until(cluster, lambda: cluster[0].mcp.hung, limit=100_000.0)
+        assert cluster[0].mcp.cpu.hang_reason == "invalid-instruction"
+
+    def test_backward_branch_corruption_loops_forever(self):
+        def mutate(mcp):
+            # Replace the entry with a jump-to-self.
+            from repro.lanai import encode
+            from repro.lanai.isa import BY_MNEMONIC, Instruction
+            entry = mcp.firmware.entry_send_chunk
+            mcp.nic.sram.write_word(entry, encode(
+                Instruction(BY_MNEMONIC["j"], imm=entry // 4)))
+
+        cluster, state = self._corrupt_and_send(mutate)
+        run_until(cluster, lambda: cluster[0].mcp.hung, limit=200_000.0)
+        assert cluster[0].mcp.cpu.hang_reason == "infinite-loop"
+
+    def test_jump_to_reset_vector_restarts_mcp(self):
+        def mutate(mcp):
+            from repro.lanai import encode
+            from repro.lanai.isa import BY_MNEMONIC, Instruction
+            mcp.nic.sram.write_word(mcp.firmware.entry_send_chunk,
+                                    encode(Instruction(BY_MNEMONIC["j"],
+                                                       imm=0)))
+
+        cluster, state = self._corrupt_and_send(mutate)
+        run_until(cluster,
+                  lambda: cluster[0].mcp.stats["mcp_restarts"] > 0,
+                  limit=200_000.0)
+        assert not cluster[0].mcp.hung
+
+    def test_corrupted_dma_address_changes_payload(self):
+        """Corrupt the host-address load offset: the DMA pulls the wrong
+        slice, the packet sails through CRC (computed after the damage),
+        and the receiver delivers wrong bytes."""
+        cluster = interp_pair()
+        mcp = cluster[0].mcp
+        # `lw r1, TOKEN+0(r0)` is the second instruction; flip a low imm
+        # bit so it loads TOKEN+4 (the SRAM staging address) instead.
+        addr = mcp.firmware.entry_send_chunk + 4
+        word = mcp.nic.sram.read_word(addr)
+        mcp.nic.sram.write_word(addr, word ^ 0x4)
+        payload = Payload.from_bytes(b"A" * 64)
+        state = send_one(cluster, payload, wait=False)
+        run_until(cluster, lambda: "event" in state, limit=5_000_000.0)
+        if "event" in state:
+            assert state["event"].payload != payload  # delivered corrupt
+
+    def test_flip_in_scratch_counter_is_harmless(self):
+        """Corrupting the diagnostics-counter store changes nothing the
+        protocol observes: a No-Impact flip."""
+        cluster = interp_pair()
+        mcp = cluster[0].mcp
+        # Find the `sw r7, SCRATCH+4(r0)` diagnostics store.
+        firmware = mcp.firmware
+        start, end = firmware.send_chunk_extent
+        target = None
+        for byte_addr in range(start, end, 4):
+            if "SCRATCH+4" in firmware.source_line(byte_addr):
+                target = byte_addr
+        assert target is not None
+        word = mcp.nic.sram.read_word(target)
+        mcp.nic.sram.write_word(target, word ^ 0x8)  # perturb offset
+        payload = Payload.from_bytes(b"still fine")
+        state = send_one(cluster, payload)
+        assert run_until(cluster, lambda: "event" in state)
+        assert state["event"].payload == payload

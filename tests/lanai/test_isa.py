@@ -1,0 +1,102 @@
+"""Unit and property tests for the ISA encoder/decoder."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import InvalidInstruction
+from repro.lanai import decode, disassemble, encode
+from repro.lanai.isa import (
+    BY_CODE,
+    BY_MNEMONIC,
+    Format,
+    IMM18_MAX,
+    IMM18_MIN,
+    Instruction,
+)
+
+
+def test_encode_decode_r_type():
+    instr = Instruction(BY_MNEMONIC["add"], rd=1, ra=2, rb=3)
+    assert decode(encode(instr)) == instr
+
+
+def test_encode_decode_i_type_negative_imm():
+    instr = Instruction(BY_MNEMONIC["addi"], rd=5, ra=6, imm=-1)
+    assert decode(encode(instr)) == instr
+
+
+def test_encode_decode_b_type():
+    instr = Instruction(BY_MNEMONIC["beq"], ra=1, rb=2, imm=-16)
+    assert decode(encode(instr)) == instr
+
+
+def test_encode_decode_j_type():
+    instr = Instruction(BY_MNEMONIC["jal"], imm=0x123456)
+    assert decode(encode(instr)) == instr
+
+
+def test_invalid_opcode_raises():
+    with pytest.raises(InvalidInstruction):
+        decode(0x3F << 26)
+
+
+def test_r_type_pad_bits_are_dont_care():
+    """Flips in the low 14 bits of an R-type instruction change nothing."""
+    base = encode(Instruction(BY_MNEMONIC["add"], rd=1, ra=2, rb=3))
+    for bit in range(14):
+        assert decode(base ^ (1 << bit)) == decode(base)
+
+
+def test_imm_range_enforced():
+    with pytest.raises(ValueError):
+        encode(Instruction(BY_MNEMONIC["addi"], rd=1, ra=0, imm=IMM18_MAX + 1))
+    with pytest.raises(ValueError):
+        encode(Instruction(BY_MNEMONIC["addi"], rd=1, ra=0, imm=IMM18_MIN - 1))
+
+
+def test_register_range_enforced():
+    with pytest.raises(ValueError):
+        encode(Instruction(BY_MNEMONIC["add"], rd=16, ra=0, rb=0))
+
+
+def test_disassemble_valid_and_invalid():
+    word = encode(Instruction(BY_MNEMONIC["lw"], rd=3, ra=4, imm=100))
+    assert disassemble(word) == "lw r3, 100(r4)"
+    assert disassemble(0x3F << 26).startswith(".invalid")
+
+
+def test_disassemble_styles():
+    assert disassemble(encode(Instruction(BY_MNEMONIC["nop"]))) == "nop"
+    assert disassemble(encode(Instruction(BY_MNEMONIC["jr"], ra=15))) == "jr r15"
+    assert disassemble(
+        encode(Instruction(BY_MNEMONIC["j"], imm=4))) == "j 0x4"
+
+
+_ops = st.sampled_from(sorted(BY_MNEMONIC.values(), key=lambda o: o.code))
+_regs = st.integers(min_value=0, max_value=15)
+_imm18 = st.integers(min_value=IMM18_MIN, max_value=IMM18_MAX)
+_imm26 = st.integers(min_value=0, max_value=(1 << 26) - 1)
+
+
+@given(op=_ops, rd=_regs, ra=_regs, rb=_regs, imm18=_imm18, imm26=_imm26)
+def test_prop_encode_decode_roundtrip(op, rd, ra, rb, imm18, imm26):
+    if op.fmt == Format.R:
+        instr = Instruction(op, rd=rd, ra=ra, rb=rb)
+    elif op.fmt == Format.I:
+        instr = Instruction(op, rd=rd, ra=ra, imm=imm18)
+    elif op.fmt == Format.B:
+        instr = Instruction(op, ra=ra, rb=rb, imm=imm18)
+    else:
+        instr = Instruction(op, imm=imm26)
+    assert decode(encode(instr)) == instr
+
+
+@given(word=st.integers(min_value=0, max_value=2**32 - 1))
+def test_prop_decode_never_crashes(word):
+    """Any 32-bit word either decodes or raises InvalidInstruction."""
+    try:
+        instr = decode(word)
+    except InvalidInstruction:
+        return
+    assert instr.op.code in BY_CODE

@@ -1,0 +1,201 @@
+"""Tests for the mini-MPI middleware, including the transparency story."""
+
+import struct
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import MpiFatalError
+from repro.middleware import MpiProcess, mpi_world
+
+
+def run_ranks(cluster, bodies, limit=120_000_000.0):
+    """Spawn one app per rank; bodies get (mpi,) and must init first."""
+    world = mpi_world(cluster)
+    done = {}
+    errors = {}
+
+    def wrap(rank, body):
+        mpi = world[rank]
+        try:
+            yield from mpi.init()
+            result = yield from body(mpi)
+            done[rank] = result
+        except MpiFatalError as exc:
+            errors[rank] = str(exc)
+
+    for rank, body in enumerate(bodies):
+        cluster[rank].host.spawn(wrap(rank, body), "mpi%d" % rank)
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while (len(done) + len(errors) < len(bodies)
+           and sim.peek() <= deadline):
+        sim.step()
+    return done, errors
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        cluster = build_cluster(2, flavor="gm")
+
+        def rank0(mpi):
+            yield from mpi.send(1, b"hello rank 1", tag=7)
+            return "sent"
+
+        def rank1(mpi):
+            src, tag, data = yield from mpi.recv(0, tag=7)
+            return (src, tag, data)
+
+        done, errors = run_ranks(cluster, [rank0, rank1])
+        assert not errors
+        assert done[1] == (0, 7, b"hello rank 1")
+
+    def test_tag_matching_stashes_unexpected(self):
+        cluster = build_cluster(2, flavor="gm")
+
+        def rank0(mpi):
+            yield from mpi.send(1, b"first", tag=1)
+            yield from mpi.send(1, b"second", tag=2)
+            return "ok"
+
+        def rank1(mpi):
+            # Receive tag 2 first although tag 1 arrives first.
+            _, _, second = yield from mpi.recv(0, tag=2)
+            _, _, first = yield from mpi.recv(0, tag=1)
+            return (first, second)
+
+        done, errors = run_ranks(cluster, [rank0, rank1])
+        assert not errors
+        assert done[1] == (b"first", b"second")
+
+    def test_any_source(self):
+        cluster = build_cluster(3, flavor="gm")
+
+        def sender(mpi):
+            yield from mpi.send(2, b"from-%d" % mpi.rank, tag=3)
+            return "ok"
+
+        def sink(mpi):
+            got = []
+            for _ in range(2):
+                src, _, data = yield from mpi.recv(tag=3)
+                got.append((src, data))
+            return sorted(got)
+
+        done, errors = run_ranks(cluster, [sender, sender, sink])
+        assert not errors
+        assert done[2] == [(0, b"from-0"), (1, b"from-1")]
+
+    def test_sendrecv(self):
+        cluster = build_cluster(2, flavor="gm")
+
+        def rank(peer):
+            def body(mpi):
+                src, _, data = yield from mpi.sendrecv(
+                    peer, b"ping-%d" % mpi.rank, peer, tag=5)
+                return data
+            return body
+
+        done, errors = run_ranks(cluster, [rank(1), rank(0)])
+        assert not errors
+        assert done[0] == b"ping-1"
+        assert done[1] == b"ping-0"
+
+
+class TestCollectives:
+    def test_barrier_synchronizes(self):
+        cluster = build_cluster(3, flavor="gm")
+        sim = cluster.sim
+        after = {}
+
+        def body(mpi):
+            if mpi.rank == 2:
+                yield sim.timeout(5_000.0)  # straggler
+            yield from mpi.barrier()
+            after[mpi.rank] = sim.now
+            return "ok"
+
+        done, errors = run_ranks(cluster, [body, body, body])
+        assert not errors
+        assert max(after.values()) - min(after.values()) < 1_000.0
+        assert min(after.values()) >= 5_000.0
+
+    def test_bcast(self):
+        cluster = build_cluster(3, flavor="gm")
+
+        def body(mpi):
+            data = yield from mpi.bcast(
+                b"the word" if mpi.rank == 0 else None, root=0)
+            return data
+
+        done, errors = run_ranks(cluster, [body] * 3)
+        assert not errors
+        assert all(done[r] == b"the word" for r in range(3))
+
+    def test_allreduce_sum(self):
+        cluster = build_cluster(3, flavor="gm")
+
+        def body(mpi):
+            total = yield from mpi.allreduce(float(mpi.rank + 1),
+                                             lambda a, b: a + b)
+            return total
+
+        done, errors = run_ranks(cluster, [body] * 3)
+        assert not errors
+        assert all(done[r] == pytest.approx(6.0) for r in range(3))
+
+    def test_gather(self):
+        cluster = build_cluster(3, flavor="gm")
+
+        def body(mpi):
+            parts = yield from mpi.gather(b"r%d" % mpi.rank, root=0)
+            return parts
+
+        done, errors = run_ranks(cluster, [body] * 3)
+        assert not errors
+        assert done[0] == [b"r0", b"r1", b"r2"]
+        assert done[1] is None
+
+
+class TestTransparencyClaim:
+    """The paper's motivation, end to end: identical MPI application
+    code dies on plain GM when a NIC hangs, survives on FTGM."""
+
+    def _job(self, cluster, rounds=40):
+        sim = cluster.sim
+        progress = {"rounds": 0}
+
+        def worker(mpi):
+            for i in range(rounds):
+                if mpi.rank == 0:
+                    yield from mpi.send(1, b"work-%03d" % i, tag=9)
+                    yield from mpi.recv(1, tag=10)
+                else:
+                    _, _, data = yield from mpi.recv(0, tag=9)
+                    yield from mpi.send(0, b"done" + data[-4:], tag=10)
+                progress["rounds"] = max(progress["rounds"], i + 1)
+                yield sim.timeout(30.0)
+            return "finished"
+
+        def crasher():
+            yield sim.timeout(1_500.0)
+            cluster[1].mcp.die("NIC hang during MPI job")
+
+        sim.spawn(crasher())
+        done, errors = run_ranks(cluster, [worker, worker])
+        return done, errors, progress
+
+    def test_plain_gm_mpi_job_dies(self):
+        cluster = build_cluster(2, flavor="gm")
+        done, errors, progress = self._job(cluster)
+        # The job came to "a grinding halt": at least one rank aborted.
+        assert errors
+        assert any("GM send error" in message
+                   for message in errors.values())
+
+    def test_ftgm_mpi_job_survives_unchanged(self):
+        cluster = build_cluster(2, flavor="ftgm")
+        done, errors, progress = self._job(cluster)
+        assert not errors
+        assert done[0] == "finished" and done[1] == "finished"
+        assert cluster[1].driver.ftd.recoveries

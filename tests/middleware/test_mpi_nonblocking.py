@@ -1,0 +1,134 @@
+"""Tests for nonblocking mini-MPI operations."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.errors import MpiFatalError
+from repro.middleware import mpi_world
+
+
+def run_ranks(cluster, bodies, limit=120_000_000.0):
+    world = mpi_world(cluster)
+    done = {}
+    errors = {}
+
+    def wrap(rank, body):
+        mpi = world[rank]
+        try:
+            yield from mpi.init()
+            result = yield from body(mpi)
+            done[rank] = result
+        except MpiFatalError as exc:
+            errors[rank] = str(exc)
+
+    for rank, body in enumerate(bodies):
+        cluster[rank].host.spawn(wrap(rank, body), "mpi%d" % rank)
+    sim = cluster.sim
+    deadline = sim.now + limit
+    while (len(done) + len(errors) < len(bodies)
+           and sim.peek() <= deadline):
+        sim.step()
+    return done, errors
+
+
+def test_isend_waitall_overlaps_sends():
+    cluster = build_cluster(2, flavor="gm")
+
+    def rank0(mpi):
+        requests = []
+        for i in range(6):
+            req = yield from mpi.isend(1, b"bulk-%d" % i, tag=2)
+            requests.append(req)
+        # All six are in flight before we wait on any.
+        assert any(not r["done"] for r in requests)
+        yield from mpi.waitall(requests)
+        assert all(r["done"] for r in requests)
+        return "ok"
+
+    def rank1(mpi):
+        got = []
+        for _ in range(6):
+            _, _, data = yield from mpi.recv(0, tag=2)
+            got.append(data)
+        return got
+
+    done, errors = run_ranks(cluster, [rank0, rank1])
+    assert not errors
+    assert done[0] == "ok"
+    assert done[1] == [b"bulk-%d" % i for i in range(6)]
+
+
+def test_wait_stashes_incoming_messages():
+    """Messages arriving while waiting on a send must not be lost."""
+    cluster = build_cluster(2, flavor="gm")
+
+    def rank0(mpi):
+        req = yield from mpi.isend(1, b"outbound", tag=1)
+        yield from mpi.wait(req)   # rank 1's message may land meanwhile
+        src, tag, data = yield from mpi.recv(1, tag=5)
+        return data
+
+    def rank1(mpi):
+        yield from mpi.send(0, b"crossing", tag=5)
+        _, _, data = yield from mpi.recv(0, tag=1)
+        return data
+
+    done, errors = run_ranks(cluster, [rank0, rank1])
+    assert not errors
+    assert done[0] == b"crossing"
+    assert done[1] == b"outbound"
+
+
+def test_isend_failure_surfaces_at_wait():
+    cluster = build_cluster(2, flavor="gm")
+
+    def rank0(mpi):
+        cluster[1].mcp.die("peer gone")
+        req = yield from mpi.isend(1, b"doomed", tag=1)
+        yield from mpi.wait(req)
+        return "unreachable"
+
+    def rank1(mpi):
+        # Blocks forever (its NIC is about to die); the driver loop ends
+        # when rank 0 aborts.
+        yield from mpi.recv(0, tag=99)
+        return "unreachable"
+
+    world = mpi_world(cluster)
+    errors = {}
+
+    def wrap(rank, body):
+        mpi = world[rank]
+        try:
+            yield from mpi.init()
+            yield from body(mpi)
+        except MpiFatalError as exc:
+            errors[rank] = str(exc)
+
+    cluster[0].host.spawn(wrap(0, rank0), "r0")
+    cluster[1].host.spawn(wrap(1, rank1), "r1")
+    sim = cluster.sim
+    deadline = sim.now + 120_000_000.0
+    while not errors and sim.peek() <= deadline:
+        sim.step()
+    assert 0 in errors
+    assert "GM send error" in errors[0]
+
+
+def test_isend_rejects_non_bytes():
+    cluster = build_cluster(2, flavor="gm")
+    caught = []
+
+    def rank0(mpi):
+        try:
+            yield from mpi.isend(1, 3.14, tag=0)
+        except TypeError as exc:
+            caught.append(str(exc))
+        return "done"
+
+    def rank1(mpi):
+        return "idle"
+        yield  # pragma: no cover
+
+    done, errors = run_ranks(cluster, [rank0, rank1])
+    assert caught

@@ -1,0 +1,239 @@
+"""Unit tests for links, switches and topology wiring."""
+
+import pytest
+
+from repro.hw import Host, Nic
+from repro.net import Fabric, Packet, PacketType
+from repro.payload import Payload
+from repro.sim import Simulator
+
+
+def make_node(sim, node_id):
+    host = Host(sim, "host%d" % node_id)
+    return Nic(sim, host, node_id)
+
+
+def data_packet(src, dest, route, nbytes=64, **kwargs):
+    return Packet(ptype=PacketType.DATA, src_node=src, dest_node=dest,
+                  route=list(route),
+                  payload=Payload.phantom(nbytes, tag=src), **kwargs).seal()
+
+
+class TestDirectLink:
+    def test_packet_crosses_direct_cable(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        a, b = make_node(sim, 0), make_node(sim, 1)
+        fabric.connect(fabric.attach_nic(a), fabric.attach_nic(b))
+        results = []
+
+        def send():
+            ok = yield from a.send_packet(data_packet(0, 1, []))
+            results.append(ok)
+
+        sim.spawn(send())
+        sim.run()
+        assert results == [True]
+        assert len(b.recv_ring) == 1
+
+    def test_wire_time_scales_with_size(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        a, b = make_node(sim, 0), make_node(sim, 1)
+        fabric.connect(fabric.attach_nic(a), fabric.attach_nic(b))
+        times = {}
+
+        def send(nbytes, tag):
+            yield from a.send_packet(data_packet(0, 1, [], nbytes))
+            times[tag] = sim.now
+
+        sim.spawn(send(100, "small"))
+        sim.run()
+        t_small = times["small"]
+        sim2 = Simulator()
+        fabric2 = Fabric(sim2)
+        a2, b2 = make_node(sim2, 0), make_node(sim2, 1)
+        fabric2.connect(fabric2.attach_nic(a2), fabric2.attach_nic(b2))
+
+        def send2():
+            yield from a2.send_packet(data_packet(0, 1, [], 4000))
+
+        sim2.spawn(send2())
+        sim2.run()
+        assert sim2.now > t_small
+
+    def test_cut_link_drops(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        a, b = make_node(sim, 0), make_node(sim, 1)
+        link = fabric.connect(fabric.attach_nic(a), fabric.attach_nic(b))
+        link.cut()
+        results = []
+
+        def send():
+            ok = yield from a.send_packet(data_packet(0, 1, []))
+            results.append(ok)
+
+        sim.spawn(send())
+        sim.run()
+        assert results == [False]
+        assert len(b.recv_ring) == 0
+
+    def test_double_cabling_rejected(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        a, b, c = (make_node(sim, i) for i in range(3))
+        pa = fabric.attach_nic(a)
+        fabric.connect(pa, fabric.attach_nic(b))
+        with pytest.raises(ValueError):
+            fabric.connect(pa, fabric.attach_nic(c))
+
+
+class TestSwitch:
+    def _star(self, n=3):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        nics = [make_node(sim, i) for i in range(n)]
+        switch = fabric.star(nics)
+        return sim, fabric, nics, switch
+
+    def test_routes_through_star(self):
+        sim, fabric, nics, switch = self._star()
+        # node 0 -> node 2: route byte [2] (nic i on switch port i)
+
+        def send():
+            yield from nics[0].send_packet(data_packet(0, 2, [2]))
+
+        sim.spawn(send())
+        sim.run()
+        assert len(nics[2].recv_ring) == 1
+        assert len(nics[1].recv_ring) == 0
+        assert switch.forwarded == 1
+
+    def test_route_consumed_by_switch(self):
+        sim, fabric, nics, switch = self._star()
+
+        def send():
+            yield from nics[0].send_packet(data_packet(0, 2, [2]))
+
+        sim.spawn(send())
+        sim.run()
+        _, pkt = nics[2].recv_ring.try_get()
+        assert pkt.route == []
+
+    def test_invalid_route_byte_dropped(self):
+        sim, fabric, nics, switch = self._star()
+
+        def send():
+            yield from nics[0].send_packet(data_packet(0, 2, [7]))  # uncabled
+
+        sim.spawn(send())
+        sim.run()
+        assert switch.misrouted == 1
+        assert all(len(n.recv_ring) == 0 for n in nics[1:])
+
+    def test_empty_route_absorbed_at_switch(self):
+        sim, fabric, nics, switch = self._star()
+
+        def send():
+            yield from nics[0].send_packet(data_packet(0, 2, []))
+
+        sim.spawn(send())
+        sim.run()
+        assert switch.absorbed == 1
+
+    def test_turnaround_rejected(self):
+        sim, fabric, nics, switch = self._star()
+
+        def send():
+            yield from nics[0].send_packet(data_packet(0, 0, [0]))
+
+        sim.spawn(send())
+        sim.run()
+        assert switch.misrouted == 1
+
+    def test_two_switch_path(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        a, b = make_node(sim, 0), make_node(sim, 1)
+        s1, s2 = fabric.add_switch(), fabric.add_switch()
+        fabric.connect(fabric.attach_nic(a), s1.port(0))
+        fabric.connect(s1.port(1), s2.port(0))
+        fabric.connect(s2.port(1), fabric.attach_nic(b))
+
+        def send():
+            yield from a.send_packet(data_packet(0, 1, [1, 1]))
+
+        sim.spawn(send())
+        sim.run()
+        assert len(b.recv_ring) == 1
+
+    def test_output_contention_serializes(self):
+        sim, fabric, nics, switch = self._star(3)
+        arrivals = []
+
+        def send(src, nbytes):
+            yield from nics[src].send_packet(data_packet(src, 2, [2], nbytes))
+
+        sim.spawn(send(0, 4000))
+        sim.spawn(send(1, 4000))
+        sim.run()
+        assert len(nics[2].recv_ring) == 2
+        # The shared output link carried 2 x ~4KB: total time must exceed
+        # a single transfer's time.
+        assert sim.now > 2 * 4000 / 250.0
+
+
+class TestFloodScout:
+    def test_flood_reaches_all_nics_in_star(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        nics = [make_node(sim, i) for i in range(4)]
+        fabric.star(nics)
+        scout = Packet(ptype=PacketType.MAPPER_SCOUT, src_node=0,
+                       dest_node=-1, flood=True, ttl=4)
+
+        def send():
+            yield from nics[0].send_packet(scout)
+
+        sim.spawn(send())
+        sim.run()
+        for nic in nics[1:]:
+            assert len(nic.recv_ring) == 1
+        assert len(nics[0].recv_ring) == 0  # not reflected to sender
+
+    def test_flood_stamps_forward_and_reverse(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        nics = [make_node(sim, i) for i in range(3)]
+        fabric.star(nics)
+        scout = Packet(ptype=PacketType.MAPPER_SCOUT, src_node=0,
+                       dest_node=-1, flood=True, ttl=4)
+
+        def send():
+            yield from nics[0].send_packet(scout)
+
+        sim.spawn(send())
+        sim.run()
+        _, pkt = nics[2].recv_ring.try_get()
+        assert pkt.egress_ports == [2]
+        assert pkt.ingress_ports == [0]
+
+    def test_ttl_bounds_flood_on_cycle(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        a = make_node(sim, 0)
+        s1, s2 = fabric.add_switch(), fabric.add_switch()
+        fabric.connect(fabric.attach_nic(a), s1.port(0))
+        # Two parallel links between s1 and s2 create a cycle.
+        fabric.connect(s1.port(1), s2.port(0))
+        fabric.connect(s1.port(2), s2.port(1))
+        scout = Packet(ptype=PacketType.MAPPER_SCOUT, src_node=0,
+                       dest_node=-1, flood=True, ttl=5)
+
+        def send():
+            yield from a.send_packet(scout)
+
+        sim.spawn(send())
+        sim.run()  # must terminate (TTL kills the loop)
+        assert s1.absorbed + s2.absorbed > 0

@@ -1,0 +1,240 @@
+"""Tests for route derivation and the full mapper protocol."""
+
+import pytest
+
+from repro.hw import Host, Nic
+from repro.net import (
+    Fabric,
+    Mapper,
+    MapperAgent,
+    MappingFailed,
+    Packet,
+    PacketType,
+    derive_route,
+)
+from repro.payload import Payload
+from repro.sim import Simulator
+
+
+class TestDeriveRoute:
+    def test_star_siblings(self):
+        # mapper on port 3; X on port 0 (fwd [0], rev [3]); Y on port 1.
+        assert derive_route([0], [3], [1]) == [1]
+
+    def test_route_back_to_mapper_is_reverse(self):
+        # X -> mapper is just X's reverse route; derive only covers X->Y,
+        # the mapper fills its own entry separately.
+        assert derive_route([0], [3], [1]) == [1]
+
+    def test_two_switch_same_leaf(self):
+        # m - S1 - S2 - {X on S2.2, Y on S2.3}; S1: m@0, S2-link@1;
+        # S2: S1-link@0.
+        fx, rx = [1, 2], [0, 0]
+        fy = [1, 3]
+        assert derive_route(fx, rx, fy) == [3]
+
+    def test_two_switch_cross_level(self):
+        # X behind S2, Y directly on S1 port 4.
+        fx, rx = [1, 2], [0, 0]
+        fy = [4]
+        assert derive_route(fx, rx, fy) == [0, 4]
+
+    def test_three_level(self):
+        # m - S1 - S2 - S3 - X ; Y on S2.
+        fx, rx = [1, 1, 2], [0, 0, 0]
+        fy = [1, 3]
+        assert derive_route(fx, rx, fy) == [0, 3]
+
+    def test_same_interface_rejected(self):
+        with pytest.raises(ValueError):
+            derive_route([1], [0], [1])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            derive_route([1, 2], [0], [3])
+
+
+class _TestNode:
+    """A raw node: NIC + MapperAgent + a pump that feeds the agent."""
+
+    def __init__(self, sim, fabric, node_id):
+        self.host = Host(sim, "host%d" % node_id)
+        self.nic = Nic(sim, self.host, node_id)
+        fabric.attach_nic(self.nic)
+        self.routes = {}
+        self.agent = MapperAgent(sim, node_id, self._send_raw,
+                                 self._install)
+        sim.spawn(self._pump(sim), name="pump%d" % node_id)
+
+    def _send_raw(self, packet):
+        self.nic.sim.spawn(self.nic.send_packet(packet))
+
+    def _install(self, table):
+        self.routes = table
+
+    def _pump(self, sim):
+        while True:
+            packet = yield self.nic.recv_ring.get()
+            self.agent.handle(packet)
+
+
+def star_cluster(sim, n):
+    fabric = Fabric(sim)
+    nodes = [_TestNode.__new__(_TestNode) for _ in range(n)]
+    # Build nodes without attaching, then star-cable them.
+    nics = []
+    for i, node in enumerate(nodes):
+        node.host = Host(sim, "host%d" % i)
+        node.nic = Nic(sim, node.host, i)
+        node.routes = {}
+        node.agent = MapperAgent(sim, i, node._send_raw, node._install)
+        sim.spawn(node._pump(sim), name="pump%d" % i)
+        nics.append(node.nic)
+    fabric.star(nics)
+    return fabric, nodes
+
+
+class TestMapperProtocol:
+    def test_maps_star_of_four(self):
+        sim = Simulator()
+        fabric, nodes = star_cluster(sim, 4)
+        mapper = Mapper(nodes[0].agent, expected_nodes=4)
+        results = []
+
+        def run():
+            found = yield from mapper.run()
+            results.append(found)
+
+        sim.spawn(run())
+        sim.run()
+        assert results and sorted(results[0]) == [0, 1, 2, 3]
+        # Every node got a full table.
+        for i, node in enumerate(nodes):
+            expected = {j for j in range(4) if j != i}
+            assert set(node.routes) == expected
+
+    def test_installed_routes_actually_work(self):
+        sim = Simulator()
+        fabric, nodes = star_cluster(sim, 3)
+        mapper = Mapper(nodes[0].agent, expected_nodes=3)
+        sim.spawn(mapper.run())
+        sim.run()
+
+        # Use node 1's installed route to reach node 2.
+        route = nodes[1].routes[2]
+        pkt = Packet(ptype=PacketType.DATA, src_node=1, dest_node=2,
+                     route=list(route),
+                     payload=Payload.from_bytes(b"via mapper route")).seal()
+        delivered = []
+
+        def send():
+            ok = yield from nodes[1].nic.send_packet(pkt)
+            delivered.append(ok)
+
+        # Stop node 2's pump from eating the DATA packet: drain manually.
+        sim.spawn(send())
+        sim.run()
+        assert delivered == [True]
+
+    def test_maps_two_level_tree(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        nodes = []
+        for i in range(4):
+            node = _TestNode.__new__(_TestNode)
+            node.host = Host(sim, "host%d" % i)
+            node.nic = Nic(sim, node.host, i)
+            node.routes = {}
+            node.agent = MapperAgent(sim, i, node._send_raw, node._install)
+            sim.spawn(node._pump(sim), name="pump%d" % i)
+            fabric.attach_nic(node.nic)
+            nodes.append(node)
+        s1, s2 = fabric.add_switch(), fabric.add_switch()
+        # nodes 0,1 on s1 ports 0,1 ; uplink s1.7 <-> s2.7 ; nodes 2,3 on s2.
+        fabric.connect(fabric.nic_ports[0], s1.port(0))
+        fabric.connect(fabric.nic_ports[1], s1.port(1))
+        fabric.connect(s1.port(7), s2.port(7))
+        fabric.connect(fabric.nic_ports[2], s2.port(0))
+        fabric.connect(fabric.nic_ports[3], s2.port(1))
+
+        mapper = Mapper(nodes[0].agent, expected_nodes=4)
+        results = []
+
+        def run():
+            found = yield from mapper.run()
+            results.append(sorted(found))
+
+        sim.spawn(run())
+        sim.run()
+        assert results == [[0, 1, 2, 3]]
+        # Cross-switch route from node 1 to node 3 must traverse the uplink.
+        assert nodes[1].routes[3] == [7, 1]
+        # Same-switch route stays local.
+        assert nodes[1].routes[0] == [0]
+        # Route back to the mapper from the far switch.
+        assert nodes[3].routes[0] == [7, 0]
+
+    def test_mapping_failure_when_expected_node_missing(self):
+        sim = Simulator()
+        fabric, nodes = star_cluster(sim, 2)
+        mapper = Mapper(nodes[0].agent, expected_nodes=5)
+        failures = []
+
+        def run():
+            try:
+                yield from mapper.run()
+            except MappingFailed as exc:
+                failures.append(str(exc))
+
+        sim.spawn(run())
+        sim.run()
+        assert failures
+
+    def test_remapping_after_node_appears(self):
+        sim = Simulator()
+        fabric = Fabric(sim)
+        made = []
+        for i in range(2):
+            node = _TestNode.__new__(_TestNode)
+            node.host = Host(sim, "host%d" % i)
+            node.nic = Nic(sim, node.host, i)
+            node.routes = {}
+            node.agent = MapperAgent(sim, i, node._send_raw, node._install)
+            sim.spawn(node._pump(sim), name="pump%d" % i)
+            fabric.attach_nic(node.nic)
+            made.append(node)
+        switch = fabric.add_switch()
+        fabric.connect(fabric.nic_ports[0], switch.port(0))
+        fabric.connect(fabric.nic_ports[1], switch.port(1))
+
+        results = []
+
+        def first_round():
+            mapper = Mapper(made[0].agent, expected_nodes=2)
+            found = yield from mapper.run()
+            results.append(sorted(found))
+
+        sim.spawn(first_round())
+        sim.run()
+        assert results == [[0, 1]]
+
+        # A third node appears; re-run the mapper.
+        node = _TestNode.__new__(_TestNode)
+        node.host = Host(sim, "host2")
+        node.nic = Nic(sim, node.host, 2)
+        node.routes = {}
+        node.agent = MapperAgent(sim, 2, node._send_raw, node._install)
+        sim.spawn(node._pump(sim), name="pump2")
+        fabric.attach_nic(node.nic)
+        fabric.connect(fabric.nic_ports[2], switch.port(2))
+        made.append(node)
+
+        def second_round():
+            mapper = Mapper(made[0].agent, expected_nodes=3)
+            found = yield from mapper.run()
+            results.append(sorted(found))
+
+        sim.spawn(second_round())
+        sim.run()
+        assert results[1] == [0, 1, 2]
+        assert made[2].routes[1] == [1]

@@ -1,0 +1,94 @@
+"""Tests for the analysis package: tables, timeline, figure helpers."""
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    Series,
+    Table2,
+    Table3,
+    recovery_timeline,
+    render_ascii,
+    render_timeline,
+)
+from repro.ftgm.ftd import RecoveryRecord
+from repro.workloads.allsize import BandwidthResult
+from repro.workloads.pingpong import PingPongResult
+from repro.workloads.utilization import UtilizationResult
+
+
+def fake_record():
+    return RecoveryRecord(
+        interrupt_at=1_000.0, woken_at=1_013.0, confirmed_at=2_013.0,
+        reset_at=82_013.0, reloaded_at=582_013.0,
+        tables_restored_at=732_013.0, events_posted_at=766_013.0,
+        ports_notified=1)
+
+
+class TestTable2:
+    def _table(self):
+        bw = BandwidthResult(1 << 20, 10, 11_000.0, 10 << 20)
+        pp_gm = PingPongResult(64, 5, rtts=[23.0] * 5)
+        pp_ftgm = PingPongResult(64, 5, rtts=[26.0] * 5)
+        util_gm = UtilizationResult(100, 64, 0.30, 0.75, 3.0, 3.0)
+        util_ftgm = UtilizationResult(100, 64, 0.55, 1.15, 3.4, 3.4)
+        return Table2(bw, bw, pp_gm, pp_ftgm, util_gm, util_ftgm)
+
+    def test_rows_align_with_paper_metrics(self):
+        table = self._table()
+        rows = table.rows()
+        assert [name for name, *_ in rows] == list(PAPER_TABLE2)
+        latency = dict((name, (gm, ftgm))
+                       for name, gm, ftgm, _, _ in rows)["Latency (us)"]
+        assert latency == (pytest.approx(11.5), pytest.approx(13.0))
+
+    def test_render_contains_both_columns(self):
+        text = self._table().render()
+        assert "GM(paper)" in text
+        assert "Bandwidth" in text
+
+
+class TestTable3:
+    def test_totals_and_render(self):
+        table = Table3(detection_us=800.0, record=fake_record(),
+                       per_port_us=900_000.0)
+        assert table.record.ftd_time == pytest.approx(765_000.0)
+        assert table.total_us == pytest.approx(800.0 + 765_000.0
+                                               + 900_000.0)
+        text = table.render()
+        assert "Fault Detection Time" in text
+        assert "< 2 sec" in text
+        for component in PAPER_TABLE3:
+            assert component in text
+
+
+class TestTimeline:
+    def test_segments_are_causal_and_complete(self):
+        record = fake_record()
+        segments = recovery_timeline(500.0, record, 1_666_013.0)
+        assert segments[0][1] == 500.0
+        for (_, start, end), (_, next_start, _) in zip(segments,
+                                                       segments[1:]):
+            assert end >= start
+            assert next_start == end
+        assert segments[-1][2] == 1_666_013.0
+
+    def test_render_shows_every_segment(self):
+        record = fake_record()
+        segments = recovery_timeline(500.0, record, 1_666_013.0)
+        text = render_timeline(segments)
+        assert "MCP reload" in text
+        assert "per-process" in text
+        assert "1.666 s" in text or "1666" in text
+
+
+class TestSeriesHelpers:
+    def test_y_at_missing_returns_none(self):
+        series = Series("x", [(1, 2.0)])
+        assert series.y_at(99) is None
+
+    def test_render_ascii_linear_scale(self):
+        series = Series("lin", [(0, 1.0), (10, 2.0)])
+        text = render_ascii([series], "t", "x", "y", log_x=False)
+        assert "lin-x" in text

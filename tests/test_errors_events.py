@@ -1,0 +1,81 @@
+"""Tests for the exception hierarchy and event/token dataclasses."""
+
+import pytest
+
+from repro import errors
+from repro.gm.events import EventType, GmEvent
+from repro.gm.tokens import RecvToken, SendToken
+from repro.payload import Payload
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            if isinstance(cls, type) and issubclass(cls, Exception):
+                assert issubclass(cls, errors.ReproError)
+
+    def test_gm_errors_under_gm_error(self):
+        for cls in (errors.GmSendError, errors.GmNoTokens,
+                    errors.GmPortClosed):
+            assert issubclass(cls, errors.GmError)
+
+    def test_hardware_errors_under_hardware_error(self):
+        for cls in (errors.BusError, errors.HostCrashed,
+                    errors.LanaiTrap, errors.InvalidInstruction):
+            assert issubclass(cls, errors.HardwareError)
+
+    def test_bus_error_message(self):
+        exc = errors.BusError(0x1234, 4, what="SRAM")
+        assert "0x1234" in str(exc)
+        assert "SRAM" in str(exc)
+        assert exc.address == 0x1234
+
+    def test_invalid_instruction_records_word_and_pc(self):
+        exc = errors.InvalidInstruction(0xFC000000, 0x1000)
+        assert exc.word == 0xFC000000
+        assert exc.pc == 0x1000
+        assert issubclass(errors.InvalidInstruction, errors.LanaiTrap)
+
+    def test_mpi_fatal_under_mpi_error(self):
+        assert issubclass(errors.MpiFatalError, errors.MpiError)
+
+
+class TestGmEvent:
+    def test_received_str_mentions_sender(self):
+        event = GmEvent(EventType.RECEIVED, 2, sender_node=0,
+                        sender_port=1, size=42)
+        text = str(event)
+        assert "received" in text
+        assert "42" in text
+
+    def test_internal_types_listed(self):
+        assert EventType.FAULT_DETECTED in EventType.INTERNAL
+
+
+class TestTokens:
+    def test_send_token_fragment_count(self):
+        token = SendToken(src_port=1, dest_node=1, dest_port=2,
+                          region_id=1, host_addr=0, size=0)
+        assert token.fragment_count(4096) == 1
+        token.size = 4096
+        assert token.fragment_count(4096) == 1
+        token.size = 4097
+        assert token.fragment_count(4096) == 2
+        token.size = 3 * 4096
+        assert token.fragment_count(4096) == 3
+
+    def test_msg_ids_unique(self):
+        a = SendToken(src_port=1, dest_node=1, dest_port=2,
+                      region_id=1, host_addr=0, size=10)
+        b = SendToken(src_port=1, dest_node=1, dest_port=2,
+                      region_id=1, host_addr=0, size=10)
+        assert a.msg_id != b.msg_id
+
+    def test_recv_token_matching(self):
+        token = RecvToken(port=1, region_id=1, host_addr=0, size=1024,
+                          priority=1)
+        assert token.matches(1024, 1)
+        assert token.matches(10, 1)
+        assert not token.matches(2048, 1)   # too big for the buffer
+        assert not token.matches(10, 0)     # wrong priority

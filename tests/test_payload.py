@@ -1,0 +1,120 @@
+"""Unit and property tests for the payload abstraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.payload import Payload
+
+
+class TestConcrete:
+    def test_from_bytes_roundtrip(self):
+        p = Payload.from_bytes(b"hello world")
+        assert p.size == 11
+        assert p.data == b"hello world"
+        assert p.is_concrete
+
+    def test_equality_by_content(self):
+        assert Payload.from_bytes(b"abc") == Payload.from_bytes(b"abc")
+        assert Payload.from_bytes(b"abc") != Payload.from_bytes(b"abd")
+
+    def test_slice(self):
+        p = Payload.from_bytes(b"0123456789")
+        assert p.slice(2, 5).data == b"23456"
+
+    def test_slice_bounds_checked(self):
+        p = Payload.from_bytes(b"0123")
+        with pytest.raises(ValueError):
+            p.slice(2, 3)
+
+    def test_concat(self):
+        a = Payload.from_bytes(b"abc")
+        b = Payload.from_bytes(b"def")
+        assert Payload.concat([a, b]).data == b"abcdef"
+
+    def test_corrupt_changes_equality(self):
+        p = Payload.from_bytes(b"data!")
+        assert p.corrupt(3) != p
+
+    def test_corrupt_twice_restores(self):
+        p = Payload.from_bytes(b"data!")
+        assert p.corrupt(3).corrupt(3) == p
+
+    def test_truncate(self):
+        p = Payload.from_bytes(b"0123456789")
+        assert p.truncate(4).data == b"0123"
+        assert p.truncate(100).data == b"0123456789"
+
+    def test_pattern_deterministic(self):
+        assert Payload.pattern(100, seed=7) == Payload.pattern(100, seed=7)
+        assert Payload.pattern(100, seed=7) != Payload.pattern(100, seed=8)
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Payload(5, data=b"abc")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Payload(-1)
+
+
+class TestPhantom:
+    def test_identity(self):
+        p = Payload.phantom(4096, tag=1)
+        assert not p.is_concrete
+        assert p == Payload.phantom(4096, tag=1)
+        assert p != Payload.phantom(4096, tag=2)
+        assert p != Payload.phantom(4097, tag=1)
+
+    def test_data_access_raises(self):
+        with pytest.raises(ValueError):
+            Payload.phantom(10).data
+
+    def test_fragment_reassembly_reproduces_original(self):
+        """Slice into 4KB fragments, concat in order -> equal payload."""
+        p = Payload.phantom(10000, tag=42)
+        frags = [p.slice(off, min(4096, 10000 - off))
+                 for off in range(0, 10000, 4096)]
+        assert Payload.concat(frags) == p
+
+    def test_out_of_order_reassembly_differs(self):
+        p = Payload.phantom(8192, tag=42)
+        a, b = p.slice(0, 4096), p.slice(4096, 4096)
+        assert Payload.concat([b, a]) != p
+
+    def test_corrupt_phantom_changes_identity(self):
+        p = Payload.phantom(100, tag=1)
+        assert p.corrupt() != p
+
+    def test_full_slice_is_identity(self):
+        p = Payload.phantom(100, tag=9)
+        assert p.slice(0, 100) == p
+
+
+@settings(max_examples=50)
+@given(data=st.binary(min_size=1, max_size=512),
+       cut=st.integers(min_value=0, max_value=512))
+def test_prop_concrete_slice_concat_roundtrip(data, cut):
+    p = Payload.from_bytes(data)
+    cut = min(cut, p.size)
+    left, right = p.slice(0, cut), p.slice(cut, p.size - cut)
+    assert Payload.concat([left, right]) == p
+
+
+@settings(max_examples=50)
+@given(size=st.integers(min_value=1, max_value=100_000),
+       tag=st.integers(min_value=0, max_value=2**32),
+       mtu=st.integers(min_value=1, max_value=8192))
+def test_prop_phantom_fragmentation_roundtrip(size, tag, mtu):
+    p = Payload.phantom(size, tag=tag)
+    frags = [p.slice(off, min(mtu, size - off)) for off in range(0, size, mtu)]
+    assert Payload.concat(frags) == p
+    assert sum(f.size for f in frags) == size
+
+
+@settings(max_examples=50)
+@given(data=st.binary(min_size=1, max_size=256),
+       bit=st.integers(min_value=0, max_value=10_000))
+def test_prop_corruption_always_detected_by_equality(data, bit):
+    p = Payload.from_bytes(data)
+    assert p.corrupt(bit) != p
