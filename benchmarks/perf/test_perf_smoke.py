@@ -1,0 +1,55 @@
+"""Smoke-run the perf harness at 10x-reduced sizes.
+
+Not part of tier-1 (``testpaths`` excludes ``benchmarks/``); CI invokes
+this file explicitly so a refactor can't silently break the harness the
+before/after numbers depend on.
+"""
+
+import json
+
+import pytest
+
+from perf_harness import (
+    bench_campaign,
+    bench_kernel_events,
+    bench_kernel_wakeups,
+    bench_lanai_interpreter,
+    merge_into,
+)
+
+
+@pytest.mark.perf
+def test_kernel_events_smoke():
+    result = bench_kernel_events(total_yields=20_000)
+    assert result["yields"] == 20_000
+    assert result["events_per_sec"] > 0
+
+
+@pytest.mark.perf
+def test_kernel_wakeups_smoke():
+    result = bench_kernel_wakeups(total_yields=5_000)
+    assert result["events_per_sec"] > 0
+
+
+@pytest.mark.perf
+def test_interpreter_smoke():
+    result = bench_lanai_interpreter(repeats=1)
+    assert result["instructions"] > 100_000
+    assert result["instr_per_sec"] > 0
+
+
+@pytest.mark.perf
+def test_campaign_smoke():
+    result = bench_campaign(runs=4, workers=2, seed=2003)
+    assert result["runs"] == 4
+    assert sum(result["counts"].values()) == 4
+
+
+@pytest.mark.perf
+def test_merge_into_accumulates(tmp_path):
+    out = tmp_path / "bench.json"
+    merge_into(str(out), "a", {"x": 1})
+    doc = merge_into(str(out), "b", {"y": 2})
+    assert set(doc["entries"]) == {"a", "b"}
+    on_disk = json.loads(out.read_text())
+    assert on_disk["entries"]["a"]["x"] == 1

@@ -33,7 +33,7 @@ def _cmd_table1(args) -> str:
             print("  ... %d/%d runs" % (n, args.runs), file=sys.stderr)
 
     result = run_campaign(runs=args.runs, seed=args.seed,
-                          progress=progress)
+                          progress=progress, workers=args.workers)
     return result.render()
 
 
@@ -133,7 +133,8 @@ def _cmd_fig45(args) -> str:
 def _cmd_effectiveness(args) -> str:
     from .faults import run_effectiveness_study
 
-    result = run_effectiveness_study(runs=args.runs, seed=args.seed)
+    result = run_effectiveness_study(runs=args.runs, seed=args.seed,
+                                     workers=args.workers)
     return result.render()
 
 
@@ -141,7 +142,8 @@ def _cmd_surface(args) -> str:
     from .faults import run_campaign
     from .faults.surface import analyze_surface
 
-    campaign = run_campaign(runs=args.runs, seed=args.seed)
+    campaign = run_campaign(runs=args.runs, seed=args.seed,
+                            workers=args.workers)
     return campaign.render() + "\n\n" \
         + analyze_surface(campaign.outcomes).render()
 
@@ -156,6 +158,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     table1 = sub.add_parser("table1", help="fault-injection campaign")
     table1.add_argument("--runs", type=int, default=150)
     table1.add_argument("--seed", type=int, default=2003)
+    table1.add_argument("--workers", type=int, default=1,
+                        help="parallel injection processes (default 1)")
     table1.set_defaults(fn=_cmd_table1)
 
     table2 = sub.add_parser("table2", help="GM vs FTGM metrics")
@@ -183,12 +187,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         "effectiveness", help="FTGM recovery coverage (section 5.2)")
     effectiveness.add_argument("--runs", type=int, default=80)
     effectiveness.add_argument("--seed", type=int, default=7001)
+    effectiveness.add_argument("--workers", type=int, default=1,
+                               help="parallel injection processes")
     effectiveness.set_defaults(fn=_cmd_effectiveness)
 
     surface = sub.add_parser(
         "surface", help="fault outcomes by corrupted instruction field")
     surface.add_argument("--runs", type=int, default=150)
     surface.add_argument("--seed", type=int, default=6007)
+    surface.add_argument("--workers", type=int, default=1,
+                         help="parallel injection processes")
     surface.set_defaults(fn=_cmd_surface)
 
     args = parser.parse_args(argv)

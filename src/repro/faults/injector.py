@@ -132,8 +132,17 @@ def run_injection(config: InjectionConfig) -> InjectionOutcome:
         all_received = len(state["recv"]) >= config.messages
         return resolved and all_received
 
-    while sim.peek() <= config.observe_horizon_us and not _done():
-        sim.step()
+    # Advance in 1 ms slices through run()'s inlined event loop and poll
+    # _done() once per slice instead of once per event — every outcome
+    # field is frozen by the time _done() turns true (all sends resolved,
+    # all receives recorded, no further activity), so observing up to a
+    # slice past that instant classifies identically.
+    horizon = config.observe_horizon_us
+    while not _done():
+        next_at = sim.peek()
+        if next_at > horizon:
+            break
+        sim.run(until=min(next_at + 1_000.0, horizon))
     # Small grace period so trailing events (late ACKs) settle.
     sim.run(until=min(sim.now + 10_000.0, config.observe_horizon_us))
 

@@ -49,7 +49,7 @@ class FtgmDriver(GmDriver):
         """The FATAL interrupt: wake the FTD (never recover inline)."""
         if isinstance(cause, int) and cause & IsrBits.IT1_EXPIRED:
             self.fatal_interrupts += 1
-            self.tracer.emit(self.sim.now, "driver%d" % self.nic.node_id,
+            self.tracer.emit(self.sim.now, self.trace_source,
                              "fatal_interrupt")
             # Mask further IT1 edges until recovery re-arms the watchdog.
             self.nic.status.disable_interrupt(IsrBits.IT1_EXPIRED)

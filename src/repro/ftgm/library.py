@@ -101,8 +101,8 @@ class FtgmPort(Port):
         """
         tracer: Tracer = self.driver.tracer
         started = self.sim.now
-        tracer.emit(started, "port%d@%s" % (self.port_id, self.host.name),
-                    "port_recovery_start",
+        source = "port%d@%s" % (self.port_id, self.host.name)
+        tracer.emit(started, source, "port_recovery_start",
                     sends=len(self.shadow.send_tokens),
                     recvs=len(self.shadow.recv_tokens))
 
@@ -146,6 +146,5 @@ class FtgmPort(Port):
         remainder = max(C.PER_PORT_RECOVERY_US - elapsed, 0.0)
         yield from self.host.cpu_execute(remainder, "recovery")
         self.recoveries += 1
-        tracer.emit(self.sim.now,
-                    "port%d@%s" % (self.port_id, self.host.name),
-                    "port_recovery_done", took=self.sim.now - started)
+        tracer.emit(self.sim.now, source, "port_recovery_done",
+                    took=self.sim.now - started)

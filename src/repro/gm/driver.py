@@ -34,6 +34,7 @@ class GmDriver:
         self.host = host
         self.nic = nic
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.trace_source = "driver%d" % nic.node_id
         self.interpreted = interpreted
         self.mcp: Optional[Mcp] = None
         self.ports: Dict[int, Port] = {}
@@ -60,7 +61,7 @@ class GmDriver:
     def _routes_installed(self, table: Dict[int, List[int]]) -> None:
         """The mapper configured this interface; keep the host copy."""
         self.host_routes = dict(table)
-        self.tracer.emit(self.sim.now, "driver%d" % self.nic.node_id,
+        self.tracer.emit(self.sim.now, self.trace_source,
                          "host_routes_saved", count=len(table))
 
     def _irq_handler(self, cause) -> None:

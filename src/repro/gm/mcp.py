@@ -220,23 +220,10 @@ class Mcp:
         self._kick()
 
     def _kick(self) -> None:
-        if self._wake is not None and not self._wake.triggered:
-            self._wake.succeed()
-
-    def _has_work(self) -> bool:
-        if self.nic.status.test(IsrBits.IT0_EXPIRED):
-            return True
-        if self.paused:
-            return False  # only the timer routine runs while paused
-        if len(self.nic.recv_ring) or len(self.doorbells):
-            return True
-        now = self.sim.now
-        for stream in self.tx_streams.values():
-            if stream.deadline is not None and stream.deadline <= now:
-                return True
-            if stream.has_sendable():
-                return True
-        return False
+        wake = self._wake
+        if wake is not None and wake.callbacks is not None \
+                and not wake._scheduled:  # i.e. not wake.triggered
+            wake.succeed()
 
     def _dispatch(self) -> Generator:
         while self.running:
@@ -245,18 +232,22 @@ class Mcp:
                 break
             if progressed:
                 continue
+            # A False return from _step() proves there is no work *now*:
+            # it checked IT0, pause, the rings, deadlines and sendables
+            # without yielding, so no sim time has passed and a separate
+            # has-work re-check would test the same state again.  Nothing
+            # can kick us before the yield either, so the wake event is
+            # allocated only when the loop actually goes to sleep.
             self._wake = self.sim.event()
-            if self._has_work():
-                self._wake = None
-                continue
             yield self._wake
             self._wake = None
 
     def _step(self) -> Generator:
         """One dispatch cycle; returns True if any work was done."""
+        status = self.nic.status
         # 1. Timer routine (housekeeping).
-        if self.nic.status.test(IsrBits.IT0_EXPIRED):
-            self.nic.status.clear_bits(IsrBits.IT0_EXPIRED)
+        if status.isr & IsrBits.IT0_EXPIRED:
+            status.isr &= ~IsrBits.IT0_EXPIRED  # clear_bits, inlined
             yield from self._l_timer()
             return True
         if self.paused:
@@ -264,10 +255,11 @@ class Mcp:
             # is how the resume request arrives — but nothing else does.
             return False
         # 2. Arrived packets.
-        ok, pkt = self.nic.recv_ring.try_get()
-        if ok:
-            if not len(self.nic.recv_ring):
-                self.nic.status.clear_bits(IsrBits.PACKET_ARRIVED)
+        ring_items = self.nic.recv_ring.items
+        if ring_items:
+            pkt = ring_items.popleft()
+            if not ring_items:
+                status.isr &= ~IsrBits.PACKET_ARRIVED
             yield from self._handle_packet(pkt)
             return True
         # 3. Host doorbells.
@@ -275,17 +267,27 @@ class Mcp:
         if ok:
             yield from self._handle_doorbell(bell)
             return True
-        # 4. Retransmit deadlines.
+        # 4. Retransmit deadlines.  (The dict is scanned directly and the
+        # winner handled only after iteration ends — handlers may mutate
+        # tx_streams, so acting mid-iteration would be unsafe, but a
+        # per-poll list() copy is not needed just to *find* the stream.)
         now = self.sim.now
-        for stream in list(self.tx_streams.values()):
+        found = None
+        for stream in self.tx_streams.values():
             if stream.deadline is not None and stream.deadline <= now:
-                yield from self._handle_timeout(stream)
-                return True
+                found = stream
+                break
+        if found is not None:
+            yield from self._handle_timeout(found)
+            return True
         # 5. Pump one sendable fragment.
-        for stream in list(self.tx_streams.values()):
+        for stream in self.tx_streams.values():
             if stream.has_sendable():
-                yield from self._send_fragment(stream)
-                return True
+                found = stream
+                break
+        if found is not None:
+            yield from self._send_fragment(found)
+            return True
         return False
 
     # -- L_timer ------------------------------------------------------------------
@@ -307,15 +309,17 @@ class Mcp:
         self.l_timer_invocations += 1
         self.nic.status.clear_bits(IsrBits.HOST_REQUEST)
 
-        requests, self.host_requests = self.host_requests, []
-        for request in requests:
-            yield from self._handle_host_request(request)
+        if self.host_requests:
+            requests, self.host_requests = self.host_requests, []
+            for request in requests:
+                yield from self._handle_host_request(request)
 
-        due = [a for a in self.alarms if a[0] <= now]
-        self.alarms = [a for a in self.alarms if a[0] > now]
-        for _when, port_id, context in due:
-            yield from self._post_event(GmEvent(
-                EventType.ALARM, port_id, context=context))
+        if self.alarms:
+            due = [a for a in self.alarms if a[0] <= now]
+            self.alarms = [a for a in self.alarms if a[0] > now]
+            for _when, port_id, context in due:
+                yield from self._post_event(GmEvent(
+                    EventType.ALARM, port_id, context=context))
 
         yield from self._charge(1.5, "housekeeping")
         self._l_timer_extra()

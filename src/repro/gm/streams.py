@@ -259,12 +259,20 @@ class TxStream:
             and self.acked_upto + 1 < self.send_cursor
 
     def has_sendable(self) -> bool:
+        if not self.msgs:
+            # Idle stream: both sendable conditions below need a live
+            # message, so skip the window arithmetic (this is the MCP
+            # dispatch loop's hottest poll).
+            return False
         if not self.window_open():
             return False
         if self._job_for_seq(self.send_cursor, GM_MTU) is not None:
             return True
-        return any(not r.failed and r.seq_base > self.send_cursor
-                   for r in self.msgs.values())
+        cursor = self.send_cursor
+        for record in self.msgs.values():
+            if not record.failed and record.seq_base > cursor:
+                return True
+        return False
 
 
 class RxStream:

@@ -78,8 +78,9 @@ class Nic:
             return
         bit = (IsrBits.IT0_EXPIRED, IsrBits.IT1_EXPIRED,
                IsrBits.IT2_EXPIRED)[timer.index]
-        self.tracer.emit(self.sim.now, self.name, "timer_expired",
-                         timer=timer.index)
+        if self.tracer.enabled:  # hot path: ~2k expiries per simulated ms
+            self.tracer.emit(self.sim.now, self.name, "timer_expired",
+                             timer=timer.index)
         self.status.set_bits(bit)
 
     def kill_timers(self) -> None:

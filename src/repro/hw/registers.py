@@ -65,17 +65,25 @@ class StatusRegister:
         self.isr = 0
         self.imr = 0
         self._listeners: List[Callable[[int], None]] = []
+        # Immutable snapshot iterated by set_bits: listeners added or
+        # removed synchronously *during* a notification (IRQ handlers can
+        # run under set_bits) must not perturb the in-flight iteration,
+        # and a tuple rebuilt on mutation is cheaper than copying the
+        # list on every set (set_bits is the hottest register path).
+        self._notify: tuple = ()
 
     def add_listener(self, fn: Callable[[int], None]) -> None:
         self._listeners.append(fn)
+        self._notify = tuple(self._listeners)
 
     def remove_listener(self, fn: Callable[[int], None]) -> None:
         self._listeners.remove(fn)
+        self._notify = tuple(self._listeners)
 
     def set_bits(self, mask: int) -> None:
         """OR ``mask`` into the ISR and notify listeners."""
         self.isr |= mask
-        for listener in list(self._listeners):
+        for listener in self._notify:
             listener(mask)
 
     def clear_bits(self, mask: int) -> None:

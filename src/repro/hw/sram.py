@@ -28,10 +28,32 @@ class Sram:
             raise ValueError("SRAM size must be a positive multiple of 4")
         self.size = size
         self._mem = bytearray(size)
+        # Decoded-instruction cache, owned by the memory so that *every*
+        # write path invalidates the stale decode — a bit flip injected
+        # through any of these APIs must corrupt all subsequent
+        # executions until the MCP is reloaded (persistent-flip
+        # semantics of the paper's SWIFI experiments).  Keys are word
+        # addresses; values are opaque to the SRAM (the LANai
+        # interpreter stores compiled entries).
+        self.decode_cache: dict = {}
 
     def _check(self, address: int, length: int) -> None:
         if address < 0 or length < 0 or address + length > self.size:
             raise BusError(address, length, what="SRAM")
+
+    def _invalidate(self, address: int, length: int) -> None:
+        """Drop cached decodes for every word overlapping the write."""
+        cache = self.decode_cache
+        if not cache:
+            return
+        start = address & ~3
+        end = address + length
+        if end - start <= 4 * len(cache):
+            for word in range(start, end, WORD_SIZE):
+                cache.pop(word, None)
+        else:  # bulk write (e.g. firmware image): scan the cache instead
+            for word in [w for w in cache if start <= w < end]:
+                del cache[word]
 
     # -- byte access ---------------------------------------------------------
 
@@ -41,6 +63,7 @@ class Sram:
 
     def write_bytes(self, address: int, data: bytes) -> None:
         self._check(address, len(data))
+        self._invalidate(address, len(data))
         self._mem[address:address + len(data)] = data
 
     # -- word access -----------------------------------------------------------
@@ -52,6 +75,7 @@ class Sram:
 
     def write_word(self, address: int, value: int) -> None:
         self._check(address, WORD_SIZE)
+        self._invalidate(address, WORD_SIZE)
         self._mem[address:address + WORD_SIZE] = (
             value & 0xFFFFFFFF).to_bytes(WORD_SIZE, "big")
 
@@ -67,15 +91,19 @@ class Sram:
     def clear(self) -> None:
         """Zero the whole SRAM (the FTD does this before reloading the MCP)."""
         self._mem = bytearray(self.size)
+        self.decode_cache.clear()
 
     def flip_bit(self, bit_offset: int) -> int:
         """Flip a single bit; returns the byte address touched.
 
         This is the fault-injection primitive: the paper flips random bits
-        in the ``send_chunk`` section of the MCP code segment.
+        in the ``send_chunk`` section of the MCP code segment.  The flip
+        goes through the same invalidation as a write: a cached decode of
+        the corrupted word must not survive it.
         """
         byte_addr, bit = divmod(bit_offset, 8)
         self._check(byte_addr, 1)
+        self._invalidate(byte_addr, 1)
         self._mem[byte_addr] ^= 1 << (7 - bit)  # bit 0 = MSB, matching BE words
         return byte_addr
 

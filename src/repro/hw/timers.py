@@ -40,9 +40,13 @@ class IntervalTimer:
         self.sim = sim
         self.index = index
         self.on_expire = None  # type: Optional[callable]
-        self._generation = 0
         self._armed = False
         self._deadline = None  # type: Optional[float]
+        # Identity of the pending expiry timeout: re-arming replaces it,
+        # which cancels the stale expiry without a per-arm closure (the
+        # MCP re-arms IT0 every L_timer, so this path is hot).
+        self._pending = None
+        self._fire_cb = self._fire
 
     @property
     def armed(self) -> bool:
@@ -63,24 +67,23 @@ class IntervalTimer:
         """Arm (or re-arm) the timer to expire ``interval_us`` from now."""
         if interval_us <= 0:
             raise ValueError("timer interval must be positive")
-        self._generation += 1
         self._armed = True
         self._deadline = self.sim.now + interval_us
-        generation = self._generation
-
-        def fire(_event):
-            if generation != self._generation or not self._armed:
-                return  # re-armed or stopped since scheduling
-            self._armed = False
-            self._deadline = None
-            if self.on_expire is not None:
-                self.on_expire(self)
-
         timeout = self.sim.timeout(interval_us)
-        timeout.callbacks.append(fire)
+        self._pending = timeout
+        timeout.callbacks.append(self._fire_cb)
+
+    def _fire(self, event) -> None:
+        if event is not self._pending or not self._armed:
+            return  # re-armed or stopped since scheduling
+        self._armed = False
+        self._deadline = None
+        self._pending = None
+        if self.on_expire is not None:
+            self.on_expire(self)
 
     def stop(self) -> None:
         """Disarm without firing (used on card reset)."""
-        self._generation += 1
         self._armed = False
         self._deadline = None
+        self._pending = None

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Generator, Optional
 
-from ..errors import BusError, InvalidInstruction, LanaiTrap
+from ..errors import BusError, InvalidInstruction
 from ..sim import Event, Simulator, Tracer
 from . import isa
 from .bus import MemoryBus
@@ -35,11 +35,6 @@ __all__ = ["LanaiCpu", "RoutineOutcome", "CYCLE_US", "RETURN_SENTINEL"]
 CYCLE_US = 1.0 / 132.0       # LANai9 runs at 132 MHz
 RETURN_SENTINEL = 0xFFFF_FFFC  # link value meaning "routine complete"
 _TIME_CHUNK = 512            # instructions per simulated-time flush
-
-
-def _s32(value: int) -> int:
-    value &= 0xFFFFFFFF
-    return value - (1 << 32) if value & (1 << 31) else value
 
 
 @dataclass
@@ -105,128 +100,117 @@ class LanaiCpu:
         executed = 0
         cycles = 0
         regs = self.regs
+        bus = self.bus
+        sram = bus.sram
+        sram_size = sram.size
+        # The decode cache is owned by the SRAM: any write through the
+        # SRAM API (including injected bit flips and DMA landing mid
+        # spin-wait) drops the stale entry, so the next fetch re-decodes
+        # the corrupted word — persistent-flip semantics preserved.
+        cache = sram.decode_cache
+        cache_get = cache.get
+        timeout = self.sim.timeout
+        K_EXEC = isa.KIND_EXEC
+        K_BRANCH = isa.KIND_BRANCH
+        K_LOAD = isa.KIND_LOAD
+        K_STORE = isa.KIND_STORE
+        K_JUMP = isa.KIND_JUMP
+        K_JAL = isa.KIND_JAL
+        K_JR = isa.KIND_JR
+        K_NOP = isa.KIND_NOP
         while True:
             if executed >= fuel:
-                yield self.sim.timeout(cycles * CYCLE_US)
+                yield timeout(cycles * CYCLE_US)
                 self.busy_time += cycles * CYCLE_US
                 self._hang("infinite-loop", self.pc)
                 return RoutineOutcome("hung", "infinite-loop", self.pc,
                                       executed)
             pc = self.pc
             if pc == 0:
-                yield self.sim.timeout(cycles * CYCLE_US)
+                yield timeout(cycles * CYCLE_US)
                 self.busy_time += cycles * CYCLE_US
                 self.tracer.emit(self.sim.now, self.name, "mcp_restart", pc=pc)
                 return RoutineOutcome("restart", "jumped-to-reset-vector",
                                       pc, executed)
             if pc == RETURN_SENTINEL:
-                yield self.sim.timeout(cycles * CYCLE_US)
+                yield timeout(cycles * CYCLE_US)
                 self.busy_time += cycles * CYCLE_US
                 self.instructions_retired += executed
                 return RoutineOutcome("done", pc=pc, instructions=executed)
-            if pc % 4 or not 0 <= pc < self.bus.sram.size:
-                yield self.sim.timeout(cycles * CYCLE_US)
+            if pc % 4 or not 0 <= pc < sram_size:
+                yield timeout(cycles * CYCLE_US)
                 self.busy_time += cycles * CYCLE_US
                 self._hang("pc-out-of-bounds", pc)
                 return RoutineOutcome("hung", "pc-out-of-bounds", pc, executed)
-            word = self.bus.sram.read_word(pc)
-            try:
-                instr = isa.decode(word, pc)
-            except InvalidInstruction:
-                yield self.sim.timeout(cycles * CYCLE_US)
-                self.busy_time += cycles * CYCLE_US
-                self._hang("invalid-instruction", pc)
-                return RoutineOutcome("hung", "invalid-instruction", pc,
-                                      executed, faulting_word=word)
-            executed += 1
-            cycles += instr.op.cycles
-            op = instr.op.mnemonic
-            next_pc = pc + 4
-            try:
-                if op == "nop":
-                    pass
-                elif op == "add":
-                    regs[instr.rd] = (regs[instr.ra] + regs[instr.rb]) \
-                        & 0xFFFFFFFF
-                elif op == "sub":
-                    regs[instr.rd] = (regs[instr.ra] - regs[instr.rb]) \
-                        & 0xFFFFFFFF
-                elif op == "and":
-                    regs[instr.rd] = regs[instr.ra] & regs[instr.rb]
-                elif op == "or":
-                    regs[instr.rd] = regs[instr.ra] | regs[instr.rb]
-                elif op == "xor":
-                    regs[instr.rd] = regs[instr.ra] ^ regs[instr.rb]
-                elif op == "sll":
-                    regs[instr.rd] = (regs[instr.ra]
-                                      << (regs[instr.rb] & 31)) & 0xFFFFFFFF
-                elif op == "srl":
-                    regs[instr.rd] = regs[instr.ra] >> (regs[instr.rb] & 31)
-                elif op == "slt":
-                    regs[instr.rd] = int(_s32(regs[instr.ra])
-                                         < _s32(regs[instr.rb]))
-                elif op == "addi":
-                    regs[instr.rd] = (regs[instr.ra] + instr.imm) & 0xFFFFFFFF
-                elif op == "andi":
-                    regs[instr.rd] = regs[instr.ra] & (instr.imm & 0xFFFFFFFF)
-                elif op == "ori":
-                    regs[instr.rd] = regs[instr.ra] | (instr.imm & 0x3FFFF)
-                elif op == "xori":
-                    regs[instr.rd] = regs[instr.ra] ^ (instr.imm & 0x3FFFF)
-                elif op == "lui":
-                    regs[instr.rd] = (instr.imm << 14) & 0xFFFFFFFF
-                elif op == "lw":
-                    addr = (regs[instr.ra] + instr.imm) & 0xFFFFFFFF
-                    result = self.bus.read_word(addr)
-                    if isinstance(result, Event):
-                        yield self.sim.timeout(cycles * CYCLE_US)
-                        self.busy_time += cycles * CYCLE_US
-                        cycles = 0
-                        result = yield result
-                    regs[instr.rd] = int(result) & 0xFFFFFFFF
-                elif op == "sw":
-                    addr = (regs[instr.ra] + instr.imm) & 0xFFFFFFFF
-                    block = self.bus.write_word(addr, regs[instr.rd])
-                    if isinstance(block, Event):
-                        yield self.sim.timeout(cycles * CYCLE_US)
-                        self.busy_time += cycles * CYCLE_US
-                        cycles = 0
-                        yield block
-                elif op == "beq":
-                    if regs[instr.ra] == regs[instr.rb]:
-                        next_pc = pc + 4 + instr.imm * 4
-                elif op == "bne":
-                    if regs[instr.ra] != regs[instr.rb]:
-                        next_pc = pc + 4 + instr.imm * 4
-                elif op == "blt":
-                    if _s32(regs[instr.ra]) < _s32(regs[instr.rb]):
-                        next_pc = pc + 4 + instr.imm * 4
-                elif op == "bge":
-                    if _s32(regs[instr.ra]) >= _s32(regs[instr.rb]):
-                        next_pc = pc + 4 + instr.imm * 4
-                elif op == "j":
-                    next_pc = instr.imm * 4
-                elif op == "jal":
-                    regs[15] = pc + 4
-                    next_pc = instr.imm * 4
-                elif op == "jr":
-                    next_pc = regs[instr.ra]
-                elif op == "halt":
-                    yield self.sim.timeout(cycles * CYCLE_US)
+            entry_ = cache_get(pc)
+            if entry_ is None:
+                word = sram.read_word(pc)
+                try:
+                    entry_ = isa.compile_instruction(isa.decode(word, pc))
+                except InvalidInstruction:
+                    yield timeout(cycles * CYCLE_US)
                     self.busy_time += cycles * CYCLE_US
-                    self._hang("halt-instruction", pc)
-                    return RoutineOutcome("hung", "halt-instruction", pc,
-                                          executed)
-                else:  # pragma: no cover - decode table is closed
-                    raise LanaiTrap("unimplemented op %s" % op, pc)
-            except BusError as exc:
-                yield self.sim.timeout(cycles * CYCLE_US)
+                    self._hang("invalid-instruction", pc)
+                    return RoutineOutcome("hung", "invalid-instruction", pc,
+                                          executed, faulting_word=word)
+                cache[pc] = entry_
+            kind, op_cycles, arg = entry_
+            executed += 1
+            cycles += op_cycles
+            next_pc = pc + 4
+            if kind == K_EXEC:
+                arg(regs)
+            elif kind == K_BRANCH:
+                next_pc = arg(regs, pc)
+            elif kind == K_LOAD:
+                rd, ra, imm = arg
+                addr = (regs[ra] + imm) & 0xFFFFFFFF
+                try:
+                    result = bus.read_word(addr)
+                except BusError as exc:
+                    yield timeout(cycles * CYCLE_US)
+                    self.busy_time += cycles * CYCLE_US
+                    self._hang("bus-error:0x%x" % exc.address, pc)
+                    return RoutineOutcome("hung", "bus-error", pc, executed)
+                if isinstance(result, Event):
+                    yield timeout(cycles * CYCLE_US)
+                    self.busy_time += cycles * CYCLE_US
+                    cycles = 0
+                    result = yield result
+                regs[rd] = int(result) & 0xFFFFFFFF
+            elif kind == K_STORE:
+                rd, ra, imm = arg
+                addr = (regs[ra] + imm) & 0xFFFFFFFF
+                try:
+                    block = bus.write_word(addr, regs[rd])
+                except BusError as exc:
+                    yield timeout(cycles * CYCLE_US)
+                    self.busy_time += cycles * CYCLE_US
+                    self._hang("bus-error:0x%x" % exc.address, pc)
+                    return RoutineOutcome("hung", "bus-error", pc, executed)
+                if isinstance(block, Event):
+                    yield timeout(cycles * CYCLE_US)
+                    self.busy_time += cycles * CYCLE_US
+                    cycles = 0
+                    yield block
+            elif kind == K_JUMP:
+                next_pc = arg
+            elif kind == K_JAL:
+                regs[15] = pc + 4
+                next_pc = arg
+            elif kind == K_JR:
+                next_pc = regs[arg]
+            elif kind == K_NOP:
+                pass
+            else:  # KIND_HALT
+                yield timeout(cycles * CYCLE_US)
                 self.busy_time += cycles * CYCLE_US
-                self._hang("bus-error:0x%x" % exc.address, pc)
-                return RoutineOutcome("hung", "bus-error", pc, executed)
+                self._hang("halt-instruction", pc)
+                return RoutineOutcome("hung", "halt-instruction", pc,
+                                      executed)
             regs[0] = 0  # r0 is hardwired to zero
             self.pc = next_pc & 0xFFFFFFFF
             if executed % _TIME_CHUNK == 0:
-                yield self.sim.timeout(cycles * CYCLE_US)
+                yield timeout(cycles * CYCLE_US)
                 self.busy_time += cycles * CYCLE_US
                 cycles = 0

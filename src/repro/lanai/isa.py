@@ -35,9 +35,19 @@ __all__ = [
     "encode",
     "decode",
     "disassemble",
+    "compile_instruction",
     "NUM_REGS",
     "IMM18_MIN",
     "IMM18_MAX",
+    "KIND_EXEC",
+    "KIND_BRANCH",
+    "KIND_LOAD",
+    "KIND_STORE",
+    "KIND_JUMP",
+    "KIND_JAL",
+    "KIND_JR",
+    "KIND_NOP",
+    "KIND_HALT",
 ]
 
 NUM_REGS = 16
@@ -190,3 +200,203 @@ def disassemble(word: int, pc: int = 0) -> str:
         return disassemble_instruction(decode(word, pc))
     except InvalidInstruction:
         return ".invalid 0x%08x" % (word & 0xFFFFFFFF)
+
+
+# -- compiled execution entries ----------------------------------------------
+#
+# The interpreter caches each decoded word as a compiled entry
+# ``(kind, cycles, arg)``; KIND_EXEC/KIND_BRANCH carry a specialized
+# closure over the decoded register fields, the rest carry plain data the
+# CPU loop consumes directly.  ``_COMPILERS`` is the per-opcode dispatch
+# table that replaced the interpreter's mnemonic if/elif chain.
+
+KIND_EXEC = 0     # arg(regs) -> None; falls through to pc + 4
+KIND_BRANCH = 1   # arg(regs, pc) -> next_pc
+KIND_LOAD = 2     # arg = (rd, ra, imm)
+KIND_STORE = 3    # arg = (rd, ra, imm)
+KIND_JUMP = 4     # arg = target address
+KIND_JAL = 5      # arg = target address; link in r15
+KIND_JR = 6       # arg = ra
+KIND_NOP = 7
+KIND_HALT = 8
+
+
+def _s32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value & (1 << 31) else value
+
+
+def _c_add(i):
+    rd, ra, rb = i.rd, i.ra, i.rb
+
+    def fn(regs):
+        regs[rd] = (regs[ra] + regs[rb]) & 0xFFFFFFFF
+    return fn
+
+
+def _c_sub(i):
+    rd, ra, rb = i.rd, i.ra, i.rb
+
+    def fn(regs):
+        regs[rd] = (regs[ra] - regs[rb]) & 0xFFFFFFFF
+    return fn
+
+
+def _c_and(i):
+    rd, ra, rb = i.rd, i.ra, i.rb
+
+    def fn(regs):
+        regs[rd] = regs[ra] & regs[rb]
+    return fn
+
+
+def _c_or(i):
+    rd, ra, rb = i.rd, i.ra, i.rb
+
+    def fn(regs):
+        regs[rd] = regs[ra] | regs[rb]
+    return fn
+
+
+def _c_xor(i):
+    rd, ra, rb = i.rd, i.ra, i.rb
+
+    def fn(regs):
+        regs[rd] = regs[ra] ^ regs[rb]
+    return fn
+
+
+def _c_sll(i):
+    rd, ra, rb = i.rd, i.ra, i.rb
+
+    def fn(regs):
+        regs[rd] = (regs[ra] << (regs[rb] & 31)) & 0xFFFFFFFF
+    return fn
+
+
+def _c_srl(i):
+    rd, ra, rb = i.rd, i.ra, i.rb
+
+    def fn(regs):
+        regs[rd] = regs[ra] >> (regs[rb] & 31)
+    return fn
+
+
+def _c_slt(i):
+    rd, ra, rb = i.rd, i.ra, i.rb
+
+    def fn(regs):
+        regs[rd] = int(_s32(regs[ra]) < _s32(regs[rb]))
+    return fn
+
+
+def _c_addi(i):
+    rd, ra, imm = i.rd, i.ra, i.imm
+
+    def fn(regs):
+        regs[rd] = (regs[ra] + imm) & 0xFFFFFFFF
+    return fn
+
+
+def _c_andi(i):
+    rd, ra, imm = i.rd, i.ra, i.imm & 0xFFFFFFFF
+
+    def fn(regs):
+        regs[rd] = regs[ra] & imm
+    return fn
+
+
+def _c_ori(i):
+    rd, ra, imm = i.rd, i.ra, i.imm & 0x3FFFF
+
+    def fn(regs):
+        regs[rd] = regs[ra] | imm
+    return fn
+
+
+def _c_xori(i):
+    rd, ra, imm = i.rd, i.ra, i.imm & 0x3FFFF
+
+    def fn(regs):
+        regs[rd] = regs[ra] ^ imm
+    return fn
+
+
+def _c_lui(i):
+    rd, value = i.rd, (i.imm << 14) & 0xFFFFFFFF
+
+    def fn(regs):
+        regs[rd] = value
+    return fn
+
+
+def _c_beq(i):
+    ra, rb = i.ra, i.rb
+    taken, fallthrough = 4 + i.imm * 4, 4
+
+    def fn(regs, pc):
+        return pc + (taken if regs[ra] == regs[rb] else fallthrough)
+    return fn
+
+
+def _c_bne(i):
+    ra, rb = i.ra, i.rb
+    taken, fallthrough = 4 + i.imm * 4, 4
+
+    def fn(regs, pc):
+        return pc + (taken if regs[ra] != regs[rb] else fallthrough)
+    return fn
+
+
+def _c_blt(i):
+    ra, rb = i.ra, i.rb
+    taken, fallthrough = 4 + i.imm * 4, 4
+
+    def fn(regs, pc):
+        return pc + (taken if _s32(regs[ra]) < _s32(regs[rb])
+                     else fallthrough)
+    return fn
+
+
+def _c_bge(i):
+    ra, rb = i.ra, i.rb
+    taken, fallthrough = 4 + i.imm * 4, 4
+
+    def fn(regs, pc):
+        return pc + (taken if _s32(regs[ra]) >= _s32(regs[rb])
+                     else fallthrough)
+    return fn
+
+
+_COMPILERS = {
+    "nop": (KIND_NOP, None),
+    "halt": (KIND_HALT, None),
+    "add": (KIND_EXEC, _c_add),
+    "sub": (KIND_EXEC, _c_sub),
+    "and": (KIND_EXEC, _c_and),
+    "or": (KIND_EXEC, _c_or),
+    "xor": (KIND_EXEC, _c_xor),
+    "sll": (KIND_EXEC, _c_sll),
+    "srl": (KIND_EXEC, _c_srl),
+    "slt": (KIND_EXEC, _c_slt),
+    "addi": (KIND_EXEC, _c_addi),
+    "andi": (KIND_EXEC, _c_andi),
+    "ori": (KIND_EXEC, _c_ori),
+    "xori": (KIND_EXEC, _c_xori),
+    "lui": (KIND_EXEC, _c_lui),
+    "lw": (KIND_LOAD, lambda i: (i.rd, i.ra, i.imm)),
+    "sw": (KIND_STORE, lambda i: (i.rd, i.ra, i.imm)),
+    "beq": (KIND_BRANCH, _c_beq),
+    "bne": (KIND_BRANCH, _c_bne),
+    "blt": (KIND_BRANCH, _c_blt),
+    "bge": (KIND_BRANCH, _c_bge),
+    "j": (KIND_JUMP, lambda i: i.imm * 4),
+    "jal": (KIND_JAL, lambda i: i.imm * 4),
+    "jr": (KIND_JR, lambda i: i.ra),
+}
+
+
+def compile_instruction(instr: Instruction):
+    """Compile to a ``(kind, cycles, arg)`` decode-cache entry."""
+    kind, build = _COMPILERS[instr.op.mnemonic]
+    return (kind, instr.op.cycles, build(instr) if build else None)

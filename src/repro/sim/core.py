@@ -10,6 +10,14 @@ The kernel is deliberately deterministic: events scheduled for the same
 instant fire in insertion order, and all randomness in the project flows
 through :mod:`repro.sim.rng` seeded generators, so every experiment is
 exactly reproducible from its seed.
+
+The hot path is allocation-lean: events carry ``__slots__``, scheduling
+state is a per-event flag (no ``id()`` bookkeeping, which could report a
+stale *triggered* after the interpreter reuses an id), and same-instant
+process resumptions ride tiny :class:`_Resume` records through the heap
+instead of throwaway :class:`Event` objects.  Resumptions share the one
+sequence counter with real events, so firing order is identical to the
+event-per-resume formulation.
 """
 
 from __future__ import annotations
@@ -28,6 +36,9 @@ __all__ = [
     "Simulator",
     "SimulationError",
 ]
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class SimulationError(RuntimeError):
@@ -57,17 +68,21 @@ class Event:
     raised inside the process).
     """
 
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_defused",
+                 "_scheduled")
+
     def __init__(self, sim: "Simulator"):
         self.sim = sim
         self.callbacks: Optional[List[Callable[["Event"], None]]] = []
         self._value: Any = None
         self._exc: Optional[BaseException] = None
         self._defused = False
+        self._scheduled = False
 
     @property
     def triggered(self) -> bool:
         """True once ``succeed``/``fail`` has been called."""
-        return self.callbacks is None or self.sim._is_scheduled(self)
+        return self.callbacks is None or self._scheduled
 
     @property
     def processed(self) -> bool:
@@ -87,10 +102,12 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self.callbacks is None or self._scheduled:
             raise SimulationError("event already triggered")
         self._value = value
-        self.sim._schedule(self, 0.0)
+        self._scheduled = True
+        sim = self.sim
+        _heappush(sim._queue, (sim._now, next(sim._seq), self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
@@ -102,7 +119,7 @@ class Event:
         """
         if not isinstance(exc, BaseException):
             raise TypeError("fail() requires an exception instance")
-        if self.triggered:
+        if self.callbacks is None or self._scheduled:
             raise SimulationError("event already triggered")
         self._exc = exc
         self.sim._schedule(self, 0.0)
@@ -115,12 +132,16 @@ class Event:
 
     def _run_callbacks(self) -> None:
         callbacks, self.callbacks = self.callbacks, None
-        assert callbacks is not None
+        exc = self._exc
+        if exc is None:
+            for callback in callbacks:
+                callback(self)
+            return
         handled = self._defused or bool(callbacks)
         for callback in callbacks:
             callback(self)
-        if self._exc is not None and not handled:
-            raise self._exc
+        if not handled:
+            raise exc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "processed" if self.processed else (
@@ -129,15 +150,40 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that triggers ``delay`` time units after creation."""
+    """An event that triggers a fixed delay after creation."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError("negative delay: %r" % (delay,))
-        super().__init__(sim)
-        self.delay = delay
+        # Timeouts are the hottest allocation in the project; the base
+        # __init__ and _schedule are inlined to drop two call frames.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, delay)
+        self._exc = None
+        self._defused = False
+        self._scheduled = True
+        _heappush(sim._queue, (sim._now + delay, next(sim._seq), self))
+
+
+class _Resume:
+    """A same-instant process resumption, heap-scheduled like an event.
+
+    Replaces the throwaway bootstrap/rerun/interrupt ``Event`` objects:
+    no callback list, no trigger bookkeeping — just the generator step.
+    It carries ``_value``/``_exc`` under the same names an :class:`Event`
+    uses, so :meth:`Process._resume` accepts either without a wrapper.
+    """
+
+    __slots__ = ("process", "_value", "_exc")
+
+    def __init__(self, process: "Process", value: Any,
+                 exc: Optional[BaseException]):
+        self.process = process
+        self._value = value
+        self._exc = exc
 
 
 class Process(Event):
@@ -148,19 +194,24 @@ class Process(Event):
     when it raises, the process event fails with the exception.
     """
 
+    __slots__ = ("_gen", "_send", "_throw", "name", "_waiting_on",
+                 "_injected", "_resume_cb")
+
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         super().__init__(sim)
         if not hasattr(gen, "send"):
             raise TypeError("Process requires a generator, got %r" % (gen,))
         self._gen = gen
+        self._send = gen.send
+        self._throw = gen.throw
         self.name = name or getattr(gen, "__name__", "process")
         self._waiting_on: Optional[Event] = None
         self._injected: Optional[BaseException] = None
+        # One bound method for the lifetime of the process (appending
+        # ``self._resume`` would allocate a fresh bound method per wait).
+        self._resume_cb = self._resume
         # Bootstrap: step the generator at the current instant.
-        init = Event(sim)
-        init._value = None
-        init.callbacks.append(self._resume)
-        sim._schedule(init, 0.0)
+        sim._schedule_resume(self, None, None)
 
     @property
     def is_alive(self) -> bool:
@@ -187,68 +238,80 @@ class Process(Event):
         target = self._waiting_on
         if target is not None and target.callbacks is not None:
             try:
-                target.callbacks.remove(self._resume)
+                target.callbacks.remove(self._resume_cb)
             except ValueError:
                 pass
         self._waiting_on = None
         exc = cause if isinstance(cause, BaseException) else Interrupt(cause)
         self._injected = exc
-        hit = Event(self.sim)
-        hit._exc = exc
-        hit._defused = True
-        hit.callbacks.append(self._resume)
-        self.sim._schedule(hit, 0.0)
+        self.sim._schedule_resume(self, None, exc)
 
-    def _resume(self, event: Event) -> None:
+    def _resume(self, event) -> None:
+        """Advance the generator one step.
+
+        ``event`` is the :class:`Event` this process was waiting on or a
+        :class:`_Resume` record; only its ``_value``/``_exc`` are read.
+        """
         if self.callbacks is None:
             return
-        self._waiting_on = None
-        self.sim.active_process = self
+        # ``_waiting_on`` is NOT cleared here: it may go stale (pointing
+        # at the event that just fired), but a fired event's callbacks
+        # are already None, so interrupt()'s removal guard never touches
+        # it — and the waiter branch below overwrites it on the next
+        # wait.  One store saved per generator step.
+        sim = self.sim
+        sim.active_process = self
         try:
-            if event._exc is not None:
-                target = self._gen.throw(event._exc)
+            exc = event._exc
+            if exc is not None:
+                target = self._throw(exc)
             else:
-                target = self._gen.send(event._value)
+                target = self._send(event._value)
         except StopIteration as stop:
-            self.sim.active_process = None
+            sim.active_process = None
             if not self.triggered:
                 self.succeed(stop.value)
             return
-        except BaseException as exc:
-            self.sim.active_process = None
+        except BaseException as err:
+            sim.active_process = None
             if self.triggered:
                 raise
-            if isinstance(exc, Interrupt) or exc is self._injected:
+            if isinstance(err, Interrupt) or err is self._injected:
                 # An uncaught interrupt/kill terminates quietly-by-design:
                 # interrupts model crashes, and a killed process "failing"
                 # would needlessly escalate to run().  Waiters, if any,
                 # still observe the exception.
-                self._exc = exc
+                self._exc = err
                 self._defused = True
-                self.sim._schedule(self, 0.0)
+                sim._schedule(self, 0.0)
             else:
-                self.fail(exc)
+                self.fail(err)
             return
-        self.sim.active_process = None
-        if not isinstance(target, Event):
+        sim.active_process = None
+        try:
+            target_callbacks = target.callbacks
+        except AttributeError:
             raise SimulationError(
                 "process %r yielded %r; processes must yield Event instances"
-                % (self.name, target))
-        if target.callbacks is None:
-            # Already processed: resume immediately (at the current instant).
-            rerun = Event(self.sim)
-            rerun._value = target._value
-            rerun._exc = target._exc
-            rerun._defused = True
-            rerun.callbacks.append(self._resume)
-            self.sim._schedule(rerun, 0.0)
+                % (self.name, target)) from None
+        if target_callbacks is None:
+            # Already processed: resume immediately (at the current
+            # instant).  _schedule_resume is inlined — this branch is the
+            # hot half of every wakeup chain.
+            record = _Resume.__new__(_Resume)
+            record.process = self
+            record._value = target._value
+            record._exc = target._exc
+            _heappush(sim._queue, (sim._now, next(sim._seq), record))
         else:
             self._waiting_on = target
-            target.callbacks.append(self._resume)
+            target_callbacks.append(self._resume_cb)
 
 
 class _Condition(Event):
     """Base for AnyOf/AllOf composite events."""
+
+    __slots__ = ("_events", "_done")
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
@@ -275,9 +338,14 @@ class _Condition(Event):
     def _check(self, event: Event) -> None:
         raise NotImplementedError
 
+    # _check is looked up per trigger; bind once per instance would cost
+    # a slot for a cold path, so AnyOf/AllOf keep the plain method.
+
 
 class AnyOf(_Condition):
     """Triggers when the first of ``events`` triggers."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -291,6 +359,8 @@ class AnyOf(_Condition):
 
 class AllOf(_Condition):
     """Triggers when all of ``events`` have triggered."""
+
+    __slots__ = ()
 
     def _check(self, event: Event) -> None:
         if self.triggered:
@@ -320,12 +390,52 @@ class Simulator:
         assert sim.now == 5.0
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "active_process", "event",
+                 "timeout")
+
     def __init__(self):
         self._now = 0.0
-        self._queue: List = []
-        self._seq = itertools.count()
-        self._scheduled: set = set()
+        queue: List = []
+        self._queue = queue
+        seq = itertools.count()
+        self._seq = seq
         self.active_process: Optional[Process] = None
+
+        # sim.event()/sim.timeout() are the two hottest allocation sites
+        # in the project; these closures skip the type-call machinery
+        # (tp_new + __init__ re-dispatch) and write the slots directly.
+        # A factory-made Timeout never stores ``_defused``: the flag is
+        # only read on the failure path, and a timeout is born triggered
+        # so ``fail()`` can never accept it.
+        event_new = Event.__new__
+        timeout_new = Timeout.__new__
+        seq_next = seq.__next__
+        push = _heappush
+
+        def event() -> Event:
+            ev = event_new(Event)
+            ev.sim = self
+            ev.callbacks = []
+            ev._value = None
+            ev._exc = None
+            ev._defused = False
+            ev._scheduled = False
+            return ev
+
+        def timeout(delay: float, value: Any = None) -> Timeout:
+            if delay < 0:
+                raise ValueError("negative delay: %r" % (delay,))
+            t = timeout_new(Timeout)
+            t.sim = self
+            t.callbacks = []
+            t._value = value
+            t._exc = None
+            t._scheduled = True
+            push(queue, (self._now + delay, seq_next(), t))
+            return t
+
+        self.event = event
+        self.timeout = timeout
 
     @property
     def now(self) -> float:
@@ -333,12 +443,7 @@ class Simulator:
         return self._now
 
     # -- event construction ------------------------------------------------
-
-    def event(self) -> Event:
-        return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+    # event() and timeout() are closures bound in __init__.
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new process running ``gen``."""
@@ -353,20 +458,38 @@ class Simulator:
     # -- scheduling internals ----------------------------------------------
 
     def _schedule(self, event: Event, delay: float) -> None:
-        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
-        self._scheduled.add(id(event))
+        event._scheduled = True
+        _heappush(self._queue, (self._now + delay, next(self._seq), event))
 
-    def _is_scheduled(self, event: Event) -> bool:
-        return id(event) in self._scheduled
+    def _schedule_resume(self, process: Process, value: Any,
+                         exc: Optional[BaseException]) -> None:
+        """Queue a same-instant generator step (no Event allocation)."""
+        _heappush(self._queue,
+                  (self._now, next(self._seq), _Resume(process, value, exc)))
 
     # -- execution -----------------------------------------------------------
 
     def step(self) -> None:
         """Process the single next event."""
-        when, _, event = heapq.heappop(self._queue)
-        self._scheduled.discard(id(event))
+        when, _, item = _heappop(self._queue)
         self._now = when
-        event._run_callbacks()
+        if item.__class__ is _Resume:
+            item.process._resume(item)
+            return
+        # Inlined Event._run_callbacks — one call frame per event saved.
+        # (``_scheduled`` is deliberately left True: ``triggered`` and
+        # the double-trigger guards test ``callbacks is None`` first.)
+        callbacks, item.callbacks = item.callbacks, None
+        exc = item._exc
+        if exc is None:
+            for callback in callbacks:
+                callback(item)
+            return
+        handled = item._defused or bool(callbacks)
+        for callback in callbacks:
+            callback(item)
+        if not handled:
+            raise exc
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -379,13 +502,56 @@ class Simulator:
         even if the queue drains earlier, so back-to-back ``run`` calls see
         a monotonic clock.
         """
+        # The step() body is inlined below (twice): the per-event call
+        # frame is measurable at millions of events.  Keep the three
+        # copies (step, run, run-until) in sync.
+        queue = self._queue
+        pop = _heappop
         if until is None:
-            while self._queue:
-                self.step()
+            while queue:
+                when, _, item = pop(queue)
+                self._now = when
+                if item.__class__ is _Resume:
+                    item.process._resume(item)
+                    continue
+                callbacks, item.callbacks = item.callbacks, None
+                exc = item._exc
+                if exc is None:
+                    if len(callbacks) == 1:
+                        # Almost every event has exactly one waiter; skip
+                        # the iterator.
+                        callbacks[0](item)
+                        continue
+                    for callback in callbacks:
+                        callback(item)
+                    continue
+                handled = item._defused or bool(callbacks)
+                for callback in callbacks:
+                    callback(item)
+                if not handled:
+                    raise exc
             return
         if until < self._now:
             raise ValueError(
                 "cannot run backwards: until=%r < now=%r" % (until, self._now))
-        while self._queue and self._queue[0][0] <= until:
-            self.step()
+        while queue and queue[0][0] <= until:
+            when, _, item = pop(queue)
+            self._now = when
+            if item.__class__ is _Resume:
+                item.process._resume(item)
+                continue
+            callbacks, item.callbacks = item.callbacks, None
+            exc = item._exc
+            if exc is None:
+                if len(callbacks) == 1:
+                    callbacks[0](item)
+                    continue
+                for callback in callbacks:
+                    callback(item)
+                continue
+            handled = item._defused or bool(callbacks)
+            for callback in callbacks:
+                callback(item)
+            if not handled:
+                raise exc
         self._now = until

@@ -34,6 +34,9 @@ class Resource:
             resource.release()
     """
 
+    __slots__ = ("sim", "capacity", "in_use", "_waiters", "_busy_since",
+                 "busy_time")
+
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
@@ -94,6 +97,8 @@ class Store:
     ``put`` on a full bounded store raises (our hardware queues never
     silently block the producer; the producer models its own back-off).
     """
+
+    __slots__ = ("sim", "capacity", "items", "_getters")
 
     def __init__(self, sim: Simulator, capacity: Optional[int] = None):
         self.sim = sim
@@ -161,6 +166,8 @@ class Pipe:
     ``bandwidth`` is in bytes per time unit (MB/s if time is µs and sizes
     are bytes, since 1 MB/s == 1 byte/µs).
     """
+
+    __slots__ = ("sim", "bandwidth", "setup", "_res", "bytes_moved")
 
     def __init__(self, sim: Simulator, bandwidth: float, setup: float = 0.0,
                  capacity: int = 1):

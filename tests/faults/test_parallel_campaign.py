@@ -1,0 +1,45 @@
+"""The parallel campaign runner must be invisible in the results.
+
+``run_campaign(workers=N)`` fans injection runs out over a process pool.
+Every run is hermetic (its own Simulator, its own seed), so the parallel
+campaign must reproduce the serial one bit for bit: same outcome objects,
+same order, same rendered table.  Anything less would make Table 1 depend
+on the machine's core count.
+"""
+
+from repro.faults import run_campaign, run_effectiveness_study
+from repro.faults.campaign import _run_many
+from repro.faults.injector import InjectionConfig
+
+
+def test_campaign_parallel_matches_serial():
+    serial = run_campaign(runs=40, seed=2003, workers=1)
+    parallel = run_campaign(runs=40, seed=2003, workers=4)
+    assert [o.run_id for o in parallel.outcomes] == list(range(40))
+    assert parallel.outcomes == serial.outcomes
+    assert parallel.counts == serial.counts
+    assert parallel.render() == serial.render()
+
+
+def test_effectiveness_parallel_matches_serial():
+    serial = run_effectiveness_study(runs=16, seed=42, workers=1)
+    parallel = run_effectiveness_study(runs=16, seed=42, workers=4)
+    assert parallel == serial
+
+
+def test_parallel_progress_reaches_total():
+    ticks = []
+    result = run_campaign(runs=8, seed=11, workers=2,
+                          progress=ticks.append)
+    assert len(result.outcomes) == 8
+    # Completion order is nondeterministic but the count is not.
+    assert sorted(ticks) == list(range(1, 9))
+    assert ticks[-1] == 8 or 8 in ticks
+
+
+def test_run_many_single_config_stays_serial():
+    # A one-element campaign must not pay pool startup.
+    configs = [InjectionConfig(run_id=0, seed=5, flavor="gm", messages=4)]
+    outcomes = _run_many(configs, workers=8, progress=None)
+    assert len(outcomes) == 1
+    assert outcomes[0].run_id == 0
