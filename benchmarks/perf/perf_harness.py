@@ -106,19 +106,19 @@ def _loop_program():
     """A 7-instruction ALU/branch loop, ``_LOOP_ITERS`` iterations."""
     from repro.lanai import isa
 
-    I = isa.Instruction
+    Ins = isa.Instruction
     ops = isa.BY_MNEMONIC
     words = [
-        I(ops["addi"], rd=1, ra=0, imm=_LOOP_ITERS),   # r1 = N
+        Ins(ops["addi"], rd=1, ra=0, imm=_LOOP_ITERS),   # r1 = N
         # loop:
-        I(ops["addi"], rd=2, ra=2, imm=1),             # r2 += 1
-        I(ops["xor"], rd=3, ra=2, rb=1),
-        I(ops["add"], rd=4, ra=3, rb=2),
-        I(ops["sub"], rd=5, ra=4, rb=3),
-        I(ops["slt"], rd=6, ra=5, rb=1),
-        I(ops["addi"], rd=1, ra=1, imm=-1),            # r1 -= 1
-        I(ops["bne"], ra=1, rb=0, imm=-7),             # -> loop
-        I(ops["jr"], ra=15),                           # return
+        Ins(ops["addi"], rd=2, ra=2, imm=1),             # r2 += 1
+        Ins(ops["xor"], rd=3, ra=2, rb=1),
+        Ins(ops["add"], rd=4, ra=3, rb=2),
+        Ins(ops["sub"], rd=5, ra=4, rb=3),
+        Ins(ops["slt"], rd=6, ra=5, rb=1),
+        Ins(ops["addi"], rd=1, ra=1, imm=-1),            # r1 -= 1
+        Ins(ops["bne"], ra=1, rb=0, imm=-7),             # -> loop
+        Ins(ops["jr"], ra=15),                           # return
     ]
     return [isa.encode(w) for w in words]
 

@@ -10,7 +10,6 @@ ablation runs an FTGM variant with plain-GM (eager) ACKs and shows:
   window even with all other FTGM machinery present.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.ftgm.driver import FtgmDriver

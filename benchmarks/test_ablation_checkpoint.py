@@ -14,7 +14,6 @@ Two costs show up:
   mean small-message latency explodes from ~12 µs to hundreds.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.faults.checkpoint import CheckpointDaemon

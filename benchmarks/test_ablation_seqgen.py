@@ -12,7 +12,6 @@ introduce unnecessary overhead".  This ablation quantifies that:
   8 ports per node, which is the paper's counter-argument.
 """
 
-import pytest
 
 from repro.ftgm.seqgen import (
     SYNC_LOCK_COST_US,

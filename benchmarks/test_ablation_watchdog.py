@@ -10,7 +10,6 @@ maximum observed L_timer() gap.  This ablation sweeps the interval:
 The measured max L_timer gap itself (the 800us figure) is reported too.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.gm import constants as C

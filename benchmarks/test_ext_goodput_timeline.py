@@ -7,7 +7,6 @@ with the backlog draining first.  The area lost in the dip *is* Table 3
 rendered as a workload's-eye view.
 """
 
-import pytest
 
 from repro.analysis import Series, render_ascii
 from repro.cluster import build_cluster

@@ -12,7 +12,6 @@ residual risk and the peer-watchdog fallback we add:
   watchdog alone vs local + peer.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.ftgm import PeerWatchdog

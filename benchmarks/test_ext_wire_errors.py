@@ -8,11 +8,9 @@ a bidirectional stream as the wire error rate rises, with corruption
 (CRC-caught) and drops mixed.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.net.packet import PacketType
-from repro.payload import Payload
 from repro.sim import SeededRng
 from repro.workloads import run_allsize
 

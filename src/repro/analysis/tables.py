@@ -3,10 +3,9 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..ftgm.ftd import RecoveryRecord
-from ..gm import constants as C
 from ..workloads.allsize import BandwidthResult
 from ..workloads.pingpong import PingPongResult
 from ..workloads.utilization import UtilizationResult

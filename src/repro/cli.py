@@ -11,6 +11,7 @@ rendered table/figure.  Handy for exploring parameter changes::
     python -m repro fig9
     python -m repro fig45
     python -m repro effectiveness --runs 120
+    python -m repro netfaults --runs 5 --workers 4
 """
 
 from __future__ import annotations
@@ -148,6 +149,19 @@ def _cmd_surface(args) -> str:
         + analyze_surface(campaign.outcomes).render()
 
 
+def _cmd_netfaults(args) -> str:
+    from .netfaults import run_netfaults_campaign
+
+    def progress(n):
+        if n % 4 == 0:
+            print("  ... %d runs done" % n, file=sys.stderr)
+
+    result = run_netfaults_campaign(
+        runs_per_scenario=args.runs, seed=args.seed, n_nodes=args.nodes,
+        topology=args.topology, progress=progress, workers=args.workers)
+    return result.render()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -198,6 +212,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     surface.add_argument("--workers", type=int, default=1,
                          help="parallel injection processes")
     surface.set_defaults(fn=_cmd_surface)
+
+    netfaults = sub.add_parser(
+        "netfaults", help="link/switch fault campaign with reroute recovery")
+    netfaults.add_argument("--runs", type=int, default=5,
+                           help="runs per scenario (default 5)")
+    netfaults.add_argument("--seed", type=int, default=2003)
+    netfaults.add_argument("--nodes", type=int, default=4)
+    netfaults.add_argument("--topology", default="ring",
+                           choices=["ring", "tree"])
+    netfaults.add_argument("--workers", type=int, default=1,
+                           help="parallel injection processes (default 1)")
+    netfaults.set_defaults(fn=_cmd_netfaults)
 
     args = parser.parse_args(argv)
     print(args.fn(args))

@@ -8,7 +8,7 @@ need starts from here.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional
+from typing import Generator, List, Optional
 
 from .hw.host import Host
 from .hw.nic import Nic
@@ -40,14 +40,17 @@ class MyrinetCluster:
     """A booted cluster, ready for traffic."""
 
     def __init__(self, sim: Simulator, nodes: List[Node], fabric: Fabric,
-                 switch, tracer: Tracer, rng: SeededRng, flavor: str):
+                 switch, tracer: Tracer, rng: SeededRng, flavor: str,
+                 topology: str = "star"):
         self.sim = sim
         self.nodes = nodes
         self.fabric = fabric
-        self.switch = switch
+        self.switch = switch            # first switch (back-compat handle)
+        self.switches = fabric.switches
         self.tracer = tracer
         self.rng = rng
         self.flavor = flavor
+        self.topology = topology
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -99,15 +102,33 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
                   trace: bool = False,
                   interpreted_nodes: Optional[List[int]] = None,
                   boot: bool = True,
-                  start_ftd: bool = True) -> MyrinetCluster:
+                  start_ftd: bool = True,
+                  topology: str = "star",
+                  n_switches: Optional[int] = None) -> MyrinetCluster:
     """Build (and by default boot) an N-node Myrinet cluster.
 
     ``interpreted_nodes`` lists node ids whose MCP runs ``send_chunk`` on
     the LANai interpreter (the fault-injection target); all other nodes
     use the fast native model.
+
+    ``topology`` selects the fabric shape:
+
+    * ``"star"`` (default) — the paper's testbed: one switch, every NIC
+      on it.  Byte-identical to the historical single-switch bring-up.
+    * ``"ring"`` — ``n_switches`` (default 2) M3M-SW8-like switches in a
+      ring; NICs spread across them in contiguous blocks.  A 2-switch
+      ring has two independent uplinks, so a severed uplink leaves an
+      alternate path — the redundant fabric the netfault reroute
+      experiments need.
+    * ``"tree"`` — a root switch over ``n_switches`` (default 2) leaf
+      switches.  No redundancy: a severed uplink genuinely partitions
+      that leaf.
     """
     if n_nodes < 2:
         raise ValueError("a cluster needs at least 2 nodes")
+    if topology not in ("star", "ring", "tree"):
+        raise ValueError("unknown topology %r (use star, ring or tree)"
+                         % (topology,))
     sim = Simulator()
     tracer = Tracer(enabled=trace)
     rng = SeededRng(seed, "cluster")
@@ -124,14 +145,22 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
         driver = driver_cls(sim, host, nic, tracer,
                             interpreted=node_id in interpreted)
         nodes.append(Node(node_id, host, nic, driver))
-    switch = fabric.star(nics)
+    if topology == "star":
+        switch = fabric.star(nics)
+    elif topology == "ring":
+        switches = fabric.ring(nics, n_switches=n_switches or 2)
+        switch = switches[0]
+    else:  # tree
+        switches = fabric.tree(nics, n_leaves=n_switches or 2)
+        switch = switches[0]
 
     for node in nodes:
         node.driver.load_mcp()
         if start_ftd and hasattr(node.driver, "start_ftd"):
             node.driver.start_ftd()
 
-    cluster = MyrinetCluster(sim, nodes, fabric, switch, tracer, rng, flavor)
+    cluster = MyrinetCluster(sim, nodes, fabric, switch, tracer, rng, flavor,
+                             topology=topology)
     if boot:
         cluster.boot()
     return cluster

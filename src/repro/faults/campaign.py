@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from .injector import InjectionConfig, run_injection
-from .outcomes import CATEGORY_ORDER, Category, InjectionOutcome, tabulate
+from .outcomes import CATEGORY_ORDER, InjectionOutcome, tabulate
 from .reference import IYER_TABLE1, PAPER_TABLE1
 
 __all__ = ["CampaignResult", "run_campaign", "EffectivenessResult",
@@ -24,18 +24,19 @@ __all__ = ["CampaignResult", "run_campaign", "EffectivenessResult",
 
 
 def _run_many(configs: List[InjectionConfig], workers: int,
-              progress: Optional[Callable[[int], None]]
-              ) -> List[InjectionOutcome]:
-    """Run every config; outcomes ordered by ``run_id``.
+              progress: Optional[Callable[[int], None]],
+              runner: Callable = run_injection) -> List[InjectionOutcome]:
+    """Run every config through ``runner``; outcomes ordered by ``run_id``.
 
-    ``progress`` is called in the parent with the number of completed
-    runs (in completion order, which under ``workers > 1`` is not run
-    order).
+    ``runner`` must be a picklable module-level function (the netfaults
+    campaign passes its own).  ``progress`` is called in the parent with
+    the number of completed runs (in completion order, which under
+    ``workers > 1`` is not run order).
     """
     if workers <= 1 or len(configs) < 2:
         outcomes = []
         for done, config in enumerate(configs, start=1):
-            outcomes.append(run_injection(config))
+            outcomes.append(runner(config))
             if progress is not None:
                 progress(done)
         return outcomes
@@ -48,8 +49,7 @@ def _run_many(configs: List[InjectionConfig], workers: int,
     chunksize = max(1, len(configs) // (workers * 4))
     outcomes = []
     with ctx.Pool(processes=workers) as pool:
-        for outcome in pool.imap_unordered(run_injection, configs,
-                                           chunksize):
+        for outcome in pool.imap_unordered(runner, configs, chunksize):
             outcomes.append(outcome)
             if progress is not None:
                 progress(len(outcomes))

@@ -13,7 +13,6 @@ the Fig. 4/5 benchmark prints both sides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 from ..cluster import build_cluster
 from ..payload import Payload

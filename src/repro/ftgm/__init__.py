@@ -2,7 +2,7 @@
 contribution under reproduction)."""
 
 from .driver import FtgmDriver
-from .ftd import MAGIC_WORD, FaultToleranceDaemon, RecoveryRecord
+from .ftd import MAGIC_WORD, FaultToleranceDaemon, RecoveryRecord, RerouteRecord
 from .library import FTGM_RECV_EXTRA_US, FTGM_SEND_EXTRA_US, FtgmPort
 from .mcp import FtgmMcp
 from .peerwatch import MGMT_CHANNEL_LATENCY_US, PeerWatchdog
@@ -25,6 +25,7 @@ __all__ = [
     "PeerWatchdog",
     "PortSequenceStreams",
     "RecoveryRecord",
+    "RerouteRecord",
     "SYNC_LOCK_COST_US",
     "SharedConnectionStreams",
     "ShadowState",

@@ -10,7 +10,7 @@ the next fault.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, List, Optional
 
 from ..gm import constants as C
@@ -18,7 +18,8 @@ from ..gm.events import EventType, GmEvent
 from ..lanai.firmware import MAGIC_WORD_ADDR
 from ..sim import Simulator, Store, Tracer
 
-__all__ = ["FaultToleranceDaemon", "RecoveryRecord", "MAGIC_WORD"]
+__all__ = ["FaultToleranceDaemon", "RecoveryRecord", "RerouteRecord",
+           "MAGIC_WORD"]
 
 MAGIC_WORD = 0xFEEDFACE
 
@@ -53,9 +54,43 @@ class RecoveryRecord:
         ]
 
 
+@dataclass
+class RerouteRecord:
+    """Timeline of one path-fault reroute (the Table 3 analogue for the
+    netfault recovery path — no card reset, no MCP reload)."""
+
+    verdict_at: float            # detector delivered the path-dead verdict
+    dest_node: int               # the peer whose path died
+    woken_at: float = 0.0
+    mapped_at: float = 0.0       # scout flood settled (discovery done)
+    installed_at: float = 0.0    # every surviving interface CONFIG-acked
+    events_posted_at: float = 0.0  # local install + ROUTE_CHANGED queued
+    nodes_reached: int = 0
+    nodes_lost: int = 0
+    failed: bool = False         # discovery found nobody (no reroute)
+
+    @property
+    def reroute_time(self) -> float:
+        return self.events_posted_at - self.woken_at
+
+    def segments(self) -> List:
+        return [
+            ("daemon wakeup", self.verdict_at, self.woken_at),
+            ("mapper discovery", self.woken_at, self.mapped_at),
+            ("table distribution", self.mapped_at, self.installed_at),
+            ("ROUTE_CHANGED posting", self.installed_at,
+             self.events_posted_at),
+        ]
+
+
 class FaultToleranceDaemon:
     """One per node; "run anytime before fault recovery is to be
     achieved"."""
+
+    # Ignore repeat path-fault verdicts arriving hot on the heels of a
+    # completed reroute: the detector re-suspects on stale stall clocks
+    # for a sweep or two until traffic flows again.
+    MIN_REROUTE_GAP_US = 50_000.0
 
     def __init__(self, sim: Simulator, driver,
                  tracer: Optional[Tracer] = None):
@@ -67,8 +102,11 @@ class FaultToleranceDaemon:
         self.name = "ftd%d" % self.nic.node_id
         self._wakeups: Store = Store(sim)
         self.recoveries: List[RecoveryRecord] = []
+        self.reroutes: List[RerouteRecord] = []
         self.false_alarms = 0
         self.running = False
+        self.rerouting = False
+        self._last_reroute_at = float("-inf")
         self._proc = None
 
     def start(self) -> None:
@@ -81,12 +119,36 @@ class FaultToleranceDaemon:
         """Called from the driver's FATAL interrupt handler."""
         self._wakeups.put(self.sim.now)
 
+    def notify_path_fault(self, dest_node: int) -> None:
+        """Called by the path detector on a path-dead verdict.
+
+        The card is healthy — it must NOT be reset; the daemon re-runs
+        the mapper instead and installs fresh routes everywhere.
+        """
+        if self.rerouting:
+            return
+        if self.sim.now - self._last_reroute_at < self.MIN_REROUTE_GAP_US:
+            return
+        self._wakeups.put(("path", dest_node, self.sim.now))
+
     # -- the daemon loop -----------------------------------------------------------
 
     def _run(self) -> Generator:
         while True:
-            interrupt_at = yield self._wakeups.get()
+            item = yield self._wakeups.get()
             yield self.sim.timeout(C.FTD_WAKEUP_US)
+            if isinstance(item, tuple) and item[0] == "path":
+                _tag, dest_node, verdict_at = item
+                yield from self._reroute(dest_node, verdict_at)
+                # Collapse queued duplicate path verdicts; keep genuine
+                # FATAL wakeups (plain floats) for the next iteration.
+                leftover = [x for x in self._wakeups.drain()
+                            if not (isinstance(x, tuple)
+                                    and x[0] == "path")]
+                for x in leftover:
+                    self._wakeups.put(x)
+                continue
+            interrupt_at = item
             record = RecoveryRecord(interrupt_at=interrupt_at,
                                     woken_at=self.sim.now)
             self.tracer.emit(self.sim.now, self.name, "ftd_woken")
@@ -96,6 +158,46 @@ class FaultToleranceDaemon:
             # interrupts (the ISR edge may fire more than once).
             while len(self._wakeups):
                 self._wakeups.try_get()
+
+    # -- the reroute path (netfaults) ---------------------------------------------
+
+    def _reroute(self, dest_node: int, verdict_at: float) -> Generator:
+        """Path-dead recovery: mapper re-run + fresh tables, card alive.
+
+        Best-effort (``strict=False``): interfaces that the new fabric
+        can no longer reach are skipped, not fatal.  The local install
+        at the end of the round makes the live MCP announce
+        ROUTE_CHANGED to every open port (see Mcp._install_routes), so
+        the library layer replays shadow-tokened sends over new routes.
+        """
+        from ..net.mapper import Mapper, MappingFailed
+        self.rerouting = True
+        record = RerouteRecord(verdict_at=verdict_at, dest_node=dest_node,
+                               woken_at=self.sim.now)
+        self.tracer.emit(self.sim.now, self.name, "ftd_reroute_start",
+                         dest=dest_node)
+        mapper = Mapper(self.driver.mcp.mapper_agent, strict=False,
+                        abort_on_empty=True)
+        try:
+            found = yield from mapper.run()
+        except MappingFailed as exc:
+            record.failed = True
+            found = []
+            self.tracer.emit(self.sim.now, self.name, "ftd_reroute_failed",
+                             reason=str(exc))
+        record.mapped_at = mapper.phase_times.get("discovered", self.sim.now)
+        record.installed_at = mapper.phase_times.get("distributed",
+                                                     self.sim.now)
+        record.nodes_reached = len(found)
+        record.nodes_lost = len(mapper.unreached)
+        record.events_posted_at = self.sim.now
+        self.reroutes.append(record)
+        self.rerouting = False
+        self._last_reroute_at = self.sim.now
+        self.tracer.emit(self.sim.now, self.name, "ftd_reroute_done",
+                         reached=record.nodes_reached,
+                         lost=record.nodes_lost,
+                         failed=record.failed)
 
     def _recover(self, record: RecoveryRecord) -> Generator:
         # 1. Confirm the hang: write a magic word the healthy L_timer()

@@ -39,6 +39,7 @@ class FtgmPort(Port):
         self.shadow = ShadowState(port_id)
         self.seq_streams = PortSequenceStreams(port_id)
         self.recoveries = 0
+        self.route_changes = 0
 
     # -- event sink ----------------------------------------------------------------
 
@@ -87,9 +88,38 @@ class FtgmPort(Port):
     # -- transparent recovery (§4.4) -----------------------------------------------
 
     def unknown(self, event: GmEvent) -> Generator:
-        if event.etype != EventType.FAULT_DETECTED:
-            return
-        yield from self._recover_port()
+        if event.etype == EventType.FAULT_DETECTED:
+            yield from self._recover_port()
+        elif event.etype == EventType.ROUTE_CHANGED:
+            yield from self._on_route_changed()
+
+    def _on_route_changed(self) -> Generator:
+        """Netfault reroute: fresh routes were installed on a *live* MCP.
+
+        Unlike FAULT_DETECTED, the LANai kept all its protocol state, so
+        most of the card-reset recovery is unnecessary.  Two things
+        matter: (a) any shadow-tokened send the MCP no longer knows
+        about (it errored out while the path was dead) is re-posted with
+        its original host-generated sequence numbers — the receiver's
+        per-stream ACK state makes the replay exactly-once; (b) streams
+        that *are* still queued get a retransmit kick so Go-Back-N
+        resumes over the new routes immediately instead of waiting out a
+        backed-off timer.
+        """
+        tracer: Tracer = self.driver.tracer
+        source = "port%d@%s" % (self.port_id, self.host.name)
+        self.route_changes += 1
+        replayed = 0
+        for token in self.shadow.outstanding_sends():
+            key = self.mcp.tx_stream_key(token)
+            stream = self.mcp.tx_streams.get(key)
+            if stream is None or token.msg_id not in stream.msgs:
+                self.mcp.doorbell_send(token)
+                replayed += 1
+        self.mcp.host_request(("retx_now", self.port_id))
+        yield from self.host.cpu_execute(1.0, "route-change")
+        tracer.emit(self.sim.now, source, "port_route_changed",
+                    replayed=replayed)
 
     def _recover_port(self) -> Generator:
         """The FAULT_DETECTED handler: restore this port's LANai state.

@@ -80,6 +80,28 @@ class FtgmMcp(Mcp):
     def event_seq_field(self, stream: RxStream) -> Optional[int]:
         return stream.last_acked
 
+    # -- netfault reroute support -------------------------------------------------
+
+    def _handle_host_request(self, request):
+        if request[0] == "retx_now":
+            # The library saw ROUTE_CHANGED: kick every stalled stream of
+            # that port so Go-Back-N retransmits over the freshly
+            # installed routes now instead of waiting out a backed-off
+            # deadline from the dead-path era.  Routes are read at
+            # packet-build time, so the rewound fragments pick up the new
+            # paths automatically.
+            _, port_id = request
+            now = self.sim.now
+            for key, stream in self.tx_streams.items():
+                if len(key) > 1 and key[1] != port_id:
+                    continue
+                if stream.has_unacked():
+                    stream.rewind_for_reroute()
+                    stream.note_progress(now)
+            yield from self._charge(0.5, "retx-now")
+            return
+        yield from super()._handle_host_request(request)
+
     # -- watchdog support (§4.2) ----------------------------------------------------
 
     def _l_timer_extra(self) -> None:

@@ -18,7 +18,7 @@ ablation benchmark to quantify the overhead the paper avoided.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, Tuple
+from typing import Dict, Generator
 
 from ..sim import Resource, Simulator
 

@@ -23,10 +23,11 @@ class EventType:
     SEND_ERROR = "send_error"        # retransmit budget exhausted, no route…
     ALARM = "alarm"
     FAULT_DETECTED = "fault_detected"  # FTD: the NIC was reloaded
+    ROUTE_CHANGED = "route_changed"    # netfaults: fresh routes installed
     PORT_CLOSED = "port_closed"
 
     # Types handled inside gm_unknown() rather than by applications.
-    INTERNAL = (FAULT_DETECTED, PORT_CLOSED)
+    INTERNAL = (FAULT_DETECTED, ROUTE_CHANGED, PORT_CLOSED)
 
 
 @dataclass

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Callable, Generator, Optional
 
 from ..errors import GmNoTokens, GmPortClosed, GmSendError
-from ..hw.host import DmaRegion, Host
+from ..hw.host import Host
 from ..payload import Payload
 from ..sim import Simulator, Store
 from . import constants as C

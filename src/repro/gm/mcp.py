@@ -32,7 +32,7 @@ from ..lanai import firmware as fw
 from ..lanai.bus import MemoryBus
 from ..lanai.cpu import LanaiCpu
 from ..net.mapper import MapperAgent
-from ..net.packet import GM_MTU, Packet, PacketType
+from ..net.packet import Packet, PacketType
 from ..payload import Payload
 from ..sim import Simulator, Store, Tracer
 from . import constants as C
@@ -827,12 +827,35 @@ class Mcp:
         yield self.sim.timeout(cost_us)
 
     def _install_routes(self, table: Dict[int, List[int]]) -> None:
+        reinstall = bool(self.routing_table) and self.running
         self.routing_table = dict(table)
         if self.on_routes_installed is not None:
             self.on_routes_installed(dict(table))
         self.tracer.emit(self.sim.now, self.name, "routes_installed",
                          count=len(table))
+        if reinstall:
+            # A mapper re-run replaced a live table (netfault reroute):
+            # tell every open port so the library can replay in-flight
+            # state over the new routes.  The boot-time first install
+            # (empty previous table) announces nothing.
+            self.tracer.emit(self.sim.now, self.name,
+                             "route_change_announced", count=len(table))
+            self.sim.spawn(self._announce_route_change(),
+                           name="%s.routechg" % self.name)
+
+    def _announce_route_change(self) -> Generator:
+        for port_id in sorted(self.ports):
+            port = self.ports.get(port_id)
+            if port is None or not port.open:
+                continue
+            yield from self._post_event(GmEvent(
+                EventType.ROUTE_CHANGED, port_id))
 
     def install_routes_from_host(self, table: Dict[int, List[int]]) -> None:
-        """FTD recovery path: restore the routing table from host copy."""
+        """FTD recovery path: restore the routing table from host copy.
+
+        Deliberately does *not* announce ROUTE_CHANGED — the card-reset
+        flow posts FAULT_DETECTED instead, and the two recovery paths
+        must stay distinguishable to the library.
+        """
         self.routing_table = dict(table)

@@ -18,8 +18,8 @@ isolation.  The MCP (:mod:`repro.gm.mcp`) drives them.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from ..net.packet import GM_MTU
 from .constants import (
@@ -226,6 +226,19 @@ class TxStream:
                        RETRANSMIT_TIMEOUT_CAP_US)
         # Go-Back-N: rewind the cursor to the first unACKed fragment.
         self.send_cursor = self.acked_upto + 1
+
+    def rewind_for_reroute(self) -> None:
+        """Fresh routes were installed: retransmit immediately.
+
+        Rewinds the cursor to the ACK frontier and resets the backoff so
+        the first packet over the new path goes out at the base RTO
+        instead of waiting out an exponentially backed-off deadline from
+        the dead-path era.
+        """
+        self.send_cursor = self.acked_upto + 1
+        self.rto = RETRANSMIT_TIMEOUT_US
+        self.retries = 0
+        self.deadline = None
 
     def note_progress(self, now: float) -> None:
         self.last_progress_at = now

@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from ..errors import BusError, HostCrashed
 from ..payload import Payload
-from ..sim import Process, Resource, Simulator, Store, Tracer
+from ..sim import Process, Resource, Simulator, Tracer
 
 __all__ = ["DmaRegion", "PageHashTable", "Host", "USER_DMA_BASE", "PAGE_SIZE"]
 

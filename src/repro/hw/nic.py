@@ -14,7 +14,7 @@ interrupts the host.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Optional
 
 from ..sim import Simulator, Store, Tracer
 from .dma import DmaEngine

@@ -11,7 +11,7 @@ the host.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List
 
 __all__ = ["IsrBits", "StatusRegister"]
 

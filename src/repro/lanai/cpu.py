@@ -22,7 +22,7 @@ the event, modelling a spin-wait without simulating each poll.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Generator, Optional
 
 from ..errors import BusError, InvalidInstruction

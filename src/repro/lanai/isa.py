@@ -24,7 +24,7 @@ Formats (bit 31 is the MSB)::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import InvalidInstruction
 
@@ -59,7 +59,7 @@ _IMM26_MASK = (1 << 26) - 1
 
 class Format:
     R = "R"
-    I = "I"
+    I = "I"  # noqa: E741 - canonical RISC format letter
     B = "B"
     J = "J"
 

@@ -17,7 +17,7 @@ code changes: that is the transparency claim, demonstrated.
 from __future__ import annotations
 
 import struct
-from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Tuple
 
 from ..cluster import MyrinetCluster
 from ..errors import GmSendError, MpiFatalError

@@ -82,3 +82,69 @@ class Fabric:
         for index, nic in enumerate(nics):
             self.connect(self.attach_nic(nic), switch.port(index))
         return switch
+
+    def _spread(self, nics: List[Nic], switches: List[Switch],
+                slots: int) -> None:
+        """Cable NICs over ``switches`` in balanced contiguous blocks.
+
+        With ``per = ceil(len(nics) / len(switches))``, node ``i`` goes
+        to switch ``i // per`` at port ``i % per`` — a deterministic
+        placement every topology helper shares, and one that uses every
+        switch (so even small clusters exercise inter-switch links).
+        """
+        per = (len(nics) + len(switches) - 1) // len(switches)
+        if per > slots:
+            raise ValueError(
+                "%d NICs do not fit %d switches with %d NIC ports each"
+                % (len(nics), len(switches), slots))
+        for index, nic in enumerate(nics):
+            switch = switches[index // per]
+            self.connect(self.attach_nic(nic), switch.port(index % per))
+
+    def ring(self, nics: List[Nic], n_switches: int = 2,
+             nports: int = 8) -> List[Switch]:
+        """A ring of M3M-SW8-like switches with NICs spread across them.
+
+        Each switch reserves its two highest ports as uplinks: port
+        ``nports-1`` cables to the *next* switch's port ``nports-2``
+        (indices mod ``n_switches``).  A two-switch ring therefore has
+        two independent inter-switch links — the smallest fabric with
+        path redundancy, which is what the netfault reroute experiments
+        need.  Returns the switches in ring order.
+        """
+        if n_switches < 2:
+            raise ValueError("a ring needs at least 2 switches")
+        slots = nports - 2  # uplinks occupy the top two ports
+        switches = [self.add_switch(nports) for _ in range(n_switches)]
+        self._spread(nics, switches, slots)
+        for i, switch in enumerate(switches):
+            nxt = switches[(i + 1) % n_switches]
+            self.connect(switch.port(nports - 1), nxt.port(nports - 2))
+        return switches
+
+    def tree(self, nics: List[Nic], n_leaves: int = 2,
+             nports: int = 8) -> List[Switch]:
+        """A two-level tree: one root switch over ``n_leaves`` leaves.
+
+        Leaf ``j`` uplinks from its port ``nports-1`` to root port ``j``;
+        NICs are spread over the leaves' low ports.  No redundancy — a
+        severed uplink genuinely partitions that leaf's nodes, the
+        negative case for reroute recovery.  Returns ``[root, *leaves]``.
+        """
+        if n_leaves < 2:
+            raise ValueError("a tree needs at least 2 leaf switches")
+        if n_leaves > nports:
+            raise ValueError("root switch has only %d ports" % nports)
+        slots = nports - 1  # one uplink per leaf
+        root = self.add_switch(nports)
+        leaves = [self.add_switch(nports) for _ in range(n_leaves)]
+        self._spread(nics, leaves, slots)
+        for j, leaf in enumerate(leaves):
+            self.connect(leaf.port(nports - 1), root.port(j))
+        return [root] + leaves
+
+    def inter_switch_links(self) -> List[Link]:
+        """Links whose both ends are switch ports (fault-plane targets)."""
+        return [link for link in self.links
+                if isinstance(link.end_a, SwitchPort)
+                and isinstance(link.end_b, SwitchPort)]

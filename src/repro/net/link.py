@@ -44,8 +44,11 @@ class Link:
         self.up = True
         self.packets_carried = 0
         self.packets_dropped = 0
-        # Test/experiment hook: drop (True) or corrupt ("corrupt") packets.
-        self.fault_filter = None  # callable(packet) -> False | True | "corrupt"
+        self.packets_duplicated = 0
+        self.cuts = 0
+        # Test/experiment hook: drop (True), corrupt ("corrupt") or
+        # duplicate ("duplicate") packets.
+        self.fault_filter = None  # callable(packet) -> False|True|"corrupt"|"duplicate"
 
     def other(self, endpoint):
         if endpoint is self.end_a:
@@ -68,11 +71,18 @@ class Link:
             self.tracer.emit(self.sim.now, "link", "link_down_drop",
                              packet=packet.describe())
             return False
+        duplicate = None
         if self.fault_filter is not None:
             verdict = self.fault_filter(packet)
             if verdict == "corrupt":
                 # Wire bit-rot: the packet arrives but its CRC is stale.
                 packet.corrupt_payload(bit=1)
+            elif verdict == "duplicate":
+                # A retransmission artefact / reflection: the far end sees
+                # the packet twice.  Clone before delivery because switches
+                # consume the route list in place.
+                duplicate = packet.clone_for_retransmit()
+                duplicate.ingress_ports = list(packet.ingress_ports)
             elif verdict:
                 self.packets_dropped += 1
                 self.tracer.emit(self.sim.now, "link", "fault_drop",
@@ -80,11 +90,31 @@ class Link:
                 return False
         yield self.sim.timeout(self.latency)
         self.packets_carried += 1
-        return receiver.deliver_packet(packet)
+        accepted = receiver.deliver_packet(packet)
+        if duplicate is not None:
+            self.packets_duplicated += 1
+            self.tracer.emit(self.sim.now, "link", "fault_duplicate",
+                             packet=duplicate.describe())
+            receiver.deliver_packet(duplicate)
+        return accepted
 
     def cut(self) -> None:
         """Take the link down (packets in flight are lost)."""
+        if self.up:
+            self.cuts += 1
+            self.tracer.emit(self.sim.now, "link", "link_cut",
+                             ends="%s<->%s" % (getattr(self.end_a, "name", "?"),
+                                               getattr(self.end_b, "name", "?")))
         self.up = False
 
     def restore(self) -> None:
+        if not self.up:
+            self.tracer.emit(self.sim.now, "link", "link_restore",
+                             ends="%s<->%s" % (getattr(self.end_a, "name", "?"),
+                                               getattr(self.end_b, "name", "?")))
         self.up = True
+
+    def describe_ends(self) -> str:
+        """Stable human-readable identity, e.g. 'nic0.port<->sw0.p0'."""
+        return "%s<->%s" % (getattr(self.end_a, "name", "?"),
+                            getattr(self.end_b, "name", "?"))

@@ -25,7 +25,7 @@ disappear); interfaces simply install the newest table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional
 
 from ..sim import Simulator, Store, Tracer
 from .packet import Packet, PacketType
@@ -150,23 +150,43 @@ class Mapper:
     CONFIG_RETRIES = 3
 
     def __init__(self, agent: MapperAgent,
-                 expected_nodes: Optional[int] = None):
+                 expected_nodes: Optional[int] = None,
+                 strict: bool = True,
+                 abort_on_empty: bool = False):
         self.agent = agent
         self.sim = agent.sim
         self.expected_nodes = expected_nodes
+        # strict=False: a best-effort re-mapping round (the reroute
+        # recovery path) — interfaces that never acknowledge their
+        # CONFIG are recorded in ``unreached`` and skipped instead of
+        # failing the whole round.
+        self.strict = strict
+        # abort_on_empty: fail instead of installing an *empty* table
+        # when the scout flood finds nobody (e.g. our own cable is the
+        # fault) — destroying a live table would only make things worse.
+        self.abort_on_empty = abort_on_empty
         self.discovered: Dict[int, NodeRoutes] = {}
         self.tables: Dict[int, Dict[int, List[int]]] = {}
+        self.unreached: List[int] = []
+        self.config_retries = 0       # CONFIG resends after a lost round-trip
+        self.phase_times: Dict[str, float] = {}
 
     # -- discovery ------------------------------------------------------------
 
     def run(self):
         """Process: one full mapping round.  Returns the node-id list."""
         yield from self._discover()
+        self.phase_times["discovered"] = self.sim.now
+        if self.abort_on_empty and not self.discovered:
+            raise MappingFailed("scout flood found no interfaces")
         self._compute_tables()
         yield from self._distribute()
+        self.phase_times["distributed"] = self.sim.now
         # Install the mapper's own table locally, no wire round-trip.
         self.agent.install_routes(self.tables[self.agent.node_id])
-        return sorted(self.discovered) + [self.agent.node_id]
+        reached = [x for x in sorted(self.discovered)
+                   if x not in self.unreached]
+        return reached + [self.agent.node_id]
 
     def _discover(self):
         scout = Packet(
@@ -185,6 +205,11 @@ class Mapper:
             if get in fired:
                 info = fired[get]
                 node_id = info["node_id"]
+                if node_id == self.agent.node_id:
+                    # On cyclic fabrics (ring) the flood loops back and
+                    # we hear our own scout; a route to ourselves is not
+                    # a discovery.
+                    continue
                 routes = NodeRoutes(node_id, info["forward"], info["reverse"])
                 known = self.discovered.get(node_id)
                 if known is None or routes.hops < known.hops:
@@ -229,6 +254,8 @@ class Mapper:
                     route=list(rx.forward),
                     control={"routes": self.tables[x]},
                 )
+                if _attempt > 0:
+                    self.config_retries += 1
                 self.agent.send_raw(config)
                 get = self.agent.dones.get()
                 timeout = self.sim.timeout(self.CONFIG_TIMEOUT_US)
@@ -240,4 +267,7 @@ class Mapper:
                 else:
                     self.agent.dones.cancel(get)
             if not delivered:
-                raise MappingFailed("node %d never acknowledged its routes" % x)
+                if self.strict:
+                    raise MappingFailed(
+                        "node %d never acknowledged its routes" % x)
+                self.unreached.append(x)

@@ -66,11 +66,38 @@ class Switch:
         self.forwarded = 0
         self.absorbed = 0       # packets whose route ended here
         self.misrouted = 0      # invalid or uncabled output port
+        self.dead_ports: set = set()   # killed ports (netfault injection)
+        self.dead_port_drops = 0
 
     def port(self, index: int) -> SwitchPort:
         return self.ports[index]
 
+    # -- fault injection hooks ------------------------------------------------
+
+    def kill_port(self, index: int) -> None:
+        """Disable a port: traffic in or out of it is silently dropped.
+
+        Models a failed switch port / line card without touching the
+        cable object — the attached link stays 'up' but nothing crosses
+        the crossbar through this port any more.
+        """
+        if not 0 <= index < self.nports:
+            raise ValueError("switch %s has no port %d" % (self.name, index))
+        self.dead_ports.add(index)
+        self.tracer.emit(self.sim.now, self.name, "switch_port_kill",
+                         port=index)
+
+    def revive_port(self, index: int) -> None:
+        self.dead_ports.discard(index)
+        self.tracer.emit(self.sim.now, self.name, "switch_port_revive",
+                         port=index)
+
     def _arrived(self, in_port: int, packet: Packet) -> bool:
+        if in_port in self.dead_ports:
+            self.dead_port_drops += 1
+            self.tracer.emit(self.sim.now, self.name, "switch_dead_port_drop",
+                             port=in_port, packet=packet.describe())
+            return False
         if packet.ptype == PacketType.MAPPER_SCOUT and packet.flood:
             return self._flood(in_port, packet)
         if not packet.route:
@@ -83,6 +110,11 @@ class Switch:
         out_index = packet.route.pop(0)
         if packet.ptype in _MAPPER_TYPES:
             packet.ingress_ports.append(in_port)
+        if out_index in self.dead_ports:
+            self.dead_port_drops += 1
+            self.tracer.emit(self.sim.now, self.name, "switch_dead_port_drop",
+                             port=out_index, packet=packet.describe())
+            return False
         if not 0 <= out_index < self.nports \
                 or self.ports[out_index].link is None \
                 or out_index == in_port:
@@ -113,7 +145,8 @@ class Switch:
             return False
         sent_any = False
         for out_port in self.ports:
-            if out_port.index == in_port or out_port.link is None:
+            if out_port.index == in_port or out_port.link is None \
+                    or out_port.index in self.dead_ports:
                 continue
             copy = packet.clone_flood_copy(in_port, out_port.index)
             self.sim.spawn(self._forward(out_port, copy),

@@ -97,6 +97,35 @@ class Tracer:
                 return record
         return None
 
+    def to_chrome_trace(self) -> str:
+        """The trace as Chrome trace-event JSON (chrome://tracing).
+
+        Every record becomes an instant event: ``ts`` is the simulated
+        time (already in µs, the trace-event unit), ``pid`` groups by
+        source, ``name`` is the kind and ``args`` carries the details.
+        Load the string into chrome://tracing or Perfetto to scrub
+        through a recovery timeline visually.
+        """
+        import json
+
+        events = [
+            {
+                "name": record.kind,
+                "ph": "i",          # instant event
+                "s": "t",           # thread-scoped
+                "ts": record.time,
+                "pid": record.source,
+                "tid": record.source,
+                "args": {key: repr(value) if not isinstance(
+                             value, (int, float, str, bool, type(None)))
+                         else value
+                         for key, value in record.details.items()},
+            }
+            for record in self.records
+        ]
+        return json.dumps({"traceEvents": events,
+                           "displayTimeUnit": "ms"}, sort_keys=True)
+
     def clear(self) -> None:
         self.records.clear()
 

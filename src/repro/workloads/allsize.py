@@ -18,6 +18,7 @@ from typing import List
 from ..cluster import MyrinetCluster, build_cluster
 from ..gm import constants as C
 from ..payload import Payload
+from .pair import check_pair
 
 __all__ = ["BandwidthResult", "run_allsize", "allsize_sweep"]
 
@@ -39,7 +40,11 @@ class BandwidthResult:
 
 def run_allsize(cluster: MyrinetCluster, size: int, messages: int = 50,
                 a: int = 0, b: int = 1) -> BandwidthResult:
-    """Bidirectional stream of ``messages`` x ``size`` bytes each way."""
+    """Bidirectional stream of ``messages`` x ``size`` bytes each way.
+
+    ``a``/``b`` may be any two distinct nodes of the cluster.
+    """
+    check_pair(cluster, a, b)
     sim = cluster.sim
     state = {"recv": {a: 0, b: 0}, "start": None, "end": None, "done": 0}
     payload = Payload.phantom(size, tag=0xF10)

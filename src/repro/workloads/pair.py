@@ -1,0 +1,24 @@
+"""Validation shared by workloads that run between two cluster nodes.
+
+The measurement workloads historically assumed the paper's 2-node
+testbed; with multi-switch topologies they take explicit ``a``/``b``
+node ids, and a bad pair should fail loudly up front instead of deep in
+the port machinery.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_pair"]
+
+
+def check_pair(cluster, a: int, b: int) -> None:
+    """Raise ValueError unless ``a`` and ``b`` are two distinct nodes."""
+    n = len(cluster)
+    for name, node in (("a", a), ("b", b)):
+        if not 0 <= node < n:
+            raise ValueError(
+                "workload node %s=%d outside cluster of %d nodes"
+                % (name, node, n))
+    if a == b:
+        raise ValueError(
+            "workload needs two distinct nodes, got a == b == %d" % a)

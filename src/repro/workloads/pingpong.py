@@ -12,6 +12,7 @@ from typing import List
 
 from ..cluster import MyrinetCluster
 from ..payload import Payload
+from .pair import check_pair
 
 __all__ = ["PingPongResult", "run_pingpong", "pingpong_sweep"]
 
@@ -33,7 +34,13 @@ class PingPongResult:
 
 def run_pingpong(cluster: MyrinetCluster, size: int, iterations: int = 50,
                  warmup: int = 3, a: int = 0, b: int = 1) -> PingPongResult:
-    """Run one ping-pong series on an already-booted cluster."""
+    """Run one ping-pong series on an already-booted cluster.
+
+    ``a``/``b`` may be any two distinct nodes — on a multi-switch
+    topology, picking nodes on different switches measures cross-fabric
+    latency.
+    """
+    check_pair(cluster, a, b)
     sim = cluster.sim
     result = PingPongResult(size, iterations)
     state = {"done": False}

@@ -8,8 +8,8 @@ FAULT_DETECTED posted), and per-process handler time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from ..cluster import build_cluster
 from ..ftgm.ftd import RecoveryRecord

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cluster import MyrinetCluster, build_cluster
+from ..cluster import build_cluster
 from ..payload import Payload
 
 __all__ = ["UtilizationResult", "measure_utilization"]

@@ -1,6 +1,5 @@
 """Tests for MCP pause/resume and the classical-checkpoint baseline."""
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.faults.checkpoint import CheckpointDaemon

@@ -5,12 +5,10 @@ import pytest
 from repro.faults.outcomes import Category, InjectionOutcome
 from repro.faults.surface import (
     FieldKind,
-    SurfaceReport,
     analyze_surface,
     classify_bit,
 )
 from repro.lanai import build_firmware, decode
-from repro.lanai.isa import Format
 
 
 @pytest.fixture(scope="module")

@@ -7,7 +7,6 @@ it mid-everything, and require exactly-once in-order delivery on every
 stream after recovery.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.payload import Payload

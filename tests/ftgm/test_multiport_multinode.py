@@ -7,7 +7,6 @@ ports (processes) on the failed node, traffic to/from several peers,
 and recovery that must restore every stream independently.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.payload import Payload

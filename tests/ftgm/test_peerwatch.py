@@ -1,6 +1,5 @@
 """Tests for the peer-watchdog extension (fallback hang detection)."""
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.ftgm import PeerWatchdog

@@ -4,7 +4,6 @@ import pytest
 
 from repro.cluster import build_cluster
 from repro.gm import constants as C
-from repro.hw.registers import IsrBits
 from repro.payload import Payload
 
 

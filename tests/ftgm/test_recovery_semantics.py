@@ -8,7 +8,6 @@ Three behaviours, each of which closed a real exactly-once hole:
 3. port recovery salvages RECEIVED events when clearing the queue.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.gm.events import EventType, GmEvent

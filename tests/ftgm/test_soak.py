@@ -7,7 +7,6 @@ sides) and checks exactly-once in-order delivery end to end, plus one
 run where hangs strike both sides.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.payload import Payload

@@ -1,6 +1,5 @@
 """Tests for the C-style GM API facade."""
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.gm.api import (
@@ -14,7 +13,6 @@ from repro.gm.api import (
     gm_unknown,
 )
 from repro.gm.events import EventType
-from repro.payload import Payload
 
 
 def run_until(cluster, predicate, limit=10_000_000.0):

@@ -7,7 +7,6 @@ once, in order, with intact content — must hold for all of them.  This
 is the Go-Back-N + CRC machinery's contract.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

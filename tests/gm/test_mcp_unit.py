@@ -1,11 +1,9 @@
 """Unit tests for MCP internals: L_timer, doorbells, requests, events."""
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.gm import constants as C
 from repro.gm.events import EventType
-from repro.hw.registers import IsrBits
 from repro.net.packet import Packet, PacketType
 from repro.payload import Payload
 

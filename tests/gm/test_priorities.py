@@ -5,7 +5,6 @@ matched by (size, priority) — a high-priority message only lands in a
 high-priority buffer.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.payload import Payload

@@ -1,6 +1,5 @@
 """Unit and property tests for Go-Back-N stream state."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -22,17 +22,17 @@ ENTRY = 0x100
 
 
 def _assemble(words):
-    I = isa.Instruction
+    Ins = isa.Instruction
     ops = isa.BY_MNEMONIC
-    return [isa.encode(w) for w in words(I, ops)]
+    return [isa.encode(w) for w in words(Ins, ops)]
 
 
 def _program():
     """addi r1,r0,5 ; addi r2,r1,7 ; jr r15  — leaves r2 = 12."""
-    return _assemble(lambda I, ops: [
-        I(ops["addi"], rd=1, ra=0, imm=5),
-        I(ops["addi"], rd=2, ra=1, imm=7),
-        I(ops["jr"], ra=15),
+    return _assemble(lambda Ins, ops: [
+        Ins(ops["addi"], rd=1, ra=0, imm=5),
+        Ins(ops["addi"], rd=2, ra=1, imm=7),
+        Ins(ops["jr"], ra=15),
     ])
 
 

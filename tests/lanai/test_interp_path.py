@@ -6,11 +6,9 @@ behaviour to the native path — and that *specific* corruptions produce
 their expected failure modes (the mechanism behind Table 1).
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.lanai import build_firmware, decode
-from repro.lanai.firmware import TOKEN_FIELDS
 from repro.payload import Payload
 
 

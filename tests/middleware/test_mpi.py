@@ -1,12 +1,11 @@
 """Tests for the mini-MPI middleware, including the transparency story."""
 
-import struct
 
 import pytest
 
 from repro.cluster import build_cluster
 from repro.errors import MpiFatalError
-from repro.middleware import MpiProcess, mpi_world
+from repro.middleware import mpi_world
 
 
 def run_ranks(cluster, bodies, limit=120_000_000.0):

@@ -1,6 +1,5 @@
 """Tests for nonblocking mini-MPI operations."""
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.errors import MpiFatalError

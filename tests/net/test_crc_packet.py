@@ -2,7 +2,6 @@
 
 import zlib
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

@@ -6,7 +6,6 @@ interface and install routes such that every ordered pair can actually
 exchange a packet.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

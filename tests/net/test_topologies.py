@@ -1,0 +1,90 @@
+"""Multi-switch topologies (ring/tree) and the cluster topology knob."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.net.fabric import Fabric
+from repro.net.switch import SwitchPort
+from repro.sim import Simulator
+
+
+class TestFabricShapes:
+    def test_ring_has_one_uplink_per_switch(self):
+        cluster = build_cluster(4, topology="ring", boot=False)
+        fabric = cluster.fabric
+        assert len(fabric.switches) == 2
+        uplinks = fabric.inter_switch_links()
+        assert len(uplinks) == 2       # two independent paths
+        for link in uplinks:
+            assert isinstance(link.end_a, SwitchPort)
+            assert isinstance(link.end_b, SwitchPort)
+
+    def test_ring_spreads_nics_in_blocks(self):
+        cluster = build_cluster(4, topology="ring", boot=False)
+        # Balanced contiguous blocks: nodes 0,1 on sw0; nodes 2,3 on sw1.
+        for node_id, switch_id in ((0, 0), (1, 0), (2, 1), (3, 1)):
+            port = cluster.fabric.nic_ports[node_id]
+            other = port.link.other(port)
+            assert other.switch.switch_id == switch_id
+
+    def test_tree_root_plus_leaves(self):
+        cluster = build_cluster(4, topology="tree", boot=False)
+        fabric = cluster.fabric
+        assert len(fabric.switches) == 3           # root + 2 leaves
+        assert len(fabric.inter_switch_links()) == 2
+
+    def test_ring_capacity_check(self):
+        from repro.hw import Host, Nic
+
+        sim = Simulator()
+        fabric = Fabric(sim)
+        nics = [Nic(sim, Host(sim, "h%d" % i), i) for i in range(13)]
+        with pytest.raises(ValueError):
+            fabric.ring(nics, n_switches=2)        # 13 > 2 * 6 slots
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_cluster(4, topology="mesh")
+
+
+class TestBootedTopologies:
+    def test_ring_boots_with_full_routes(self):
+        cluster = build_cluster(4, flavor="ftgm", topology="ring", seed=3)
+        for node in cluster.nodes:
+            others = {n.node_id for n in cluster.nodes} - {node.node_id}
+            assert set(node.mcp.routing_table) == others
+
+    def test_tree_boots_with_full_routes(self):
+        cluster = build_cluster(4, flavor="gm", topology="tree", seed=3)
+        for node in cluster.nodes:
+            others = {n.node_id for n in cluster.nodes} - {node.node_id}
+            assert set(node.mcp.routing_table) == others
+
+    def test_cross_switch_traffic_flows(self):
+        from repro.workloads import run_pingpong
+
+        cluster = build_cluster(4, flavor="gm", topology="ring", seed=3)
+        result = run_pingpong(cluster, 64, iterations=5, a=0, b=2)
+        assert len(result.rtts) == 5
+        assert result.half_rtt_us > 0
+
+    def test_default_star_unchanged(self):
+        """The 2-node default is byte-identical to the pre-topology path."""
+        c1 = build_cluster(2, seed=11)
+        c2 = build_cluster(2, seed=11, topology="star")
+        assert c1.topology == c2.topology == "star"
+        assert len(c1.fabric.switches) == len(c2.fabric.switches) == 1
+        assert c1.sim.now == c2.sim.now
+        assert [n.mcp.routing_table for n in c1.nodes] \
+            == [n.mcp.routing_table for n in c2.nodes]
+
+
+class TestWorkloadPairValidation:
+    def test_same_node_rejected(self):
+        cluster = build_cluster(2, seed=1)
+        from repro.workloads import run_allsize, run_pingpong
+
+        with pytest.raises(ValueError):
+            run_pingpong(cluster, 64, a=1, b=1)
+        with pytest.raises(ValueError):
+            run_allsize(cluster, 64, a=0, b=5)

@@ -1,0 +1,116 @@
+"""Unit tests for the network fault plane."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.netfaults import NetworkFaultPlane
+from repro.sim import SeededRng
+
+
+def _plane(cluster, seed=0):
+    return NetworkFaultPlane(cluster.sim, cluster.fabric,
+                             SeededRng(seed, "plane-test"))
+
+
+class TestLinkFaults:
+    def test_immediate_cut_and_restore(self):
+        cluster = build_cluster(2, boot=False)
+        plane = _plane(cluster)
+        link = cluster.fabric.links[0]
+        plane.cut_link(link)
+        assert not link.up and link.cuts == 1
+        plane.restore_link(link)
+        assert link.up
+        assert [a.action for a in plane.actions] \
+            == ["cut_link", "restore_link"]
+
+    def test_scheduled_cut_fires_at_time(self):
+        cluster = build_cluster(2, boot=False)
+        plane = _plane(cluster)
+        link = cluster.fabric.links[0]
+        plane.cut_link(link, at=500.0)
+        assert link.up                       # not yet
+        cluster.sim.run(until=499.0)
+        assert link.up
+        cluster.sim.run(until=501.0)
+        assert not link.up
+        assert plane.actions[0].at == 500.0
+
+    def test_flap_restores_after_down_for(self):
+        cluster = build_cluster(2, boot=False)
+        plane = _plane(cluster)
+        link = cluster.fabric.links[0]
+        plane.flap_link(link, at=100.0, down_for=50.0)
+        cluster.sim.run(until=120.0)
+        assert not link.up
+        cluster.sim.run(until=200.0)
+        assert link.up
+
+
+class TestSwitchFaults:
+    def test_kill_and_revive_port(self):
+        cluster = build_cluster(2, boot=False)
+        plane = _plane(cluster)
+        switch = cluster.fabric.switches[0]
+        plane.kill_switch_port(switch, 1)
+        assert 1 in switch.dead_ports
+        plane.revive_switch_port(switch, 1)
+        assert 1 not in switch.dead_ports
+
+    def test_kill_bad_port_rejected(self):
+        cluster = build_cluster(2, boot=False)
+        switch = cluster.fabric.switches[0]
+        with pytest.raises(ValueError):
+            switch.kill_port(99)
+
+    def test_dead_port_drops_traffic(self):
+        cluster = build_cluster(2, seed=4)
+        switch = cluster.fabric.switches[0]
+        switch.kill_port(1)                  # node 1's access port
+        before = switch.dead_port_drops
+        done = []
+
+        def talker():
+            from repro.payload import Payload
+
+            port = yield from cluster[0].driver.open_port(1)
+            yield from port.send(Payload.phantom(64, tag=1), 1, 2,
+                                 callback=lambda o: done.append(o))
+            while not done:
+                yield from port.receive(timeout=1_000.0)
+
+        cluster[0].host.spawn(talker(), "talker")
+        cluster.sim.run(until=cluster.sim.now + 20_000.0)
+        assert switch.dead_port_drops > before
+
+
+class TestCorruption:
+    def test_rate_validated(self):
+        cluster = build_cluster(2, boot=False)
+        plane = _plane(cluster)
+        with pytest.raises(ValueError):
+            plane.corrupt_on_link(cluster.fabric.links[0], rate=1.5)
+        with pytest.raises(ValueError):
+            plane.corrupt_on_link(cluster.fabric.links[0], rate=0.1,
+                                  modes=("explode",))
+
+    def test_filter_draws_are_deterministic(self):
+        decisions = []
+        for _attempt in range(2):
+            cluster = build_cluster(2, boot=False)
+            plane = _plane(cluster, seed=9)
+            link = cluster.fabric.links[0]
+            plane.corrupt_on_link(link, rate=0.5)
+            decisions.append([link.fault_filter(object())
+                              for _ in range(40)])
+        assert decisions[0] == decisions[1]
+
+    def test_until_removes_filter(self):
+        cluster = build_cluster(2, boot=False)
+        plane = _plane(cluster)
+        link = cluster.fabric.links[0]
+        plane.corrupt_on_link(link, rate=1.0, at=10.0, until=50.0)
+        cluster.sim.run(until=20.0)
+        assert link.fault_filter is not None
+        cluster.sim.run(until=60.0)
+        assert link.fault_filter is None

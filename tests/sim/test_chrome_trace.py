@@ -1,0 +1,35 @@
+"""Chrome trace-event export round-trip."""
+
+import json
+
+from repro.sim import Tracer
+
+
+def test_one_record_round_trips():
+    tracer = Tracer()
+    tracer.emit(123.5, "ftd0", "ftd_reroute_start", dest=2, attempt=1)
+    doc = json.loads(tracer.to_chrome_trace())
+    assert doc["displayTimeUnit"] == "ms"
+    (event,) = doc["traceEvents"]
+    assert event["name"] == "ftd_reroute_start"
+    assert event["ph"] == "i"
+    assert event["ts"] == 123.5
+    assert event["pid"] == "ftd0"
+    assert event["args"] == {"dest": 2, "attempt": 1}
+
+
+def test_non_json_details_are_stringified():
+    tracer = Tracer()
+    tracer.emit(1.0, "link", "cut", ends=("a", "b"))
+    doc = json.loads(tracer.to_chrome_trace())
+    assert doc["traceEvents"][0]["args"]["ends"] == repr(("a", "b"))
+
+
+def test_export_is_deterministic():
+    def build():
+        tracer = Tracer()
+        for i in range(5):
+            tracer.emit(float(i), "src%d" % (i % 2), "kind", n=i)
+        return tracer.to_chrome_trace()
+
+    assert build() == build()

@@ -1,6 +1,5 @@
 """Tests for seeded RNG streams and the tracer."""
 
-import pytest
 
 from repro.sim import SeededRng, TraceRecord, Tracer, derive_seed
 

@@ -5,7 +5,6 @@ from hypothesis import settings
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     invariant,
-    precondition,
     rule,
 )
 from hypothesis import strategies as st

@@ -6,7 +6,6 @@ run non-trivial scenarios twice and require bit-identical observable
 histories.
 """
 
-import pytest
 
 from repro.cluster import build_cluster
 from repro.faults import InjectionConfig, run_injection

@@ -1,11 +1,9 @@
 """Tests for the exception hierarchy and event/token dataclasses."""
 
-import pytest
 
 from repro import errors
 from repro.gm.events import EventType, GmEvent
 from repro.gm.tokens import RecvToken, SendToken
-from repro.payload import Payload
 
 
 class TestErrorHierarchy:
