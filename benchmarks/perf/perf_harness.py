@@ -1,31 +1,22 @@
-"""Microbenchmarks for the simulation-stack fast paths.
+"""Microbenchmark harness: thin wrapper over :mod:`repro.exp.perfbench`.
 
-Three numbers capture the cost of everything this project does:
-
-* **kernel events/sec** — raw discrete-event throughput: processes
-  yielding timeouts, the pattern every host, NIC, DMA engine and daemon
-  reduces to.
-* **LANai instructions/sec** — interpreted firmware throughput: a tight
-  ALU/branch loop on :class:`~repro.lanai.cpu.LanaiCpu`, the engine
-  behind every interpreted ``send_chunk`` in the fault-injection study.
-* **campaign runs/sec** — end-to-end wall clock of a Table 1 style
-  fault-injection campaign (the dominant cost of the reproduction).
-
-Run from the repo root::
+The benchmarks themselves live in the package (``repro.exp.perfbench``)
+so the experiment engine can drive them too (``python -m repro run
+perf``).  This script keeps the historical entry point and the
+``BENCH_perf.json`` before/after ledger:
 
     PYTHONPATH=src python benchmarks/perf/perf_harness.py --label current
 
 Each invocation merges its results into ``BENCH_perf.json`` under the
-given label, so the file accumulates a before/after trajectory
-(``baseline`` = pre-optimization, ``current`` = this tree).  The harness
-only uses public APIs and probes for optional parameters (``workers``),
-so it runs unchanged against older revisions of the stack.
+given label (``baseline`` = pre-optimization, ``current`` = this tree),
+now alongside a run manifest (spec hash, seed, git revision, wall time)
+so every recorded number is traceable to the exact configuration that
+produced it.
 """
 
 from __future__ import annotations
 
 import argparse
-import inspect
 import json
 import os
 import sys
@@ -36,188 +27,38 @@ REPO_ROOT = os.path.dirname(os.path.dirname(
 if os.path.isdir(os.path.join(REPO_ROOT, "src", "repro")):
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
+from repro.exp.perfbench import (  # noqa: E402  (path bootstrap above)
+    bench_campaign,
+    bench_kernel_events,
+    bench_kernel_wakeups,
+    bench_lanai_interpreter,
+    render_results,
+    run_all,
+)
+
+__all__ = [
+    "bench_campaign",
+    "bench_kernel_events",
+    "bench_kernel_wakeups",
+    "bench_lanai_interpreter",
+    "merge_into",
+    "run_all",
+    "main",
+]
+
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_perf.json")
 
 
-def bench_kernel_events(total_yields: int = 200_000,
-                        procs: int = 100) -> dict:
-    """Events/sec: ``procs`` processes each yielding timeouts."""
-    from repro.sim import Simulator
-
-    sim = Simulator()
-    per_proc = total_yields // procs
-
-    def worker():
-        timeout = sim.timeout
-        for _ in range(per_proc):
-            yield timeout(1.0)
-
-    for _ in range(procs):
-        sim.spawn(worker())
-    t0 = time.perf_counter()
-    sim.run()
-    wall = time.perf_counter() - t0
-    yields = per_proc * procs
-    return {
-        "yields": yields,
-        "wall_s": round(wall, 4),
-        "events_per_sec": round(yields / wall, 1),
-    }
-
-
-def bench_kernel_wakeups(total_yields: int = 100_000) -> dict:
-    """Events/sec for the event/succeed ping-pong (Store-style wakeups)."""
-    from repro.sim import Simulator
-
-    sim = Simulator()
-    box = {"ev": None}
-
-    def producer():
-        for _ in range(total_yields):
-            yield sim.timeout(1.0)
-            if box["ev"] is not None:
-                box["ev"].succeed("item")
-                box["ev"] = None
-
-    def consumer():
-        while True:
-            box["ev"] = sim.event()
-            got = yield box["ev"]
-            if got is None:  # pragma: no cover - defensive
-                return
-
-    sim.spawn(producer())
-    sim.spawn(consumer())
-    t0 = time.perf_counter()
-    sim.run(until=total_yields + 1.0)
-    wall = time.perf_counter() - t0
-    return {
-        "yields": total_yields,
-        "wall_s": round(wall, 4),
-        "events_per_sec": round(2 * total_yields / wall, 1),
-    }
-
-
-_LOOP_ITERS = 20_000
-_LOOP_ENTRY = 0x100
-
-
-def _loop_program():
-    """A 7-instruction ALU/branch loop, ``_LOOP_ITERS`` iterations."""
-    from repro.lanai import isa
-
-    Ins = isa.Instruction
-    ops = isa.BY_MNEMONIC
-    words = [
-        Ins(ops["addi"], rd=1, ra=0, imm=_LOOP_ITERS),   # r1 = N
-        # loop:
-        Ins(ops["addi"], rd=2, ra=2, imm=1),             # r2 += 1
-        Ins(ops["xor"], rd=3, ra=2, rb=1),
-        Ins(ops["add"], rd=4, ra=3, rb=2),
-        Ins(ops["sub"], rd=5, ra=4, rb=3),
-        Ins(ops["slt"], rd=6, ra=5, rb=1),
-        Ins(ops["addi"], rd=1, ra=1, imm=-1),            # r1 -= 1
-        Ins(ops["bne"], ra=1, rb=0, imm=-7),             # -> loop
-        Ins(ops["jr"], ra=15),                           # return
-    ]
-    return [isa.encode(w) for w in words]
-
-
-def bench_lanai_interpreter(repeats: int = 3) -> dict:
-    """Interpreted instructions/sec on a steady-state firmware loop."""
-    from repro.hw.sram import Sram
-    from repro.lanai.bus import MemoryBus
-    from repro.lanai.cpu import LanaiCpu
-    from repro.sim import Simulator
-
-    sim = Simulator()
-    sram = Sram(64 * 1024)
-    sram.write_words(_LOOP_ENTRY, _loop_program())
-    cpu = LanaiCpu(sim, MemoryBus(sram))
-
-    executed = 0
-    t0 = time.perf_counter()
-    for _ in range(repeats):
-        outcomes = []
-
-        def run():
-            outcome = yield from cpu.run_routine(_LOOP_ENTRY,
-                                                 fuel=10 * _LOOP_ITERS)
-            outcomes.append(outcome)
-
-        sim.spawn(run())
-        sim.run()
-        assert outcomes and outcomes[0].status == "done", outcomes
-        executed += outcomes[0].instructions
-    wall = time.perf_counter() - t0
-    return {
-        "instructions": executed,
-        "wall_s": round(wall, 4),
-        "instr_per_sec": round(executed / wall, 1),
-    }
-
-
-def bench_campaign(runs: int = 200, workers: int = 1, seed: int = 2003,
-                   messages: int = 16) -> dict:
-    """Wall clock of a Table 1 campaign (the paper-scale workload)."""
-    from repro.faults import run_campaign
-
-    kwargs = {"runs": runs, "seed": seed, "messages": messages}
-    supports_workers = \
-        "workers" in inspect.signature(run_campaign).parameters
-    if supports_workers:
-        kwargs["workers"] = workers
-    t0 = time.perf_counter()
-    result = run_campaign(**kwargs)
-    wall = time.perf_counter() - t0
-    return {
-        "runs": runs,
-        "workers": workers if supports_workers else 1,
-        "wall_s": round(wall, 3),
-        "runs_per_sec": round(runs / wall, 3),
-        "counts": dict(result.counts),
-    }
-
-
-def _best(bench, rate_key: str, samples: int = 3) -> dict:
-    """Best-of-N: the machine's fastest run is its least-disturbed one."""
-    results = [bench() for _ in range(samples)]
-    best = max(results, key=lambda r: r[rate_key])
-    best["samples"] = samples
-    return best
-
-
-def run_all(campaign_runs: int = 200, workers: int = 1,
-            quick: bool = False) -> dict:
-    scale = 10 if quick else 1
-    samples = 1 if quick else 3
-    results = {
-        "kernel_timeouts": _best(
-            lambda: bench_kernel_events(200_000 // scale),
-            "events_per_sec", samples),
-        "kernel_wakeups": _best(
-            lambda: bench_kernel_wakeups(100_000 // scale),
-            "events_per_sec", samples),
-        "lanai_interpreter": _best(
-            lambda: bench_lanai_interpreter(repeats=1 if quick else 3),
-            "instr_per_sec", samples),
-        "campaign": bench_campaign(campaign_runs, workers),
-    }
-    results["python"] = "%d.%d.%d" % sys.version_info[:3]
-    try:
-        results["cpus"] = len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        results["cpus"] = os.cpu_count()
-    return results
-
-
-def merge_into(path: str, label: str, results: dict) -> dict:
+def merge_into(path: str, label: str, results: dict,
+               manifest: dict = None) -> dict:
     doc = {"schema": 1, "entries": {}}
     if os.path.exists(path):
         with open(path) as fh:
             doc = json.load(fh)
         doc.setdefault("entries", {})
     results["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
+    if manifest is not None:
+        results["manifest"] = manifest
     doc["entries"][label] = results
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
@@ -236,18 +77,20 @@ def main(argv=None) -> int:
                         help="10x smaller sizes (CI smoke)")
     args = parser.parse_args(argv)
 
+    from repro.exp.registry import get_experiment
+    from repro.exp.results import RunManifest
+
+    spec = get_experiment("perf").build_spec({
+        "campaign_runs": args.campaign_runs,
+        "campaign_workers": args.workers,
+        "quick": args.quick,
+    })
+    t0 = time.perf_counter()
     results = run_all(args.campaign_runs, args.workers, quick=args.quick)
-    merge_into(args.out, args.label, results)
-    for name in ("kernel_timeouts", "kernel_wakeups"):
-        print("%-18s %12.0f events/sec" % (name,
-                                           results[name]["events_per_sec"]))
-    print("%-18s %12.0f instr/sec" % ("lanai_interpreter",
-                                      results["lanai_interpreter"]
-                                      ["instr_per_sec"]))
-    print("%-18s %12.2f runs/sec (%d runs, workers=%d, %.1fs)"
-          % ("campaign", results["campaign"]["runs_per_sec"],
-             results["campaign"]["runs"], results["campaign"]["workers"],
-             results["campaign"]["wall_s"]))
+    wall = time.perf_counter() - t0
+    manifest = RunManifest.collect(spec.spec_hash, spec.seed, wall)
+    merge_into(args.out, args.label, results, manifest=manifest.to_dict())
+    print(render_results(results))
     print("wrote %s [%s]" % (args.out, args.label))
     return 0
 

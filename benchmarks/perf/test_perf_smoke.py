@@ -53,3 +53,26 @@ def test_merge_into_accumulates(tmp_path):
     assert set(doc["entries"]) == {"a", "b"}
     on_disk = json.loads(out.read_text())
     assert on_disk["entries"]["a"]["x"] == 1
+
+
+@pytest.mark.perf
+def test_merge_into_records_manifest(tmp_path):
+    out = tmp_path / "bench.json"
+    manifest = {"spec_hash": "abc", "seed": 2003, "git_rev": "deadbeef",
+                "wall_time_s": 1.0, "recorded_at": "2026-01-01T00:00:00"}
+    doc = merge_into(str(out), "a", {"x": 1}, manifest=manifest)
+    assert doc["entries"]["a"]["manifest"] == manifest
+
+
+@pytest.mark.perf
+def test_harness_main_stamps_manifest(tmp_path):
+    from perf_harness import main
+
+    out = tmp_path / "bench.json"
+    assert main(["--quick", "--campaign-runs", "2",
+                 "--out", str(out), "--label", "smoke"]) == 0
+    entry = json.loads(out.read_text())["entries"]["smoke"]
+    manifest = entry["manifest"]
+    assert set(manifest) == {"spec_hash", "seed", "git_rev",
+                             "wall_time_s", "recorded_at"}
+    assert manifest["seed"] == 2003

@@ -1,6 +1,6 @@
 """Result aggregation: paper tables, figure series, ASCII rendering."""
 
-from .figures import Series, render_ascii, to_csv
+from .figures import Series, render_ascii, series_from_points, to_csv
 from .tables import PAPER_TABLE2, PAPER_TABLE3, Table2, Table3
 from .timeline import recovery_timeline, render_timeline
 
@@ -13,5 +13,6 @@ __all__ = [
     "recovery_timeline",
     "render_ascii",
     "render_timeline",
+    "series_from_points",
     "to_csv",
 ]

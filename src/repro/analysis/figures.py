@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-__all__ = ["Series", "render_ascii", "to_csv"]
+__all__ = ["Series", "render_ascii", "series_from_points", "to_csv"]
 
 
 @dataclass
@@ -36,6 +36,24 @@ class Series:
             if px == x:
                 return py
         return None
+
+
+def series_from_points(points: Sequence[dict]) -> List[Series]:
+    """Fold the experiment engine's sweep outcomes into curves.
+
+    Each point is a ``{"series": label, "x": ..., "y": ...}`` dict (the
+    unified outcome shape the fig7/fig8 experiments emit); curves keep
+    first-appearance order so renders are deterministic.
+    """
+    curves = {}
+    order = []
+    for point in points:
+        label = point["series"]
+        if label not in curves:
+            curves[label] = Series(label)
+            order.append(label)
+        curves[label].add(point["x"], point["y"])
+    return [curves[label] for label in order]
 
 
 def to_csv(series_list: Sequence[Series], x_name: str = "x") -> str:

@@ -40,6 +40,16 @@ class Table2:
     gm_util: UtilizationResult
     ftgm_util: UtilizationResult
 
+    @classmethod
+    def from_outcomes(cls, outcomes: List) -> "Table2":
+        """Build from the ``table2`` experiment's ordered outcome list:
+        ``[gm_bw, ftgm_bw, gm_lat, ftgm_lat, gm_util, ftgm_util]`` — the
+        engine's unified result shape rather than six keyword args."""
+        gm_bw, ftgm_bw, gm_lat, ftgm_lat, gm_util, ftgm_util = outcomes
+        return cls(gm_bandwidth=gm_bw, ftgm_bandwidth=ftgm_bw,
+                   gm_latency=gm_lat, ftgm_latency=ftgm_lat,
+                   gm_util=gm_util, ftgm_util=ftgm_util)
+
     def rows(self) -> List[Tuple[str, float, float, float, float]]:
         """(metric, GM measured, FTGM measured, GM paper, FTGM paper)."""
         measured = {
@@ -79,6 +89,18 @@ class Table3:
     detection_us: float
     record: RecoveryRecord
     per_port_us: float
+
+    @classmethod
+    def from_experiments(cls, experiments: List) -> "Table3":
+        """Build from the ``table3`` experiment's outcome list (one
+        :class:`~repro.workloads.recovery.RecoveryExperiment` per hang
+        offset): detection averages over the offsets, the component
+        breakdown comes from the first run."""
+        detection = sum(e.detection_us for e in experiments) \
+            / len(experiments)
+        first = experiments[0]
+        return cls(detection_us=detection, record=first.record,
+                   per_port_us=first.per_port_us)
 
     def rows(self) -> List[Tuple[str, float, float]]:
         return [

@@ -1,7 +1,14 @@
 """Command-line experiment driver: ``python -m repro <experiment>``.
 
-Runs any of the paper's experiments without pytest and prints the
-rendered table/figure.  Handy for exploring parameter changes::
+Every verb resolves through the experiment registry
+(:mod:`repro.exp.registry`) — the legacy spellings keep working and two
+engine verbs drive anything registered::
+
+    python -m repro list
+    python -m repro run table1 --runs 300 --workers 4 --out t1.json
+    python -m repro run netfaults --runs-per-scenario 2 \\
+        --journal nf.journal            # kill it; rerun to resume
+    python -m repro run spec.json       # re-run a saved spec exactly
 
     python -m repro table1 --runs 300
     python -m repro table2
@@ -12,219 +19,158 @@ rendered table/figure.  Handy for exploring parameter changes::
     python -m repro fig45
     python -m repro effectiveness --runs 120
     python -m repro netfaults --runs 5 --workers 4
+
+``--out`` writes the unified result JSON (spec + manifest + outcomes +
+rendered text; see ``docs/EXPERIMENTS_ENGINE.md``); ``--journal`` makes
+the campaign checkpointed and resumable.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 __all__ = ["main"]
 
 
-def _cmd_table1(args) -> str:
-    from .faults import run_campaign
+def _progress_printer(experiment, total: int) -> Optional[Callable]:
+    """stderr progress lines at the experiment's historic cadence."""
+    every = experiment.progress_every
+    if not every:
+        return None
+    fmt = experiment.progress_fmt
+    two_fields = fmt.count("%d") == 2
 
-    done = {"n": 0}
+    def progress(done: int) -> None:
+        if done % every == 0:
+            message = fmt % (done, total) if two_fields else fmt % done
+            print(message, file=sys.stderr)
 
-    def progress(n):
-        done["n"] = n
-        if n % 25 == 0:
-            print("  ... %d/%d runs" % (n, args.runs), file=sys.stderr)
-
-    result = run_campaign(runs=args.runs, seed=args.seed,
-                          progress=progress, workers=args.workers)
-    return result.render()
-
-
-def _cmd_table2(args) -> str:
-    from .analysis import Table2
-    from .cluster import build_cluster
-    from .workloads import measure_utilization, run_allsize, run_pingpong
-
-    table = Table2(
-        gm_bandwidth=run_allsize(build_cluster(2, flavor="gm"),
-                                 1 << 20, messages=5),
-        ftgm_bandwidth=run_allsize(build_cluster(2, flavor="ftgm"),
-                                   1 << 20, messages=5),
-        gm_latency=run_pingpong(build_cluster(2, flavor="gm"), 64,
-                                iterations=args.iterations),
-        ftgm_latency=run_pingpong(build_cluster(2, flavor="ftgm"), 64,
-                                  iterations=args.iterations),
-        gm_util=measure_utilization("gm", messages=60),
-        ftgm_util=measure_utilization("ftgm", messages=60),
-    )
-    return table.render()
+    return progress
 
 
-def _cmd_table3(args) -> str:
-    from .analysis import Table3
-    from .workloads import run_recovery_experiment
+def _execute(experiment, spec, *, workers: int,
+             out: Optional[str] = None,
+             journal: Optional[str] = None) -> str:
+    from .exp.runner import JournalMismatch, run_experiment
 
-    experiments = [run_recovery_experiment(hang_offset_us=offset)
-                   for offset in (520.0, 610.0, 700.0, 790.0)]
-    detection = sum(e.detection_us for e in experiments) / len(experiments)
-    exp = experiments[0]
-    return Table3(detection_us=detection, record=exp.record,
-                  per_port_us=exp.per_port_us).render()
-
-
-def _cmd_fig7(args) -> str:
-    from .analysis import Series, render_ascii, to_csv
-    from .cluster import build_cluster
-    from .workloads import run_allsize
-
-    sizes = [256, 1024, 4096, 4097, 8192, 16384, 65536, 262144, 1048576]
-    curves = []
-    for flavor in ("gm", "ftgm"):
-        series = Series(flavor)
-        for size in sizes:
-            n = max(3, min(args.messages, (1 << 22) // max(size, 1)))
-            series.add(size, run_allsize(build_cluster(2, flavor=flavor),
-                                         size, messages=n).bandwidth_mb_s)
-        curves.append(series)
-    return render_ascii(curves, "Figure 7. Bandwidth GM vs FTGM",
-                        "message length (bytes)", "MB/s") \
-        + "\n\n" + to_csv(curves, "bytes")
+    try:
+        result = run_experiment(
+            spec, workers=workers,
+            progress=_progress_printer(experiment, spec.runs),
+            journal_path=journal)
+    except JournalMismatch as exc:
+        raise SystemExit("error: %s" % exc)
+    if out:
+        result.write(out)
+        print("wrote %s" % out, file=sys.stderr)
+    return result.rendered
 
 
-def _cmd_fig8(args) -> str:
-    from .analysis import Series, render_ascii, to_csv
-    from .cluster import build_cluster
-    from .workloads import run_pingpong
-
-    sizes = [1, 16, 64, 100, 256, 1024, 4096, 16384, 65536]
-    curves = []
-    for flavor in ("gm", "ftgm"):
-        series = Series(flavor)
-        for size in sizes:
-            series.add(size,
-                       run_pingpong(build_cluster(2, flavor=flavor), size,
-                                    iterations=args.iterations).half_rtt_us)
-        curves.append(series)
-    return render_ascii(curves, "Figure 8. Latency GM vs FTGM",
-                        "message length (bytes)", "half-RTT (us)") \
-        + "\n\n" + to_csv(curves, "bytes")
+def _run_registered(experiment, args) -> str:
+    """Legacy-verb handler: CLI namespace -> spec -> engine."""
+    params = {option.dest: getattr(args, option.dest)
+              for option in experiment.options}
+    spec = experiment.build_spec(params)
+    return _execute(experiment, spec,
+                    workers=getattr(args, "workers", 1),
+                    out=getattr(args, "out", None),
+                    journal=getattr(args, "journal", None))
 
 
-def _cmd_fig9(args) -> str:
-    from .analysis import recovery_timeline, render_timeline
-    from .workloads import run_recovery_experiment
-
-    exp = run_recovery_experiment(hang_offset_us=620.0)
-    port_done = exp.record.events_posted_at + exp.per_port_us
-    return render_timeline(recovery_timeline(exp.fault_at, exp.record,
-                                             port_done))
-
-
-def _cmd_fig45(args) -> str:
-    from .faults.scenarios import run_figure4, run_figure5
-
-    rows = [
-        ("Fig 4 duplicate, naive GM", run_figure4("gm").duplicate),
-        ("Fig 4 duplicate, FTGM", run_figure4("ftgm").duplicate),
-        ("Fig 5 lost message, naive GM", run_figure5("gm").lost),
-        ("Fig 5 lost message, FTGM", run_figure5("ftgm").lost),
-    ]
-    return "\n".join("%-32s %s" % (name, "YES" if bad else "no")
-                     for name, bad in rows)
+def _add_common_options(parser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="parallel runner processes (default 1)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the result JSON here")
+    parser.add_argument("--journal", default=None, metavar="PATH",
+                        help="checkpoint outcomes here; rerunning the "
+                             "same spec resumes from it")
 
 
-def _cmd_effectiveness(args) -> str:
-    from .faults import run_effectiveness_study
+def _cmd_list(argv: List[str]) -> int:
+    from .exp.registry import all_experiments
 
-    result = run_effectiveness_study(runs=args.runs, seed=args.seed,
-                                     workers=args.workers)
-    return result.render()
-
-
-def _cmd_surface(args) -> str:
-    from .faults import run_campaign
-    from .faults.surface import analyze_surface
-
-    campaign = run_campaign(runs=args.runs, seed=args.seed,
-                            workers=args.workers)
-    return campaign.render() + "\n\n" \
-        + analyze_surface(campaign.outcomes).render()
+    if argv:
+        print("repro list takes no arguments", file=sys.stderr)
+        return 2
+    experiments = all_experiments()
+    width = max(len(e.name) for e in experiments)
+    print("Registered experiments (run with: repro run <name> [options]):")
+    for experiment in experiments:
+        print("  %-*s  %s" % (width, experiment.name, experiment.help))
+    return 0
 
 
-def _cmd_netfaults(args) -> str:
-    from .netfaults import run_netfaults_campaign
+def _cmd_run(argv: List[str]) -> int:
+    from .exp.registry import experiment_names, get_experiment
+    from .exp.spec import ExperimentSpec
 
-    def progress(n):
-        if n % 4 == 0:
-            print("  ... %d runs done" % n, file=sys.stderr)
+    base = argparse.ArgumentParser(
+        prog="repro run",
+        description="Run a registered experiment or a saved spec JSON.")
+    base.add_argument("target",
+                      help="experiment name (see 'repro list') or a "
+                           "spec .json path")
+    _add_common_options(base)
+    ns, rest = base.parse_known_args(argv)
 
-    result = run_netfaults_campaign(
-        runs_per_scenario=args.runs, seed=args.seed, n_nodes=args.nodes,
-        topology=args.topology, progress=progress, workers=args.workers)
-    return result.render()
+    if ns.target.endswith(".json") or os.path.exists(ns.target):
+        if rest:
+            base.error("spec-file runs take no experiment options "
+                       "(got %s); edit the spec instead" % " ".join(rest))
+        with open(ns.target) as fh:
+            spec = ExperimentSpec.from_json(fh.read())
+        try:
+            experiment = get_experiment(spec.experiment)
+        except KeyError as exc:
+            base.error(str(exc))
+    else:
+        try:
+            experiment = get_experiment(ns.target)
+        except KeyError:
+            base.error("unknown experiment %r (have: %s)"
+                       % (ns.target, ", ".join(experiment_names())))
+        options = argparse.ArgumentParser(
+            prog="repro run %s" % experiment.name)
+        for option in experiment.options:
+            option.add_to(options)
+        opts = options.parse_args(rest)
+        spec = experiment.build_spec(vars(opts))
+
+    print(_execute(experiment, spec, workers=ns.workers, out=ns.out,
+                   journal=ns.journal))
+    return 0
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def _legacy_parser() -> argparse.ArgumentParser:
+    from .exp.registry import all_experiments
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Experiments from 'Low Overhead Fault Tolerant "
-                    "Networking in Myrinet' (DSN 2003)")
+                    "Networking in Myrinet' (DSN 2003)",
+        epilog="Engine verbs: 'repro list' shows every registered "
+               "experiment; 'repro run <name|spec.json> [options]' runs "
+               "one with --out/--journal support.")
     sub = parser.add_subparsers(dest="command", required=True)
+    for experiment in all_experiments():
+        verb = sub.add_parser(experiment.name, help=experiment.help)
+        for option in experiment.options:
+            option.add_to(verb, legacy=True)
+        _add_common_options(verb)
+        verb.set_defaults(experiment=experiment)
+    return parser
 
-    table1 = sub.add_parser("table1", help="fault-injection campaign")
-    table1.add_argument("--runs", type=int, default=150)
-    table1.add_argument("--seed", type=int, default=2003)
-    table1.add_argument("--workers", type=int, default=1,
-                        help="parallel injection processes (default 1)")
-    table1.set_defaults(fn=_cmd_table1)
 
-    table2 = sub.add_parser("table2", help="GM vs FTGM metrics")
-    table2.add_argument("--iterations", type=int, default=25)
-    table2.set_defaults(fn=_cmd_table2)
-
-    table3 = sub.add_parser("table3", help="recovery-time components")
-    table3.set_defaults(fn=_cmd_table3)
-
-    fig7 = sub.add_parser("fig7", help="bandwidth curves")
-    fig7.add_argument("--messages", type=int, default=20)
-    fig7.set_defaults(fn=_cmd_fig7)
-
-    fig8 = sub.add_parser("fig8", help="latency curves")
-    fig8.add_argument("--iterations", type=int, default=25)
-    fig8.set_defaults(fn=_cmd_fig8)
-
-    fig9 = sub.add_parser("fig9", help="recovery timeline")
-    fig9.set_defaults(fn=_cmd_fig9)
-
-    fig45 = sub.add_parser("fig45", help="duplicate/lost scenarios")
-    fig45.set_defaults(fn=_cmd_fig45)
-
-    effectiveness = sub.add_parser(
-        "effectiveness", help="FTGM recovery coverage (section 5.2)")
-    effectiveness.add_argument("--runs", type=int, default=80)
-    effectiveness.add_argument("--seed", type=int, default=7001)
-    effectiveness.add_argument("--workers", type=int, default=1,
-                               help="parallel injection processes")
-    effectiveness.set_defaults(fn=_cmd_effectiveness)
-
-    surface = sub.add_parser(
-        "surface", help="fault outcomes by corrupted instruction field")
-    surface.add_argument("--runs", type=int, default=150)
-    surface.add_argument("--seed", type=int, default=6007)
-    surface.add_argument("--workers", type=int, default=1,
-                         help="parallel injection processes")
-    surface.set_defaults(fn=_cmd_surface)
-
-    netfaults = sub.add_parser(
-        "netfaults", help="link/switch fault campaign with reroute recovery")
-    netfaults.add_argument("--runs", type=int, default=5,
-                           help="runs per scenario (default 5)")
-    netfaults.add_argument("--seed", type=int, default=2003)
-    netfaults.add_argument("--nodes", type=int, default=4)
-    netfaults.add_argument("--topology", default="ring",
-                           choices=["ring", "tree"])
-    netfaults.add_argument("--workers", type=int, default=1,
-                           help="parallel injection processes (default 1)")
-    netfaults.set_defaults(fn=_cmd_netfaults)
-
-    args = parser.parse_args(argv)
-    print(args.fn(args))
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "list":
+        return _cmd_list(argv[1:])
+    if argv and argv[0] == "run":
+        return _cmd_run(argv[1:])
+    args = _legacy_parser().parse_args(argv)
+    print(_run_registered(args.experiment, args))
     return 0

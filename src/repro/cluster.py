@@ -16,7 +16,8 @@ from .net.fabric import Fabric
 from .net.mapper import Mapper
 from .sim import SeededRng, Simulator, Tracer
 
-__all__ = ["Node", "MyrinetCluster", "build_cluster"]
+__all__ = ["Node", "MyrinetCluster", "build_cluster",
+           "build_cluster_from_spec"]
 
 
 class Node:
@@ -164,3 +165,21 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
     if boot:
         cluster.boot()
     return cluster
+
+
+def build_cluster_from_spec(spec, seed: int = 0,
+                            **overrides) -> MyrinetCluster:
+    """Build a cluster from a :class:`repro.exp.spec.ClusterSpec`.
+
+    The experiment engine describes clusters declaratively; this is the
+    bridge from that description to :func:`build_cluster`.  ``overrides``
+    pass through (``trace=``, ``boot=``, ...).
+    """
+    return build_cluster(
+        n_nodes=spec.n_nodes,
+        flavor=spec.flavor,
+        seed=seed,
+        topology=spec.topology,
+        n_switches=spec.n_switches or None,
+        interpreted_nodes=list(spec.interpreted_nodes) or None,
+        **overrides)

@@ -1,0 +1,248 @@
+"""Microbenchmarks for the simulation-stack fast paths.
+
+Three numbers capture the cost of everything this project does:
+
+* **kernel events/sec** — raw discrete-event throughput: processes
+  yielding timeouts, the pattern every host, NIC, DMA engine and daemon
+  reduces to.
+* **LANai instructions/sec** — interpreted firmware throughput: a tight
+  ALU/branch loop on :class:`~repro.lanai.cpu.LanaiCpu`, the engine
+  behind every interpreted ``send_chunk`` in the fault-injection study.
+* **campaign runs/sec** — end-to-end wall clock of a Table 1 style
+  fault-injection campaign (the dominant cost of the reproduction).
+
+These used to live in ``benchmarks/perf/perf_harness.py``; they moved
+into the package so the experiment engine can register them (``repro
+run perf``) and the harness script became a thin wrapper that merges
+results (plus a run manifest) into ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import Any, Dict
+
+__all__ = [
+    "bench_kernel_events",
+    "bench_kernel_wakeups",
+    "bench_lanai_interpreter",
+    "bench_campaign",
+    "run_bench",
+    "run_all",
+    "environment_info",
+    "render_results",
+    "BENCH_NAMES",
+]
+
+BENCH_NAMES = ("kernel_timeouts", "kernel_wakeups", "lanai_interpreter",
+               "campaign")
+
+
+def bench_kernel_events(total_yields: int = 200_000,
+                        procs: int = 100) -> dict:
+    """Events/sec: ``procs`` processes each yielding timeouts."""
+    from ..sim import Simulator
+
+    sim = Simulator()
+    per_proc = total_yields // procs
+
+    def worker():
+        timeout = sim.timeout
+        for _ in range(per_proc):
+            yield timeout(1.0)
+
+    for _ in range(procs):
+        sim.spawn(worker())
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    yields = per_proc * procs
+    return {
+        "yields": yields,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(yields / wall, 1),
+    }
+
+
+def bench_kernel_wakeups(total_yields: int = 100_000) -> dict:
+    """Events/sec for the event/succeed ping-pong (Store-style wakeups)."""
+    from ..sim import Simulator
+
+    sim = Simulator()
+    box = {"ev": None}
+
+    def producer():
+        for _ in range(total_yields):
+            yield sim.timeout(1.0)
+            if box["ev"] is not None:
+                box["ev"].succeed("item")
+                box["ev"] = None
+
+    def consumer():
+        while True:
+            box["ev"] = sim.event()
+            got = yield box["ev"]
+            if got is None:  # pragma: no cover - defensive
+                return
+
+    sim.spawn(producer())
+    sim.spawn(consumer())
+    t0 = time.perf_counter()
+    sim.run(until=total_yields + 1.0)
+    wall = time.perf_counter() - t0
+    return {
+        "yields": total_yields,
+        "wall_s": round(wall, 4),
+        "events_per_sec": round(2 * total_yields / wall, 1),
+    }
+
+
+_LOOP_ITERS = 20_000
+_LOOP_ENTRY = 0x100
+
+
+def _loop_program():
+    """A 7-instruction ALU/branch loop, ``_LOOP_ITERS`` iterations."""
+    from ..lanai import isa
+
+    Ins = isa.Instruction
+    ops = isa.BY_MNEMONIC
+    words = [
+        Ins(ops["addi"], rd=1, ra=0, imm=_LOOP_ITERS),   # r1 = N
+        # loop:
+        Ins(ops["addi"], rd=2, ra=2, imm=1),             # r2 += 1
+        Ins(ops["xor"], rd=3, ra=2, rb=1),
+        Ins(ops["add"], rd=4, ra=3, rb=2),
+        Ins(ops["sub"], rd=5, ra=4, rb=3),
+        Ins(ops["slt"], rd=6, ra=5, rb=1),
+        Ins(ops["addi"], rd=1, ra=1, imm=-1),            # r1 -= 1
+        Ins(ops["bne"], ra=1, rb=0, imm=-7),             # -> loop
+        Ins(ops["jr"], ra=15),                           # return
+    ]
+    return [isa.encode(w) for w in words]
+
+
+def bench_lanai_interpreter(repeats: int = 3) -> dict:
+    """Interpreted instructions/sec on a steady-state firmware loop."""
+    from ..hw.sram import Sram
+    from ..lanai.bus import MemoryBus
+    from ..lanai.cpu import LanaiCpu
+    from ..sim import Simulator
+
+    sim = Simulator()
+    sram = Sram(64 * 1024)
+    sram.write_words(_LOOP_ENTRY, _loop_program())
+    cpu = LanaiCpu(sim, MemoryBus(sram))
+
+    executed = 0
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        outcomes = []
+
+        def run():
+            outcome = yield from cpu.run_routine(_LOOP_ENTRY,
+                                                 fuel=10 * _LOOP_ITERS)
+            outcomes.append(outcome)
+
+        sim.spawn(run())
+        sim.run()
+        assert outcomes and outcomes[0].status == "done", outcomes
+        executed += outcomes[0].instructions
+    wall = time.perf_counter() - t0
+    return {
+        "instructions": executed,
+        "wall_s": round(wall, 4),
+        "instr_per_sec": round(executed / wall, 1),
+    }
+
+
+def bench_campaign(runs: int = 200, workers: int = 1, seed: int = 2003,
+                   messages: int = 16) -> dict:
+    """Wall clock of a Table 1 campaign (the paper-scale workload)."""
+    from ..faults import run_campaign
+
+    t0 = time.perf_counter()
+    result = run_campaign(runs=runs, seed=seed, messages=messages,
+                          workers=workers)
+    wall = time.perf_counter() - t0
+    return {
+        "runs": runs,
+        "workers": workers,
+        "wall_s": round(wall, 3),
+        "runs_per_sec": round(runs / wall, 3),
+        "counts": dict(result.counts),
+    }
+
+
+def _best(bench, rate_key: str, samples: int = 3) -> dict:
+    """Best-of-N: the machine's fastest run is its least-disturbed one."""
+    results = [bench() for _ in range(samples)]
+    best = max(results, key=lambda r: r[rate_key])
+    best["samples"] = samples
+    return best
+
+
+def run_bench(config: Dict[str, Any]) -> dict:
+    """Run one named benchmark (the engine's per-run function).
+
+    ``config``: ``{"bench": <BENCH_NAMES entry>, "quick": bool,
+    "campaign_runs": int, "campaign_workers": int}``.
+    """
+    name = config["bench"]
+    quick = bool(config.get("quick", False))
+    scale = 10 if quick else 1
+    samples = 1 if quick else 3
+    if name == "kernel_timeouts":
+        return _best(lambda: bench_kernel_events(200_000 // scale),
+                     "events_per_sec", samples)
+    if name == "kernel_wakeups":
+        return _best(lambda: bench_kernel_wakeups(100_000 // scale),
+                     "events_per_sec", samples)
+    if name == "lanai_interpreter":
+        return _best(lambda: bench_lanai_interpreter(
+            repeats=1 if quick else 3), "instr_per_sec", samples)
+    if name == "campaign":
+        return bench_campaign(config.get("campaign_runs", 200),
+                              config.get("campaign_workers", 1))
+    raise ValueError("unknown benchmark %r (have: %s)"
+                     % (name, ", ".join(BENCH_NAMES)))
+
+
+def environment_info() -> Dict[str, Any]:
+    info: Dict[str, Any] = {
+        "python": "%d.%d.%d" % sys.version_info[:3]}
+    try:
+        info["cpus"] = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        info["cpus"] = os.cpu_count()
+    return info
+
+
+def run_all(campaign_runs: int = 200, workers: int = 1,
+            quick: bool = False) -> dict:
+    results = {
+        name: run_bench({"bench": name, "quick": quick,
+                         "campaign_runs": campaign_runs,
+                         "campaign_workers": workers})
+        for name in BENCH_NAMES
+    }
+    results.update(environment_info())
+    return results
+
+
+def render_results(results: Dict[str, Any]) -> str:
+    lines = []
+    for name in ("kernel_timeouts", "kernel_wakeups"):
+        lines.append("%-18s %12.0f events/sec"
+                     % (name, results[name]["events_per_sec"]))
+    lines.append("%-18s %12.0f instr/sec"
+                 % ("lanai_interpreter",
+                    results["lanai_interpreter"]["instr_per_sec"]))
+    campaign = results["campaign"]
+    lines.append("%-18s %12.2f runs/sec (%d runs, workers=%d, %.1fs)"
+                 % ("campaign", campaign["runs_per_sec"],
+                    campaign["runs"], campaign["workers"],
+                    campaign["wall_s"]))
+    return "\n".join(lines)

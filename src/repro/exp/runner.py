@@ -1,0 +1,229 @@
+"""The one deterministic fan-out every campaign, study and sweep uses.
+
+:func:`run_many` owns the process-pool fan-out that
+``faults.campaign._run_many`` and the netfaults campaign each used to
+carry privately: every config runs hermetically (its own ``Simulator``,
+its own seed), outcomes come back ordered by config index, and progress
+is reported as **monotonic completed-count ticks** — ``1, 2, ..., N``
+exactly once each — under ``workers=1`` and ``workers>1`` alike.
+
+:func:`run_experiment` drives a whole declarative experiment: expand the
+spec through its registry entry, fan the configs out, journal each
+outcome as it completes (when given a journal path), aggregate, render,
+and stamp a :class:`~repro.exp.results.RunManifest`.  A campaign killed
+mid-flight resumes from its journal: re-invoking the same spec with the
+same journal path skips the already-completed runs and finishes with
+results byte-identical to an uninterrupted run.
+
+Journal format (JSON lines)::
+
+    {"journal": 1, "experiment": ..., "spec_hash": ..., "total": N}
+    {"run": 0, "outcome": {...}}
+    {"run": 3, "outcome": {...}}        # completion order, not run order
+
+A torn final line (the process died mid-write) is ignored on load; a
+header whose ``spec_hash`` does not match the spec being resumed raises
+:class:`JournalMismatch` rather than silently mixing configurations.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .results import ExperimentResult, RunManifest, encode_outcome
+from .spec import ExperimentSpec
+
+__all__ = [
+    "derive_run_seed",
+    "run_many",
+    "run_experiment",
+    "Journal",
+    "JournalMismatch",
+]
+
+JOURNAL_VERSION = 1
+
+
+def derive_run_seed(base_seed: int, run_id: int) -> int:
+    """Per-run seed derivation: stable, collision-free, and identical to
+    what the historic campaigns used, so same-seed results stay
+    byte-identical across the refactor."""
+    return base_seed + run_id
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk belongs to a different spec."""
+
+
+class Journal:
+    """Append-only outcome journal backing resumable campaigns."""
+
+    def __init__(self, path: str, spec: ExperimentSpec, total: int):
+        self.path = path
+        self.spec = spec
+        self.total = total
+
+    def load(self) -> Dict[int, Any]:
+        """Encoded outcomes by run index; ``{}`` if no journal yet."""
+        if not os.path.exists(self.path):
+            return {}
+        completed: Dict[int, Any] = {}
+        with open(self.path) as fh:
+            lines = fh.read().splitlines()
+        if not lines:
+            return {}
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            raise JournalMismatch("journal %s has an unreadable header"
+                                  % self.path)
+        if header.get("journal") != JOURNAL_VERSION:
+            raise JournalMismatch("journal %s has version %r, want %d"
+                                  % (self.path, header.get("journal"),
+                                     JOURNAL_VERSION))
+        if header.get("spec_hash") != self.spec.spec_hash:
+            raise JournalMismatch(
+                "journal %s was written by spec %s; resuming spec %s "
+                "would mix configurations — delete the journal or rerun "
+                "the original spec"
+                % (self.path, header.get("spec_hash"), self.spec.spec_hash))
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue        # torn tail from a mid-write kill
+            index = entry.get("run")
+            if isinstance(index, int) and 0 <= index < self.total \
+                    and "outcome" in entry:
+                completed[index] = entry["outcome"]
+        return completed
+
+    def append(self, index: int, encoded_outcome: Any) -> None:
+        new = not os.path.exists(self.path) \
+            or os.path.getsize(self.path) == 0
+        with open(self.path, "a") as fh:
+            if new:
+                fh.write(json.dumps({
+                    "journal": JOURNAL_VERSION,
+                    "experiment": self.spec.experiment,
+                    "spec_hash": self.spec.spec_hash,
+                    "total": self.total,
+                }, sort_keys=True) + "\n")
+            fh.write(json.dumps({"run": index,
+                                 "outcome": encoded_outcome},
+                                sort_keys=True) + "\n")
+            fh.flush()
+
+
+class _Ticker:
+    """Serializes progress into strictly-increasing completed counts."""
+
+    def __init__(self, progress: Optional[Callable[[int], None]],
+                 already_done: int = 0):
+        self.done = already_done
+        self.progress = progress
+
+    def tick(self) -> None:
+        self.done += 1
+        if self.progress is not None:
+            self.progress(self.done)
+
+
+def _invoke(runner: Callable[[Any], Any], item):
+    index, config = item
+    return index, runner(config)
+
+
+def run_many(configs: Sequence[Any], runner: Callable[[Any], Any], *,
+             workers: int = 1,
+             progress: Optional[Callable[[int], None]] = None,
+             completed: Optional[Dict[int, Any]] = None,
+             on_outcome: Optional[Callable[[int, Any], None]] = None
+             ) -> List[Any]:
+    """Run every config through ``runner``; outcomes in config order.
+
+    ``runner`` must be a picklable module-level function.  ``completed``
+    maps config indices to already-known outcomes (a resumed journal);
+    those configs are skipped.  ``on_outcome(index, outcome)`` fires in
+    completion order for each *newly computed* outcome, before the
+    progress tick for that run — so a journal line always lands before
+    the tick that announces it.  ``progress(done)`` receives monotonic
+    counts ``len(completed)+1 .. len(configs)`` in both serial and
+    parallel modes.
+    """
+    completed = dict(completed or {})
+    outcomes: List[Any] = [None] * len(configs)
+    for index, outcome in completed.items():
+        outcomes[index] = outcome
+    pending = [(index, config) for index, config in enumerate(configs)
+               if index not in completed]
+    ticker = _Ticker(progress, already_done=len(configs) - len(pending))
+
+    def record(index: int, outcome: Any) -> None:
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(index, outcome)
+        ticker.tick()
+
+    if workers <= 1 or len(pending) < 2:
+        for index, config in pending:
+            record(index, runner(config))
+        return outcomes
+    # fork (where available) shares the already-imported simulator
+    # modules with the children; spawn re-imports and still works.
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() \
+        else None
+    ctx = multiprocessing.get_context(method)
+    workers = min(workers, len(pending))
+    chunksize = max(1, len(pending) // (workers * 4))
+    with ctx.Pool(processes=workers) as pool:
+        for index, outcome in pool.imap_unordered(
+                partial(_invoke, runner), pending, chunksize):
+            record(index, outcome)
+    return outcomes
+
+
+def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
+                   progress: Optional[Callable[[int], None]] = None,
+                   journal_path: Optional[str] = None) -> ExperimentResult:
+    """Expand, fan out, (optionally) journal, aggregate and render.
+
+    With ``journal_path``, every completed run is appended to the
+    journal as it finishes and an existing journal for the same spec is
+    resumed — the combined result is byte-identical to a single
+    uninterrupted run.  The journal file is left in place on completion
+    so a finished campaign re-invokes as a pure cache hit.
+    """
+    from .registry import get_experiment
+
+    experiment = get_experiment(spec.experiment)
+    configs = experiment.expand(spec)
+    completed: Dict[int, Any] = {}
+    journal: Optional[Journal] = None
+    if journal_path is not None:
+        journal = Journal(journal_path, spec, total=len(configs))
+        decode = experiment.decode or (lambda value: value)
+        completed = {index: decode(encoded)
+                     for index, encoded in journal.load().items()}
+    on_outcome = None
+    if journal is not None:
+        def on_outcome(index: int, outcome: Any) -> None:
+            journal.append(index, encode_outcome(outcome))
+    started = time.perf_counter()
+    outcomes = run_many(configs, experiment.run_one, workers=workers,
+                        progress=progress, completed=completed,
+                        on_outcome=on_outcome)
+    wall = time.perf_counter() - started
+    aggregate = experiment.aggregate(spec, outcomes)
+    rendered = experiment.render(aggregate)
+    summary = experiment.summarize(aggregate) \
+        if experiment.summarize is not None else None
+    manifest = RunManifest.collect(spec.spec_hash, spec.seed, wall)
+    return ExperimentResult(spec=spec, manifest=manifest,
+                            outcomes=outcomes, rendered=rendered,
+                            summary=summary)

@@ -1,0 +1,235 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` is the complete, frozen description of one
+experiment: which registered experiment to run, the base seed, how many
+runs, and (for matrix experiments) a tuple of :class:`ScenarioSpec`
+entries each naming a cluster topology, a workload and a fault plan.
+Specs round-trip losslessly through ``dict``/JSON — ``repro run
+spec.json`` re-runs exactly what ``to_json()`` captured — and hash to a
+stable :attr:`~ExperimentSpec.spec_hash` that run manifests and resume
+journals use to pin results to the configuration that produced them.
+
+Everything here is pure data: no simulator imports, no randomness.  The
+expansion of a spec into per-run configs lives with each registered
+experiment (:mod:`repro.exp.experiments`); the fan-out lives in
+:mod:`repro.exp.runner`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Mapping, Tuple
+
+__all__ = [
+    "ClusterSpec",
+    "WorkloadSpec",
+    "FaultSpec",
+    "ScenarioSpec",
+    "ExperimentSpec",
+    "freeze_params",
+    "thaw_params",
+]
+
+#: Hashable parameter bag: a sorted tuple of (name, value) pairs.
+Params = Tuple[Tuple[str, Any], ...]
+
+
+def _freeze_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        return tuple(sorted((str(k), _freeze_value(v))
+                            for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze_value(v) for v in value)
+    return value
+
+
+def _thaw_value(value: Any) -> Any:
+    if isinstance(value, tuple):
+        if value and all(isinstance(item, tuple) and len(item) == 2
+                         and isinstance(item[0], str) for item in value):
+            return {k: _thaw_value(v) for k, v in value}
+        return [_thaw_value(v) for v in value]
+    return value
+
+
+def freeze_params(mapping: Mapping[str, Any]) -> Params:
+    """A dict of JSON-able values -> hashable sorted tuple-of-pairs."""
+    return tuple(sorted((str(k), _freeze_value(v))
+                        for k, v in mapping.items()))
+
+
+def thaw_params(params: Params) -> Dict[str, Any]:
+    """Inverse of :func:`freeze_params` (tuples come back as lists)."""
+    return {k: _thaw_value(v) for k, v in params}
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The cluster a run builds: shape, flavor, fabric topology."""
+
+    n_nodes: int = 2
+    flavor: str = "gm"                      # 'gm' | 'ftgm'
+    topology: str = "star"                  # 'star' | 'ring' | 'tree'
+    n_switches: int = 0                     # 0 = topology default
+    interpreted_nodes: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "n_nodes": self.n_nodes,
+            "flavor": self.flavor,
+            "topology": self.topology,
+            "n_switches": self.n_switches,
+            "interpreted_nodes": list(self.interpreted_nodes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
+        return cls(
+            n_nodes=data.get("n_nodes", 2),
+            flavor=data.get("flavor", "gm"),
+            topology=data.get("topology", "star"),
+            n_switches=data.get("n_switches", 0),
+            interpreted_nodes=tuple(data.get("interpreted_nodes", ())),
+        )
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The traffic a run drives while the fault plan executes."""
+
+    kind: str = "stream"        # stream | cross-pairs | allsize | pingpong...
+    messages: int = 16
+    message_bytes: int = 256
+    params: Params = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "messages": self.messages,
+            "message_bytes": self.message_bytes,
+            "params": thaw_params(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return cls(
+            kind=data.get("kind", "stream"),
+            messages=data.get("messages", 16),
+            message_bytes=data.get("message_bytes", 256),
+            params=freeze_params(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """What gets broken, and how."""
+
+    kind: str = "none"          # none | bitflip | link-cut | link-flap | ...
+    params: Params = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": thaw_params(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return cls(kind=data.get("kind", "none"),
+                   params=freeze_params(data.get("params", {})))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of an experiment matrix: cluster x workload x fault."""
+
+    name: str = "default"
+    runs: int = 1
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    fault: FaultSpec = field(default_factory=FaultSpec)
+    params: Params = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "runs": self.runs,
+            "cluster": self.cluster.to_dict(),
+            "workload": self.workload.to_dict(),
+            "fault": self.fault.to_dict(),
+            "params": thaw_params(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        return cls(
+            name=data.get("name", "default"),
+            runs=data.get("runs", 1),
+            cluster=ClusterSpec.from_dict(data.get("cluster", {})),
+            workload=WorkloadSpec.from_dict(data.get("workload", {})),
+            fault=FaultSpec.from_dict(data.get("fault", {})),
+            params=freeze_params(data.get("params", {})),
+        )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """The full description of one experiment invocation.
+
+    ``experiment`` names a registry entry; ``seed`` is the campaign base
+    seed (run *i* derives its seed via
+    :func:`repro.exp.runner.derive_run_seed`); ``runs`` is the total run
+    count; ``scenarios`` carries the per-scenario matrix for sweep
+    experiments; ``params`` holds experiment-specific knobs.
+    """
+
+    experiment: str
+    seed: int = 0
+    runs: int = 0
+    scenarios: Tuple[ScenarioSpec, ...] = ()
+    params: Params = ()
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return _thaw_value(value)
+        return default
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "seed": self.seed,
+            "runs": self.runs,
+            "scenarios": [s.to_dict() for s in self.scenarios],
+            "params": thaw_params(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError("unknown ExperimentSpec fields: %s"
+                             % ", ".join(sorted(unknown)))
+        return cls(
+            experiment=data["experiment"],
+            seed=data.get("seed", 0),
+            runs=data.get("runs", 0),
+            scenarios=tuple(ScenarioSpec.from_dict(s)
+                            for s in data.get("scenarios", ())),
+            params=freeze_params(data.get("params", {})),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) \
+            + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable 16-hex-digit digest of the canonical spec JSON."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -4,6 +4,7 @@ outcome classification, and the naive-recovery baseline."""
 from .campaign import (
     CampaignResult,
     EffectivenessResult,
+    aggregate_effectiveness,
     run_campaign,
     run_effectiveness_study,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "PAPER_HANGS",
     "PAPER_TABLE1",
     "PAPER_UNRECOVERED_HANGS",
+    "aggregate_effectiveness",
     "classify",
     "naive_reload",
     "run_campaign",

@@ -7,54 +7,42 @@ embarrassingly parallel: pass ``workers=N`` to fan runs out over a
 serial path.  Either way the outcome list is ordered by ``run_id`` and
 every run's result depends only on its config — a parallel campaign is
 byte-identical to a serial one.
+
+The fan-out itself lives in :func:`repro.exp.runner.run_many`, the
+experiment engine's shared pool runner; these campaign entry points are
+also registered as the ``table1`` and ``effectiveness`` experiments
+(``repro run table1``), which adds journaling/resume and result
+manifests on top of the same runs.
 """
 
 from __future__ import annotations
 
-import multiprocessing
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from ..exp.runner import derive_run_seed, run_many
 from .injector import InjectionConfig, run_injection
 from .outcomes import CATEGORY_ORDER, InjectionOutcome, tabulate
 from .reference import IYER_TABLE1, PAPER_TABLE1
 
 __all__ = ["CampaignResult", "run_campaign", "EffectivenessResult",
-           "run_effectiveness_study"]
+           "run_effectiveness_study", "aggregate_effectiveness"]
 
 
 def _run_many(configs: List[InjectionConfig], workers: int,
               progress: Optional[Callable[[int], None]],
               runner: Callable = run_injection) -> List[InjectionOutcome]:
-    """Run every config through ``runner``; outcomes ordered by ``run_id``.
+    """Deprecated shim — use :func:`repro.exp.runner.run_many`.
 
-    ``runner`` must be a picklable module-level function (the netfaults
-    campaign passes its own).  ``progress`` is called in the parent with
-    the number of completed runs (in completion order, which under
-    ``workers > 1`` is not run order).
+    Kept for one release so external callers of the old private pool
+    runner keep working; the netfaults campaign and this module now go
+    through the public experiment-engine API.
     """
-    if workers <= 1 or len(configs) < 2:
-        outcomes = []
-        for done, config in enumerate(configs, start=1):
-            outcomes.append(runner(config))
-            if progress is not None:
-                progress(done)
-        return outcomes
-    # fork (where available) shares the already-imported simulator
-    # modules with the children; spawn re-imports and still works.
-    method = "fork" if "fork" in multiprocessing.get_all_start_methods() \
-        else None
-    ctx = multiprocessing.get_context(method)
-    workers = min(workers, len(configs))
-    chunksize = max(1, len(configs) // (workers * 4))
-    outcomes = []
-    with ctx.Pool(processes=workers) as pool:
-        for outcome in pool.imap_unordered(runner, configs, chunksize):
-            outcomes.append(outcome)
-            if progress is not None:
-                progress(len(outcomes))
-    outcomes.sort(key=lambda outcome: outcome.run_id)
-    return outcomes
+    warnings.warn("faults.campaign._run_many is deprecated; use "
+                  "repro.exp.runner.run_many", DeprecationWarning,
+                  stacklevel=2)
+    return run_many(configs, runner, workers=workers, progress=progress)
 
 
 @dataclass
@@ -99,10 +87,13 @@ def run_campaign(runs: int = 200, seed: int = 2003, flavor: str = "gm",
     ``workers > 1`` fans the runs out over a process pool; the result is
     identical to the serial campaign (same outcomes, same order).
     """
-    configs = [InjectionConfig(run_id=run_id, seed=seed + run_id,
+    configs = [InjectionConfig(run_id=run_id,
+                               seed=derive_run_seed(seed, run_id),
                                flavor=flavor, messages=messages)
                for run_id in range(runs)]
-    return CampaignResult(runs, _run_many(configs, workers, progress))
+    return CampaignResult(runs, run_many(configs, run_injection,
+                                         workers=workers,
+                                         progress=progress))
 
 
 @dataclass
@@ -143,11 +134,21 @@ def run_effectiveness_study(runs: int = 120, seed: int = 42,
     completion of the workload.  ``workers > 1`` parallelizes the runs;
     the aggregate is identical to the serial study.
     """
-    configs = [InjectionConfig(run_id=run_id, seed=seed + run_id,
+    configs = [InjectionConfig(run_id=run_id,
+                               seed=derive_run_seed(seed, run_id),
                                flavor="ftgm", messages=messages)
                for run_id in range(runs)]
+    return aggregate_effectiveness(runs, run_many(configs, run_injection,
+                                                  workers=workers,
+                                                  progress=progress))
+
+
+def aggregate_effectiveness(runs: int,
+                            outcomes: List[InjectionOutcome]
+                            ) -> EffectivenessResult:
+    """Fold a §5.2 campaign's outcomes into the coverage counts."""
     hangs = detected = recovered = 0
-    for outcome in _run_many(configs, workers, progress):
+    for outcome in outcomes:
         if outcome.local_hung:
             hangs += 1
             if outcome.watchdog_fired:

@@ -11,8 +11,10 @@ mapper discovery, table distribution, traffic resumption).
 
 Every run builds its own simulator from its own seed and shares nothing
 with its siblings, so campaigns parallelize exactly like the SWIFI
-campaigns in :mod:`repro.faults.campaign` (whose pool runner this module
-reuses) and same-seed campaigns render byte-identical tables.
+campaigns in :mod:`repro.faults.campaign` — both fan out through the
+experiment engine's public :func:`repro.exp.runner.run_many` — and
+same-seed campaigns render byte-identical tables.  The campaign is also
+registered as the ``netfaults`` experiment (``repro run netfaults``).
 """
 
 from __future__ import annotations
@@ -405,16 +407,18 @@ def run_netfaults_campaign(runs_per_scenario: int = 5, seed: int = 2003,
     ``workers > 1`` fans runs out over a process pool via the SWIFI
     campaign's runner; the aggregate is identical to a serial campaign.
     """
+    from ..exp.runner import derive_run_seed, run_many
+
     scenarios = scenarios or list(NET_SCENARIOS)
     configs = []
     run_id = 0
     for scenario in scenarios:
         for _ in range(runs_per_scenario):
             configs.append(NetFaultConfig(
-                run_id=run_id, seed=seed + run_id, scenario=scenario,
-                n_nodes=n_nodes, topology=topology, messages=messages))
+                run_id=run_id, seed=derive_run_seed(seed, run_id),
+                scenario=scenario, n_nodes=n_nodes, topology=topology,
+                messages=messages))
             run_id += 1
-    from ..faults.campaign import _run_many
-    outcomes = _run_many(configs, workers, progress,
-                         runner=run_netfault_injection)
+    outcomes = run_many(configs, run_netfault_injection, workers=workers,
+                        progress=progress)
     return NetFaultCampaignResult(seed, outcomes)

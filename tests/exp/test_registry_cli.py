@@ -1,0 +1,93 @@
+"""The registry behind the CLI: every verb resolves, run/list work."""
+
+import json
+
+import pytest
+
+from repro.cli import _legacy_parser, main
+from repro.exp.registry import all_experiments, experiment_names, \
+    get_experiment
+from repro.exp.results import validate_result
+from repro.exp.spec import ExperimentSpec
+
+ALL_VERBS = ("table1", "table2", "table3", "fig7", "fig8", "fig9",
+             "fig45", "effectiveness", "surface", "netfaults", "perf")
+
+
+class TestRegistry:
+    def test_every_cli_verb_resolves_to_a_registered_experiment(self):
+        parser = _legacy_parser()
+        subparsers = next(a for a in parser._actions
+                          if hasattr(a, "choices") and a.choices)
+        for verb in subparsers.choices:
+            experiment = get_experiment(verb)
+            assert experiment.name == verb
+
+    def test_all_historic_verbs_registered(self):
+        names = experiment_names()
+        for verb in ALL_VERBS:
+            assert verb in names
+
+    def test_unknown_name_lists_the_alternatives(self):
+        with pytest.raises(KeyError, match="table1"):
+            get_experiment("nope")
+
+    def test_registrations_are_complete(self):
+        for experiment in all_experiments():
+            assert callable(experiment.build_spec)
+            assert callable(experiment.expand)
+            assert callable(experiment.run_one)
+            assert callable(experiment.aggregate)
+            assert callable(experiment.render)
+            spec = experiment.build_spec(
+                {opt.dest: opt.default for opt in experiment.options})
+            assert spec.experiment == experiment.name
+            assert len(experiment.expand(spec)) == spec.runs
+
+
+class TestEngineVerbs:
+    def test_list_shows_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in experiment_names():
+            assert name in out
+
+    def test_run_by_name(self, capsys):
+        assert main(["run", "table1", "--runs", "2"]) == 0
+        assert "Failure Category" in capsys.readouterr().out
+
+    def test_run_writes_a_valid_result_document(self, tmp_path, capsys):
+        out = tmp_path / "result.json"
+        assert main(["run", "table1", "--runs", "2",
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        validate_result(doc)
+        assert doc["spec"]["experiment"] == "table1"
+        assert len(doc["outcomes"]) == 2
+        capsys.readouterr()
+
+    def test_run_from_spec_file(self, tmp_path, capsys):
+        spec = get_experiment("table1").build_spec({"runs": 2})
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert main(["run", str(path)]) == 0
+        assert "Failure Category" in capsys.readouterr().out
+
+    def test_spec_file_round_trips_through_the_cli(self, tmp_path):
+        spec = get_experiment("netfaults").build_spec(
+            {"runs_per_scenario": 1})
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        assert ExperimentSpec.from_json(path.read_text()) == spec
+
+    def test_run_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["run", "nope"])
+
+    def test_legacy_netfaults_flag_still_spells_runs(self, capsys):
+        assert main(["netfaults", "--runs", "1"]) == 0
+        assert "Netfault campaign" in capsys.readouterr().out
+
+    def test_workers_flag_accepted_everywhere(self, capsys):
+        assert main(["table1", "--runs", "2", "--workers", "2"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,86 @@
+"""Journaled campaigns: interrupt, resume, byte-identity, mismatch."""
+
+import json
+
+import pytest
+
+from repro.exp.registry import get_experiment
+from repro.exp.runner import Journal, JournalMismatch, run_experiment
+
+
+def table1_spec(runs=4):
+    return get_experiment("table1").build_spec({"runs": runs})
+
+
+def doc_without_timing(result):
+    """The result document minus the timing-only manifest fields."""
+    doc = result.to_doc()
+    doc["manifest"] = {k: v for k, v in doc["manifest"].items()
+                       if k not in ("wall_time_s", "recorded_at")}
+    return doc
+
+
+class TestResume:
+    def test_interrupted_campaign_resumes_byte_identical(self, tmp_path):
+        spec = table1_spec(runs=4)
+        journal = str(tmp_path / "run.journal")
+        fresh = run_experiment(spec, journal_path=journal)
+
+        # Keep the header and the first two outcome lines — as if the
+        # process had been killed after run 2 — plus a torn final line.
+        lines = (tmp_path / "run.journal").read_text().splitlines()
+        assert len(lines) == 5          # header + 4 outcomes
+        truncated = tmp_path / "resume.journal"
+        truncated.write_text("\n".join(lines[:3])
+                             + '\n{"run": 3, "outcome": {"torn')
+
+        calls = []
+        resumed = run_experiment(
+            spec, journal_path=str(truncated),
+            progress=calls.append)
+        assert calls == [3, 4]          # only the missing runs re-ran
+        assert resumed.outcomes == fresh.outcomes
+        assert resumed.rendered == fresh.rendered
+        assert doc_without_timing(resumed) == doc_without_timing(fresh)
+
+    def test_finished_journal_is_a_pure_cache_hit(self, tmp_path):
+        spec = table1_spec(runs=3)
+        journal = str(tmp_path / "run.journal")
+        fresh = run_experiment(spec, journal_path=journal)
+        again = run_experiment(
+            spec, journal_path=journal,
+            progress=lambda done: pytest.fail("nothing should re-run"))
+        assert again.outcomes == fresh.outcomes
+        assert again.rendered == fresh.rendered
+
+    def test_journal_decodes_outcomes_equal_to_live_objects(self, tmp_path):
+        spec = table1_spec(runs=2)
+        journal_path = str(tmp_path / "run.journal")
+        fresh = run_experiment(spec, journal_path=journal_path)
+        journal = Journal(journal_path, spec, total=2)
+        decode = get_experiment("table1").decode
+        decoded = {index: decode(encoded)
+                   for index, encoded in journal.load().items()}
+        assert [decoded[i] for i in range(2)] == fresh.outcomes
+
+
+class TestMismatch:
+    def test_different_spec_refuses_to_resume(self, tmp_path):
+        journal = str(tmp_path / "run.journal")
+        run_experiment(table1_spec(runs=2), journal_path=journal)
+        with pytest.raises(JournalMismatch, match="mix configurations"):
+            run_experiment(table1_spec(runs=3), journal_path=journal)
+
+    def test_unreadable_header_refuses_to_resume(self, tmp_path):
+        journal = tmp_path / "run.journal"
+        journal.write_text("not json\n")
+        with pytest.raises(JournalMismatch, match="header"):
+            run_experiment(table1_spec(runs=2), journal_path=str(journal))
+
+    def test_header_records_the_spec(self, tmp_path):
+        spec = table1_spec(runs=2)
+        journal = tmp_path / "run.journal"
+        run_experiment(spec, journal_path=str(journal))
+        header = json.loads(journal.read_text().splitlines()[0])
+        assert header == {"journal": 1, "experiment": "table1",
+                          "spec_hash": spec.spec_hash, "total": 2}

@@ -1,0 +1,73 @@
+"""run_many ordering, seeds, and monotonic progress in both modes."""
+
+import pytest
+
+from repro.exp.runner import derive_run_seed, run_many
+
+
+def square(config):
+    return config * config
+
+
+def test_derive_run_seed_matches_historic_scheme():
+    assert derive_run_seed(2003, 0) == 2003
+    assert derive_run_seed(2003, 7) == 2010
+
+
+class TestOrdering:
+    def test_serial_outcomes_in_config_order(self):
+        assert run_many([3, 1, 2], square) == [9, 1, 4]
+
+    def test_parallel_outcomes_in_config_order(self):
+        configs = list(range(20))
+        assert run_many(configs, square, workers=4) \
+            == [c * c for c in configs]
+
+    def test_parallel_equals_serial(self):
+        configs = list(range(13))
+        assert run_many(configs, square, workers=4) \
+            == run_many(configs, square)
+
+
+class TestProgress:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_ticks_are_monotonic_and_complete(self, workers):
+        ticks = []
+        run_many(list(range(9)), square, workers=workers,
+                 progress=ticks.append)
+        assert ticks == list(range(1, 10))
+
+    def test_completed_runs_shift_the_tick_origin(self):
+        ticks = []
+        outcomes = run_many([5, 6, 7, 8], square,
+                            completed={0: 25, 2: 49},
+                            progress=ticks.append)
+        assert outcomes == [25, 36, 49, 64]
+        assert ticks == [3, 4]
+
+    def test_on_outcome_fires_before_the_tick(self):
+        order = []
+        run_many([1, 2], square,
+                 on_outcome=lambda i, o: order.append(("outcome", i)),
+                 progress=lambda done: order.append(("tick", done)))
+        assert order == [("outcome", 0), ("tick", 1),
+                         ("outcome", 1), ("tick", 2)]
+
+
+class TestCompletedSkip:
+    def test_completed_configs_never_rerun(self):
+        calls = []
+
+        def noting(config):
+            calls.append(config)
+            return config
+
+        outcomes = run_many([10, 11, 12], noting,
+                            completed={1: "cached"})
+        assert outcomes == [10, "cached", 12]
+        assert calls == [10, 12]
+
+    def test_all_completed_runs_nothing(self):
+        outcomes = run_many([1, 2], square, completed={0: "a", 1: "b"},
+                            progress=lambda d: pytest.fail("no ticks"))
+        assert outcomes == ["a", "b"]
