@@ -8,10 +8,13 @@ perf``).  This script keeps the historical entry point and the
     PYTHONPATH=src python benchmarks/perf/perf_harness.py --label current
 
 Each invocation merges its results into ``BENCH_perf.json`` under the
-given label (``baseline`` = pre-optimization, ``current`` = this tree),
-now alongside a run manifest (spec hash, seed, git revision, wall time)
-so every recorded number is traceable to the exact configuration that
-produced it.
+given label, alongside a run manifest (spec hash, seed, git revision,
+wall time) so every recorded number is traceable to the exact
+configuration that produced it.  The ledger accumulates the perf
+trajectory across PRs: ``baseline`` (the pre-optimization tree) is
+frozen — the harness refuses to overwrite it — and re-using any other
+existing label appends a timestamped variant (``pr4-20260806T120000``)
+instead of clobbering history.
 """
 
 from __future__ import annotations
@@ -50,12 +53,25 @@ DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_perf.json")
 
 
 def merge_into(path: str, label: str, results: dict,
-               manifest: dict = None) -> dict:
+               manifest: dict = None) -> str:
+    """Append ``results`` to the ledger; never rewrite history.
+
+    ``baseline`` is frozen once recorded.  Any other label that already
+    exists gets a timestamped suffix, so repeated runs accumulate as
+    distinct entries and the cross-PR perf trajectory stays intact.
+    Returns the label actually written.
+    """
     doc = {"schema": 1, "entries": {}}
     if os.path.exists(path):
         with open(path) as fh:
             doc = json.load(fh)
         doc.setdefault("entries", {})
+    if label in doc["entries"]:
+        if label == "baseline":
+            raise SystemExit(
+                "refusing to overwrite the frozen 'baseline' entry in %s"
+                % path)
+        label = "%s-%s" % (label, time.strftime("%Y%m%dT%H%M%S"))
     results["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S")
     if manifest is not None:
         results["manifest"] = manifest
@@ -63,7 +79,7 @@ def merge_into(path: str, label: str, results: dict,
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
-    return doc
+    return label
 
 
 def main(argv=None) -> int:
@@ -89,9 +105,10 @@ def main(argv=None) -> int:
     results = run_all(args.campaign_runs, args.workers, quick=args.quick)
     wall = time.perf_counter() - t0
     manifest = RunManifest.collect(spec.spec_hash, spec.seed, wall)
-    merge_into(args.out, args.label, results, manifest=manifest.to_dict())
+    label = merge_into(args.out, args.label, results,
+                       manifest=manifest.to_dict())
     print(render_results(results))
-    print("wrote %s [%s]" % (args.out, args.label))
+    print("wrote %s [%s]" % (args.out, label))
     return 0
 
 

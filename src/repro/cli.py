@@ -53,14 +53,15 @@ def _progress_printer(experiment, total: int) -> Optional[Callable]:
 
 def _execute(experiment, spec, *, workers: int,
              out: Optional[str] = None,
-             journal: Optional[str] = None) -> str:
+             journal: Optional[str] = None,
+             forkserver: bool = True) -> str:
     from .exp.runner import JournalMismatch, run_experiment
 
     try:
         result = run_experiment(
             spec, workers=workers,
             progress=_progress_printer(experiment, spec.runs),
-            journal_path=journal)
+            journal_path=journal, forkserver=forkserver)
     except JournalMismatch as exc:
         raise SystemExit("error: %s" % exc)
     if out:
@@ -77,7 +78,8 @@ def _run_registered(experiment, args) -> str:
     return _execute(experiment, spec,
                     workers=getattr(args, "workers", 1),
                     out=getattr(args, "out", None),
-                    journal=getattr(args, "journal", None))
+                    journal=getattr(args, "journal", None),
+                    forkserver=not getattr(args, "no_forkserver", False))
 
 
 def _add_common_options(parser) -> None:
@@ -88,6 +90,11 @@ def _add_common_options(parser) -> None:
     parser.add_argument("--journal", default=None, metavar="PATH",
                         help="checkpoint outcomes here; rerunning the "
                              "same spec resumes from it")
+    parser.add_argument("--no-forkserver", action="store_true",
+                        dest="no_forkserver",
+                        help="force the spawn-per-run path instead of "
+                             "the fork-server boot snapshots "
+                             "(REPRO_FORKSERVER=0 does the same)")
 
 
 def _cmd_list(argv: List[str]) -> int:
@@ -141,7 +148,8 @@ def _cmd_run(argv: List[str]) -> int:
         spec = experiment.build_spec(vars(opts))
 
     print(_execute(experiment, spec, workers=ns.workers, out=ns.out,
-                   journal=ns.journal))
+                   journal=ns.journal,
+                   forkserver=not ns.no_forkserver))
     return 0
 
 

@@ -22,7 +22,13 @@ from ..faults.campaign import (
     CampaignResult,
     aggregate_effectiveness,
 )
-from ..faults.injector import InjectionConfig, run_injection
+from ..faults.injector import (
+    InjectionConfig,
+    boot_injection,
+    injection_family,
+    resume_injection,
+    run_injection,
+)
 from ..faults.outcomes import InjectionOutcome
 from ..faults.surface import analyze_surface
 from ..netfaults.campaign import (
@@ -30,6 +36,9 @@ from ..netfaults.campaign import (
     NetFaultCampaignResult,
     NetFaultConfig,
     NetFaultOutcome,
+    boot_netfault,
+    netfault_family,
+    resume_netfault,
     run_netfault_injection,
 )
 from ..workloads.allsize import BandwidthResult
@@ -117,6 +126,9 @@ register(Experiment(
              Option("seed", "--seed", int, 2003, "campaign base seed")),
     progress_every=25,
     progress_fmt="  ... %d/%d runs",
+    boot=boot_injection,
+    resume=resume_injection,
+    boot_family=injection_family,
 ))
 
 
@@ -139,6 +151,9 @@ register(Experiment(
     summarize=asdict,
     options=(Option("runs", "--runs", int, 80, "injection runs"),
              Option("seed", "--seed", int, 7001, "campaign base seed")),
+    boot=boot_injection,
+    resume=resume_injection,
+    boot_family=injection_family,
 ))
 
 
@@ -172,6 +187,9 @@ register(Experiment(
     summarize=_surface_summary,
     options=(Option("runs", "--runs", int, 150, "injection runs"),
              Option("seed", "--seed", int, 6007, "campaign base seed")),
+    boot=boot_injection,
+    resume=resume_injection,
+    boot_family=injection_family,
 ))
 
 
@@ -242,6 +260,9 @@ register(Experiment(
                     "fabric shape", choices=("ring", "tree"))),
     progress_every=4,
     progress_fmt="  ... %d runs done",
+    boot=boot_netfault,
+    resume=resume_netfault,
+    boot_family=netfault_family,
 ))
 
 

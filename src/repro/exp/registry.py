@@ -71,6 +71,13 @@ class Experiment:
     options: Tuple[Option, ...] = ()
     progress_every: int = 0           # 0 = no progress lines on stderr
     progress_fmt: str = "  ... %d/%d runs"
+    # Fork-server support (optional): the seed-independent shared boot
+    # prefix of a run and its continuation.  ``run_one`` must equal
+    # ``resume(boot(config), config)`` exactly; ``boot_family`` groups
+    # configs that share one boot (default: all of them).
+    boot: Optional[Callable[[Any], Any]] = None
+    resume: Optional[Callable[[Any, Any], Any]] = None
+    boot_family: Optional[Callable[[Any], Any]] = None
 
 
 _REGISTRY: Dict[str, Experiment] = {}

@@ -1,11 +1,16 @@
 """The one deterministic fan-out every campaign, study and sweep uses.
 
-:func:`run_many` owns the process-pool fan-out that
-``faults.campaign._run_many`` and the netfaults campaign each used to
-carry privately: every config runs hermetically (its own ``Simulator``,
-its own seed), outcomes come back ordered by config index, and progress
-is reported as **monotonic completed-count ticks** — ``1, 2, ..., N``
+:func:`run_many` owns the fan-out every campaign used to carry
+privately: every config runs hermetically (its own ``Simulator``, its
+own seed), outcomes come back ordered by config index, and progress is
+reported as **monotonic completed-count ticks** — ``1, 2, ..., N``
 exactly once each — under ``workers=1`` and ``workers>1`` alike.
+Experiments that declare a :class:`ForkBoot` (a seed-independent shared
+boot prefix plus a per-run resume) additionally run on a **fork-server**
+where available: the prefix boots once per scenario family in a server
+process and each run is an ``os.fork()`` copy-on-write child, which
+amortizes identical cluster bring-up across hundreds of runs while
+staying byte-identical to spawn-per-run.
 
 :func:`run_experiment` drives a whole declarative experiment: expand the
 spec through its registry entry, fan the configs out, journal each
@@ -31,7 +36,11 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import pickle
+import selectors
+import struct
 import time
+from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
@@ -42,6 +51,8 @@ __all__ = [
     "derive_run_seed",
     "run_many",
     "run_experiment",
+    "ForkBoot",
+    "forkserver_available",
     "Journal",
     "JournalMismatch",
 ]
@@ -139,11 +150,195 @@ def _invoke(runner: Callable[[Any], Any], item):
     return index, runner(config)
 
 
+# -- fork-server execution -----------------------------------------------------
+
+
+@dataclass
+class ForkBoot:
+    """The forkable shared prefix of an experiment's runs.
+
+    Every run of a scenario family performs an identical, seed-independent
+    boot (cluster build, MCP load, port bring-up) before anything
+    seed-dependent happens.  A fork-server boots that prefix **once** per
+    family and ``os.fork()``\\ s a copy-on-write child per run; the child
+    seeds its per-run RNG from its own config and finishes the run.  For
+    this to be byte-identical to spawn-per-run, ``boot`` must depend only
+    on the family key — never on the per-run seed — and must not consume
+    any per-run randomness or simulation ids.
+
+    ``family(config)`` maps a config to the hashable key naming its boot.
+    ``boot(config)`` builds the shared state (run in the server process).
+    ``resume(state, config)`` completes one run (run in a forked child).
+    """
+
+    family: Callable[[Any], Any]
+    boot: Callable[[Any], Any]
+    resume: Callable[[Any, Any], Any]
+
+
+def forkserver_available() -> bool:
+    """True when the fork-server executor can and may be used here.
+
+    ``REPRO_FORKSERVER=0`` disables it (the ``--no-forkserver`` escape
+    hatch); ``REPRO_MP_START_METHOD=spawn`` forces the portable
+    spawn-per-run path (the CI fallback leg); otherwise any POSIX with
+    ``os.fork`` qualifies.
+    """
+    if os.environ.get("REPRO_FORKSERVER", "1") == "0":
+        return False
+    if os.environ.get("REPRO_MP_START_METHOD", "fork") != "fork":
+        return False
+    return hasattr(os, "fork")
+
+
+def _write_frame(fd: int, obj: Any) -> None:
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    os.write(fd, struct.pack("!I", len(payload)) + payload)
+
+
+def _read_exact(fd: int, n: int) -> bytes:
+    chunks = []
+    while n:
+        chunk = os.read(fd, n)
+        if not chunk:
+            raise EOFError("fork-server pipe closed mid-frame")
+        chunks.append(chunk)
+        n -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(fd: int) -> Optional[Any]:
+    """Next frame from ``fd``, or None on a clean EOF."""
+    try:
+        header = _read_exact(fd, 4)
+    except EOFError:
+        return None
+    (length,) = struct.unpack("!I", header)
+    return pickle.loads(_read_exact(fd, length))
+
+
+def _child_run(fork_boot: ForkBoot, state: Any, index: int, config: Any,
+               out_fd: int) -> None:
+    """Forked child: finish one run, ship the outcome, exit hard.
+
+    ``os._exit`` skips atexit/GC teardown that belongs to the server —
+    the child's only side effect must be the frame it writes.
+    """
+    try:
+        outcome = fork_boot.resume(state, config)
+        frame = (index, "ok", outcome)
+    except BaseException as exc:  # noqa: BLE001 — relayed to the parent
+        frame = (index, "err", "%s: %s" % (type(exc).__name__, exc))
+    try:
+        _write_frame(out_fd, frame)
+    finally:
+        os.close(out_fd)
+        os._exit(0)
+
+
+def _serve_family(items: List, fork_boot: ForkBoot, workers: int,
+                  result_fd: int) -> None:
+    """Fork-server body: boot once, fork one child per pending run.
+
+    Children write to per-run pipes; the server relays completed frames
+    to the parent in completion order.  Up to ``workers`` children run
+    concurrently.
+    """
+    state = fork_boot.boot(items[0][1])
+    sel = selectors.DefaultSelector()
+    buffers: Dict[int, List[bytes]] = {}
+    pids: Dict[int, int] = {}
+    live = 0
+    queue = list(items)
+
+    def launch(index: int, config: Any) -> None:
+        nonlocal live
+        r_fd, w_fd = os.pipe()
+        pid = os.fork()
+        if pid == 0:
+            sel.close()
+            os.close(r_fd)
+            os.close(result_fd)
+            _child_run(fork_boot, state, index, config, w_fd)
+        os.close(w_fd)
+        buffers[r_fd] = []
+        pids[r_fd] = pid
+        sel.register(r_fd, selectors.EVENT_READ)
+        live += 1
+
+    def reap(r_fd: int) -> None:
+        nonlocal live
+        sel.unregister(r_fd)
+        os.close(r_fd)
+        os.waitpid(pids.pop(r_fd), 0)
+        live -= 1
+        data = b"".join(buffers.pop(r_fd))
+        if data:
+            os.write(result_fd, data)
+        else:       # child died before writing its frame
+            _write_frame(result_fd, (-1, "err", "fork-server child died "
+                                     "without reporting an outcome"))
+
+    while queue or live:
+        while queue and live < max(1, workers):
+            index, config = queue.pop(0)
+            launch(index, config)
+        for key, _events in sel.select():
+            chunk = os.read(key.fd, 1 << 16)
+            if chunk:
+                buffers[key.fd].append(chunk)
+            else:
+                reap(key.fd)
+    sel.close()
+
+
+def _run_forkserver(pending: List, fork_boot: ForkBoot, workers: int,
+                    record: Callable[[int, Any], None]) -> None:
+    """Group pending runs by boot family; one fork-server per family."""
+    families: Dict[Any, List] = {}
+    for index, config in pending:
+        families.setdefault(fork_boot.family(config),
+                            []).append((index, config))
+    for items in families.values():
+        r_fd, w_fd = os.pipe()
+        server_pid = os.fork()
+        if server_pid == 0:
+            status = 1
+            try:
+                os.close(r_fd)
+                _serve_family(items, fork_boot, workers, w_fd)
+                status = 0
+            finally:
+                os.close(w_fd)
+                os._exit(status)
+        os.close(w_fd)
+        got = 0
+        try:
+            while True:
+                frame = _read_frame(r_fd)
+                if frame is None:
+                    break
+                index, tag, payload = frame
+                if tag != "ok":
+                    raise RuntimeError("fork-server run %d failed: %s"
+                                       % (index, payload))
+                record(index, payload)
+                got += 1
+        finally:
+            os.close(r_fd)
+            os.waitpid(server_pid, 0)
+        if got != len(items):
+            raise RuntimeError(
+                "fork-server family returned %d of %d outcomes"
+                % (got, len(items)))
+
+
 def run_many(configs: Sequence[Any], runner: Callable[[Any], Any], *,
              workers: int = 1,
              progress: Optional[Callable[[int], None]] = None,
              completed: Optional[Dict[int, Any]] = None,
-             on_outcome: Optional[Callable[[int, Any], None]] = None
+             on_outcome: Optional[Callable[[int, Any], None]] = None,
+             fork_boot: Optional[ForkBoot] = None
              ) -> List[Any]:
     """Run every config through ``runner``; outcomes in config order.
 
@@ -155,6 +350,12 @@ def run_many(configs: Sequence[Any], runner: Callable[[Any], Any], *,
     the tick that announces it.  ``progress(done)`` receives monotonic
     counts ``len(completed)+1 .. len(configs)`` in both serial and
     parallel modes.
+
+    ``fork_boot`` describes the experiment's shared boot prefix; when
+    given and :func:`forkserver_available`, runs execute on the
+    fork-server (boot once per family, fork a copy-on-write child per
+    run) instead of the pool/serial paths.  Outcomes are byte-identical
+    either way.
     """
     completed = dict(completed or {})
     outcomes: List[Any] = [None] * len(configs)
@@ -170,14 +371,19 @@ def run_many(configs: Sequence[Any], runner: Callable[[Any], Any], *,
             on_outcome(index, outcome)
         ticker.tick()
 
+    if fork_boot is not None and pending and forkserver_available():
+        _run_forkserver(pending, fork_boot, workers, record)
+        return outcomes
     if workers <= 1 or len(pending) < 2:
         for index, config in pending:
             record(index, runner(config))
         return outcomes
     # fork (where available) shares the already-imported simulator
     # modules with the children; spawn re-imports and still works.
-    method = "fork" if "fork" in multiprocessing.get_all_start_methods() \
-        else None
+    # REPRO_MP_START_METHOD overrides the choice (the CI spawn leg).
+    method = os.environ.get("REPRO_MP_START_METHOD") or (
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else None)
     ctx = multiprocessing.get_context(method)
     workers = min(workers, len(pending))
     chunksize = max(1, len(pending) // (workers * 4))
@@ -190,7 +396,8 @@ def run_many(configs: Sequence[Any], runner: Callable[[Any], Any], *,
 
 def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
                    progress: Optional[Callable[[int], None]] = None,
-                   journal_path: Optional[str] = None) -> ExperimentResult:
+                   journal_path: Optional[str] = None,
+                   forkserver: bool = True) -> ExperimentResult:
     """Expand, fan out, (optionally) journal, aggregate and render.
 
     With ``journal_path``, every completed run is appended to the
@@ -198,11 +405,21 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     resumed — the combined result is byte-identical to a single
     uninterrupted run.  The journal file is left in place on completion
     so a finished campaign re-invokes as a pure cache hit.
+
+    Experiments registered with a boot/resume split run on the
+    fork-server when available; ``forkserver=False`` (the CLI's
+    ``--no-forkserver``) forces the historic spawn-per-run path.
     """
     from .registry import get_experiment
 
     experiment = get_experiment(spec.experiment)
     configs = experiment.expand(spec)
+    fork_boot = None
+    if forkserver and experiment.boot is not None \
+            and experiment.resume is not None:
+        fork_boot = ForkBoot(family=experiment.boot_family or (lambda c: 0),
+                             boot=experiment.boot,
+                             resume=experiment.resume)
     completed: Dict[int, Any] = {}
     journal: Optional[Journal] = None
     if journal_path is not None:
@@ -217,7 +434,7 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     started = time.perf_counter()
     outcomes = run_many(configs, experiment.run_one, workers=workers,
                         progress=progress, completed=completed,
-                        on_outcome=on_outcome)
+                        on_outcome=on_outcome, fork_boot=fork_boot)
     wall = time.perf_counter() - started
     aggregate = experiment.aggregate(spec, outcomes)
     rendered = experiment.render(aggregate)

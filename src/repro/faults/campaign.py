@@ -17,7 +17,6 @@ manifests on top of the same runs.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -28,21 +27,6 @@ from .reference import IYER_TABLE1, PAPER_TABLE1
 
 __all__ = ["CampaignResult", "run_campaign", "EffectivenessResult",
            "run_effectiveness_study", "aggregate_effectiveness"]
-
-
-def _run_many(configs: List[InjectionConfig], workers: int,
-              progress: Optional[Callable[[int], None]],
-              runner: Callable = run_injection) -> List[InjectionOutcome]:
-    """Deprecated shim — use :func:`repro.exp.runner.run_many`.
-
-    Kept for one release so external callers of the old private pool
-    runner keep working; the netfaults campaign and this module now go
-    through the public experiment-engine API.
-    """
-    warnings.warn("faults.campaign._run_many is deprecated; use "
-                  "repro.exp.runner.run_many", DeprecationWarning,
-                  stacklevel=2)
-    return run_many(configs, runner, workers=workers, progress=progress)
 
 
 @dataclass

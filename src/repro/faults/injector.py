@@ -26,7 +26,8 @@ from ..payload import Payload
 from ..sim import SeededRng
 from .outcomes import InjectionOutcome
 
-__all__ = ["InjectionConfig", "run_injection"]
+__all__ = ["InjectionConfig", "run_injection", "boot_injection",
+           "resume_injection", "injection_family"]
 
 
 @dataclass
@@ -43,12 +44,33 @@ class InjectionConfig:
     observe_horizon_us: float = 12_000_000.0
 
 
+def injection_family(config: InjectionConfig):
+    """Key of the boot all runs with this config's shape can share."""
+    return (config.flavor,)
+
+
+def boot_injection(config: InjectionConfig):
+    """Build and boot the shared pre-fault prefix of an injection run.
+
+    Everything here is independent of the per-run seed (the cluster's
+    rng is constructed but never drawn during boot), so a fork-server
+    can boot once per :func:`injection_family` and fork a copy-on-write
+    child per run — :func:`resume_injection` picks up from the exact
+    state a fresh per-run boot would produce.
+    """
+    return build_cluster(2, flavor=config.flavor,
+                         interpreted_nodes=[0],
+                         seed=config.seed)
+
+
 def run_injection(config: InjectionConfig) -> InjectionOutcome:
     """Run one fault-injection experiment and classify the outcome."""
+    return resume_injection(boot_injection(config), config)
+
+
+def resume_injection(cluster, config: InjectionConfig) -> InjectionOutcome:
+    """Inject, observe and classify on an already-booted cluster."""
     rng = SeededRng(config.seed, "inject/%d" % config.run_id)
-    cluster = build_cluster(2, flavor=config.flavor,
-                            interpreted_nodes=[0],
-                            seed=config.seed)
     sim = cluster.sim
     target = cluster[0]
     peer = cluster[1]

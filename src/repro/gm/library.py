@@ -88,7 +88,8 @@ class Port:
             src_port=self.port_id, dest_node=dest_node, dest_port=dest_port,
             region_id=region.region_id, host_addr=region.addr,
             size=payload.size, priority=priority,
-            callback=callback, context=context)
+            callback=callback, context=context,
+            msg_id=next(self.sim.ids))
         self._callbacks[token.msg_id] = (callback, context)
         self._send_regions[token.msg_id] = region
         yield from self._prepare_send(token)
@@ -156,7 +157,7 @@ class Port:
         region = self.host.alloc_dma(max(size, 1), self.port_id)
         token = RecvToken(port=self.port_id, region_id=region.region_id,
                           host_addr=region.addr, size=size,
-                          priority=priority)
+                          priority=priority, token_id=next(self.sim.ids))
         self._recv_regions[token.token_id] = region
         yield from self._prepare_receive(token)
         yield from self.host.cpu_execute(0.1, "recv-post")

@@ -23,6 +23,7 @@ marked "FTGM hook" below.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Generator, List, Optional, Tuple
 
 from ..errors import GmError
@@ -67,6 +68,10 @@ class Mcp:
     # per-(connection, port) ACK table raise these (Table 2: 6.0 -> 6.8us).
     lanai_send_extra_us = 0.0
     lanai_recv_extra_us = 0.0
+    # Plain-GM idle ticks are pure bookkeeping, so runs of them can be
+    # folded into arithmetic (see _idle_skip_deadline).  Subclasses whose
+    # L_timer does observable work every tick turn this off.
+    _idle_skip = True
 
     def __init__(self, sim: Simulator, nic: Nic, node_id: int,
                  tracer: Optional[Tracer] = None,
@@ -96,6 +101,14 @@ class Mcp:
         self.dead_reason: Optional[str] = None
         self._wake = None
         self._proc = None
+        # Tickless idle: an IT0 expiry that finds the dispatch loop
+        # parked with nothing else to do is serviced by two small
+        # callbacks instead of resuming the generator twice per tick
+        # (see _fused_l_timer).  REPRO_TICKLESS=0 disables the fast path.
+        self._tickless = os.environ.get("REPRO_TICKLESS", "1") != "0"
+        self._fuse_end = -1.0
+        self._fused_cb = self._fused_l_timer
+        self._fused_tail_cb = self._fused_tail
 
         # Interpreted-mode machinery.
         self.cpu: Optional[LanaiCpu] = None
@@ -217,12 +230,32 @@ class Mcp:
     # -- dispatch loop -----------------------------------------------------------
 
     def _isr_listener(self, mask: int) -> None:
+        if mask & IsrBits.IT0_EXPIRED and self._tickless and self.running:
+            wake = self._wake
+            if (wake is not None and wake.callbacks is not None
+                    and not wake._scheduled and not self.host_requests):
+                now = self.sim._now
+                if not any(a[0] <= now for a in self.alarms):
+                    # Idle tick: service L_timer via callbacks, leaving
+                    # the dispatch generator parked.  The zero-delay
+                    # timeout lands at the exact heap position (same
+                    # sequence draw) the wake resume would have taken,
+                    # so event ordering is unchanged.
+                    t = self.sim.timeout(0.0)
+                    t.callbacks.append(self._fused_cb)
+                    return
         self._kick()
 
     def _kick(self) -> None:
         wake = self._wake
         if wake is not None and wake.callbacks is not None \
                 and not wake._scheduled:  # i.e. not wake.triggered
+            if self.sim._now < self._fuse_end:
+                # Inside a fused L_timer charge window the real path
+                # has _wake = None, so kicks must not wake dispatch
+                # early; the tail's work scan picks anything up at the
+                # window end, exactly as the real post-charge scan does.
+                return
             wake.succeed()
 
     def _dispatch(self) -> Generator:
@@ -324,6 +357,151 @@ class Mcp:
         yield from self._charge(1.5, "housekeeping")
         self._l_timer_extra()
         self.nic.timers[0].set_us(C.L_TIMER_INTERVAL_US)
+
+    def _fused_l_timer(self, _event) -> None:
+        """Front half of an idle-tick L_timer, run without the generator.
+
+        Runs at the exact heap position the parked dispatch loop would
+        have resumed at; replicates _step's IT0 branch plus an empty
+        L_timer (no host requests, no due alarms — the eligibility
+        conditions) and schedules the back half at the end of the 1.5 us
+        housekeeping charge, which is the same sequence draw the real
+        path's charge timeout makes.
+        """
+        status = self.nic.status
+        wake = self._wake
+        now = self.sim._now
+        if (not self.running or wake is None or wake.callbacks is None
+                or wake._scheduled or self.host_requests
+                or not status.isr & IsrBits.IT0_EXPIRED
+                or any(a[0] <= now for a in self.alarms)):
+            # A same-instant arrival broke eligibility between the timer
+            # notification and this callback: take the real path.
+            self._kick()
+            return
+        status.isr &= ~IsrBits.IT0_EXPIRED
+        if self.l_timer_last is not None:
+            gap = now - self.l_timer_last
+            if gap > self.l_timer_max_gap:
+                self.l_timer_max_gap = gap
+        self.l_timer_last = now
+        self.l_timer_invocations += 1
+        status.clear_bits(IsrBits.HOST_REQUEST)
+        self.busy_time += 1.5
+        self._fuse_end = now + 1.5
+        tail = self.sim.timeout(1.5)
+        tail.callbacks.append(self._fused_tail_cb)
+
+    def _fused_tail(self, _event) -> None:
+        """Back half of an idle-tick L_timer: the post-charge work.
+
+        Mirrors what the real generator does when the housekeeping
+        charge completes — _l_timer_extra and the IT0 re-arm run even if
+        the MCP was stopped mid-window (the suspended generator does the
+        same) — then re-creates the post-L_timer dispatch scan: work
+        that arrived during the charge window is handled now, not when
+        it arrived.
+        """
+        self._l_timer_extra()
+        it0 = self.nic.timers[0]
+        if not self.running:
+            # Real path: the loop breaks and the process ends; wake the
+            # parked generator so it can observe running=False and exit.
+            it0.set_us(C.L_TIMER_INTERVAL_US)
+            self._kick()
+            return
+        if self.paused:
+            it0.set_us(C.L_TIMER_INTERVAL_US)
+            return
+        if self.nic.recv_ring.items or self.doorbells.items:
+            it0.set_us(C.L_TIMER_INTERVAL_US)
+            self._kick()
+            return
+        now = self.sim._now
+        for stream in self.tx_streams.values():
+            if stream.deadline is not None and stream.deadline <= now:
+                it0.set_us(C.L_TIMER_INTERVAL_US)
+                self._kick()
+                return
+        for stream in self.tx_streams.values():
+            if stream.has_sendable():
+                it0.set_us(C.L_TIMER_INTERVAL_US)
+                self._kick()
+                return
+        # Nothing to do and the dispatch loop stays parked.  Fold any
+        # run of provably idle upcoming ticks into arithmetic
+        # bookkeeping and arm IT0 directly at the first tick whose
+        # housekeeping window could interact with another event; tag the
+        # expiry so peer MCPs' fast-forward scans can ignore it too.
+        # Pending alarms or host requests make the next tick do real,
+        # externally visible work, so it must neither be skipped over
+        # nor advertised as inert.
+        if self.alarms or self.host_requests or not self._idle_skip:
+            it0.set_us(C.L_TIMER_INTERVAL_US)
+            return
+        deadline = self._idle_skip_deadline(now)
+        if deadline is None:
+            it0.set_us(C.L_TIMER_INTERVAL_US)
+        else:
+            it0.set_deadline(deadline)
+        self.sim.inert.add(it0.pending_event)
+
+    def _idle_skip_deadline(self, now: float) -> Optional[float]:
+        """Fast-forward over idle L_timer ticks; return the IT0 deadline.
+
+        Called from the fused tail once the work scan proved the MCP
+        idle.  Scans the event heap for the earliest event that could
+        change anything — skipping events marked inert (replaced timer
+        expiries, peers' committed idle ticks) — and absorbs every
+        upcoming tick whose
+        whole 1.5 us housekeeping window strictly precedes it: their
+        invocation counts, busy time and gap statistics are applied
+        arithmetically on the same floats the real per-tick path would
+        have produced, so the MCP state at the next live event is
+        bitwise identical.  Returns the absolute expiry time for the
+        first tick that must run for real, or ``None`` when no tick can
+        be skipped (then the caller re-arms periodically as usual).
+
+        Correctness leans on one invariant: between now and the chosen
+        deadline the heap holds only inert events, and an inert event
+        never creates work for anyone — so no doorbell, packet, alarm or
+        host request can appear inside the skipped span.
+
+        That invariant only holds when idle ticks are pure bookkeeping,
+        which is a plain-GM property: subclasses whose L_timer maintains
+        externally probed state (FTGM's watchdog and magic word) disable
+        the fold via ``_idle_skip``.
+        """
+        inert = self.sim.inert
+        t_ext = float("inf")
+        for when, _seq, item in self.sim._queue:
+            if when < t_ext and item not in inert:
+                t_ext = when
+        if t_ext == float("inf"):
+            # Only inert events left: without a live horizon the skip is
+            # unbounded, so keep ticking periodically.
+            return None
+        interval = C.L_TIMER_INTERVAL_US
+        # Exact replay of the re-arm chain: the tick after a tick at T
+        # lands at (T + 1.5) + interval, charged from the tail.
+        tick = now + interval
+        skipped = 0
+        last = self.l_timer_last
+        max_gap = self.l_timer_max_gap
+        while tick + 1.5 < t_ext:
+            gap = tick - last
+            if gap > max_gap:
+                max_gap = gap
+            last = tick
+            skipped += 1
+            tick = (tick + 1.5) + interval
+        if not skipped:
+            return None
+        self.l_timer_invocations += skipped
+        self.busy_time += 1.5 * skipped
+        self.l_timer_last = last
+        self.l_timer_max_gap = max_gap
+        return tick
 
     def _handle_host_request(self, request: Tuple) -> Generator:
         kind = request[0]

@@ -20,6 +20,12 @@ from typing import Callable, Optional
 
 __all__ = ["SendToken", "RecvToken"]
 
+# Fallback id source for tokens constructed directly (tests, tools).
+# Simulation code must pass explicit ids drawn from ``Simulator.ids``:
+# a process-global counter would leak earlier runs' token volume into
+# the current simulation (the values end up in the SRAM token block the
+# interpreted firmware reads, so they can change what a bit-flipped
+# ``send_chunk`` does), destroying run-for-run determinism.
 _token_ids = itertools.count(1)
 
 

@@ -36,24 +36,43 @@ class Sram:
         # addresses; values are opaque to the SRAM (the LANai
         # interpreter stores compiled entries).
         self.decode_cache: dict = {}
+        # Fused basic-block cache (same ownership rationale): start
+        # address -> translated straight-line run, with a word-address ->
+        # [block starts] reverse index so a write landing *anywhere*
+        # inside a translated block (stores, DMA, firmware reload,
+        # flip_bit) drops the whole block, not just the word's decode.
+        # Values are opaque to the SRAM; the LANai interpreter stores
+        # ``(n_instr, cycles, fns, end_pc)`` tuples or a None marker
+        # meaning "translated, nothing to fuse here".
+        self.block_cache: dict = {}
+        self.block_index: dict = {}
 
     def _check(self, address: int, length: int) -> None:
         if address < 0 or length < 0 or address + length > self.size:
             raise BusError(address, length, what="SRAM")
 
     def _invalidate(self, address: int, length: int) -> None:
-        """Drop cached decodes for every word overlapping the write."""
+        """Drop cached decodes and fused blocks overlapping the write."""
         cache = self.decode_cache
-        if not cache:
+        index = self.block_index
+        if not cache and not index:
             return
+        blocks = self.block_cache
         start = address & ~3
         end = address + length
-        if end - start <= 4 * len(cache):
+        if end - start <= 4 * (len(cache) + len(index)):
             for word in range(start, end, WORD_SIZE):
                 cache.pop(word, None)
-        else:  # bulk write (e.g. firmware image): scan the cache instead
+                starts = index.pop(word, None)
+                if starts:
+                    for block_start in starts:
+                        blocks.pop(block_start, None)
+        else:  # bulk write (e.g. firmware image): scan the caches instead
             for word in [w for w in cache if start <= w < end]:
                 del cache[word]
+            for word in [w for w in index if start <= w < end]:
+                for block_start in index.pop(word):
+                    blocks.pop(block_start, None)
 
     # -- byte access ---------------------------------------------------------
 
@@ -92,6 +111,8 @@ class Sram:
         """Zero the whole SRAM (the FTD does this before reloading the MCP)."""
         self._mem = bytearray(self.size)
         self.decode_cache.clear()
+        self.block_cache.clear()
+        self.block_index.clear()
 
     def flip_bit(self, bit_offset: int) -> int:
         """Flip a single bit; returns the byte address touched.

@@ -35,6 +35,7 @@ __all__ = ["LanaiCpu", "RoutineOutcome", "CYCLE_US", "RETURN_SENTINEL"]
 CYCLE_US = 1.0 / 132.0       # LANai9 runs at 132 MHz
 RETURN_SENTINEL = 0xFFFF_FFFC  # link value meaning "routine complete"
 _TIME_CHUNK = 512            # instructions per simulated-time flush
+_BLOCK_CAP = 64              # longest straight-line run fused into a block
 
 
 @dataclass
@@ -81,6 +82,64 @@ class LanaiCpu:
         self.tracer.emit(self.sim.now, self.name, "lanai_hang",
                          reason=reason, pc=pc)
 
+    @staticmethod
+    def _translate_block(sram, cache, pc: int):
+        """Translate the straight-line fusable run starting at ``pc``.
+
+        Decodes forward until the first non-fusable instruction, invalid
+        word, SRAM end or :data:`_BLOCK_CAP`; a terminating branch/jump
+        (TERMINATOR_KINDS) is folded into the block so a whole loop body
+        becomes one generated superinstruction.  The fused block — or a
+        ``None`` "nothing to fuse" marker for trivial runs — is
+        registered in the SRAM-owned block cache, and every covered word
+        (terminator included) is entered into the SRAM's block index so
+        *any* write path (stores, DMA, firmware reload, ``flip_bit``)
+        invalidates the whole block.
+
+        Blocks execute atomically inside one generator step of
+        :meth:`run_routine` (fused runs contain no yield points), so a
+        write can only land between executions — where the cache lookup
+        re-checks — never mid-block.
+        """
+        fusable = isa.FUSABLE_KINDS
+        terminators = isa.TERMINATOR_KINDS
+        sram_size = sram.size
+        run = []
+        tail = None
+        scan = pc
+        while len(run) < _BLOCK_CAP and scan < sram_size:
+            word = sram.read_word(scan)
+            try:
+                instr = isa.decode(word, scan)
+            except InvalidInstruction:
+                break
+            entry = cache.get(scan)
+            if entry is None:
+                entry = isa.compile_instruction(instr)
+                cache[scan] = entry
+            kind = entry[0]
+            if kind not in fusable:
+                if kind in terminators:
+                    tail = (instr, entry)
+                break
+            run.append((instr, entry))
+            scan += 4
+        index = sram.block_index
+        if not run or (len(run) < 2 and tail is None):
+            block = None            # marker: translated, nothing to fuse
+            covered = range(pc, pc + 4)
+        else:
+            block = isa.compile_run(run, tail, scan, scan)
+            covered = range(pc, scan + (4 if tail is not None else 0), 4)
+        sram.block_cache[pc] = block
+        for word_addr in covered:
+            starts = index.get(word_addr)
+            if starts is None:
+                index[word_addr] = [pc]
+            elif pc not in starts:
+                starts.append(pc)
+        return block
+
     def run_routine(self, entry: int, args: Optional[Dict[int, int]] = None,
                     fuel: int = 20000) -> Generator:
         """Process: execute from ``entry`` until ``jr r15`` (sentinel).
@@ -106,9 +165,14 @@ class LanaiCpu:
         # The decode cache is owned by the SRAM: any write through the
         # SRAM API (including injected bit flips and DMA landing mid
         # spin-wait) drops the stale entry, so the next fetch re-decodes
-        # the corrupted word — persistent-flip semantics preserved.
+        # the corrupted word — persistent-flip semantics preserved.  The
+        # block cache rides the same ownership: a write anywhere inside
+        # a fused run drops the whole block via the SRAM's block index.
         cache = sram.decode_cache
         cache_get = cache.get
+        bcache = sram.block_cache
+        bcache_get = bcache.get
+        translate = self._translate_block
         timeout = self.sim.timeout
         K_EXEC = isa.KIND_EXEC
         K_BRANCH = isa.KIND_BRANCH
@@ -142,6 +206,23 @@ class LanaiCpu:
                 self.busy_time += cycles * CYCLE_US
                 self._hang("pc-out-of-bounds", pc)
                 return RoutineOutcome("hung", "pc-out-of-bounds", pc, executed)
+            # Fused-block fast path: execute a whole straight-line run in
+            # one dispatch when it fits inside the current fuel budget
+            # and time chunk (otherwise the per-instruction path below
+            # reproduces the exact hang/flush semantics).
+            blk = bcache_get(pc)
+            if blk is not None:
+                n, blk_cycles, fn = blk
+                if (n <= _TIME_CHUNK - executed % _TIME_CHUNK
+                        and executed + n <= fuel):
+                    self.pc = fn(regs)
+                    executed += n
+                    cycles += blk_cycles
+                    if executed % _TIME_CHUNK == 0:
+                        yield timeout(cycles * CYCLE_US)
+                        self.busy_time += cycles * CYCLE_US
+                        cycles = 0
+                    continue
             entry_ = cache_get(pc)
             if entry_ is None:
                 word = sram.read_word(pc)
@@ -155,6 +236,13 @@ class LanaiCpu:
                                           executed, faulting_word=word)
                 cache[pc] = entry_
             kind, op_cycles, arg = entry_
+            if (kind == K_EXEC or kind == K_NOP) and blk is None \
+                    and pc not in bcache:
+                # Fusable instruction with no block translated here yet —
+                # includes jumps into the middle of an already-decoded
+                # region.  Translate, then retry via the fast path.
+                if translate(sram, cache, pc) is not None:
+                    continue
             executed += 1
             cycles += op_cycles
             next_pc = pc + 4

@@ -36,6 +36,9 @@ __all__ = [
     "decode",
     "disassemble",
     "compile_instruction",
+    "compile_run",
+    "FUSABLE_KINDS",
+    "TERMINATOR_KINDS",
     "NUM_REGS",
     "IMM18_MIN",
     "IMM18_MAX",
@@ -400,3 +403,106 @@ def compile_instruction(instr: Instruction):
     """Compile to a ``(kind, cycles, arg)`` decode-cache entry."""
     kind, build = _COMPILERS[instr.op.mnemonic]
     return (kind, instr.op.cycles, build(instr) if build else None)
+
+
+# Kinds that a basic-block translator may fuse: register-only work with
+# no control transfer, no memory traffic and no way to trap, so a fused
+# run is externally indistinguishable from stepping it one instruction
+# at a time.  TERMINATOR_KINDS may additionally close a block: their
+# next-pc computation folds to constants (or a register read) at
+# translation time, and none of them can trap either.
+FUSABLE_KINDS = frozenset((KIND_EXEC, KIND_NOP))
+TERMINATOR_KINDS = frozenset((KIND_BRANCH, KIND_JUMP, KIND_JAL, KIND_JR))
+
+
+def _exec_src(instr: Instruction) -> str:
+    """Source line for one fusable instruction, fields constant-folded."""
+    m = instr.op.mnemonic
+    rd, ra, rb, imm = instr.rd, instr.ra, instr.rb, instr.imm
+    if m == "add":
+        return "regs[%d] = (regs[%d] + regs[%d]) & 0xFFFFFFFF" % (rd, ra, rb)
+    if m == "sub":
+        return "regs[%d] = (regs[%d] - regs[%d]) & 0xFFFFFFFF" % (rd, ra, rb)
+    if m == "and":
+        return "regs[%d] = regs[%d] & regs[%d]" % (rd, ra, rb)
+    if m == "or":
+        return "regs[%d] = regs[%d] | regs[%d]" % (rd, ra, rb)
+    if m == "xor":
+        return "regs[%d] = regs[%d] ^ regs[%d]" % (rd, ra, rb)
+    if m == "sll":
+        return ("regs[%d] = (regs[%d] << (regs[%d] & 31)) & 0xFFFFFFFF"
+                % (rd, ra, rb))
+    if m == "srl":
+        return "regs[%d] = regs[%d] >> (regs[%d] & 31)" % (rd, ra, rb)
+    if m == "slt":
+        return "regs[%d] = int(_s32(regs[%d]) < _s32(regs[%d]))" % (rd, ra, rb)
+    if m == "addi":
+        return "regs[%d] = (regs[%d] + %d) & 0xFFFFFFFF" % (rd, ra, imm)
+    if m == "andi":
+        return "regs[%d] = regs[%d] & %d" % (rd, ra, imm & 0xFFFFFFFF)
+    if m == "ori":
+        return "regs[%d] = regs[%d] | %d" % (rd, ra, imm & 0x3FFFF)
+    if m == "xori":
+        return "regs[%d] = regs[%d] ^ %d" % (rd, ra, imm & 0x3FFFF)
+    if m == "lui":
+        return "regs[%d] = %d" % (rd, (imm << 14) & 0xFFFFFFFF)
+    raise AssertionError("not fusable: %s" % m)  # pragma: no cover
+
+
+_BRANCH_CMP = {"beq": "regs[%d] == regs[%d]",
+               "bne": "regs[%d] != regs[%d]",
+               "blt": "_s32(regs[%d]) < _s32(regs[%d])",
+               "bge": "_s32(regs[%d]) >= _s32(regs[%d])"}
+
+
+def _tail_src(tail, tail_pc: int, end_pc: int) -> str:
+    """Source for the block's next-pc computation (terminator folded)."""
+    if tail is None:
+        return "return %d" % (end_pc & 0xFFFFFFFF)
+    instr, (kind, _cycles, arg) = tail
+    if kind == KIND_JUMP:
+        return "return %d" % (arg & 0xFFFFFFFF)
+    if kind == KIND_JAL:
+        return ("regs[15] = %d\n    return %d"
+                % (tail_pc + 4, arg & 0xFFFFFFFF))
+    if kind == KIND_JR:
+        return "return regs[%d]" % arg
+    taken = (tail_pc + 4 + instr.imm * 4) & 0xFFFFFFFF
+    fallthrough = (tail_pc + 4) & 0xFFFFFFFF
+    cond = _BRANCH_CMP[instr.op.mnemonic] % (instr.ra, instr.rb)
+    return "return %d if %s else %d" % (taken, cond, fallthrough)
+
+
+def compile_run(run, tail=None, tail_pc: int = 0, end_pc: int = 0):
+    """Fuse a straight-line run into one generated-code superinstruction.
+
+    ``run`` is a list of ``(instruction, entry)`` pairs of FUSABLE
+    instructions (``entry`` being the :func:`compile_instruction`
+    result); ``tail`` is an optional terminating ``(instruction, entry)``
+    from TERMINATOR_KINDS at address ``tail_pc``, and ``end_pc`` is the
+    fall-through address used when there is no tail.  Returns
+    ``(n_instr, cycles, fn)`` where ``fn(regs)`` executes the whole block
+    and returns the next pc.  The body is generated Python source
+    compiled once via ``exec`` — no per-instruction dispatch, no closure
+    call per op.  NOPs and writes to the hardwired-zero r0 contribute
+    cycles but no source line, which is also why a fused block needs no
+    per-instruction ``regs[0] = 0`` reset (nothing in it can make r0
+    nonzero).  Branch/jump targets and the r15 link value fold to
+    constants, already masked to 32 bits like the interpreter does.
+    """
+    cycles = 0
+    lines = []
+    for instr, (kind, op_cycles, _arg) in run:
+        cycles += op_cycles
+        if kind == KIND_NOP or instr.rd == 0:
+            continue
+        lines.append(_exec_src(instr))
+    n = len(run)
+    if tail is not None:
+        cycles += tail[1][1]
+        n += 1
+    lines.append(_tail_src(tail, tail_pc, end_pc))
+    src = "def _block(regs):\n    " + "\n    ".join(lines)
+    namespace = {"_s32": _s32}
+    exec(src, namespace)
+    return (n, cycles, namespace["_block"])

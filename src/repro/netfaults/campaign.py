@@ -36,6 +36,9 @@ __all__ = [
     "NetFaultOutcome",
     "NetFaultCampaignResult",
     "run_netfault_injection",
+    "boot_netfault",
+    "resume_netfault",
+    "netfault_family",
     "run_netfaults_campaign",
 ]
 
@@ -190,12 +193,30 @@ def _inject(config: NetFaultConfig, plane: NetworkFaultPlane,
         raise ValueError("unknown scenario %r" % (config.scenario,))
 
 
+def netfault_family(config: NetFaultConfig):
+    """Key of the boot all runs with this config's fabric can share.
+
+    The boot depends on the cluster shape only — every scenario of a
+    sweep reuses the same booted fabric.
+    """
+    return (config.n_nodes, config.topology, config.n_switches)
+
+
+def boot_netfault(config: NetFaultConfig):
+    """Build and boot the shared pre-fault prefix (seed-independent)."""
+    return build_cluster(config.n_nodes, flavor="ftgm",
+                         seed=config.seed, topology=config.topology,
+                         n_switches=config.n_switches)
+
+
 def run_netfault_injection(config: NetFaultConfig) -> NetFaultOutcome:
     """Run one netfault experiment and classify the outcome."""
+    return resume_netfault(boot_netfault(config), config)
+
+
+def resume_netfault(cluster, config: NetFaultConfig) -> NetFaultOutcome:
+    """Arm, inject, observe and classify on an already-booted cluster."""
     rng = SeededRng(config.seed, "netfault/%d" % config.run_id)
-    cluster = build_cluster(config.n_nodes, flavor="ftgm",
-                            seed=config.seed, topology=config.topology,
-                            n_switches=config.n_switches)
     sim = cluster.sim
     plane = NetworkFaultPlane(sim, cluster.fabric, rng.spawn("plane"),
                               tracer=cluster.tracer)

@@ -391,7 +391,7 @@ class Simulator:
     """
 
     __slots__ = ("_now", "_queue", "_seq", "active_process", "event",
-                 "timeout")
+                 "timeout", "ids", "inert")
 
     def __init__(self):
         self._now = 0.0
@@ -400,6 +400,20 @@ class Simulator:
         seq = itertools.count()
         self._seq = seq
         self.active_process: Optional[Process] = None
+        # Per-run identifier source for model objects (message ids, token
+        # ids, ...).  Models must draw ids that can influence simulated
+        # behaviour from here, never from a module-level counter: a
+        # process-global counter leaks how many simulations ran earlier
+        # in the process into the current one, breaking run-for-run
+        # determinism (serial vs. pooled vs. forked executions would
+        # disagree).
+        self.ids = itertools.count(1)
+        # Scheduled events that provably cannot change observable state
+        # when they fire: replaced/stopped interval-timer expiries, and
+        # idle housekeeping ticks an MCP has committed to absorbing
+        # without work.  The tickless fast-forward scan skips over these
+        # when looking for the next event that could matter.
+        self.inert: set = set()
 
         # sim.event()/sim.timeout() are the two hottest allocation sites
         # in the project; these closures skip the type-call machinery
@@ -444,6 +458,26 @@ class Simulator:
 
     # -- event construction ------------------------------------------------
     # event() and timeout() are closures bound in __init__.
+
+    def timeout_at(self, when: float) -> Timeout:
+        """A timeout landing at an absolute time, bitwise exact.
+
+        The tickless fast-forward path arms timers on the precise floats
+        the periodic re-arm chain would have produced; going through
+        ``timeout(when - now)`` would schedule at ``now + (when - now)``,
+        which is not guaranteed to equal ``when`` in float arithmetic.
+        """
+        if when < self._now:
+            raise ValueError("timeout_at in the past: %r < %r"
+                             % (when, self._now))
+        t = Timeout.__new__(Timeout)
+        t.sim = self
+        t.callbacks = []
+        t._value = None
+        t._exc = None
+        t._scheduled = True
+        _heappush(self._queue, (when, next(self._seq), t))
+        return t
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Start a new process running ``gen``."""

@@ -1,0 +1,50 @@
+"""BENCH_perf.json ledger policy: append-only, baseline frozen."""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+
+def _harness():
+    root = pathlib.Path(__file__).resolve().parents[2]
+    path = root / "benchmarks" / "perf" / "perf_harness.py"
+    spec = importlib.util.spec_from_file_location("perf_harness", path)
+    mod = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(mod)
+    return mod
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return _harness()
+
+
+def _read(path):
+    with open(path) as fh:
+        return json.load(fh)
+
+
+class TestLedger:
+    def test_first_write_creates_entry(self, harness, tmp_path):
+        out = tmp_path / "bench.json"
+        label = harness.merge_into(str(out), "pr9", {"x": 1})
+        assert label == "pr9"
+        assert _read(out)["entries"]["pr9"]["x"] == 1
+
+    def test_baseline_is_frozen(self, harness, tmp_path):
+        out = tmp_path / "bench.json"
+        harness.merge_into(str(out), "baseline", {"x": 1})
+        with pytest.raises(SystemExit):
+            harness.merge_into(str(out), "baseline", {"x": 2})
+        assert _read(out)["entries"]["baseline"]["x"] == 1
+
+    def test_duplicate_labels_accumulate(self, harness, tmp_path):
+        out = tmp_path / "bench.json"
+        harness.merge_into(str(out), "pr9", {"x": 1})
+        relabel = harness.merge_into(str(out), "pr9", {"x": 2})
+        assert relabel != "pr9" and relabel.startswith("pr9-")
+        entries = _read(out)["entries"]
+        assert entries["pr9"]["x"] == 1
+        assert entries[relabel]["x"] == 2

@@ -1,0 +1,75 @@
+"""Fork-server executor equivalence: boot once, fork per run, same bytes.
+
+The fork-server boots each scenario family once and forks a
+copy-on-write child per run.  These tests pin the contract that this is
+purely an execution-strategy change: outcomes, summaries and rendered
+reports are byte-identical to the historic spawn-per-run path, for both
+experiment archetypes that register a boot/resume split, at more than
+one seed, serial and parallel alike.
+"""
+
+import pytest
+
+from repro.exp.registry import get_experiment
+from repro.exp.runner import forkserver_available, run_experiment
+
+RUNS = 4
+SEEDS = [2003, 99]
+
+needs_forkserver = pytest.mark.skipif(
+    not forkserver_available(),
+    reason="fork-server unavailable on this platform or disabled by env")
+
+
+def _results(name, params, seed, **kwargs):
+    spec = get_experiment(name).build_spec(dict(params, seed=seed))
+    return run_experiment(spec, **kwargs)
+
+
+def _assert_same(a, b):
+    assert a.outcomes == b.outcomes
+    assert a.summary == b.summary
+    assert a.rendered == b.rendered
+
+
+@needs_forkserver
+@pytest.mark.parametrize("seed", SEEDS)
+class TestForkServerByteIdentity:
+    def test_table1(self, seed):
+        on = _results("table1", {"runs": RUNS}, seed, forkserver=True)
+        off = _results("table1", {"runs": RUNS}, seed, forkserver=False)
+        _assert_same(on, off)
+
+    def test_netfaults(self, seed):
+        on = _results("netfaults", {"runs_per_scenario": 1}, seed,
+                      forkserver=True)
+        off = _results("netfaults", {"runs_per_scenario": 1}, seed,
+                       forkserver=False)
+        _assert_same(on, off)
+
+
+@needs_forkserver
+class TestForkServerParallel:
+    def test_parallel_forkserver_matches_serial_spawn(self):
+        on = _results("table1", {"runs": RUNS}, SEEDS[0],
+                      workers=4, forkserver=True)
+        off = _results("table1", {"runs": RUNS}, SEEDS[0],
+                       forkserver=False)
+        _assert_same(on, off)
+
+
+class TestForkServerGating:
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORKSERVER", "0")
+        assert not forkserver_available()
+
+    def test_spawn_method_forces_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MP_START_METHOD", "spawn")
+        assert not forkserver_available()
+
+    @needs_forkserver
+    def test_env_kill_switch_preserves_bytes(self, monkeypatch):
+        on = _results("table1", {"runs": RUNS}, SEEDS[0])
+        monkeypatch.setenv("REPRO_FORKSERVER", "0")
+        off = _results("table1", {"runs": RUNS}, SEEDS[0])
+        _assert_same(on, off)

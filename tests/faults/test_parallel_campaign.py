@@ -7,9 +7,9 @@ same order, same rendered table.  Anything less would make Table 1 depend
 on the machine's core count.
 """
 
+from repro.exp.runner import run_many
 from repro.faults import run_campaign, run_effectiveness_study
-from repro.faults.campaign import _run_many
-from repro.faults.injector import InjectionConfig
+from repro.faults.injector import InjectionConfig, run_injection
 
 
 def test_campaign_parallel_matches_serial():
@@ -40,6 +40,6 @@ def test_parallel_progress_reaches_total():
 def test_run_many_single_config_stays_serial():
     # A one-element campaign must not pay pool startup.
     configs = [InjectionConfig(run_id=0, seed=5, flavor="gm", messages=4)]
-    outcomes = _run_many(configs, workers=8, progress=None)
+    outcomes = run_many(configs, run_injection, workers=8, progress=None)
     assert len(outcomes) == 1
     assert outcomes[0].run_id == 0

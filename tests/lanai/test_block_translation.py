@@ -1,0 +1,168 @@
+"""Fused basic blocks must never outlive a write into their words.
+
+The block translator fuses straight-line runs (plus a folded terminator)
+into one generated superinstruction, cached in the SRAM-owned
+``block_cache`` with a word-address reverse index.  These tests pin the
+safety contract: a write landing *anywhere* inside a translated block —
+``flip_bit`` mid-block, a store from the running program itself, a
+folded-terminator corruption — drops the whole block, so the next
+dispatch re-translates from the corrupted memory.  Anything less would
+let a stale superinstruction resurrect pre-fault firmware and break the
+paper's persistent-flip semantics.
+"""
+
+import pytest
+
+from repro.errors import InvalidInstruction
+from repro.lanai import isa
+from repro.lanai.bus import MemoryBus
+from repro.lanai.cpu import _BLOCK_CAP, LanaiCpu
+from repro.hw.sram import Sram
+from repro.sim import Simulator
+
+ENTRY = 0x200
+
+
+def _assemble(words):
+    Ins = isa.Instruction
+    ops = isa.BY_MNEMONIC
+    return [isa.encode(w) for w in words(Ins, ops)]
+
+
+def _straightline():
+    """addi r1,r0,5 ; addi r2,r1,7 ; jr r15 — one fused block, r2 = 12."""
+    return _assemble(lambda Ins, ops: [
+        Ins(ops["addi"], rd=1, ra=0, imm=5),
+        Ins(ops["addi"], rd=2, ra=1, imm=7),
+        Ins(ops["jr"], ra=15),
+    ])
+
+
+def _machine(program):
+    sim = Simulator()
+    sram = Sram(64 * 1024)
+    sram.write_words(ENTRY, program)
+    cpu = LanaiCpu(sim, MemoryBus(sram))
+    return sim, sram, cpu
+
+
+def _run(sim, cpu, args=None):
+    outcomes = []
+
+    def proc():
+        outcome = yield from cpu.run_routine(ENTRY, args=args, fuel=5000)
+        outcomes.append(outcome)
+
+    sim.spawn(proc())
+    sim.run()
+    return outcomes[0]
+
+
+def _invalidating_bit(word, word_addr):
+    """A ``flip_bit`` offset that turns ``word`` into an invalid opcode."""
+    for j in range(32):
+        try:
+            isa.decode(word ^ (1 << (31 - j)), word_addr)
+        except InvalidInstruction:
+            return word_addr * 8 + j
+    pytest.skip("no single-bit flip of this word is invalid")
+
+
+def test_execution_translates_and_reuses_a_block():
+    sim, sram, cpu = _machine(_straightline())
+    assert _run(sim, cpu).ok
+    assert cpu.regs[2] == 12
+    block = sram.block_cache[ENTRY]
+    n_instr, _cycles, _fn = block
+    assert n_instr == 3  # both addis plus the folded jr
+    # The reverse index covers every word, terminator included.
+    for word_addr in (ENTRY, ENTRY + 4, ENTRY + 8):
+        assert ENTRY in sram.block_index[word_addr]
+    # A second run hits the cached block and reproduces the result.
+    assert _run(sim, cpu).ok
+    assert cpu.regs[2] == 12
+    assert sram.block_cache[ENTRY] is block
+
+
+def test_flip_bit_mid_block_drops_the_whole_block():
+    sim, sram, cpu = _machine(_straightline())
+    assert _run(sim, cpu).ok  # warm the block cache
+    assert ENTRY in sram.block_cache
+
+    # Corrupt the *second* instruction: the flip lands mid-block, so the
+    # block keyed at ENTRY must go even though ENTRY's own word is fine.
+    bit = _invalidating_bit(sram.read_word(ENTRY + 4), ENTRY + 4)
+    sram.flip_bit(bit)
+    assert ENTRY not in sram.block_cache
+    assert (ENTRY + 4) not in sram.block_index
+
+    outcome = _run(sim, cpu)
+    assert outcome.status == "hung"
+    assert outcome.reason == "invalid-instruction"
+    assert outcome.pc == ENTRY + 4
+
+
+def test_flip_in_folded_terminator_drops_the_block():
+    sim, sram, cpu = _machine(_straightline())
+    assert _run(sim, cpu).ok
+    assert ENTRY in sram.block_cache
+
+    # The jr is folded into the block as its terminator; corrupting it
+    # must invalidate the block just like corrupting a body word.
+    bit = _invalidating_bit(sram.read_word(ENTRY + 8), ENTRY + 8)
+    sram.flip_bit(bit)
+    assert ENTRY not in sram.block_cache
+
+    outcome = _run(sim, cpu)
+    assert outcome.status == "hung"
+    assert outcome.reason == "invalid-instruction"
+    assert outcome.pc == ENTRY + 8
+
+
+def test_self_modifying_store_invalidates_the_translated_block():
+    """A store into a fused run must retranslate before the next pass."""
+    program = _assemble(lambda Ins, ops: [
+        Ins(ops["sw"], rd=4, ra=3, imm=0),    # mem[r3] = r4
+        Ins(ops["addi"], rd=2, ra=2, imm=1),
+        Ins(ops["addi"], rd=2, ra=2, imm=10),  # victim word at ENTRY+8
+        Ins(ops["jr"], ra=15),
+    ])
+    sim, sram, cpu = _machine(program)
+    victim = ENTRY + 8
+    original = sram.read_word(victim)
+
+    # First pass stores the word back unchanged: same code, but the block
+    # spanning ENTRY+4..ENTRY+12 gets translated after the store runs.
+    assert _run(sim, cpu, args={3: victim, 4: original}).ok
+    assert cpu.regs[2] == 11
+    assert (ENTRY + 4) in sram.block_cache
+
+    # Second pass rewrites the victim *through the running program*; the
+    # stale block must be dropped mid-run and the new code must execute.
+    patched = isa.encode(isa.Instruction(isa.BY_MNEMONIC["addi"],
+                                         rd=2, ra=2, imm=100))
+    assert _run(sim, cpu, args={3: victim, 4: patched}).ok
+    assert cpu.regs[2] == 101
+    assert sram.read_word(victim) == patched
+
+
+def test_runs_longer_than_the_cap_split_at_block_boundaries():
+    count = _BLOCK_CAP + 6
+    program = _assemble(lambda Ins, ops: (
+        [Ins(ops["addi"], rd=1, ra=1, imm=1)] * count
+        + [Ins(ops["jr"], ra=15)]))
+    sim, sram, cpu = _machine(program)
+    assert _run(sim, cpu).ok
+    assert cpu.regs[1] == count
+    split = ENTRY + 4 * _BLOCK_CAP
+    assert set(sram.block_cache) == {ENTRY, split}
+    n_first, _, _ = sram.block_cache[ENTRY]
+    n_second, _, _ = sram.block_cache[split]
+    assert n_first == _BLOCK_CAP
+    assert n_second == count - _BLOCK_CAP + 1  # remainder plus folded jr
+
+    # A flip in the second block must not disturb the first.
+    bit = _invalidating_bit(sram.read_word(split), split)
+    sram.flip_bit(bit)
+    assert ENTRY in sram.block_cache
+    assert split not in sram.block_cache
