@@ -6,9 +6,11 @@ engine verbs drive anything registered::
 
     python -m repro list
     python -m repro run table1 --runs 300 --workers 4 --out t1.json
+    python -m repro run table1 --scale small --trace t1.trace.json
     python -m repro run netfaults --runs-per-scenario 2 \\
         --journal nf.journal            # kill it; rerun to resume
     python -m repro run spec.json       # re-run a saved spec exactly
+    python -m repro metrics table1 --scale small --workers 4
 
     python -m repro table1 --runs 300
     python -m repro table2
@@ -22,7 +24,10 @@ engine verbs drive anything registered::
 
 ``--out`` writes the unified result JSON (spec + manifest + outcomes +
 rendered text; see ``docs/EXPERIMENTS_ENGINE.md``); ``--journal`` makes
-the campaign checkpointed and resumable.
+the campaign checkpointed and resumable.  ``--trace`` writes a
+Chrome-trace JSON of every run's events (spans, message flows) and
+``repro metrics <name>`` prints the aggregated telemetry report — see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -54,20 +59,34 @@ def _progress_printer(experiment, total: int) -> Optional[Callable]:
 def _execute(experiment, spec, *, workers: int,
              out: Optional[str] = None,
              journal: Optional[str] = None,
-             forkserver: bool = True) -> str:
+             forkserver: bool = True,
+             telemetry: bool = False,
+             trace: Optional[str] = None):
     from .exp.runner import JournalMismatch, run_experiment
 
     try:
         result = run_experiment(
             spec, workers=workers,
             progress=_progress_printer(experiment, spec.runs),
-            journal_path=journal, forkserver=forkserver)
+            journal_path=journal, forkserver=forkserver,
+            telemetry=telemetry, trace=trace is not None)
     except JournalMismatch as exc:
         raise SystemExit("error: %s" % exc)
     if out:
         result.write(out)
         print("wrote %s" % out, file=sys.stderr)
-    return result.rendered
+    if trace:
+        import json
+
+        from .sim.trace import chrome_trace_doc
+
+        runs = [("run%d" % index, records)
+                for index, records in (result.traces or [])]
+        with open(trace, "w") as fh:
+            json.dump(chrome_trace_doc(runs), fh, sort_keys=True)
+        print("wrote %s (%d runs traced; load in Perfetto or "
+              "chrome://tracing)" % (trace, len(runs)), file=sys.stderr)
+    return result
 
 
 def _run_registered(experiment, args) -> str:
@@ -75,11 +94,14 @@ def _run_registered(experiment, args) -> str:
     params = {option.dest: getattr(args, option.dest)
               for option in experiment.options}
     spec = experiment.build_spec(params)
-    return _execute(experiment, spec,
-                    workers=getattr(args, "workers", 1),
-                    out=getattr(args, "out", None),
-                    journal=getattr(args, "journal", None),
-                    forkserver=not getattr(args, "no_forkserver", False))
+    trace = getattr(args, "trace", None)
+    result = _execute(experiment, spec,
+                      workers=getattr(args, "workers", 1),
+                      out=getattr(args, "out", None),
+                      journal=getattr(args, "journal", None),
+                      forkserver=not getattr(args, "no_forkserver", False),
+                      trace=trace)
+    return result.rendered
 
 
 def _add_common_options(parser) -> None:
@@ -95,6 +117,10 @@ def _add_common_options(parser) -> None:
                         help="force the spawn-per-run path instead of "
                              "the fork-server boot snapshots "
                              "(REPRO_FORKSERVER=0 does the same)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="capture per-run event traces and write a "
+                             "Chrome-trace JSON here (load in Perfetto "
+                             "or chrome://tracing)")
 
 
 def _cmd_list(argv: List[str]) -> int:
@@ -111,12 +137,13 @@ def _cmd_list(argv: List[str]) -> int:
     return 0
 
 
-def _cmd_run(argv: List[str]) -> int:
+def _parse_engine_argv(prog: str, argv: List[str]):
+    """Shared target/options parsing for the ``run``/``metrics`` verbs."""
     from .exp.registry import experiment_names, get_experiment
     from .exp.spec import ExperimentSpec
 
     base = argparse.ArgumentParser(
-        prog="repro run",
+        prog=prog,
         description="Run a registered experiment or a saved spec JSON.")
     base.add_argument("target",
                       help="experiment name (see 'repro list') or a "
@@ -141,15 +168,36 @@ def _cmd_run(argv: List[str]) -> int:
             base.error("unknown experiment %r (have: %s)"
                        % (ns.target, ", ".join(experiment_names())))
         options = argparse.ArgumentParser(
-            prog="repro run %s" % experiment.name)
+            prog="%s %s" % (prog, experiment.name))
         for option in experiment.options:
             option.add_to(options)
         opts = options.parse_args(rest)
         spec = experiment.build_spec(vars(opts))
+    return experiment, spec, ns
 
-    print(_execute(experiment, spec, workers=ns.workers, out=ns.out,
-                   journal=ns.journal,
-                   forkserver=not ns.no_forkserver))
+
+def _cmd_run(argv: List[str]) -> int:
+    experiment, spec, ns = _parse_engine_argv("repro run", argv)
+    result = _execute(experiment, spec, workers=ns.workers, out=ns.out,
+                      journal=ns.journal,
+                      forkserver=not ns.no_forkserver,
+                      trace=ns.trace)
+    print(result.rendered)
+    return 0
+
+
+def _cmd_metrics(argv: List[str]) -> int:
+    """Run an experiment with metrics on and print the telemetry report."""
+    from .obs.report import render_metrics_report
+
+    experiment, spec, ns = _parse_engine_argv("repro metrics", argv)
+    result = _execute(experiment, spec, workers=ns.workers, out=ns.out,
+                      journal=ns.journal,
+                      forkserver=not ns.no_forkserver,
+                      telemetry=True, trace=ns.trace)
+    print(render_metrics_report(
+        result.telemetry,
+        title="%s (%d runs)" % (experiment.name, spec.runs)))
     return 0
 
 
@@ -162,7 +210,9 @@ def _legacy_parser() -> argparse.ArgumentParser:
                     "Networking in Myrinet' (DSN 2003)",
         epilog="Engine verbs: 'repro list' shows every registered "
                "experiment; 'repro run <name|spec.json> [options]' runs "
-               "one with --out/--journal support.")
+               "one with --out/--journal/--trace support; 'repro "
+               "metrics <name|spec.json>' runs with telemetry on and "
+               "prints the aggregated metrics report.")
     sub = parser.add_subparsers(dest="command", required=True)
     for experiment in all_experiments():
         verb = sub.add_parser(experiment.name, help=experiment.help)
@@ -179,6 +229,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_list(argv[1:])
     if argv and argv[0] == "run":
         return _cmd_run(argv[1:])
+    if argv and argv[0] == "metrics":
+        return _cmd_metrics(argv[1:])
     args = _legacy_parser().parse_args(argv)
     print(_run_registered(args.experiment, args))
     return 0

@@ -131,7 +131,18 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
         raise ValueError("unknown topology %r (use star, ring or tree)"
                          % (topology,))
     sim = Simulator()
-    tracer = Tracer(enabled=trace)
+    if trace:
+        tracer = Tracer(enabled=True)
+    else:
+        from .obs import runtime as obs_runtime
+        if obs_runtime.tracing():
+            # Engine-requested trace capture (--trace): record everything
+            # except the idle-tick heartbeat, which would swamp the trace
+            # with ~2k records per simulated millisecond.
+            from .obs.spans import forced_trace_kinds
+            tracer = Tracer(enabled=True, kinds=forced_trace_kinds())
+        else:
+            tracer = Tracer(enabled=False)
     rng = SeededRng(seed, "cluster")
     driver_cls = _driver_class(flavor)
     interpreted = set(interpreted_nodes or [])

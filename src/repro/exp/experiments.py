@@ -74,8 +74,14 @@ def _identity(rendered: str) -> str:
 
 
 def _swifi_spec(name: str, params: Dict[str, Any], *, flavor: str,
-                default_runs: int, default_seed: int) -> ExperimentSpec:
-    runs = _get(params, "runs", default_runs)
+                default_runs: int, small_runs: int,
+                default_seed: int) -> ExperimentSpec:
+    # --scale small shrinks the default campaign for smoke tests and CI;
+    # an explicit --runs always wins, and the default "full" scale keeps
+    # the spec byte-identical to the pre---scale era.
+    scale = _get(params, "scale", "full")
+    runs = _get(params, "runs",
+                small_runs if scale == "small" else default_runs)
     seed = _get(params, "seed", default_seed)
     messages = _get(params, "messages", 16)
     return ExperimentSpec(
@@ -114,7 +120,7 @@ register(Experiment(
     name="table1",
     help="fault-injection campaign",
     build_spec=lambda params: _swifi_spec("table1", params, flavor="gm",
-                                          default_runs=150,
+                                          default_runs=150, small_runs=12,
                                           default_seed=2003),
     expand=_swifi_expand,
     run_one=run_injection,
@@ -122,8 +128,13 @@ register(Experiment(
     render=CampaignResult.render,
     decode=typed_decoder(InjectionOutcome),
     summarize=_campaign_summary,
-    options=(Option("runs", "--runs", int, 150, "injection runs"),
-             Option("seed", "--seed", int, 2003, "campaign base seed")),
+    options=(Option("runs", "--runs", int, None,
+                    "injection runs (default 150; 12 at --scale small)"),
+             Option("seed", "--seed", int, 2003, "campaign base seed"),
+             Option("scale", "--scale", str, "full",
+                    "campaign size; 'small' trims the default runs "
+                    "for smoke tests (explicit --runs wins)",
+                    ("small", "full"))),
     progress_every=25,
     progress_fmt="  ... %d/%d runs",
     boot=boot_injection,
@@ -141,7 +152,7 @@ register(Experiment(
     help="FTGM recovery coverage (section 5.2)",
     build_spec=lambda params: _swifi_spec("effectiveness", params,
                                           flavor="ftgm",
-                                          default_runs=80,
+                                          default_runs=80, small_runs=10,
                                           default_seed=7001),
     expand=_swifi_expand,
     run_one=run_injection,
@@ -149,8 +160,13 @@ register(Experiment(
     render=lambda result: result.render(),
     decode=typed_decoder(InjectionOutcome),
     summarize=asdict,
-    options=(Option("runs", "--runs", int, 80, "injection runs"),
-             Option("seed", "--seed", int, 7001, "campaign base seed")),
+    options=(Option("runs", "--runs", int, None,
+                    "injection runs (default 80; 10 at --scale small)"),
+             Option("seed", "--seed", int, 7001, "campaign base seed"),
+             Option("scale", "--scale", str, "full",
+                    "campaign size; 'small' trims the default runs "
+                    "for smoke tests (explicit --runs wins)",
+                    ("small", "full"))),
     boot=boot_injection,
     resume=resume_injection,
     boot_family=injection_family,
@@ -177,7 +193,7 @@ register(Experiment(
     name="surface",
     help="fault outcomes by corrupted instruction field",
     build_spec=lambda params: _swifi_spec("surface", params, flavor="gm",
-                                          default_runs=150,
+                                          default_runs=150, small_runs=12,
                                           default_seed=6007),
     expand=_swifi_expand,
     run_one=run_injection,
@@ -185,8 +201,13 @@ register(Experiment(
     render=_surface_render,
     decode=typed_decoder(InjectionOutcome),
     summarize=_surface_summary,
-    options=(Option("runs", "--runs", int, 150, "injection runs"),
-             Option("seed", "--seed", int, 6007, "campaign base seed")),
+    options=(Option("runs", "--runs", int, None,
+                    "injection runs (default 150; 12 at --scale small)"),
+             Option("seed", "--seed", int, 6007, "campaign base seed"),
+             Option("scale", "--scale", str, "full",
+                    "campaign size; 'small' trims the default runs "
+                    "for smoke tests (explicit --runs wins)",
+                    ("small", "full"))),
     boot=boot_injection,
     resume=resume_injection,
     boot_family=injection_family,

@@ -176,16 +176,27 @@ def typed_decoder(*classes: type) -> Callable[[Any], Any]:
 
 @dataclass
 class ExperimentResult:
-    """One finished experiment: spec + manifest + outcomes + rendering."""
+    """One finished experiment: spec + manifest + outcomes + rendering.
+
+    ``telemetry`` (a merged :class:`repro.obs.metrics.MetricsSnapshot`)
+    is present only when the run collected metrics; the document then
+    carries a ``"telemetry"`` key — absent otherwise, so telemetry-off
+    results are byte-identical to pre-telemetry ones.  ``traces`` holds
+    per-run ``(index, records)`` pairs for Chrome-trace export and is
+    never serialized into the result document (the CLI writes it to its
+    own file).
+    """
 
     spec: ExperimentSpec
     manifest: RunManifest
     outcomes: List[Any]
     rendered: str
     summary: Optional[Dict[str, Any]] = None
+    telemetry: Optional[Any] = None
+    traces: Optional[List[Any]] = None
 
     def to_doc(self) -> Dict[str, Any]:
-        return {
+        doc = {
             "schema": RESULT_SCHEMA,
             "spec": self.spec.to_dict(),
             "manifest": self.manifest.to_dict(),
@@ -193,6 +204,9 @@ class ExperimentResult:
             "rendered": self.rendered,
             "summary": self.summary,
         }
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry.to_doc()
+        return doc
 
     def to_json(self) -> str:
         return json.dumps(self.to_doc(), indent=2, sort_keys=True) + "\n"
@@ -239,5 +253,13 @@ def validate_result(doc: Dict[str, Any]) -> None:
                         % (len(doc["outcomes"]), spec.runs))
     if not isinstance(doc.get("rendered"), str):
         problems.append("rendered missing or not a string")
+    if "telemetry" in doc:      # optional; validated only when present
+        telemetry = doc["telemetry"]
+        if not isinstance(telemetry, dict):
+            problems.append("telemetry present but not an object")
+        else:
+            for key in ("counters", "gauges", "histograms"):
+                if not isinstance(telemetry.get(key), dict):
+                    problems.append("telemetry.%s missing or mistyped" % key)
     if problems:
         raise ValueError("invalid result document: " + "; ".join(problems))

@@ -150,6 +150,64 @@ def _invoke(runner: Callable[[Any], Any], item):
     return index, runner(config)
 
 
+# -- telemetry wrapping --------------------------------------------------------
+#
+# When the CLI asks for metrics (`repro metrics`) or per-run traces
+# (`--trace`), run_experiment swaps the registered run_one/resume for
+# these wrappers via functools.partial — run_many itself is untouched,
+# and with telemetry off no wrapper exists at all, so the hot path is
+# byte-for-byte the pre-telemetry code.
+
+
+class _TelemetryEnvelope:
+    """A run's outcome plus its telemetry sidecar.
+
+    Picklable (it crosses the pool and fork-server pipes) and
+    unambiguous: no experiment outcome is an instance of this class, so
+    unwrapping is a plain isinstance check.  Journal-resumed outcomes
+    are *not* enveloped — their runs were computed in an earlier
+    process, so their telemetry is absent by construction.
+    """
+
+    __slots__ = ("outcome", "snapshot", "trace")
+
+    def __init__(self, outcome: Any, snapshot: Any, trace: Any):
+        self.outcome = outcome
+        self.snapshot = snapshot
+        self.trace = trace
+
+
+def _unwrap_outcome(outcome: Any) -> Any:
+    if isinstance(outcome, _TelemetryEnvelope):
+        return outcome.outcome
+    return outcome
+
+
+def _telemetry_invoke(run_one: Callable[[Any], Any], metrics: bool,
+                      tracing: bool, config: Any) -> "_TelemetryEnvelope":
+    """run_one, bracketed by a per-run telemetry scope."""
+    from ..obs import runtime as obs_runtime
+
+    obs_runtime.configure(metrics=metrics, tracing=tracing)
+    obs_runtime.begin_run()
+    outcome = run_one(config)
+    return _TelemetryEnvelope(outcome, obs_runtime.collect(),
+                              obs_runtime.take_trace())
+
+
+def _telemetry_resume(resume: Callable[[Any, Any], Any], metrics: bool,
+                      tracing: bool, state: Any,
+                      config: Any) -> "_TelemetryEnvelope":
+    """Fork-server counterpart of :func:`_telemetry_invoke`."""
+    from ..obs import runtime as obs_runtime
+
+    obs_runtime.configure(metrics=metrics, tracing=tracing)
+    obs_runtime.begin_run()
+    outcome = resume(state, config)
+    return _TelemetryEnvelope(outcome, obs_runtime.collect(),
+                              obs_runtime.take_trace())
+
+
 # -- fork-server execution -----------------------------------------------------
 
 
@@ -397,7 +455,9 @@ def run_many(configs: Sequence[Any], runner: Callable[[Any], Any], *,
 def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
                    progress: Optional[Callable[[int], None]] = None,
                    journal_path: Optional[str] = None,
-                   forkserver: bool = True) -> ExperimentResult:
+                   forkserver: bool = True,
+                   telemetry: bool = False,
+                   trace: bool = False) -> ExperimentResult:
     """Expand, fan out, (optionally) journal, aggregate and render.
 
     With ``journal_path``, every completed run is appended to the
@@ -409,17 +469,33 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     Experiments registered with a boot/resume split run on the
     fork-server when available; ``forkserver=False`` (the CLI's
     ``--no-forkserver``) forces the historic spawn-per-run path.
+
+    ``telemetry`` collects a per-run :class:`MetricsSnapshot` and merges
+    them (deterministically — the merge is commutative and runs fold in
+    config order) onto the result; ``trace`` captures each run's trace
+    records for Chrome-trace export.  Both leave the experiment outcomes
+    byte-identical to a plain run; journal-resumed runs carry no
+    telemetry (they were computed in an earlier process).
     """
     from .registry import get_experiment
 
     experiment = get_experiment(spec.experiment)
     configs = experiment.expand(spec)
+    telemetry_on = telemetry or trace
+    runner = experiment.run_one
+    resume = experiment.resume
+    if telemetry_on:
+        runner = partial(_telemetry_invoke, experiment.run_one,
+                         telemetry, trace)
+        if resume is not None:
+            resume = partial(_telemetry_resume, experiment.resume,
+                             telemetry, trace)
     fork_boot = None
     if forkserver and experiment.boot is not None \
             and experiment.resume is not None:
         fork_boot = ForkBoot(family=experiment.boot_family or (lambda c: 0),
                              boot=experiment.boot,
-                             resume=experiment.resume)
+                             resume=resume)
     completed: Dict[int, Any] = {}
     journal: Optional[Journal] = None
     if journal_path is not None:
@@ -430,12 +506,42 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     on_outcome = None
     if journal is not None:
         def on_outcome(index: int, outcome: Any) -> None:
-            journal.append(index, encode_outcome(outcome))
+            journal.append(index, encode_outcome(_unwrap_outcome(outcome)))
     started = time.perf_counter()
-    outcomes = run_many(configs, experiment.run_one, workers=workers,
-                        progress=progress, completed=completed,
-                        on_outcome=on_outcome, fork_boot=fork_boot)
+    if telemetry_on:
+        # Fork-server servers boot clusters *before* the per-run resume
+        # wrapper runs, and build_cluster consults the runtime flags to
+        # install the forced tracer — so the parent sets the flags now
+        # and the servers inherit them through fork.
+        from ..obs import runtime as obs_runtime
+        obs_runtime.configure(metrics=telemetry, tracing=trace)
+    try:
+        outcomes = run_many(configs, runner, workers=workers,
+                            progress=progress, completed=completed,
+                            on_outcome=on_outcome, fork_boot=fork_boot)
+    finally:
+        if telemetry_on:
+            obs_runtime.reset()
     wall = time.perf_counter() - started
+    snapshot = None
+    traces: Optional[List] = None
+    if telemetry_on:
+        snapshots = []
+        traces = []
+        unwrapped = []
+        for index, outcome in enumerate(outcomes):
+            if isinstance(outcome, _TelemetryEnvelope):
+                if outcome.snapshot is not None:
+                    snapshots.append(outcome.snapshot)
+                if outcome.trace is not None:
+                    traces.append((index, outcome.trace))
+                unwrapped.append(outcome.outcome)
+            else:       # resumed from a journal: plain outcome
+                unwrapped.append(outcome)
+        outcomes = unwrapped
+        if telemetry:
+            from ..obs.metrics import MetricsSnapshot
+            snapshot = MetricsSnapshot.merged(snapshots)
     aggregate = experiment.aggregate(spec, outcomes)
     rendered = experiment.render(aggregate)
     summary = experiment.summarize(aggregate) \
@@ -443,4 +549,5 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     manifest = RunManifest.collect(spec.spec_hash, spec.seed, wall)
     return ExperimentResult(spec=spec, manifest=manifest,
                             outcomes=outcomes, rendered=rendered,
-                            summary=summary)
+                            summary=summary, telemetry=snapshot,
+                            traces=traces)

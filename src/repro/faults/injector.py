@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..cluster import build_cluster
+from ..obs.harvest import harvest_cluster
 from ..payload import Payload
 from ..sim import SeededRng
 from .outcomes import InjectionOutcome
@@ -208,4 +209,5 @@ def resume_injection(cluster, config: InjectionConfig) -> InjectionOutcome:
             and outcome.workload_completed
             and corrupted == 0
             and delivered_ok == config.messages)
+    harvest_cluster(cluster, fault_at=state["injected_at"])
     return outcome.finalize()

@@ -40,6 +40,7 @@ class FtgmPort(Port):
         self.seq_streams = PortSequenceStreams(port_id)
         self.recoveries = 0
         self.route_changes = 0
+        self.recovery_times: list = []   # per-handler durations (us)
 
     # -- event sink ----------------------------------------------------------------
 
@@ -176,5 +177,6 @@ class FtgmPort(Port):
         remainder = max(C.PER_PORT_RECOVERY_US - elapsed, 0.0)
         yield from self.host.cpu_execute(remainder, "recovery")
         self.recoveries += 1
+        self.recovery_times.append(self.sim.now - started)
         tracer.emit(self.sim.now, source, "port_recovery_done",
                     took=self.sim.now - started)

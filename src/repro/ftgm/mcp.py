@@ -38,6 +38,11 @@ class FtgmMcp(Mcp):
 
     name_prefix = "ftgm-mcp"
 
+    # Telemetry counters; class attributes so plain instance increments
+    # work without overriding Mcp.__init__.
+    watchdog_arms = 0
+    seq_rewinds = 0
+
     # Overridable per instance — the watchdog-interval ablation (A2)
     # sweeps this.
     watchdog_interval_us = C.WATCHDOG_INTERVAL_US
@@ -98,6 +103,7 @@ class FtgmMcp(Mcp):
                 if stream.has_unacked():
                     stream.rewind_for_reroute()
                     stream.note_progress(now)
+                    self.seq_rewinds += 1
             yield from self._charge(0.5, "retx-now")
             return
         yield from super()._handle_host_request(request)
@@ -112,6 +118,7 @@ class FtgmMcp(Mcp):
         in time to avoid an interrupt from being raised."
         """
         self.nic.timers[1].set_us(self.watchdog_interval_us)
+        self.watchdog_arms += 1
         if self.nic.sram.read_word(MAGIC_WORD_ADDR) != 0:
             self.nic.sram.write_word(MAGIC_WORD_ADDR, 0)
 

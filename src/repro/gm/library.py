@@ -95,6 +95,12 @@ class Port:
         yield from self._prepare_send(token)
         yield from self.host.cpu_execute(C.HOST_SEND_OVERHEAD_US, "send")
         self.mcp.doorbell_send(token)
+        tracer = self.driver.tracer
+        if tracer.enabled:
+            tracer.emit(self.sim.now, self.driver.trace_source, "flow",
+                        _ph="b", _cat="msg", _id=token.msg_id,
+                        name="message", dest_node=dest_node,
+                        dest_port=dest_port, size=payload.size)
         return token.msg_id
 
     def _prepare_send(self, token: SendToken) -> Generator:
@@ -237,6 +243,11 @@ class Port:
         self.send_tokens += 1
         if outcome.ok:
             self.sends_completed += 1
+            tracer = self.driver.tracer
+            if tracer.enabled:
+                tracer.emit(self.sim.now, self.driver.trace_source, "flow",
+                            _ph="e", _cat="msg", _id=event.msg_id,
+                            name="message")
         callback, context = self._callbacks.pop(event.msg_id, (None, None))
         region = self._send_regions.pop(event.msg_id, None)
         if region is not None:

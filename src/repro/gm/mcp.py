@@ -133,6 +133,7 @@ class Mcp:
         self.l_timer_invocations = 0
         self.l_timer_last: Optional[float] = None
         self.l_timer_max_gap = 0.0
+        self.ticks_absorbed = 0   # idle ticks folded by the tickless path
 
         # Test hooks for adversarially timed crashes (Figures 4 and 5).
         self.hang_after_ack_before_dma = False   # receiver-side, Fig. 5
@@ -499,6 +500,7 @@ class Mcp:
             return None
         self.l_timer_invocations += skipped
         self.busy_time += 1.5 * skipped
+        self.ticks_absorbed += skipped
         self.l_timer_last = last
         self.l_timer_max_gap = max_gap
         return tick
@@ -819,6 +821,10 @@ class Mcp:
         stream.open_token = None
         stream.received_bytes = 0
         self.stats["messages_delivered"] += 1
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, self.name, "flow",
+                             _ph="n", _cat="msg", _id=pkt.msg_id,
+                             name="message", node=self.node_id)
         yield from self._post_event(GmEvent(
             EventType.RECEIVED, port.port_id,
             sender_node=pkt.src_node, sender_port=pkt.src_port,

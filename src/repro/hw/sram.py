@@ -46,6 +46,7 @@ class Sram:
         # meaning "translated, nothing to fuse here".
         self.block_cache: dict = {}
         self.block_index: dict = {}
+        self.invalidations = 0   # decode/block cache entries dropped
 
     def _check(self, address: int, length: int) -> None:
         if address < 0 or length < 0 or address + length > self.size:
@@ -58,6 +59,7 @@ class Sram:
         if not cache and not index:
             return
         blocks = self.block_cache
+        before = len(cache) + len(blocks)
         start = address & ~3
         end = address + length
         if end - start <= 4 * (len(cache) + len(index)):
@@ -73,6 +75,7 @@ class Sram:
             for word in [w for w in index if start <= w < end]:
                 for block_start in index.pop(word):
                     blocks.pop(block_start, None)
+        self.invalidations += before - (len(cache) + len(blocks))
 
     # -- byte access ---------------------------------------------------------
 

@@ -68,6 +68,8 @@ class LanaiCpu:
         self.hang_reason: Optional[str] = None
         self.instructions_retired = 0
         self.busy_time = 0.0
+        self.block_hits = 0          # fused-block fast-path executions
+        self.blocks_translated = 0   # straight-line runs compiled
 
     def reset(self) -> None:
         """Power-on state (cleared by card reset + MCP reload)."""
@@ -182,123 +184,132 @@ class LanaiCpu:
         K_JAL = isa.KIND_JAL
         K_JR = isa.KIND_JR
         K_NOP = isa.KIND_NOP
-        while True:
-            if executed >= fuel:
-                yield timeout(cycles * CYCLE_US)
-                self.busy_time += cycles * CYCLE_US
-                self._hang("infinite-loop", self.pc)
-                return RoutineOutcome("hung", "infinite-loop", self.pc,
-                                      executed)
-            pc = self.pc
-            if pc == 0:
-                yield timeout(cycles * CYCLE_US)
-                self.busy_time += cycles * CYCLE_US
-                self.tracer.emit(self.sim.now, self.name, "mcp_restart", pc=pc)
-                return RoutineOutcome("restart", "jumped-to-reset-vector",
-                                      pc, executed)
-            if pc == RETURN_SENTINEL:
-                yield timeout(cycles * CYCLE_US)
-                self.busy_time += cycles * CYCLE_US
-                self.instructions_retired += executed
-                return RoutineOutcome("done", pc=pc, instructions=executed)
-            if pc % 4 or not 0 <= pc < sram_size:
-                yield timeout(cycles * CYCLE_US)
-                self.busy_time += cycles * CYCLE_US
-                self._hang("pc-out-of-bounds", pc)
-                return RoutineOutcome("hung", "pc-out-of-bounds", pc, executed)
-            # Fused-block fast path: execute a whole straight-line run in
-            # one dispatch when it fits inside the current fuel budget
-            # and time chunk (otherwise the per-instruction path below
-            # reproduces the exact hang/flush semantics).
-            blk = bcache_get(pc)
-            if blk is not None:
-                n, blk_cycles, fn = blk
-                if (n <= _TIME_CHUNK - executed % _TIME_CHUNK
-                        and executed + n <= fuel):
-                    self.pc = fn(regs)
-                    executed += n
-                    cycles += blk_cycles
-                    if executed % _TIME_CHUNK == 0:
+        hits = 0
+        try:
+            while True:
+                if executed >= fuel:
+                    yield timeout(cycles * CYCLE_US)
+                    self.busy_time += cycles * CYCLE_US
+                    self._hang("infinite-loop", self.pc)
+                    return RoutineOutcome("hung", "infinite-loop", self.pc,
+                                          executed)
+                pc = self.pc
+                if pc == 0:
+                    yield timeout(cycles * CYCLE_US)
+                    self.busy_time += cycles * CYCLE_US
+                    self.tracer.emit(self.sim.now, self.name, "mcp_restart", pc=pc)
+                    return RoutineOutcome("restart", "jumped-to-reset-vector",
+                                          pc, executed)
+                if pc == RETURN_SENTINEL:
+                    yield timeout(cycles * CYCLE_US)
+                    self.busy_time += cycles * CYCLE_US
+                    self.instructions_retired += executed
+                    return RoutineOutcome("done", pc=pc, instructions=executed)
+                if pc % 4 or not 0 <= pc < sram_size:
+                    yield timeout(cycles * CYCLE_US)
+                    self.busy_time += cycles * CYCLE_US
+                    self._hang("pc-out-of-bounds", pc)
+                    return RoutineOutcome("hung", "pc-out-of-bounds", pc, executed)
+                # Fused-block fast path: execute a whole straight-line run in
+                # one dispatch when it fits inside the current fuel budget
+                # and time chunk (otherwise the per-instruction path below
+                # reproduces the exact hang/flush semantics).
+                blk = bcache_get(pc)
+                if blk is not None:
+                    n, blk_cycles, fn = blk
+                    if (n <= _TIME_CHUNK - executed % _TIME_CHUNK
+                            and executed + n <= fuel):
+                        self.pc = fn(regs)
+                        executed += n
+                        cycles += blk_cycles
+                        hits += 1
+                        if executed % _TIME_CHUNK == 0:
+                            yield timeout(cycles * CYCLE_US)
+                            self.busy_time += cycles * CYCLE_US
+                            cycles = 0
+                        continue
+                entry_ = cache_get(pc)
+                if entry_ is None:
+                    word = sram.read_word(pc)
+                    try:
+                        entry_ = isa.compile_instruction(isa.decode(word, pc))
+                    except InvalidInstruction:
+                        yield timeout(cycles * CYCLE_US)
+                        self.busy_time += cycles * CYCLE_US
+                        self._hang("invalid-instruction", pc)
+                        return RoutineOutcome("hung", "invalid-instruction", pc,
+                                              executed, faulting_word=word)
+                    cache[pc] = entry_
+                kind, op_cycles, arg = entry_
+                if (kind == K_EXEC or kind == K_NOP) and blk is None \
+                        and pc not in bcache:
+                    # Fusable instruction with no block translated here yet —
+                    # includes jumps into the middle of an already-decoded
+                    # region.  Translate, then retry via the fast path.
+                    if translate(sram, cache, pc) is not None:
+                        self.blocks_translated += 1
+                        continue
+                executed += 1
+                cycles += op_cycles
+                next_pc = pc + 4
+                if kind == K_EXEC:
+                    arg(regs)
+                elif kind == K_BRANCH:
+                    next_pc = arg(regs, pc)
+                elif kind == K_LOAD:
+                    rd, ra, imm = arg
+                    addr = (regs[ra] + imm) & 0xFFFFFFFF
+                    try:
+                        result = bus.read_word(addr)
+                    except BusError as exc:
+                        yield timeout(cycles * CYCLE_US)
+                        self.busy_time += cycles * CYCLE_US
+                        self._hang("bus-error:0x%x" % exc.address, pc)
+                        return RoutineOutcome("hung", "bus-error", pc, executed)
+                    if isinstance(result, Event):
                         yield timeout(cycles * CYCLE_US)
                         self.busy_time += cycles * CYCLE_US
                         cycles = 0
-                    continue
-            entry_ = cache_get(pc)
-            if entry_ is None:
-                word = sram.read_word(pc)
-                try:
-                    entry_ = isa.compile_instruction(isa.decode(word, pc))
-                except InvalidInstruction:
+                        result = yield result
+                    regs[rd] = int(result) & 0xFFFFFFFF
+                elif kind == K_STORE:
+                    rd, ra, imm = arg
+                    addr = (regs[ra] + imm) & 0xFFFFFFFF
+                    try:
+                        block = bus.write_word(addr, regs[rd])
+                    except BusError as exc:
+                        yield timeout(cycles * CYCLE_US)
+                        self.busy_time += cycles * CYCLE_US
+                        self._hang("bus-error:0x%x" % exc.address, pc)
+                        return RoutineOutcome("hung", "bus-error", pc, executed)
+                    if isinstance(block, Event):
+                        yield timeout(cycles * CYCLE_US)
+                        self.busy_time += cycles * CYCLE_US
+                        cycles = 0
+                        yield block
+                elif kind == K_JUMP:
+                    next_pc = arg
+                elif kind == K_JAL:
+                    regs[15] = pc + 4
+                    next_pc = arg
+                elif kind == K_JR:
+                    next_pc = regs[arg]
+                elif kind == K_NOP:
+                    pass
+                else:  # KIND_HALT
                     yield timeout(cycles * CYCLE_US)
                     self.busy_time += cycles * CYCLE_US
-                    self._hang("invalid-instruction", pc)
-                    return RoutineOutcome("hung", "invalid-instruction", pc,
-                                          executed, faulting_word=word)
-                cache[pc] = entry_
-            kind, op_cycles, arg = entry_
-            if (kind == K_EXEC or kind == K_NOP) and blk is None \
-                    and pc not in bcache:
-                # Fusable instruction with no block translated here yet —
-                # includes jumps into the middle of an already-decoded
-                # region.  Translate, then retry via the fast path.
-                if translate(sram, cache, pc) is not None:
-                    continue
-            executed += 1
-            cycles += op_cycles
-            next_pc = pc + 4
-            if kind == K_EXEC:
-                arg(regs)
-            elif kind == K_BRANCH:
-                next_pc = arg(regs, pc)
-            elif kind == K_LOAD:
-                rd, ra, imm = arg
-                addr = (regs[ra] + imm) & 0xFFFFFFFF
-                try:
-                    result = bus.read_word(addr)
-                except BusError as exc:
-                    yield timeout(cycles * CYCLE_US)
-                    self.busy_time += cycles * CYCLE_US
-                    self._hang("bus-error:0x%x" % exc.address, pc)
-                    return RoutineOutcome("hung", "bus-error", pc, executed)
-                if isinstance(result, Event):
+                    self._hang("halt-instruction", pc)
+                    return RoutineOutcome("hung", "halt-instruction", pc,
+                                          executed)
+                regs[0] = 0  # r0 is hardwired to zero
+                self.pc = next_pc & 0xFFFFFFFF
+                if executed % _TIME_CHUNK == 0:
                     yield timeout(cycles * CYCLE_US)
                     self.busy_time += cycles * CYCLE_US
                     cycles = 0
-                    result = yield result
-                regs[rd] = int(result) & 0xFFFFFFFF
-            elif kind == K_STORE:
-                rd, ra, imm = arg
-                addr = (regs[ra] + imm) & 0xFFFFFFFF
-                try:
-                    block = bus.write_word(addr, regs[rd])
-                except BusError as exc:
-                    yield timeout(cycles * CYCLE_US)
-                    self.busy_time += cycles * CYCLE_US
-                    self._hang("bus-error:0x%x" % exc.address, pc)
-                    return RoutineOutcome("hung", "bus-error", pc, executed)
-                if isinstance(block, Event):
-                    yield timeout(cycles * CYCLE_US)
-                    self.busy_time += cycles * CYCLE_US
-                    cycles = 0
-                    yield block
-            elif kind == K_JUMP:
-                next_pc = arg
-            elif kind == K_JAL:
-                regs[15] = pc + 4
-                next_pc = arg
-            elif kind == K_JR:
-                next_pc = regs[arg]
-            elif kind == K_NOP:
-                pass
-            else:  # KIND_HALT
-                yield timeout(cycles * CYCLE_US)
-                self.busy_time += cycles * CYCLE_US
-                self._hang("halt-instruction", pc)
-                return RoutineOutcome("hung", "halt-instruction", pc,
-                                      executed)
-            regs[0] = 0  # r0 is hardwired to zero
-            self.pc = next_pc & 0xFFFFFFFF
-            if executed % _TIME_CHUNK == 0:
-                yield timeout(cycles * CYCLE_US)
-                self.busy_time += cycles * CYCLE_US
-                cycles = 0
+        finally:
+            # Flushed once per routine (incl. kill mid-yield on
+            # card reset), keeping the fast path free of
+            # attribute traffic.
+            self.block_hits += hits

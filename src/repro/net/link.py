@@ -45,6 +45,7 @@ class Link:
         self.packets_carried = 0
         self.packets_dropped = 0
         self.packets_duplicated = 0
+        self.packets_corrupted = 0
         self.cuts = 0
         # Test/experiment hook: drop (True), corrupt ("corrupt") or
         # duplicate ("duplicate") packets.
@@ -77,6 +78,7 @@ class Link:
             if verdict == "corrupt":
                 # Wire bit-rot: the packet arrives but its CRC is stale.
                 packet.corrupt_payload(bit=1)
+                self.packets_corrupted += 1
             elif verdict == "duplicate":
                 # A retransmission artefact / reflection: the far end sees
                 # the packet twice.  Clone before delivery because switches

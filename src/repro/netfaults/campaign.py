@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..cluster import build_cluster
+from ..obs.harvest import harvest_cluster
 from ..payload import Payload
 from ..sim import SeededRng
 from .detector import arm_detectors
@@ -347,6 +348,7 @@ def resume_netfault(cluster, config: NetFaultConfig) -> NetFaultOutcome:
                  if t >= first.installed_at]
         if after:
             outcome.first_delivery_after_install = min(after)
+    harvest_cluster(cluster, fault_at=fault_at)
     return outcome.finalize()
 
 

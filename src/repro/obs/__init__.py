@@ -1,0 +1,26 @@
+"""The telemetry plane: metrics registry, runtime scope, spans, harvest.
+
+See docs/OBSERVABILITY.md for the registry API, the span taxonomy and
+the metric name glossary.  Import layering: this package root pulls in
+only :mod:`.metrics` and :mod:`.runtime` (no simulation imports), so low
+layers can depend on it; :mod:`.spans`, :mod:`.harvest` and
+:mod:`.report` are imported lazily by their callers.
+"""
+
+from . import runtime
+from .metrics import (
+    BusyTracker,
+    GaugeStat,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+__all__ = [
+    "BusyTracker",
+    "GaugeStat",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "runtime",
+]

@@ -1,0 +1,146 @@
+"""The harvest pass: fold a finished cluster's counters into the registry.
+
+Hot loops never talk to the registry — they keep the plain integer
+counters they always had (``mcp.stats``, ``cpu.instructions_retired``,
+link/switch totals, ...).  After a run's outcome is classified, the
+experiment calls :func:`harvest_cluster` once; when telemetry is off the
+call returns immediately, and when it is on the pass walks the cluster
+and emits every counter, gauge and latency histogram in one sweep.
+
+Because the harvest runs *after* classification and only reads state,
+it cannot perturb the simulation: outcomes are byte-identical with
+telemetry on or off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.trace import TraceRecord
+from . import runtime
+from .spans import emit_recovery_spans
+
+__all__ = ["harvest_cluster"]
+
+_JSON_SCALARS = (int, float, str, bool, type(None))
+
+
+def _sanitize_records(records):
+    """Copies of ``records`` with non-JSON detail values repr()'d.
+
+    Trace details may hold live simulation objects (events, tuples of
+    ports); stashed records cross process boundaries (fork-server pipe,
+    pool pickling), so they are flattened to scalars at harvest time —
+    the same fallback ``chrome_trace_doc`` applies at export time.
+    """
+    out = []
+    for r in records:
+        details = {k: v if isinstance(v, _JSON_SCALARS) else repr(v)
+                   for k, v in r.details.items()}
+        out.append(TraceRecord(r.time, r.source, r.kind, details))
+    return out
+
+
+def harvest_cluster(cluster, *, fault_at: Optional[float] = None) -> None:
+    """Harvest one finished run: metrics into the active registry,
+    spans + records into the trace stash.  No-op when telemetry is off.
+
+    ``fault_at`` (absolute simulated time of the injected fault, when
+    the experiment knows it) enables the ``recovery.detection_us``
+    histogram — fault occurrence to the FATAL interrupt.
+    """
+    registry = runtime.active_registry()
+    tracing = runtime.tracing()
+    if registry is None and not tracing:
+        return
+
+    if tracing:
+        emit_recovery_spans(cluster)
+        runtime.stash_trace(_sanitize_records(cluster.tracer.records))
+    if registry is None:
+        return
+
+    inc = registry.inc
+    gauge = registry.gauge
+    observe = registry.observe
+
+    # -- simulation core -------------------------------------------------------
+    sim = cluster.sim
+    inc("sim.events_scheduled", next(sim._seq))
+    gauge("sim.events_pending", len(sim._queue))
+    gauge("sim.events_inert", len(sim.inert))
+    gauge("sim.time_us", sim.now)
+
+    # -- per node: LANai, SRAM, MCP, DMA, NIC, driver, ports -------------------
+    for node in cluster.nodes:
+        nic = node.nic
+        mcp = node.driver.mcp        # may be a post-recovery reload
+        cpu = mcp.cpu
+        if cpu is not None:
+            inc("lanai.instructions_retired", cpu.instructions_retired)
+            inc("lanai.block_hits", cpu.block_hits)
+            inc("lanai.blocks_translated", cpu.blocks_translated)
+            inc("lanai.busy_us", cpu.busy_time)
+        inc("sram.invalidations", nic.sram.invalidations)
+        for key, value in mcp.stats.items():
+            inc("mcp.%s" % key, value)
+        inc("mcp.busy_us", mcp.busy_time)
+        inc("mcp.send_busy_us", mcp.send_busy_time)
+        inc("mcp.recv_busy_us", mcp.recv_busy_time)
+        inc("mcp.l_timer_invocations", mcp.l_timer_invocations)
+        inc("mcp.ticks_absorbed", mcp.ticks_absorbed)
+        watchdog_arms = getattr(mcp, "watchdog_arms", None)
+        if watchdog_arms is not None:                 # FTGM firmware only
+            inc("mcp.watchdog_arms", watchdog_arms)
+            inc("mcp.seq_rewinds", mcp.seq_rewinds)
+        inc("dma.transactions", nic.dma.transactions)
+        inc("dma.errors", nic.dma.errors)
+        inc("pci.bytes_moved", nic.pci.bytes_moved)
+        inc("nic.resets", nic.resets)
+        inc("nic.dropped_arrivals", nic.dropped_arrivals)
+        fatal = getattr(node.driver, "fatal_interrupts", None)
+        if fatal is not None:                         # FTGM driver only
+            inc("driver.fatal_interrupts", fatal)
+        for port in node.driver.ports.values():
+            inc("gm.port.sends_completed", port.sends_completed)
+            inc("gm.port.sends_errored", port.sends_errored)
+            inc("gm.port.messages_received", port.messages_received)
+            recoveries = getattr(port, "recoveries", None)
+            if recoveries is not None:                # FTGM port only
+                inc("ftgm.port.recoveries", recoveries)
+                inc("ftgm.port.route_changes", port.route_changes)
+                for took in port.recovery_times:
+                    observe("recovery.port_recover_us", took)
+
+    # -- fabric ----------------------------------------------------------------
+    for link in cluster.fabric.links:
+        inc("link.packets_carried", link.packets_carried)
+        inc("link.packets_dropped", link.packets_dropped)
+        inc("link.packets_duplicated", link.packets_duplicated)
+        inc("link.packets_corrupted", link.packets_corrupted)
+        inc("link.cuts", link.cuts)
+    for switch in cluster.fabric.switches:
+        inc("switch.forwarded", switch.forwarded)
+        inc("switch.absorbed", switch.absorbed)
+        inc("switch.misrouted", switch.misrouted)
+        inc("switch.dead_port_drops", switch.dead_port_drops)
+
+    # -- FTD timelines: counters plus Table-3-style latency histograms ---------
+    for ftd in cluster.ftds():
+        inc("ftd.recoveries", len(ftd.recoveries))
+        inc("ftd.reroutes", len(ftd.reroutes))
+        inc("ftd.false_alarms", ftd.false_alarms)
+        for record in ftd.recoveries:
+            for label, start, end in record.segments():
+                if 0 < start <= end:
+                    observe("recovery.phase.%s" % label, end - start)
+            if not record.false_alarm:
+                observe("recovery.total_us",
+                        record.events_posted_at - record.interrupt_at)
+                if fault_at is not None:
+                    observe("recovery.detection_us",
+                            record.interrupt_at - fault_at)
+        for record in ftd.reroutes:
+            for label, start, end in record.segments():
+                if 0 < start <= end:
+                    observe("reroute.phase.%s" % label, end - start)

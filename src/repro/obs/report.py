@@ -1,0 +1,126 @@
+"""Human-readable rendering of a merged MetricsSnapshot.
+
+``repro metrics <experiment>`` runs a campaign with telemetry on and
+prints this report: every counter and gauge, every histogram summary,
+and — always, even when empty — a Table-3-style recovery-latency block
+with per-phase p50/p99 so the paper's breakdown is one command away.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .metrics import Histogram, MetricsSnapshot
+from .spans import RECOVERY_PHASES, REROUTE_PHASES
+
+__all__ = ["render_metrics_report"]
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value != value:                      # NaN guard
+        return "-"
+    if abs(value - round(value)) < 1e-9 and abs(value) < 1e15:
+        return "%d" % round(value)
+    return "%.3f" % value
+
+
+def _fmt_us(value: Optional[float]) -> str:
+    """Microseconds, scaled for readability above a millisecond."""
+    if value is None:
+        return "-"
+    if abs(value) >= 1_000_000.0:
+        return "%.3f s" % (value / 1_000_000.0)
+    if abs(value) >= 1_000.0:
+        return "%.3f ms" % (value / 1_000.0)
+    return "%.3f us" % value
+
+
+def _phase_row(label: str, hist: Optional[Histogram]) -> str:
+    if hist is None or hist.n == 0:
+        return "  %-26s %5s  %12s  %12s  %12s" % (label, "-", "-", "-", "-")
+    return "  %-26s %5d  %12s  %12s  %12s" % (
+        label, hist.n, _fmt_us(hist.percentile(50)),
+        _fmt_us(hist.percentile(99)), _fmt_us(hist.mean()))
+
+
+def render_metrics_report(snapshot: MetricsSnapshot, *,
+                          title: str = "") -> str:
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+        lines.append("")
+
+    lines.append("Counters")
+    lines.append("--------")
+    if snapshot.counters:
+        width = max(len(name) for name in snapshot.counters)
+        for name in sorted(snapshot.counters):
+            lines.append("  %-*s  %s" % (width, name,
+                                         _fmt(snapshot.counters[name])))
+    else:
+        lines.append("  (none)")
+
+    lines.append("")
+    lines.append("Gauges")
+    lines.append("------")
+    if snapshot.gauges:
+        width = max(len(name) for name in snapshot.gauges)
+        for name in sorted(snapshot.gauges):
+            stat = snapshot.gauges[name]
+            lines.append(
+                "  %-*s  n=%d  mean=%s  min=%s  max=%s"
+                % (width, name, stat.n, _fmt(stat.mean()),
+                   _fmt(stat.min), _fmt(stat.max)))
+    else:
+        lines.append("  (none)")
+
+    lines.append("")
+    lines.append("Histograms")
+    lines.append("----------")
+    shown = [name for name in sorted(snapshot.histograms)]
+    if shown:
+        width = max(len(name) for name in shown)
+        for name in shown:
+            hist = snapshot.histograms[name]
+            lines.append(
+                "  %-*s  n=%d  p50=%s  p99=%s  mean=%s  min=%s  max=%s"
+                % (width, name, hist.n,
+                   _fmt_us(hist.percentile(50)),
+                   _fmt_us(hist.percentile(99)), _fmt_us(hist.mean()),
+                   _fmt_us(hist.min), _fmt_us(hist.max)))
+    else:
+        lines.append("  (none)")
+
+    # The Table-3 block prints unconditionally: a campaign with no
+    # recoveries (plain GM, or no hang outcomes) shows dashes, making
+    # "nothing recovered" visible rather than silent.
+    hists = snapshot.histograms
+    lines.append("")
+    lines.append("Recovery latency breakdown (cf. paper Table 3)")
+    lines.append("----------------------------------------------")
+    lines.append("  %-26s %5s  %12s  %12s  %12s"
+                 % ("phase", "n", "p50", "p99", "mean"))
+    lines.append(_phase_row("detection", hists.get("recovery.detection_us")))
+    for label in RECOVERY_PHASES:
+        lines.append(_phase_row(label,
+                                hists.get("recovery.phase.%s" % label)))
+    lines.append(_phase_row("port recovery",
+                            hists.get("recovery.port_recover_us")))
+    lines.append(_phase_row("total (interrupt->posted)",
+                            hists.get("recovery.total_us")))
+
+    if any(("reroute.phase.%s" % label) in hists
+           for label in REROUTE_PHASES):
+        lines.append("")
+        lines.append("Reroute latency breakdown")
+        lines.append("-------------------------")
+        lines.append("  %-26s %5s  %12s  %12s  %12s"
+                     % ("phase", "n", "p50", "p99", "mean"))
+        for label in REROUTE_PHASES:
+            lines.append(_phase_row(label,
+                                    hists.get("reroute.phase.%s" % label)))
+
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,98 @@
+"""Per-process telemetry runtime: intent flags and the active registry.
+
+The experiment engine configures telemetry *intent* once per process
+(``configure``), then brackets each run with ``begin_run`` /
+``collect``.  Fork-server children inherit the flags through ``fork``;
+pool workers re-configure from arguments carried in the task partial.
+Everything here is process-local — runs never share a live registry —
+so a run's snapshot only ever reflects its own cluster.
+
+Telemetry intent OFF is the default and installs nothing anywhere: no
+wrapper, no registry, no tracer — the hot path is byte-for-byte the
+pre-telemetry code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from .metrics import MetricsRegistry, MetricsSnapshot
+
+__all__ = [
+    "configure",
+    "metrics_on",
+    "tracing",
+    "begin_run",
+    "active_registry",
+    "stash_trace",
+    "take_trace",
+    "collect",
+    "reset",
+]
+
+_metrics_on = False
+_tracing_on = False
+_registry: Optional[MetricsRegistry] = None
+_trace_records: Optional[List[Any]] = None
+
+
+def configure(metrics: bool = False, tracing: bool = False) -> None:
+    """Set this process's telemetry intent (idempotent)."""
+    global _metrics_on, _tracing_on
+    _metrics_on = bool(metrics)
+    _tracing_on = bool(tracing)
+
+
+def metrics_on() -> bool:
+    return _metrics_on
+
+
+def tracing() -> bool:
+    """True when per-run trace capture was requested (``--trace``)."""
+    return _tracing_on
+
+
+def begin_run() -> Optional[MetricsRegistry]:
+    """Open a fresh collection scope for one run.
+
+    Installs a new enabled registry when metrics intent is on (else
+    leaves the registry absent) and clears any stashed trace records.
+    """
+    global _registry, _trace_records
+    _registry = MetricsRegistry(enabled=True) if _metrics_on else None
+    _trace_records = None
+    return _registry
+
+
+def active_registry() -> Optional[MetricsRegistry]:
+    """The current run's registry, or None when metrics are off."""
+    return _registry
+
+
+def stash_trace(records: List[Any]) -> None:
+    """Stash a run's trace records for the engine to pick up."""
+    global _trace_records
+    _trace_records = list(records)
+
+
+def take_trace() -> Optional[List[Any]]:
+    """Remove and return the stashed trace records (None if none)."""
+    global _trace_records
+    records, _trace_records = _trace_records, None
+    return records
+
+
+def collect() -> Optional[MetricsSnapshot]:
+    """Close the run scope: snapshot and drop the active registry."""
+    global _registry
+    registry, _registry = _registry, None
+    return registry.snapshot() if registry is not None else None
+
+
+def reset() -> None:
+    """Return the runtime to its boot state (tests use this)."""
+    global _metrics_on, _tracing_on, _registry, _trace_records
+    _metrics_on = False
+    _tracing_on = False
+    _registry = None
+    _trace_records = None

@@ -1,0 +1,113 @@
+"""Span emission: duration spans over the recovery/reroute timelines.
+
+The paper's headline numbers are *timeline* claims — Table 3 breaks a
+recovery into daemon wakeup, hang confirmation, card reset, MCP reload,
+table restore and event posting — so the telemetry plane exports exactly
+those phases as Chrome trace-event duration spans (``ph: B``/``E``).
+
+Spans are emitted *retrospectively*: the FTD already records every phase
+boundary in :class:`repro.ftgm.ftd.RecoveryRecord` /
+:class:`~repro.ftgm.ftd.RerouteRecord`, and ``Tracer.emit`` takes an
+explicit timestamp, so the harvest pass replays the timelines into the
+tracer after the run instead of adding live emit sites to the recovery
+path.  The per-port handler spans come from the existing
+``port_recovery_start``/``port_recovery_done`` trace records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = [
+    "RECOVERY_PHASES",
+    "REROUTE_PHASES",
+    "EXCLUDED_TRACE_KINDS",
+    "forced_trace_kinds",
+    "emit_recovery_spans",
+]
+
+# Phase labels, in timeline order — these mirror RecoveryRecord.segments()
+# and RerouteRecord.segments() and double as histogram name suffixes
+# (``recovery.phase.<label>``).
+RECOVERY_PHASES: Tuple[str, ...] = (
+    "daemon wakeup",
+    "hang confirmation",
+    "card reset + SRAM clear",
+    "MCP reload",
+    "table restore",
+    "FAULT_DETECTED posting",
+)
+REROUTE_PHASES: Tuple[str, ...] = (
+    "daemon wakeup",
+    "mapper discovery",
+    "table distribution",
+    "ROUTE_CHANGED posting",
+)
+
+# Kinds dropped from runtime-forced traces: the idle-tick heartbeat fires
+# ~2,000 times per simulated millisecond and would swamp a 12-second run
+# with >100k records that show nothing but the clock advancing.
+EXCLUDED_TRACE_KINDS = frozenset({"timer_expired"})
+
+
+class _ExcludeSet:
+    """Set-like view whose membership test *excludes* the given kinds.
+
+    ``Tracer.emit`` drops a record when ``kind not in self.kinds``; an
+    ordinary set would force us to enumerate every kind we want to keep.
+    This inverts the test: everything passes except the excluded kinds.
+    """
+
+    __slots__ = ("excluded",)
+
+    def __init__(self, excluded: Iterable[str]):
+        self.excluded = frozenset(excluded)
+
+    def __contains__(self, kind: object) -> bool:
+        return kind not in self.excluded
+
+
+def forced_trace_kinds() -> _ExcludeSet:
+    """The ``Tracer(kinds=...)`` filter for runtime-forced traces."""
+    return _ExcludeSet(EXCLUDED_TRACE_KINDS)
+
+
+def _emit_span(tracer, source: str, cat: str, label: str,
+               start: float, end: float) -> None:
+    tracer.emit(start, source, "span", _ph="B", _cat=cat, name=label)
+    tracer.emit(end, source, "span", _ph="E", _cat=cat, name=label)
+
+
+def emit_recovery_spans(cluster) -> None:
+    """Replay every FTD recovery/reroute timeline as B/E spans.
+
+    A segment is emitted only when ``0 < start <= end`` — false-alarm
+    records leave their later phase boundaries at the 0.0 default, and
+    an unfinished phase must not produce an unmatched span.
+    """
+    tracer = cluster.tracer
+    if not tracer.enabled:
+        return
+    for ftd in cluster.ftds():
+        for record in ftd.recoveries:
+            for label, start, end in record.segments():
+                if 0 < start <= end:
+                    _emit_span(tracer, ftd.name, "recovery", label,
+                               start, end)
+        for record in ftd.reroutes:
+            for label, start, end in record.segments():
+                if 0 < start <= end:
+                    _emit_span(tracer, ftd.name, "reroute", label,
+                               start, end)
+    # Per-port handler spans, paired from the library's existing records.
+    open_at = {}
+    pairs = []
+    for record in list(tracer.records):
+        if record.kind == "port_recovery_start":
+            open_at[record.source] = record.time
+        elif record.kind == "port_recovery_done":
+            started = open_at.pop(record.source, None)
+            if started is not None:
+                pairs.append((record.source, started, record.time))
+    for source, start, end in pairs:
+        _emit_span(tracer, source, "recovery", "port recovery", start, end)

@@ -12,7 +12,7 @@ from .core import (
 )
 from .resources import Pipe, Resource, Store
 from .rng import SeededRng, derive_seed
-from .trace import TraceRecord, Tracer
+from .trace import TraceRecord, Tracer, chrome_trace_doc
 
 __all__ = [
     "AllOf",
@@ -29,5 +29,6 @@ __all__ = [
     "Timeout",
     "TraceRecord",
     "Tracer",
+    "chrome_trace_doc",
     "derive_seed",
 ]

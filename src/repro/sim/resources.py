@@ -16,6 +16,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Generator, List, Optional, Tuple
 
+from ..obs.metrics import BusyTracker
 from .core import Event, Simulator
 
 __all__ = ["Resource", "Store", "Pipe"]
@@ -34,8 +35,7 @@ class Resource:
             resource.release()
     """
 
-    __slots__ = ("sim", "capacity", "in_use", "_waiters", "_busy_since",
-                 "busy_time")
+    __slots__ = ("sim", "capacity", "in_use", "_waiters", "_busy")
 
     def __init__(self, sim: Simulator, capacity: int = 1):
         if capacity < 1:
@@ -44,9 +44,13 @@ class Resource:
         self.capacity = capacity
         self.in_use = 0
         self._waiters: Deque[Event] = deque()
-        # Book-keeping for utilization metrics.
-        self._busy_since: Optional[float] = None
-        self.busy_time = 0.0
+        # Utilization book-keeping (shared with repro.obs).
+        self._busy = BusyTracker()
+
+    @property
+    def busy_time(self) -> float:
+        """Accumulated busy time over *closed* busy intervals."""
+        return self._busy.busy_time
 
     def request(self) -> Event:
         """Return an event that fires when a slot is granted."""
@@ -59,7 +63,7 @@ class Resource:
 
     def _grant(self, ev: Event) -> None:
         if self.in_use == 0:
-            self._busy_since = self.sim.now
+            self._busy.engage(self.sim.now)
         self.in_use += 1
         ev.succeed(self)
 
@@ -67,9 +71,8 @@ class Resource:
         if self.in_use <= 0:
             raise RuntimeError("release() without matching request()")
         self.in_use -= 1
-        if self.in_use == 0 and self._busy_since is not None:
-            self.busy_time += self.sim.now - self._busy_since
-            self._busy_since = None
+        if self.in_use == 0:
+            self._busy.release(self.sim.now)
         while self._waiters and self.in_use < self.capacity:
             self._grant(self._waiters.popleft())
 
@@ -84,9 +87,7 @@ class Resource:
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         """Fraction of time the resource was busy."""
-        busy = self.busy_time
-        if self._busy_since is not None:
-            busy += self.sim.now - self._busy_since
+        busy = self._busy.total(self.sim.now)
         span = elapsed if elapsed is not None else self.sim.now
         return busy / span if span > 0 else 0.0
 

@@ -9,9 +9,9 @@ before the FTD woke").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["TraceRecord", "Tracer"]
+__all__ = ["TraceRecord", "Tracer", "chrome_trace_doc"]
 
 
 @dataclass(frozen=True)
@@ -100,34 +100,91 @@ class Tracer:
     def to_chrome_trace(self) -> str:
         """The trace as Chrome trace-event JSON (chrome://tracing).
 
-        Every record becomes an instant event: ``ts`` is the simulated
-        time (already in µs, the trace-event unit), ``pid`` groups by
-        source, ``name`` is the kind and ``args`` carries the details.
-        Load the string into chrome://tracing or Perfetto to scrub
-        through a recovery timeline visually.
+        Every record becomes a trace event: ``ts`` is the simulated time
+        (already in µs, the trace-event unit), ``pid``/``tid`` are small
+        integers grouped by source (with ``process_name`` metadata so
+        the UI shows the source name), ``name`` is the kind and ``args``
+        carries the details.  Load the string into chrome://tracing or
+        Perfetto to scrub through a recovery timeline visually.
         """
         import json
 
-        events = [
-            {
-                "name": record.kind,
-                "ph": "i",          # instant event
-                "s": "t",           # thread-scoped
-                "ts": record.time,
-                "pid": record.source,
-                "tid": record.source,
-                "args": {key: repr(value) if not isinstance(
-                             value, (int, float, str, bool, type(None)))
-                         else value
-                         for key, value in record.details.items()},
-            }
-            for record in self.records
-        ]
-        return json.dumps({"traceEvents": events,
-                           "displayTimeUnit": "ms"}, sort_keys=True)
+        return json.dumps(chrome_trace_doc([(None, self.records)]),
+                          sort_keys=True)
 
     def clear(self) -> None:
         self.records.clear()
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool, type(None))):
+        return value
+    return repr(value)
+
+
+def chrome_trace_doc(
+        runs: Iterable[Tuple[Optional[str], Iterable[TraceRecord]]],
+) -> Dict[str, Any]:
+    """Build one Chrome trace-event document from one or more record sets.
+
+    ``runs`` is a sequence of ``(label, records)`` pairs; each distinct
+    ``(label, source)`` becomes its own Perfetto process with a stable
+    small-integer pid (assigned 1, 2, ... in run order, sources sorted
+    within a run) and a ``process_name``/``thread_name`` metadata event
+    naming it ``label/source`` (or just ``source`` when the label is
+    None).
+
+    Records are exported as instant events unless their details carry
+    the reserved keys ``_ph`` (the trace-event phase — e.g. ``B``/``E``
+    duration spans or ``b``/``n``/``e`` async flow events), ``_cat``
+    (the event category) or ``_id`` (the flow/async id).  When ``_ph``
+    is present a ``name`` detail overrides the event name (the record's
+    kind otherwise).  Reserved and consumed keys are stripped from
+    ``args``; non-JSON detail values fall back to ``repr``.
+    """
+    runs = [(label, list(records)) for label, records in runs]
+    pids: Dict[Tuple[Optional[str], str], int] = {}
+    events: List[Dict[str, Any]] = []
+    for label, records in runs:
+        for source in sorted({record.source for record in records}):
+            pid = pids[(label, source)] = len(pids) + 1
+            name = source if label is None else "%s/%s" % (label, source)
+            for meta in ("process_name", "thread_name"):
+                events.append({"name": meta, "ph": "M", "pid": pid,
+                               "tid": pid, "args": {"name": name}})
+    for label, records in runs:
+        for record in records:
+            pid = pids[(label, record.source)]
+            details = record.details
+            ph = details.get("_ph")
+            name = record.kind
+            consumed = {"_ph", "_cat", "_id"}
+            if ph is not None and "name" in details:
+                name = details["name"]
+                consumed.add("name")
+            event: Dict[str, Any] = {
+                "name": name,
+                "ph": ph if ph is not None else "i",
+                "ts": record.time,
+                "pid": pid,
+                "tid": pid,
+                "args": {key: _json_safe(value)
+                         for key, value in details.items()
+                         if key not in consumed},
+            }
+            if ph is None:
+                event["s"] = "t"        # thread-scoped instant
+            if "_cat" in details:
+                event["cat"] = str(details["_cat"])
+            if "_id" in details:
+                # Perfetto correlates async events globally by (cat, id);
+                # prefix with the run label so same-numbered flows from
+                # different runs don't get stitched together.
+                raw = details["_id"]
+                event["id"] = raw if label is None \
+                    else "%s:%s" % (label, raw)
+            events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

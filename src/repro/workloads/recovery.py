@@ -13,6 +13,7 @@ from typing import List
 
 from ..cluster import build_cluster
 from ..ftgm.ftd import RecoveryRecord
+from ..obs.harvest import harvest_cluster
 from ..payload import Payload
 
 __all__ = ["RecoveryExperiment", "run_recovery_experiment"]
@@ -129,6 +130,7 @@ def run_recovery_experiment(open_ports: int = 1, hang_offset_us: float = 650.0,
                     if r.kind == "port_recovery_done"]
     if not ftd.recoveries:
         raise RuntimeError("no recovery happened; hang_offset too late?")
+    harvest_cluster(cluster, fault_at=state["fault_at"])
     return RecoveryExperiment(
         fault_at=state["fault_at"],
         record=ftd.recoveries[0],

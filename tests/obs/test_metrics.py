@@ -1,0 +1,179 @@
+"""Unit tests for the metrics registry primitives."""
+
+import pytest
+
+from repro.obs import metrics as m
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    BusyTracker,
+    GaugeStat,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestZeroCostContract:
+    def test_disabled_emit_is_the_module_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.emit is m._noop_emit
+
+    def test_enabled_emit_is_the_bound_method(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.emit is not m._noop_emit
+        assert reg.emit.__func__ is MetricsRegistry.emit
+
+    def test_toggling_swaps_back_and_forth(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.enabled = False
+        assert reg.emit is m._noop_emit
+        reg.enabled = True
+        assert reg.emit is not m._noop_emit
+
+    def test_disabled_registry_records_nothing(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.inc("a")
+        reg.observe("h", 3.0)
+        reg.gauge("g", 1.0)
+        snap = reg.snapshot()
+        assert not snap.counters and not snap.gauges \
+            and not snap.histograms
+
+
+class TestRegistry:
+    def test_counter_gauge_histogram_roundtrip(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("c", 2)
+        reg.inc("c")
+        reg.gauge("g", 5.0)
+        reg.gauge("g", 7.0)
+        reg.observe("h", 10.0)
+        snap = reg.snapshot()
+        assert snap.counters["c"] == 3
+        assert snap.gauges["g"].mean() == 6.0
+        assert snap.histograms["h"].n == 1
+
+    def test_unknown_kind_raises(self):
+        reg = MetricsRegistry(enabled=True)
+        with pytest.raises(ValueError):
+            reg.emit("x", 1.0, kind="bogus")
+
+    def test_emit_dispatches_on_kind(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.emit("c", 2.0, kind=COUNTER)
+        reg.emit("g", 2.0, kind=GAUGE)
+        reg.emit("h", 2.0, kind=HISTOGRAM)
+        snap = reg.snapshot()
+        assert snap.counters["c"] == 2.0
+        assert "g" in snap.gauges and "h" in snap.histograms
+
+
+class TestHistogram:
+    def test_percentiles_of_constant_are_exact(self):
+        h = Histogram()
+        for _ in range(50):
+            h.observe(42.0)
+        assert h.percentile(50) == 42.0
+        assert h.percentile(99) == 42.0
+
+    def test_percentiles_are_monotone_and_bounded(self):
+        h = Histogram()
+        for v in (1.0, 10.0, 100.0, 1000.0, 10000.0):
+            h.observe(v)
+        p50, p90, p99 = (h.percentile(p) for p in (50, 90, 99))
+        assert h.min <= p50 <= p90 <= p99 <= h.max
+
+    def test_merge_sums_counts(self):
+        a, b = Histogram(), Histogram()
+        a.observe(1.0)
+        b.observe(100.0)
+        a.merge(b)
+        assert a.n == 2
+        assert a.min == 1.0 and a.max == 100.0
+
+    def test_merge_rejects_different_edges(self):
+        a = Histogram()
+        b = Histogram(edges=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_doc_roundtrip(self):
+        h = Histogram()
+        for v in (0.5, 3.0, 2.5e6, 1e9):      # incl. overflow bucket
+            h.observe(v)
+        assert Histogram.from_doc(h.to_doc()) == h
+
+
+class TestGaugeStat:
+    def test_merge_combines_extremes_and_mean(self):
+        a, b = GaugeStat(), GaugeStat()
+        a.set(1.0)
+        a.set(3.0)
+        b.set(5.0)
+        a.merge(b)
+        assert (a.n, a.min, a.max, a.mean()) == (3, 1.0, 5.0, 3.0)
+
+    def test_doc_roundtrip(self):
+        g = GaugeStat()
+        g.set(2.0)
+        assert GaugeStat.from_doc(g.to_doc()) == g
+
+
+class TestSnapshotMerge:
+    def _snap(self, c, g, h):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("c", c)
+        reg.gauge("g", g)
+        reg.observe("h", h)
+        return reg.snapshot()
+
+    def test_merge_is_order_independent(self):
+        ab = MetricsSnapshot.merged([self._snap(1, 2.0, 3.0),
+                                     self._snap(10, 20.0, 30.0)])
+        ba = MetricsSnapshot.merged([self._snap(10, 20.0, 30.0),
+                                     self._snap(1, 2.0, 3.0)])
+        assert ab == ba
+        assert ab.to_doc() == ba.to_doc()
+
+    def test_merge_with_disjoint_keys(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("only_a")
+        a = reg.snapshot()
+        reg2 = MetricsRegistry(enabled=True)
+        reg2.inc("only_b", 5)
+        merged = MetricsSnapshot.merged([a, reg2.snapshot()])
+        assert merged.counters == {"only_a": 1, "only_b": 5}
+
+    def test_doc_roundtrip(self):
+        snap = self._snap(4, 7.0, 9.0)
+        assert MetricsSnapshot.from_doc(snap.to_doc()) == snap
+
+
+class TestBusyTracker:
+    def test_engage_release_accumulates(self):
+        t = BusyTracker()
+        t.engage(10.0)
+        t.release(15.0)
+        t.engage(20.0)
+        t.release(21.5)
+        assert t.busy_time == 6.5
+
+    def test_engage_is_idempotent(self):
+        t = BusyTracker()
+        t.engage(0.0)
+        t.engage(5.0)          # ignored; still busy since t=0
+        t.release(10.0)
+        assert t.busy_time == 10.0
+
+    def test_release_without_engage_is_noop(self):
+        t = BusyTracker()
+        t.release(10.0)
+        assert t.busy_time == 0.0
+
+    def test_total_includes_open_interval(self):
+        t = BusyTracker()
+        t.engage(10.0)
+        assert t.total(14.0) == 4.0
+        assert t.busy_time == 0.0   # not yet released

@@ -2,7 +2,13 @@
 
 import json
 
-from repro.sim import Tracer
+from repro.sim import Tracer, chrome_trace_doc
+
+
+def _split(doc):
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    data = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    return meta, data
 
 
 def test_one_record_round_trips():
@@ -10,19 +16,65 @@ def test_one_record_round_trips():
     tracer.emit(123.5, "ftd0", "ftd_reroute_start", dest=2, attempt=1)
     doc = json.loads(tracer.to_chrome_trace())
     assert doc["displayTimeUnit"] == "ms"
-    (event,) = doc["traceEvents"]
+    meta, (event,) = _split(doc)
     assert event["name"] == "ftd_reroute_start"
     assert event["ph"] == "i"
     assert event["ts"] == 123.5
-    assert event["pid"] == "ftd0"
+    assert isinstance(event["pid"], int)
+    assert event["tid"] == event["pid"]
     assert event["args"] == {"dest": 2, "attempt": 1}
+    names = {(m["name"], m["pid"]): m["args"]["name"] for m in meta}
+    assert names[("process_name", event["pid"])] == "ftd0"
+    assert names[("thread_name", event["pid"])] == "ftd0"
+
+
+def test_pids_are_stable_small_ints():
+    tracer = Tracer()
+    tracer.emit(1.0, "nodeB", "x")
+    tracer.emit(2.0, "nodeA", "y")
+    tracer.emit(3.0, "nodeB", "z")
+    doc = json.loads(tracer.to_chrome_trace())
+    meta, data = _split(doc)
+    by_source = {m["args"]["name"]: m["pid"] for m in meta
+                 if m["name"] == "process_name"}
+    # Sources sorted -> deterministic pid assignment starting at 1.
+    assert by_source == {"nodeA": 1, "nodeB": 2}
+    assert [e["pid"] for e in data] == [2, 1, 2]
 
 
 def test_non_json_details_are_stringified():
     tracer = Tracer()
     tracer.emit(1.0, "link", "cut", ends=("a", "b"))
     doc = json.loads(tracer.to_chrome_trace())
-    assert doc["traceEvents"][0]["args"]["ends"] == repr(("a", "b"))
+    _, (event,) = _split(doc)
+    assert event["args"]["ends"] == repr(("a", "b"))
+
+
+def test_reserved_keys_become_span_and_flow_fields():
+    tracer = Tracer()
+    tracer.emit(10.0, "ftd0", "span", _ph="B", name="card reset")
+    tracer.emit(20.0, "ftd0", "span", _ph="E", name="card reset")
+    tracer.emit(5.0, "n0", "flow", _ph="b", _cat="msg", _id=7)
+    doc = json.loads(tracer.to_chrome_trace())
+    _, data = _split(doc)
+    begin, end, flow = data
+    assert (begin["ph"], begin["name"], begin["ts"]) == ("B", "card reset", 10.0)
+    assert (end["ph"], end["name"]) == ("E", "card reset")
+    assert "s" not in begin and "name" not in begin["args"]
+    assert (flow["ph"], flow["cat"], flow["id"]) == ("b", "msg", 7)
+    assert "_id" not in flow["args"] and "_cat" not in flow["args"]
+
+
+def test_multi_run_doc_separates_pids_by_label():
+    t1, t2 = Tracer(), Tracer()
+    t1.emit(1.0, "ftd0", "a")
+    t2.emit(2.0, "ftd0", "b")
+    doc = chrome_trace_doc([("run0", t1.records), ("run1", t2.records)])
+    meta, data = _split(doc)
+    names = {m["pid"]: m["args"]["name"] for m in meta
+             if m["name"] == "process_name"}
+    assert names == {1: "run0/ftd0", 2: "run1/ftd0"}
+    assert [e["pid"] for e in data] == [1, 2]
 
 
 def test_export_is_deterministic():
