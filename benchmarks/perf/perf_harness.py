@@ -52,6 +52,33 @@ __all__ = [
 DEFAULT_OUT = os.path.join(REPO_ROOT, "BENCH_perf.json")
 
 
+def _validate_entry(label: str, results: dict) -> None:
+    """Reject new entries that hide the hardware or parallelism axes.
+
+    A throughput number is meaningless without the execution shape that
+    produced it, so every entry must record the ``cpus`` it ran on, and
+    every sub-result that reports ``runs_per_sec`` (the campaign-style
+    benchmarks, whose wall clock scales with parallel fan-out) must say
+    how many ``workers`` processes and simulator ``shards`` were in
+    play.  Applies to *new* merges only — historical entries predate the
+    shard axis and stay as recorded.
+    """
+    if not isinstance(results.get("cpus"), int):
+        raise SystemExit(
+            "refusing to record entry %r without the 'cpus' it ran on "
+            "(perfbench.environment_info() supplies it)" % label)
+    for name, sub in results.items():
+        if not isinstance(sub, dict) or "runs_per_sec" not in sub:
+            continue
+        missing = [axis for axis in ("workers", "shards")
+                   if axis not in sub]
+        if missing:
+            raise SystemExit(
+                "refusing to record entry %r: sub-result %r reports "
+                "runs_per_sec without its %s axis"
+                % (label, name, "/".join(missing)))
+
+
 def merge_into(path: str, label: str, results: dict,
                manifest: dict = None) -> str:
     """Append ``results`` to the ledger; never rewrite history.
@@ -59,8 +86,10 @@ def merge_into(path: str, label: str, results: dict,
     ``baseline`` is frozen once recorded.  Any other label that already
     exists gets a timestamped suffix, so repeated runs accumulate as
     distinct entries and the cross-PR perf trajectory stays intact.
-    Returns the label actually written.
+    New entries must carry their execution shape (see
+    :func:`_validate_entry`).  Returns the label actually written.
     """
+    _validate_entry(label, results)
     doc = {"schema": 1, "entries": {}}
     if os.path.exists(path):
         with open(path) as fh:

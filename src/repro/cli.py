@@ -61,7 +61,9 @@ def _execute(experiment, spec, *, workers: int,
              journal: Optional[str] = None,
              forkserver: bool = True,
              telemetry: bool = False,
-             trace: Optional[str] = None):
+             trace: Optional[str] = None,
+             shards: Optional[int] = None,
+             shard_schedule: Optional[str] = None):
     from .exp.runner import JournalMismatch, run_experiment
 
     try:
@@ -69,7 +71,8 @@ def _execute(experiment, spec, *, workers: int,
             spec, workers=workers,
             progress=_progress_printer(experiment, spec.runs),
             journal_path=journal, forkserver=forkserver,
-            telemetry=telemetry, trace=trace is not None)
+            telemetry=telemetry, trace=trace is not None,
+            shards=shards, shard_schedule=shard_schedule)
     except JournalMismatch as exc:
         raise SystemExit("error: %s" % exc)
     if out:
@@ -100,7 +103,9 @@ def _run_registered(experiment, args) -> str:
                       out=getattr(args, "out", None),
                       journal=getattr(args, "journal", None),
                       forkserver=not getattr(args, "no_forkserver", False),
-                      trace=trace)
+                      trace=trace,
+                      shards=getattr(args, "shards", None),
+                      shard_schedule=getattr(args, "shard_schedule", None))
     return result.rendered
 
 
@@ -121,6 +126,18 @@ def _add_common_options(parser) -> None:
                         help="capture per-run event traces and write a "
                              "Chrome-trace JSON here (load in Perfetto "
                              "or chrome://tracing)")
+    parser.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="shard each simulated cluster across N "
+                             "per-node event wheels (execution mode "
+                             "only: results are byte-identical at "
+                             "equal seeds; REPRO_SHARDS does the same)")
+    parser.add_argument("--shard-schedule", default=None,
+                        dest="shard_schedule",
+                        choices=("merged", "windowed", "threads"),
+                        help="how sharded wheels are driven: merged "
+                             "(deterministic single-process, default), "
+                             "windowed (conservative lookahead rounds), "
+                             "or threads (windowed on a thread pool)")
 
 
 def _cmd_list(argv: List[str]) -> int:
@@ -181,7 +198,8 @@ def _cmd_run(argv: List[str]) -> int:
     result = _execute(experiment, spec, workers=ns.workers, out=ns.out,
                       journal=ns.journal,
                       forkserver=not ns.no_forkserver,
-                      trace=ns.trace)
+                      trace=ns.trace,
+                      shards=ns.shards, shard_schedule=ns.shard_schedule)
     print(result.rendered)
     return 0
 
@@ -194,7 +212,8 @@ def _cmd_metrics(argv: List[str]) -> int:
     result = _execute(experiment, spec, workers=ns.workers, out=ns.out,
                       journal=ns.journal,
                       forkserver=not ns.no_forkserver,
-                      telemetry=True, trace=ns.trace)
+                      telemetry=True, trace=ns.trace,
+                      shards=ns.shards, shard_schedule=ns.shard_schedule)
     print(render_metrics_report(
         result.telemetry,
         title="%s (%d runs)" % (experiment.name, spec.runs)))

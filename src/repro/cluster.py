@@ -8,16 +8,66 @@ need starts from here.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
 
 from .hw.host import Host
 from .hw.nic import Nic
 from .net.fabric import Fabric
 from .net.mapper import Mapper
-from .sim import SeededRng, Simulator, Tracer
+from .sim import SeededRng, ShardedScheduler, Simulator, Tracer
+from .sim import shards_from_env
 
-__all__ = ["Node", "MyrinetCluster", "build_cluster",
-           "build_cluster_from_spec"]
+__all__ = ["Node", "MyrinetCluster", "ShardPlan", "plan_shards",
+           "build_cluster", "build_cluster_from_spec"]
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic node→shard assignment for one cluster.
+
+    ``node_shard[i]`` is the wheel index of node ``i``; the fabric
+    (every switch plus the fault plane) runs on wheel ``fabric_shard``.
+    With more than one node shard the fabric gets a dedicated wheel —
+    switches sit between nodes, so co-locating them with one node would
+    make every other node's traffic cross two boundaries into a wheel
+    that is also busy with host work.  ``colocate_fabric=True`` folds it
+    onto wheel 0 instead (the co-located layout the partitioner tests
+    exercise).
+    """
+
+    n_shards: int
+    node_shard: Tuple[int, ...]
+    fabric_shard: int
+    n_wheels: int
+
+    def wheel_of(self, node_id: int) -> int:
+        return self.node_shard[node_id]
+
+
+def plan_shards(n_nodes: int, shards: int,
+                colocate_fabric: bool = False) -> ShardPlan:
+    """Partition ``n_nodes`` nodes over at most ``shards`` shards.
+
+    Nodes are assigned in balanced contiguous blocks (``i * s // n``),
+    which keeps node 0 — the boot/mapper node — on wheel 0 and mirrors
+    the fabric's contiguous NIC placement, so neighbouring nodes tend to
+    share a shard.  Asking for more shards than nodes clamps.
+    """
+    if n_nodes < 1:
+        raise ValueError("need at least one node")
+    if shards < 1:
+        raise ValueError("need at least one shard, got %r" % (shards,))
+    shards = min(shards, n_nodes)
+    node_shard = tuple(i * shards // n_nodes for i in range(n_nodes))
+    if shards == 1 or colocate_fabric:
+        fabric_shard = 0
+        n_wheels = shards
+    else:
+        fabric_shard = shards
+        n_wheels = shards + 1
+    return ShardPlan(n_shards=shards, node_shard=node_shard,
+                     fabric_shard=fabric_shard, n_wheels=n_wheels)
 
 
 class Node:
@@ -42,7 +92,8 @@ class MyrinetCluster:
 
     def __init__(self, sim: Simulator, nodes: List[Node], fabric: Fabric,
                  switch, tracer: Tracer, rng: SeededRng, flavor: str,
-                 topology: str = "star"):
+                 topology: str = "star", fabric_sim: Optional[Simulator] = None,
+                 shard_plan: Optional[ShardPlan] = None):
         self.sim = sim
         self.nodes = nodes
         self.fabric = fabric
@@ -52,6 +103,10 @@ class MyrinetCluster:
         self.rng = rng
         self.flavor = flavor
         self.topology = topology
+        # The wheel that owns the switches (and the netfault plane).
+        # Serial clusters have one wheel, so it is simply ``sim``.
+        self.fabric_sim = fabric_sim if fabric_sim is not None else sim
+        self.shard_plan = shard_plan
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -105,7 +160,9 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
                   boot: bool = True,
                   start_ftd: bool = True,
                   topology: str = "star",
-                  n_switches: Optional[int] = None) -> MyrinetCluster:
+                  n_switches: Optional[int] = None,
+                  shards: Optional[int] = None,
+                  shard_schedule: Optional[str] = None) -> MyrinetCluster:
     """Build (and by default boot) an N-node Myrinet cluster.
 
     ``interpreted_nodes`` lists node ids whose MCP runs ``send_chunk`` on
@@ -124,13 +181,40 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
     * ``"tree"`` — a root switch over ``n_switches`` (default 2) leaf
       switches.  No redundancy: a severed uplink genuinely partitions
       that leaf.
+
+    ``shards`` selects the execution mode (not part of the experiment's
+    identity — results are byte-identical at equal seeds): ``1`` is the
+    historical single-wheel simulator; ``N > 1`` gives every node shard
+    its own event wheel plus a dedicated fabric wheel, coordinated by a
+    :class:`repro.sim.ShardedScheduler` under ``shard_schedule``
+    ("merged", "windowed" or "threads").  Defaults come from
+    ``REPRO_SHARDS`` / ``REPRO_SHARD_SCHEDULE`` so the experiment engine
+    can set the mode once for serial, pool and fork-server children.
     """
     if n_nodes < 2:
         raise ValueError("a cluster needs at least 2 nodes")
     if topology not in ("star", "ring", "tree"):
         raise ValueError("unknown topology %r (use star, ring or tree)"
                          % (topology,))
-    sim = Simulator()
+    env_shards, env_schedule = shards_from_env()
+    if shards is None:
+        shards = env_shards
+    if shard_schedule is None:
+        shard_schedule = env_schedule
+    plan: Optional[ShardPlan] = None
+    if shards > 1:
+        plan = plan_shards(n_nodes, shards)
+    if plan is not None and plan.n_wheels > 1:
+        scheduler = ShardedScheduler(plan.n_wheels, schedule=shard_schedule)
+        sim: Simulator = scheduler
+        wheels = scheduler.wheels
+        node_sim = [wheels[plan.node_shard[i]] for i in range(n_nodes)]
+        fabric_sim = wheels[plan.fabric_shard]
+    else:
+        plan = None
+        sim = Simulator()
+        node_sim = [sim] * n_nodes
+        fabric_sim = sim
     if trace:
         tracer = Tracer(enabled=True)
     else:
@@ -147,14 +231,15 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
     driver_cls = _driver_class(flavor)
     interpreted = set(interpreted_nodes or [])
 
-    fabric = Fabric(sim, tracer)
+    fabric = Fabric(fabric_sim, tracer)
     nodes: List[Node] = []
     nics: List[Nic] = []
     for node_id in range(n_nodes):
-        host = Host(sim, "host%d" % node_id, tracer)
-        nic = Nic(sim, host, node_id, tracer=tracer)
+        wheel = node_sim[node_id]
+        host = Host(wheel, "host%d" % node_id, tracer)
+        nic = Nic(wheel, host, node_id, tracer=tracer)
         nics.append(nic)
-        driver = driver_cls(sim, host, nic, tracer,
+        driver = driver_cls(wheel, host, nic, tracer,
                             interpreted=node_id in interpreted)
         nodes.append(Node(node_id, host, nic, driver))
     if topology == "star":
@@ -172,7 +257,8 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
             node.driver.start_ftd()
 
     cluster = MyrinetCluster(sim, nodes, fabric, switch, tracer, rng, flavor,
-                             topology=topology)
+                             topology=topology, fabric_sim=fabric_sim,
+                             shard_plan=plan)
     if boot:
         cluster.boot()
     return cluster

@@ -29,6 +29,7 @@ __all__ = [
     "bench_kernel_wakeups",
     "bench_lanai_interpreter",
     "bench_campaign",
+    "bench_netfaults",
     "run_bench",
     "run_all",
     "environment_info",
@@ -158,21 +159,99 @@ def bench_lanai_interpreter(repeats: int = 3) -> dict:
     }
 
 
+def _shard_env(shards, shard_schedule):
+    """Resolve the shard axes and the env overrides that select them.
+
+    Sharding is pure execution mode (never part of a spec), so the
+    benchmarks thread it through ``REPRO_SHARDS``/``REPRO_SHARD_SCHEDULE``
+    exactly like the runner does; ``None`` inherits whatever the caller's
+    environment already says.
+    """
+    from ..sim.shard import shards_from_env
+
+    env_shards, env_schedule = shards_from_env()
+    shards = env_shards if shards is None else shards
+    shard_schedule = env_schedule if shard_schedule is None \
+        else shard_schedule
+    overrides = {"REPRO_SHARDS": str(shards),
+                 "REPRO_SHARD_SCHEDULE": shard_schedule}
+    return shards, shard_schedule, overrides
+
+
+class _env_overrides:
+    """Temporarily set environment variables (pool children inherit)."""
+
+    def __init__(self, overrides):
+        self.overrides = overrides
+        self.saved = {}
+
+    def __enter__(self):
+        for key, value in self.overrides.items():
+            self.saved[key] = os.environ.get(key)
+            os.environ[key] = value
+
+    def __exit__(self, *exc):
+        for key, prior in self.saved.items():
+            if prior is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = prior
+
+
 def bench_campaign(runs: int = 200, workers: int = 1, seed: int = 2003,
-                   messages: int = 16) -> dict:
+                   messages: int = 16, shards: int = None,
+                   shard_schedule: str = None) -> dict:
     """Wall clock of a Table 1 campaign (the paper-scale workload)."""
     from ..faults import run_campaign
 
+    shards, shard_schedule, overrides = _shard_env(shards, shard_schedule)
     t0 = time.perf_counter()
-    result = run_campaign(runs=runs, seed=seed, messages=messages,
-                          workers=workers)
+    with _env_overrides(overrides):
+        result = run_campaign(runs=runs, seed=seed, messages=messages,
+                              workers=workers)
     wall = time.perf_counter() - t0
     return {
         "runs": runs,
         "workers": workers,
+        "shards": shards,
+        "shard_schedule": shard_schedule,
         "wall_s": round(wall, 3),
         "runs_per_sec": round(runs / wall, 3),
         "counts": dict(result.counts),
+    }
+
+
+def bench_netfaults(runs_per_scenario: int = 1, workers: int = 1,
+                    nodes: int = 4, shards: int = None,
+                    shard_schedule: str = None) -> dict:
+    """Wall clock of the §6 network-fault campaign at a shard count.
+
+    This is the sharding benchmark: a 4-node cluster with per-node
+    wheels is the workload the shard scheduler was built for, so the
+    1/2/4/8-shard scaling curve in ``BENCH_perf.json`` comes from here.
+    """
+    from .registry import get_experiment
+    from .runner import run_experiment
+
+    experiment = get_experiment("netfaults")
+    spec = experiment.build_spec({"runs_per_scenario": runs_per_scenario,
+                                  "nodes": nodes})
+    shards, shard_schedule, _ = _shard_env(shards, shard_schedule)
+    t0 = time.perf_counter()
+    result = run_experiment(spec, workers=workers, shards=shards,
+                            shard_schedule=shard_schedule)
+    wall = time.perf_counter() - t0
+    counts = {scenario: sum(row.values())
+              for scenario, row in result.summary["counts"].items()}
+    return {
+        "runs": spec.runs,
+        "workers": workers,
+        "shards": shards,
+        "shard_schedule": shard_schedule,
+        "nodes": nodes,
+        "wall_s": round(wall, 3),
+        "runs_per_sec": round(spec.runs / wall, 3),
+        "scenario_runs": counts,
     }
 
 

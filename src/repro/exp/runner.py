@@ -44,6 +44,7 @@ from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..sim.shard import SCHEDULES
 from .results import ExperimentResult, RunManifest, encode_outcome
 from .spec import ExperimentSpec
 
@@ -457,7 +458,9 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
                    journal_path: Optional[str] = None,
                    forkserver: bool = True,
                    telemetry: bool = False,
-                   trace: bool = False) -> ExperimentResult:
+                   trace: bool = False,
+                   shards: Optional[int] = None,
+                   shard_schedule: Optional[str] = None) -> ExperimentResult:
     """Expand, fan out, (optionally) journal, aggregate and render.
 
     With ``journal_path``, every completed run is appended to the
@@ -476,6 +479,13 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     records for Chrome-trace export.  Both leave the experiment outcomes
     byte-identical to a plain run; journal-resumed runs carry no
     telemetry (they were computed in an earlier process).
+
+    ``shards``/``shard_schedule`` select the sharded-simulator execution
+    mode (the CLI's ``--shards``/``--shard-schedule``).  Like telemetry,
+    sharding is pure execution mode: results are byte-identical at equal
+    seeds, so it never appears in the spec.  It travels through the
+    ``REPRO_SHARDS``/``REPRO_SHARD_SCHEDULE`` environment so pool and
+    fork-server children inherit it.
     """
     from .registry import get_experiment
 
@@ -515,6 +525,20 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
         # and the servers inherit them through fork.
         from ..obs import runtime as obs_runtime
         obs_runtime.configure(metrics=telemetry, tracing=trace)
+    shard_env: Dict[str, Optional[str]] = {}
+    if shards is not None or shard_schedule is not None:
+        # build_cluster reads these at boot time, in this process and in
+        # every pool/fork-server child (which inherit the environment).
+        if shard_schedule is not None and shard_schedule not in SCHEDULES:
+            raise ValueError("unknown shard schedule %r (choose from %s)"
+                             % (shard_schedule, ", ".join(SCHEDULES)))
+        updates = {"REPRO_SHARDS": str(shards) if shards is not None else None,
+                   "REPRO_SHARD_SCHEDULE": shard_schedule}
+        for key, value in updates.items():
+            if value is None:
+                continue
+            shard_env[key] = os.environ.get(key)
+            os.environ[key] = value
     try:
         outcomes = run_many(configs, runner, workers=workers,
                             progress=progress, completed=completed,
@@ -522,6 +546,11 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     finally:
         if telemetry_on:
             obs_runtime.reset()
+        for key, prior in shard_env.items():
+            if prior is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = prior
     wall = time.perf_counter() - started
     snapshot = None
     traces: Optional[List] = None

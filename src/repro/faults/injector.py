@@ -27,8 +27,49 @@ from ..payload import Payload
 from ..sim import SeededRng
 from .outcomes import InjectionOutcome
 
+try:
+    import numpy as _np
+except ImportError:                      # pragma: no cover
+    _np = None
+
 __all__ = ["InjectionConfig", "run_injection", "boot_injection",
-           "resume_injection", "injection_family"]
+           "resume_injection", "injection_family", "classify_deliveries"]
+
+
+def classify_deliveries(received, expected) -> "tuple[int, int]":
+    """Count exact-match vs corrupted deliveries, batched.
+
+    ``received`` maps message index -> observed :class:`Payload`;
+    ``expected`` maps index -> the payload that was sent.  A delivery is
+    OK exactly when the observed payload equals the expected one —
+    :class:`Payload` equality is ``(size, fingerprint)``, so the whole
+    campaign observation reduces to comparing two integer pairs per
+    message.  The numpy path stacks those pairs into ``(n, 2)`` uint64
+    arrays and compares them in one shot; the scalar fallback is the
+    historic per-item loop.  Both yield identical counts (sizes and
+    fingerprints are 64-bit by construction), so campaign outcomes are
+    byte-for-byte independent of which path ran.
+    """
+    items = list(received.items())
+    if not items:
+        return 0, 0
+    pairs = [(payload, expected.get(index)) for index, payload in items]
+    matched = [(got, want) for got, want in pairs if want is not None]
+    delivered_ok = 0
+    if matched:
+        if _np is not None:
+            try:
+                got = _np.array([(p.size, p.fingerprint)
+                                 for p, _ in matched], dtype=_np.uint64)
+                want = _np.array([(p.size, p.fingerprint)
+                                  for _, p in matched], dtype=_np.uint64)
+                delivered_ok = int((got == want).all(axis=1).sum())
+            except OverflowError:        # fingerprint outside uint64
+                delivered_ok = sum(1 for got, want in matched
+                                   if got == want)
+        else:
+            delivered_ok = sum(1 for got, want in matched if got == want)
+    return delivered_ok, len(items) - delivered_ok
 
 
 @dataclass
@@ -171,13 +212,7 @@ def resume_injection(cluster, config: InjectionConfig) -> InjectionOutcome:
 
     # -- observe and classify --------------------------------------------------
 
-    delivered_ok = 0
-    corrupted = 0
-    for index, payload in state["recv"].items():
-        if payload == expected.get(index):
-            delivered_ok += 1
-        else:
-            corrupted += 1
+    delivered_ok, corrupted = classify_deliveries(state["recv"], expected)
 
     current_mcp = target.driver.mcp  # may be a post-recovery reload
     outcome = InjectionOutcome(

@@ -473,11 +473,10 @@ class Mcp:
         externally probed state (FTGM's watchdog and magic word) disable
         the fold via ``_idle_skip``.
         """
-        inert = self.sim.inert
-        t_ext = float("inf")
-        for when, _seq, item in self.sim._queue:
-            if when < t_ext and item not in inert:
-                t_ext = when
+        # The external-work horizon spans the whole schedule — on a
+        # sharded simulator that is every wheel plus the in-flight
+        # channel arrivals, not just this MCP's own queue.
+        t_ext = self.sim.earliest_live()
         if t_ext == float("inf"):
             # Only inert events left: without a live horizon the skip is
             # unbounded, so keep ticking periodically.

@@ -119,7 +119,8 @@ class Nic:
         """Process: push a packet onto the wire (blocks for wire time).
 
         ``self.link`` is the fabric attachment point (a ``NicPort``);
-        returns the far end's acceptance verdict.
+        returns True once the packet has cleared the wire (delivery
+        completes one wire latency later on the receiver's wheel).
         """
         if self.link is None:
             raise RuntimeError("%s is not cabled to a link" % self.name)

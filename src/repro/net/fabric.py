@@ -25,13 +25,18 @@ class NicPort:
         self.link: Optional[Link] = None
         self.name = "%s.port" % nic.name
 
+    @property
+    def wheel(self):
+        """The event wheel this endpoint's deliveries must run on."""
+        return self.nic.sim
+
     def deliver_packet(self, packet) -> bool:
         return self.nic.deliver_packet(packet)
 
-    def send(self, packet):
+    def send(self, packet, on_accept=None):
         if self.link is None:
             raise RuntimeError("%s is not cabled" % self.name)
-        return self.link.send(self, packet)
+        return self.link.send(self, packet, on_accept)
 
 
 class Fabric:

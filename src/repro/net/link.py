@@ -6,10 +6,19 @@ port).  Each direction is an independent serialized pipe at Myrinet's
 Transmission holds the directional pipe for the packet's wire time —
 that is where link-level contention and therefore backpressure-at-the-
 edge come from.
+
+Delivery is decoupled from transmission: once a packet clears the wire,
+its arrival rides a per-direction :class:`_DeliveryQueue` — one armed
+timer carrying a deque of in-flight packets instead of a heap entry per
+packet, so back-to-back deliveries on a hot link coalesce.  The same
+queue is the shard-boundary channel of the sharded simulator: when the
+two endpoints live on different event wheels the arrival crosses through
+a :class:`repro.sim.ShardChannel` instead of being armed directly.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Generator, Optional
 
 from ..sim import Pipe, Simulator, Tracer
@@ -18,6 +27,58 @@ __all__ = ["Link", "LINK_BANDWIDTH", "LINK_LATENCY"]
 
 LINK_BANDWIDTH = 250.0  # bytes/us == 2 Gb/s
 LINK_LATENCY = 0.4      # us per traversal (cable + SERDES)
+
+
+def _endpoint_sim(endpoint, default: Simulator) -> Simulator:
+    """The event wheel an endpoint's events must run on.
+
+    Serial simulation has one wheel, so this is the link's own sim; the
+    sharded builder gives NIC ports and switch ports a ``wheel``
+    attribute naming their shard's wheel.
+    """
+    wheel = getattr(endpoint, "wheel", None)
+    return wheel if wheel is not None else default
+
+
+class _DeliveryQueue:
+    """In-flight packets of one link direction, one armed timer total.
+
+    Arrivals are pushed in nondecreasing time order (the directional
+    pipe serializes transmissions and the wire latency is constant), so
+    a deque plus a single re-armed absolute timer replaces one heap
+    entry per packet — and same-instant deliveries drain in one firing.
+    """
+
+    __slots__ = ("link", "receiver", "sim", "queue", "armed")
+
+    def __init__(self, link: "Link", receiver, sim: Simulator):
+        self.link = link
+        self.receiver = receiver
+        self.sim = sim
+        self.queue: deque = deque()
+        self.armed = None
+
+    def push(self, when: float, packet, duplicate, on_accept) -> None:
+        self.queue.append((when, packet, duplicate, on_accept))
+        if self.armed is None:
+            self._arm(when)
+
+    def _arm(self, when: float) -> None:
+        timer = self.sim.timeout_at(when)
+        timer.callbacks.append(self._fire)
+        self.armed = timer
+
+    def _fire(self, _event) -> None:
+        self.armed = None
+        queue = self.queue
+        now = self.sim._now
+        deliver = self.link._deliver
+        receiver = self.receiver
+        while queue and queue[0][0] <= now:
+            entry = queue.popleft()
+            deliver(receiver, entry[1], entry[2], entry[3])
+        if queue:
+            self._arm(queue[0][0])
 
 
 class Link:
@@ -36,10 +97,23 @@ class Link:
         self.end_a = end_a
         self.end_b = end_b
         self.latency = latency
+        sim_a = _endpoint_sim(end_a, sim)
+        sim_b = _endpoint_sim(end_b, sim)
+        self._sims = {id(end_a): sim_a, id(end_b): sim_b}
         self._pipes = {
-            id(end_a): Pipe(sim, bandwidth),  # direction: a -> b
-            id(end_b): Pipe(sim, bandwidth),  # direction: b -> a
+            id(end_a): Pipe(sim_a, bandwidth),  # direction: a -> b
+            id(end_b): Pipe(sim_b, bandwidth),  # direction: b -> a
         }
+        # Arrivals land on the *receiver's* wheel.
+        self._delivery = {
+            id(end_a): _DeliveryQueue(self, end_b, sim_b),
+            id(end_b): _DeliveryQueue(self, end_a, sim_a),
+        }
+        # Cross-shard directions route through ShardChannels; filled in
+        # by _bind_shards() when the endpoint wheels differ.
+        self._channels = {}
+        if sim_a is not sim_b:
+            self._bind_shards(sim_a, sim_b)
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.up = True
         self.packets_carried = 0
@@ -51,6 +125,28 @@ class Link:
         # duplicate ("duplicate") packets.
         self.fault_filter = None  # callable(packet) -> False|True|"corrupt"|"duplicate"
 
+    def _bind_shards(self, sim_a: Simulator, sim_b: Simulator) -> None:
+        from ..sim import LookaheadError, ShardChannel
+        scheduler = getattr(sim_a, "scheduler", None)
+        if scheduler is None or getattr(sim_b, "scheduler", None) is not scheduler:
+            raise ValueError(
+                "link %s spans two unrelated simulators"
+                % self.describe_ends())
+        if self.latency <= 0.0:
+            raise LookaheadError(
+                "link %s crosses shards with zero wire latency; the "
+                "conservative protocol needs positive lookahead — give the "
+                "link latency or co-locate both endpoints on one shard"
+                % self.describe_ends())
+        self._channels = {
+            id(self.end_a): ShardChannel(scheduler, sim_a, sim_b,
+                                         self.latency,
+                                         self._delivery[id(self.end_a)]),
+            id(self.end_b): ShardChannel(scheduler, sim_b, sim_a,
+                                         self.latency,
+                                         self._delivery[id(self.end_b)]),
+        }
+
     def other(self, endpoint):
         if endpoint is self.end_a:
             return self.end_b
@@ -58,18 +154,21 @@ class Link:
             return self.end_a
         raise ValueError("%r is not attached to this link" % (endpoint,))
 
-    def send(self, sender, packet) -> Generator:
+    def send(self, sender, packet, on_accept=None) -> Generator:
         """Process: transmit ``packet`` from ``sender`` to the other end.
 
-        Returns True if the far end accepted the packet (False on a cut
-        link or a full receive ring — either way the sender's protocol
-        layer must recover, which is exactly GM's job).
+        Returns True once the packet has cleared the wire toward the far
+        end (False on a cut link or a fault-filter drop — either way the
+        sender's protocol layer must recover, which is exactly GM's job).
+        Delivery itself completes one wire latency later on the
+        receiver's wheel; ``on_accept`` is called then if the far end
+        accepted the packet.
         """
-        receiver = self.other(sender)
+        sim = self._sims[id(sender)]
         pipe = self._pipes[id(sender)]
         yield from pipe.transfer(packet.wire_size)
         if not self.up:
-            self.tracer.emit(self.sim.now, "link", "link_down_drop",
+            self.tracer.emit(sim.now, "link", "link_down_drop",
                              packet=packet.describe())
             return False
         duplicate = None
@@ -87,18 +186,28 @@ class Link:
                 duplicate.ingress_ports = list(packet.ingress_ports)
             elif verdict:
                 self.packets_dropped += 1
-                self.tracer.emit(self.sim.now, "link", "fault_drop",
+                self.tracer.emit(sim.now, "link", "fault_drop",
                                  packet=packet.describe())
                 return False
-        yield self.sim.timeout(self.latency)
+        when = sim._now + self.latency
+        channel = self._channels.get(id(sender))
+        if channel is not None:
+            channel.post(when, packet, duplicate, on_accept)
+        else:
+            self._delivery[id(sender)].push(when, packet, duplicate, on_accept)
+        return True
+
+    def _deliver(self, receiver, packet, duplicate, on_accept) -> None:
+        """Complete one arrival (runs on the receiver's wheel)."""
         self.packets_carried += 1
         accepted = receiver.deliver_packet(packet)
         if duplicate is not None:
             self.packets_duplicated += 1
-            self.tracer.emit(self.sim.now, "link", "fault_duplicate",
-                             packet=duplicate.describe())
+            self.tracer.emit(self._sims[id(receiver)].now, "link",
+                             "fault_duplicate", packet=duplicate.describe())
             receiver.deliver_packet(duplicate)
-        return accepted
+        if accepted and on_accept is not None:
+            on_accept()
 
     def cut(self) -> None:
         """Take the link down (packets in flight are lost)."""

@@ -42,6 +42,11 @@ class SwitchPort:
         self.link = None  # set when cabled
         self.name = "%s.p%d" % (switch.name, index)
 
+    @property
+    def wheel(self):
+        """The event wheel this endpoint's deliveries must run on."""
+        return self.switch.sim
+
     def deliver_packet(self, packet: Packet) -> bool:
         return self.switch._arrived(self.index, packet)
 
@@ -129,9 +134,14 @@ class Switch:
 
     def _forward(self, out_port: SwitchPort, packet: Packet):
         yield self.sim.timeout(SWITCH_LATENCY)
-        ok = yield from out_port.link.send(out_port, packet)
-        if ok:
-            self.forwarded += 1
+        # ``forwarded`` counts far-end acceptances; with delivery decoupled
+        # from transmission (and possibly completing on another shard's
+        # wheel) the link reports acceptance through a callback.
+        yield from out_port.link.send(out_port, packet,
+                                      on_accept=self._count_forward)
+
+    def _count_forward(self) -> None:
+        self.forwarded += 1
 
     def _flood(self, in_port: int, packet: Packet) -> bool:
         """Replicate a mapper scout out every cabled port except ingress.

@@ -219,8 +219,10 @@ def resume_netfault(cluster, config: NetFaultConfig) -> NetFaultOutcome:
     """Arm, inject, observe and classify on an already-booted cluster."""
     rng = SeededRng(config.seed, "netfault/%d" % config.run_id)
     sim = cluster.sim
-    plane = NetworkFaultPlane(sim, cluster.fabric, rng.spawn("plane"),
-                              tracer=cluster.tracer)
+    # The plane mutates switches and links, which live on the fabric's
+    # wheel under sharded execution — co-locate its processes with them.
+    plane = NetworkFaultPlane(cluster.fabric_sim, cluster.fabric,
+                              rng.spawn("plane"), tracer=cluster.tracer)
     detectors = arm_detectors(cluster)
     fault_at = sim.now + _pick_fault_time(config, rng)
     _inject(config, plane, cluster, rng.spawn("target"), fault_at)

@@ -12,6 +12,13 @@ from .core import (
 )
 from .resources import Pipe, Resource, Store
 from .rng import SeededRng, derive_seed
+from .shard import (
+    LookaheadError,
+    ShardChannel,
+    ShardedScheduler,
+    ShardWheel,
+    shards_from_env,
+)
 from .trace import TraceRecord, Tracer, chrome_trace_doc
 
 __all__ = [
@@ -19,10 +26,14 @@ __all__ = [
     "AnyOf",
     "Event",
     "Interrupt",
+    "LookaheadError",
     "Pipe",
     "Process",
     "Resource",
     "SeededRng",
+    "ShardChannel",
+    "ShardedScheduler",
+    "ShardWheel",
     "SimulationError",
     "Simulator",
     "Store",
@@ -31,4 +42,5 @@ __all__ = [
     "Tracer",
     "chrome_trace_doc",
     "derive_seed",
+    "shards_from_env",
 ]

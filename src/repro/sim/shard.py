@@ -1,0 +1,486 @@
+"""Sharded simulation: per-node event wheels under one coordinator.
+
+The cluster is partitioned into *shards* — each node (host + NIC + its
+side of every attached link) runs on its own :class:`ShardWheel`, and the
+switches live on a dedicated fabric wheel.  A :class:`ShardedScheduler`
+coordinates the wheels with the conservative Chandy–Misra discipline:
+the lookahead window between two shards is the wire latency of the links
+that join them, so a shard may always advance to
+``min(neighbor_clock + wire_delay)`` without risking a causality
+violation.  Cross-shard packet deliveries travel through
+:class:`ShardChannel` objects, which double as the null-message/time-
+grant bookkeeping of the protocol.
+
+Two schedules are offered:
+
+* ``"merged"`` (default) — the deterministic "simulated shards" mode:
+  the coordinator repeatedly pops the globally earliest event across all
+  wheels.  Because every wheel draws tie-break sequence numbers from one
+  shared counter, the merged execution order is *bit-identical* to a
+  single wheel holding every event: outcomes, telemetry and traces match
+  serial execution byte for byte.  This is what CI verifies.
+
+* ``"windowed"`` — true conservative rounds: the coordinator computes
+  the global floor ``T`` and the grant bound ``B = T + min(lookahead)``,
+  releases every wheel to run its events in ``[T, B)`` independently
+  (inline, or on one worker thread per wheel with ``executor="threads"``),
+  then flushes the cross-shard channels at the barrier.  Sends during a
+  window can only arrive at ``send_time + latency >= B``, so no wheel
+  ever receives an event in its past — the classic lookahead argument,
+  asserted at every flush.
+
+Zero-latency links between shards would collapse the lookahead window to
+nothing (deadlock); they are rejected at cable time — co-locate the two
+endpoints on one shard instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from collections import deque
+from typing import Any, Generator, List, Optional
+
+from .core import Process, SimulationError, Simulator, Timeout
+
+__all__ = [
+    "LookaheadError",
+    "ShardChannel",
+    "ShardWheel",
+    "ShardedScheduler",
+    "SCHEDULES",
+    "shards_from_env",
+]
+
+SCHEDULES = ("merged", "windowed", "threads")
+
+_INF = float("inf")
+
+
+class LookaheadError(SimulationError):
+    """A shard boundary whose lookahead window is empty (deadlock)."""
+
+
+def shards_from_env() -> tuple:
+    """Resolve the (shards, schedule) execution mode from the environment.
+
+    Sharding is an *execution mode*, not part of an experiment's
+    identity: specs and their hashes never mention it (byte-identity of
+    results is the invariant that makes this sound).  The engine
+    therefore plumbs ``--shards`` through ``REPRO_SHARDS`` /
+    ``REPRO_SHARD_SCHEDULE`` so pool and fork-server children inherit it.
+    """
+    raw = os.environ.get("REPRO_SHARDS", "").strip()
+    try:
+        shards = int(raw) if raw else 1
+    except ValueError:
+        raise ValueError("REPRO_SHARDS must be an integer, got %r" % raw)
+    schedule = os.environ.get("REPRO_SHARD_SCHEDULE", "").strip() or "merged"
+    if schedule not in SCHEDULES:
+        raise ValueError("unknown shard schedule %r (use one of %s)"
+                         % (schedule, ", ".join(SCHEDULES)))
+    return max(shards, 1), schedule
+
+
+class ShardWheel(Simulator):
+    """One shard's event wheel: a Simulator wired into a coordinator.
+
+    All wheels of one scheduler share a single tie-break sequence counter
+    and a single model-id stream, so the merged schedule reproduces the
+    serial event order exactly.
+    """
+
+    __slots__ = ("shard_id", "scheduler")
+
+    def __init__(self, scheduler: "ShardedScheduler", shard_id: int):
+        super().__init__(seq=scheduler._seq, ids=scheduler.ids)
+        self.shard_id = shard_id
+        self.scheduler = scheduler
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        # Top-level code (campaign setup, workload drivers) spawns onto a
+        # wheel whose clock may lag the global clock — wheels only
+        # advance when they process events.  Pull the clock up to the
+        # coordinator's first so the bootstrap resume lands "now", not in
+        # this wheel's past.  Safe: every queued entry of this wheel is
+        # at or after the global clock.
+        sched = self.scheduler
+        if sched._now > self._now:
+            self._now = sched._now
+        return Process(self, gen, name)
+
+    def earliest_live(self) -> float:
+        # The idle fold's external-work horizon must span every wheel:
+        # a packet headed for this shard may still be an entry in the
+        # sender shard's queue or a buffered channel arrival.
+        return self.scheduler.earliest_live(self)
+
+    # The base single-wheel scan, for the coordinator's mid-window path.
+    earliest_live_local = Simulator.earliest_live
+
+
+class ShardChannel:
+    """One direction of a cross-shard link boundary.
+
+    Carries packet deliveries from the sending wheel to the receiving
+    wheel and accounts for the protocol traffic.  Under the merged
+    schedule entries pass straight through to the receiver's delivery
+    queue (the global clock makes that safe); under the windowed schedule
+    they buffer until the barrier, where :meth:`flush` releases every
+    arrival inside the next grant window — the "time grant" of the
+    null-message protocol.
+    """
+
+    __slots__ = ("scheduler", "src", "dst", "lookahead", "delivery",
+                 "buffer", "handoffs", "batches")
+
+    def __init__(self, scheduler: "ShardedScheduler", src: ShardWheel,
+                 dst: ShardWheel, lookahead: float, delivery):
+        if lookahead <= 0.0:
+            raise LookaheadError(
+                "zero-lookahead shard boundary (link latency %r): a "
+                "cross-shard link must have positive wire latency, or its "
+                "endpoints must be co-located on one shard" % (lookahead,))
+        self.scheduler = scheduler
+        self.src = src
+        self.dst = dst
+        self.lookahead = lookahead
+        self.delivery = delivery  # receiver-side _DeliveryQueue
+        self.buffer: deque = deque()
+        self.handoffs = 0   # packets that crossed this boundary
+        self.batches = 0    # barrier flushes that released >= 1 packet
+        scheduler._register_channel(self)
+
+    def post(self, when: float, packet, duplicate, on_accept) -> None:
+        """Hand a delivery to the far shard, arriving at time ``when``."""
+        self.handoffs += 1
+        if self.scheduler._direct:
+            self.delivery.push(when, packet, duplicate, on_accept)
+        else:
+            self.buffer.append((when, packet, duplicate, on_accept))
+
+    def peek(self) -> float:
+        return self.buffer[0][0] if self.buffer else _INF
+
+    def flush(self, bound: Optional[float], inclusive: bool = False) -> int:
+        """Release buffered arrivals below ``bound`` into the receiver.
+
+        ``bound=None`` releases everything (used by the coordinator's
+        single-step path, where the global clock makes it exact).  The
+        conservative protocol guarantees every released arrival is at or
+        after the receiver's clock; violating that means the lookahead
+        argument was broken somewhere, so it is a hard error.
+        """
+        buf = self.buffer
+        released = 0
+        dst = self.dst
+        push = self.delivery.push
+        while buf:
+            when = buf[0][0]
+            if bound is not None:
+                if inclusive:
+                    if when > bound:
+                        break
+                elif when >= bound:
+                    break
+            if when < dst._now:
+                raise SimulationError(
+                    "causality violation at shard boundary: arrival at "
+                    "t=%r is in shard %d's past (t=%r)"
+                    % (when, dst.shard_id, dst._now))
+            entry = buf.popleft()
+            push(entry[0], entry[1], entry[2], entry[3])
+            released += 1
+        if released:
+            self.batches += 1
+        return released
+
+
+class ShardedScheduler:
+    """Coordinator for a set of shard wheels.
+
+    Exposes the :class:`Simulator` surface the rest of the project
+    expects from ``cluster.sim`` (``now``/``run``/``step``/``peek``/
+    ``spawn``/``event``/``timeout``/``_seq``/``ids``/``inert``), so
+    experiments, harvesters and workloads run unchanged on top of it.
+    """
+
+    def __init__(self, n_wheels: int, schedule: str = "merged",
+                 threads: Optional[int] = None):
+        if n_wheels < 1:
+            raise ValueError("need at least one wheel")
+        if schedule == "threads":
+            schedule, self._threaded = "windowed", True
+        elif schedule in ("merged", "windowed"):
+            self._threaded = False
+        else:
+            raise ValueError("unknown shard schedule %r" % (schedule,))
+        self.schedule = schedule
+        self._direct = schedule == "merged"
+        self._seq = itertools.count()
+        self.ids = itertools.count(1)
+        self.wheels: List[ShardWheel] = [ShardWheel(self, i)
+                                         for i in range(n_wheels)]
+        self.channels: List[ShardChannel] = []
+        self.lookahead = _INF
+        self._now = 0.0
+        self._tl = threading.local()
+        self._pool = None
+        self._pool_pid = None
+        self._window_floor: Optional[float] = None
+        self.windows = 0   # conservative rounds executed (windowed only)
+
+    # -- shard boundary registry ------------------------------------------------
+
+    def _register_channel(self, channel: ShardChannel) -> None:
+        self.channels.append(channel)
+        if channel.lookahead < self.lookahead:
+            self.lookahead = channel.lookahead
+
+    def earliest_live(self, wheel: Optional[ShardWheel] = None) -> float:
+        """Earliest non-inert event anywhere in the sharded schedule.
+
+        Mid-window (conservative rounds) the other wheels are in motion,
+        possibly on other threads, so their queues cannot be scanned;
+        the window floor is the safe external horizon then — nothing a
+        peer does this round can reach ``wheel`` before the next grant.
+        Outside a window (and always under the merged schedule, whose
+        global clock serializes wheels) the scan spans every wheel and
+        every buffered channel arrival, reproducing the serial horizon
+        exactly.
+        """
+        floor = self._window_floor
+        if floor is not None:
+            local = wheel.earliest_live_local() if wheel is not None else _INF
+            return min(local, floor)
+        t_ext = _INF
+        for w in self.wheels:
+            inert = w.inert
+            for when, _seq, item in w._queue:
+                if when < t_ext and item not in inert:
+                    t_ext = when
+        for channel in self.channels:
+            buf = channel.buffer
+            if buf and buf[0][0] < t_ext:
+                t_ext = buf[0][0]
+        return t_ext
+
+    def boundary_stats(self) -> dict:
+        return {
+            "wheels": len(self.wheels),
+            "channels": len(self.channels),
+            "lookahead_us": None if self.lookahead is _INF else self.lookahead,
+            "handoffs": sum(ch.handoffs for ch in self.channels),
+            "batches": sum(ch.batches for ch in self.channels),
+            "windows": self.windows,
+        }
+
+    # -- Simulator-compatible surface -------------------------------------------
+
+    @property
+    def now(self) -> float:
+        wheel = getattr(self._tl, "wheel", None)
+        return wheel._now if wheel is not None else self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        wheel = getattr(self._tl, "wheel", None)
+        if wheel is not None:
+            return wheel.active_process
+        for w in self.wheels:
+            if w.active_process is not None:
+                return w.active_process
+        return None
+
+    @property
+    def _queue(self):
+        entries: List = []
+        for wheel in self.wheels:
+            entries.extend(wheel._queue)
+        return entries
+
+    @property
+    def inert(self) -> set:
+        merged: set = set()
+        for wheel in self.wheels:
+            merged |= wheel.inert
+        return merged
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Spawn on wheel 0 (the coordinator's "control" shard)."""
+        return self.wheels[0].spawn(gen, name)
+
+    def event(self):
+        wheel = self.wheels[0]
+        if self._now > wheel._now:
+            wheel._now = self._now
+        return wheel.event()
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        wheel = self.wheels[0]
+        if self._now > wheel._now:
+            wheel._now = self._now
+        return wheel.timeout(delay, value)
+
+    def timeout_at(self, when: float) -> Timeout:
+        wheel = self.wheels[0]
+        if self._now > wheel._now:
+            wheel._now = self._now
+        return wheel.timeout_at(when)
+
+    def any_of(self, events):
+        return self.wheels[0].any_of(events)
+
+    def all_of(self, events):
+        return self.wheels[0].all_of(events)
+
+    def peek(self) -> float:
+        earliest = _INF
+        for wheel in self.wheels:
+            queue = wheel._queue
+            if queue and queue[0][0] < earliest:
+                earliest = queue[0][0]
+        for channel in self.channels:
+            buf = channel.buffer
+            if buf and buf[0][0] < earliest:
+                earliest = buf[0][0]
+        return earliest
+
+    def _flush_all(self) -> None:
+        for channel in self.channels:
+            if channel.buffer:
+                channel.flush(None)
+
+    def step(self) -> None:
+        """Process the single globally earliest event (exact, any schedule).
+
+        With every buffered arrival released first, popping the global
+        minimum across wheels reproduces the serial order exactly — the
+        shared sequence counter breaks same-instant ties identically.
+        """
+        self._flush_all()
+        best = None
+        best_key = None
+        for wheel in self.wheels:
+            queue = wheel._queue
+            if queue:
+                key = queue[0][:2]
+                if best_key is None or key < best_key:
+                    best, best_key = wheel, key
+        if best is None:
+            raise IndexError("step from an empty schedule")
+        self._now = best_key[0]
+        best.step()
+
+    def run(self, until: Optional[float] = None) -> None:
+        if until is not None and until < self._now:
+            raise ValueError(
+                "cannot run backwards: until=%r < now=%r" % (until, self._now))
+        if self.schedule == "windowed":
+            self._run_windowed(until)
+        else:
+            self._run_merged(until)
+
+    # -- merged schedule ---------------------------------------------------------
+
+    def _run_merged(self, until: Optional[float]) -> None:
+        wheels = self.wheels
+        while True:
+            best = None
+            best_time = _INF
+            best_seq = 0
+            for wheel in wheels:
+                queue = wheel._queue
+                if queue:
+                    head = queue[0]
+                    when = head[0]
+                    if when < best_time or (when == best_time
+                                            and head[1] < best_seq):
+                        best, best_time, best_seq = wheel, when, head[1]
+            if best is None or (until is not None and best_time > until):
+                break
+            self._now = best_time
+            best.step()
+        if until is not None:
+            self._now = until
+            for wheel in wheels:
+                if wheel._now < until:
+                    wheel._now = until
+
+    # -- windowed (conservative rounds) schedule ---------------------------------
+
+    def _run_wheel_window(self, wheel: ShardWheel, bound: Optional[float],
+                          until: Optional[float]) -> None:
+        self._tl.wheel = wheel
+        try:
+            if bound is None:
+                wheel.run(until) if until is not None else wheel.run()
+            else:
+                wheel.run_before(bound)
+        finally:
+            self._tl.wheel = None
+
+    def _executor(self):
+        if not self._threaded or len(self.wheels) < 2:
+            return None
+        pid = os.getpid()
+        if self._pool is None or self._pool_pid != pid:
+            from concurrent.futures import ThreadPoolExecutor
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(self.wheels),
+                thread_name_prefix="shard-wheel")
+            self._pool_pid = pid
+        return self._pool
+
+    def _run_windowed(self, until: Optional[float]) -> None:
+        wheels = self.wheels
+        channels = self.channels
+        lookahead = self.lookahead
+        pool = self._executor()
+        while True:
+            floor = self.peek()
+            if floor is _INF or floor == _INF \
+                    or (until is not None and floor > until):
+                break
+            bound: Optional[float] = floor + lookahead
+            inclusive_edge = None
+            if bound == _INF or (until is not None and bound > until):
+                # Terminal window: everything at or before `until` is
+                # safe (any send inside it arrives past `until`), and
+                # with no channels at all the wheels are independent.
+                bound = None
+                inclusive_edge = until
+            if inclusive_edge is not None:
+                for channel in channels:
+                    channel.flush(inclusive_edge, inclusive=True)
+            else:
+                for channel in channels:
+                    channel.flush(bound)
+            self.windows += 1
+            self._window_floor = floor
+            try:
+                if pool is not None:
+                    list(pool.map(
+                        lambda w: self._run_wheel_window(w, bound, until),
+                        wheels))
+                else:
+                    for wheel in wheels:
+                        self._run_wheel_window(wheel, bound, until)
+            finally:
+                self._window_floor = None
+            if bound is None:
+                break
+        if until is not None:
+            self._now = until
+            for wheel in wheels:
+                if wheel._now < until:
+                    wheel._now = until
+        else:
+            last = max(wheel._now for wheel in wheels)
+            if last > self._now:
+                self._now = last
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<ShardedScheduler %d wheels, %s, t=%s>" % (
+            len(self.wheels), self.schedule, self._now)

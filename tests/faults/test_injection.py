@@ -138,3 +138,61 @@ class TestCampaign:
                 + counts[Category.CORRUPTED]
             assert dominant / failures > 0.5
         assert counts[Category.NO_IMPACT] == max(counts.values())
+
+
+class TestClassifyDeliveries:
+    """The batched observe/classify path vs the scalar fallback."""
+
+    def _payloads(self, n, bytes_=64):
+        from repro.payload import Payload
+        return {i: Payload.pattern(bytes_, seed=i) for i in range(n)}
+
+    def test_all_match(self):
+        from repro.faults.injector import classify_deliveries
+        expected = self._payloads(6)
+        assert classify_deliveries(dict(expected), expected) == (6, 0)
+
+    def test_corruption_and_truncation_counted(self):
+        from repro.faults.injector import classify_deliveries
+        expected = self._payloads(4)
+        received = dict(expected)
+        received[1] = expected[1].corrupt(bit_offset=5)
+        received[2] = expected[2].truncate(10)
+        assert classify_deliveries(received, expected) == (2, 2)
+
+    def test_unexpected_index_is_corrupted(self):
+        from repro.payload import Payload
+        from repro.faults.injector import classify_deliveries
+        expected = self._payloads(2)
+        received = dict(expected)
+        received[9] = Payload.pattern(64, seed=9)  # never sent
+        assert classify_deliveries(received, expected) == (2, 1)
+
+    def test_empty(self):
+        from repro.faults.injector import classify_deliveries
+        assert classify_deliveries({}, self._payloads(3)) == (0, 0)
+
+    def test_vector_and_scalar_paths_agree(self, monkeypatch):
+        from repro.faults import injector
+        if injector._np is None:
+            pytest.skip("numpy unavailable; only the scalar path exists")
+        expected = self._payloads(32)
+        received = dict(expected)
+        received[3] = expected[3].corrupt(bit_offset=1)
+        received[17] = expected[17].truncate(1)
+        with_np = injector.classify_deliveries(received, expected)
+        monkeypatch.setattr(injector, "_np", None)
+        assert injector.classify_deliveries(received, expected) == with_np
+
+    @pytest.mark.parametrize("seed", [900, 31])
+    def test_campaign_counts_identical_at_two_seeds(self, seed,
+                                                    monkeypatch):
+        """The acceptance bar: vectorized classification leaves campaign
+        outcomes byte-identical to the historic scalar loop."""
+        from repro.faults import injector
+        vectored = run_campaign(runs=4, seed=seed, messages=6)
+        monkeypatch.setattr(injector, "_np", None)
+        scalar = run_campaign(runs=4, seed=seed, messages=6)
+        assert scalar.counts == vectored.counts
+        assert scalar.outcomes == vectored.outcomes
+        assert scalar.render() == vectored.render()
