@@ -9,6 +9,8 @@ engine verbs drive anything registered::
     python -m repro run table1 --scale small --trace t1.trace.json
     python -m repro run netfaults --runs-per-scenario 2 \\
         --journal nf.journal            # kill it; rerun to resume
+    python -m repro run slo-chaos --scale small --workers 2
+    python -m repro run slo-chaos --peak-rate 2500 --profile spike-train
     python -m repro run spec.json       # re-run a saved spec exactly
     python -m repro metrics table1 --scale small --workers 4
 

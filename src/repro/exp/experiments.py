@@ -31,6 +31,18 @@ from ..faults.injector import (
 )
 from ..faults.outcomes import InjectionOutcome
 from ..faults.surface import analyze_surface
+from ..load.chaos import (
+    SLO_SCENARIOS,
+    SloChaosCampaignResult,
+    SloChaosConfig,
+    SloChaosOutcome,
+    boot_slo_chaos,
+    resume_slo_chaos,
+    run_slo_chaos,
+    slo_chaos_family,
+)
+from ..load.profiles import PROFILE_NAMES
+from ..load.slo import SloSpec
 from ..netfaults.campaign import (
     NET_SCENARIOS,
     NetFaultCampaignResult,
@@ -284,6 +296,116 @@ register(Experiment(
     boot=boot_netfault,
     resume=resume_netfault,
     boot_family=netfault_family,
+))
+
+
+# -- slo-chaos: SLO-graded load plane with netfault overlay --------------------
+
+
+def _slo_chaos_spec(params: Dict[str, Any]) -> ExperimentSpec:
+    # --scale small shrinks the sweep to the control cell plus one fault
+    # scenario over a shorter profile (CI smoke); explicit options win.
+    scale = _get(params, "scale", "full")
+    small = scale == "small"
+    scenarios = tuple(_get(params, "scenarios",
+                           ["baseline", "link-cut"] if small
+                           else SLO_SCENARIOS))
+    runs_per_cell = _get(params, "runs_per_cell", 1)
+    n_nodes = _get(params, "nodes", 4)
+    topology = _get(params, "topology", "ring")
+    clients = _get(params, "clients", 4 if small else 8)
+    profile = _get(params, "profile", "staged-ramp")
+    peak_rate = _get(params, "peak_rate", 800.0 if small else 1_500.0)
+    duration_us = _get(params, "duration_us",
+                       120_000.0 if small else 400_000.0)
+    return ExperimentSpec(
+        experiment="slo-chaos",
+        seed=_get(params, "seed", 2003),
+        runs=runs_per_cell * len(scenarios) * 2,
+        scenarios=tuple(ScenarioSpec(
+            name="%s/%s" % (scenario, flavor), runs=runs_per_cell,
+            cluster=ClusterSpec(n_nodes=n_nodes, flavor=flavor,
+                                topology=topology, n_switches=2),
+            workload=WorkloadSpec(
+                kind="open-loop", messages=0, message_bytes=0,
+                params=freeze_params({
+                    "clients": clients, "profile": profile,
+                    "peak_rate": peak_rate,
+                    "duration_us": duration_us})),
+            fault=FaultSpec(kind=scenario))
+            for scenario in scenarios for flavor in ("ftgm", "gm")),
+        params=freeze_params({"slo": SloSpec().to_dict()}))
+
+
+def _slo_chaos_expand(spec: ExperimentSpec) -> List[SloChaosConfig]:
+    slo = SloSpec.from_dict(spec.param("slo", {}))
+    configs: List[SloChaosConfig] = []
+    run_id = 0
+    for scenario in spec.scenarios:
+        load = thaw_params(scenario.workload.params)
+        for _ in range(scenario.runs):
+            configs.append(SloChaosConfig(
+                run_id=run_id,
+                seed=derive_run_seed(spec.seed, run_id),
+                scenario=scenario.fault.kind,
+                flavor=scenario.cluster.flavor,
+                n_nodes=scenario.cluster.n_nodes,
+                topology=scenario.cluster.topology,
+                n_switches=scenario.cluster.n_switches,
+                clients=load.get("clients", 8),
+                profile=load.get("profile", "staged-ramp"),
+                peak_rate=load.get("peak_rate", 1_500.0),
+                duration_us=load.get("duration_us", 400_000.0),
+                slo=slo))
+            run_id += 1
+    return configs
+
+
+def _slo_chaos_aggregate(spec, outcomes) -> SloChaosCampaignResult:
+    return SloChaosCampaignResult(spec.seed, outcomes)
+
+
+def _slo_chaos_summary(result: SloChaosCampaignResult) -> Dict[str, Any]:
+    return {"verdicts": {cell: "pass" if all(r.verdict.passed
+                                             for r in runs) else "fail"
+                         for cell, runs in sorted(result.by_cell.items())}}
+
+
+register(Experiment(
+    name="slo-chaos",
+    help="SLO-graded chaos: netfaults over open-loop load, FT on vs off",
+    build_spec=_slo_chaos_spec,
+    expand=_slo_chaos_expand,
+    run_one=run_slo_chaos,
+    aggregate=_slo_chaos_aggregate,
+    render=SloChaosCampaignResult.render,
+    decode=typed_decoder(SloChaosOutcome),
+    summarize=_slo_chaos_summary,
+    options=(Option("runs_per_cell", "--runs-per-cell", int, 1,
+                    "runs per scenario x flavor cell (default 1)"),
+             Option("seed", "--seed", int, 2003, "campaign base seed"),
+             Option("nodes", "--nodes", int, 4, "cluster size"),
+             Option("topology", "--topology", str, "ring",
+                    "fabric shape", choices=("ring", "tree")),
+             Option("clients", "--clients", int, None,
+                    "load clients (default 8; 4 at --scale small)"),
+             Option("peak_rate", "--peak-rate", float, None,
+                    "plateau offered rate, msgs/s "
+                    "(default 1500; 800 at --scale small)"),
+             Option("profile", "--profile", str, "staged-ramp",
+                    "load profile shape", choices=PROFILE_NAMES),
+             Option("duration_us", "--duration-us", float, None,
+                    "profile length in simulated us "
+                    "(default 400000; 120000 at --scale small)"),
+             Option("scale", "--scale", str, "full",
+                    "sweep size; 'small' trims scenarios and profile "
+                    "for smoke tests (explicit options win)",
+                    ("small", "full"))),
+    progress_every=2,
+    progress_fmt="  ... %d/%d runs",
+    boot=boot_slo_chaos,
+    resume=resume_slo_chaos,
+    boot_family=slo_chaos_family,
 ))
 
 

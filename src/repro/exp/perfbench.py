@@ -30,6 +30,8 @@ __all__ = [
     "bench_lanai_interpreter",
     "bench_campaign",
     "bench_netfaults",
+    "bench_loadgen",
+    "bench_slo_chaos",
     "run_bench",
     "run_all",
     "environment_info",
@@ -252,6 +254,71 @@ def bench_netfaults(runs_per_scenario: int = 1, workers: int = 1,
         "wall_s": round(wall, 3),
         "runs_per_sec": round(spec.runs / wall, 3),
         "scenario_runs": counts,
+    }
+
+
+def bench_loadgen(clients: int = 8, nodes: int = 4,
+                  peak_rate: float = 4_000.0,
+                  duration_us: float = 400_000.0,
+                  shards: int = None, shard_schedule: str = None) -> dict:
+    """Load-generator throughput: schedule expansion + one driven run.
+
+    Reports the pure :func:`~repro.load.generator.build_schedule`
+    expansion rate and the end-to-end offered-message rate of driving
+    that schedule through a booted FTGM cluster (the load plane's unit
+    of work in an ``slo-chaos`` cell).
+    """
+    from ..cluster import build_cluster
+    from ..load.generator import LoadConfig, build_schedule, run_load
+
+    config = LoadConfig(seed=2003, n_nodes=nodes, clients=clients,
+                        peak_rate=peak_rate, duration_us=duration_us,
+                        drain_us=200_000.0)
+    shards, shard_schedule, overrides = _shard_env(shards, shard_schedule)
+    t0 = time.perf_counter()
+    schedule = build_schedule(config)
+    schedule_wall = time.perf_counter() - t0
+    with _env_overrides(overrides):
+        cluster = build_cluster(n_nodes=nodes, flavor="ftgm")
+        t1 = time.perf_counter()
+        result = run_load(cluster, config, schedule=schedule)
+        drive_wall = time.perf_counter() - t1
+    offered = len(schedule.ops)
+    return {
+        "clients": clients,
+        "nodes": nodes,
+        "offered_msgs": offered,
+        "delivered_msgs": len(result.first_delivery),
+        "shards": shards,
+        "shard_schedule": shard_schedule,
+        "schedule_wall_s": round(schedule_wall, 4),
+        "schedule_msgs_per_sec": round(offered / schedule_wall, 1),
+        "drive_wall_s": round(drive_wall, 3),
+        "driven_msgs_per_sec": round(offered / drive_wall, 1),
+    }
+
+
+def bench_slo_chaos(runs_per_cell: int = 1, workers: int = 1,
+                    shards: int = None, shard_schedule: str = None) -> dict:
+    """Wall clock of the full 10-cell SLO-graded chaos campaign."""
+    from .registry import get_experiment
+    from .runner import run_experiment
+
+    experiment = get_experiment("slo-chaos")
+    spec = experiment.build_spec({"runs_per_cell": runs_per_cell})
+    shards, shard_schedule, _ = _shard_env(shards, shard_schedule)
+    t0 = time.perf_counter()
+    result = run_experiment(spec, workers=workers, shards=shards,
+                            shard_schedule=shard_schedule)
+    wall = time.perf_counter() - t0
+    return {
+        "runs": spec.runs,
+        "workers": workers,
+        "shards": shards,
+        "shard_schedule": shard_schedule,
+        "wall_s": round(wall, 3),
+        "runs_per_sec": round(spec.runs / wall, 3),
+        "verdicts": dict(result.summary["verdicts"]),
     }
 
 

@@ -1,0 +1,174 @@
+"""The staged-load profile DSL: pure stage arithmetic, no simulator.
+
+A :class:`LoadProfile` is a sequence of :class:`Stage` segments, each
+holding an offered-rate ramp (messages/second of simulated time across
+the whole client population) over a duration.  The shapes mirror k6's
+staged load tests — warmup, ramp, plateau, spike, cooldown — so a chaos
+campaign grades recovery under the same traffic envelope a production
+soak test would use.
+
+Everything here is frozen data and closed-form arithmetic
+(:meth:`Stage.rate_at` is a linear interpolation,
+:meth:`Stage.expected_messages` the trapezoid integral), which is what
+lets the SLO verdict engine attribute every message to a stage without
+consulting the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Tuple
+
+__all__ = ["Stage", "LoadProfile", "PROFILE_NAMES", "make_profile"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One profile segment: a linear offered-rate ramp over a duration.
+
+    ``start_rate``/``end_rate`` are offered messages per second of
+    simulated time, summed over the entire client population.
+    """
+
+    name: str
+    duration_us: float
+    start_rate: float
+    end_rate: float
+
+    def rate_at(self, dt_us: float) -> float:
+        """Offered rate ``dt_us`` microseconds into the stage."""
+        if self.duration_us <= 0.0:
+            return self.end_rate
+        frac = min(max(dt_us / self.duration_us, 0.0), 1.0)
+        return self.start_rate + (self.end_rate - self.start_rate) * frac
+
+    def expected_messages(self) -> float:
+        """Trapezoid integral: mean rate x duration (messages offered)."""
+        return (self.start_rate + self.end_rate) / 2.0 \
+            * (self.duration_us / 1_000_000.0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name, "duration_us": self.duration_us,
+                "start_rate": self.start_rate, "end_rate": self.end_rate}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Stage":
+        return cls(name=data["name"], duration_us=data["duration_us"],
+                   start_rate=data["start_rate"], end_rate=data["end_rate"])
+
+
+@dataclass(frozen=True)
+class LoadProfile:
+    """A named sequence of stages; times are relative to profile start."""
+
+    name: str
+    stages: Tuple[Stage, ...]
+
+    @property
+    def total_duration_us(self) -> float:
+        return sum(stage.duration_us for stage in self.stages)
+
+    def stage_bounds(self) -> List[Tuple[float, float]]:
+        """Per-stage ``[start, end)`` windows relative to profile start."""
+        bounds = []
+        at = 0.0
+        for stage in self.stages:
+            bounds.append((at, at + stage.duration_us))
+            at += stage.duration_us
+        return bounds
+
+    def stage_index_at(self, t_us: float) -> int:
+        """Index of the stage owning relative time ``t_us``.
+
+        Times at or past the profile end belong to the last stage (the
+        drain window inherits the final stage's accounting).
+        """
+        at = 0.0
+        for index, stage in enumerate(self.stages):
+            at += stage.duration_us
+            if t_us < at:
+                return index
+        return len(self.stages) - 1
+
+    def rate_at(self, t_us: float) -> float:
+        """Offered rate at relative time ``t_us`` (0 past the end)."""
+        at = 0.0
+        for stage in self.stages:
+            if t_us < at + stage.duration_us:
+                return stage.rate_at(t_us - at)
+            at += stage.duration_us
+        return 0.0
+
+    def expected_messages(self) -> float:
+        return sum(stage.expected_messages() for stage in self.stages)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"name": self.name,
+                "stages": [stage.to_dict() for stage in self.stages]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LoadProfile":
+        return cls(name=data["name"],
+                   stages=tuple(Stage.from_dict(s)
+                                for s in data["stages"]))
+
+
+# -- built-in shapes -----------------------------------------------------------
+#
+# Fractions follow the k6 staged-load chaos test shape: a gentle warmup,
+# a linear ramp to the plateau, a sustained plateau carrying most of the
+# traffic, a short 2x spike, and a cooldown ramp back down.  ``peak_rate``
+# and ``duration_us`` scale the whole envelope without changing its shape.
+
+
+def _staged_ramp(peak_rate: float, duration_us: float) -> LoadProfile:
+    return LoadProfile("staged-ramp", (
+        Stage("warmup", 0.15 * duration_us, 0.2 * peak_rate, 0.2 * peak_rate),
+        Stage("ramp", 0.20 * duration_us, 0.2 * peak_rate, peak_rate),
+        Stage("plateau", 0.40 * duration_us, peak_rate, peak_rate),
+        Stage("spike", 0.10 * duration_us, 2.0 * peak_rate, 2.0 * peak_rate),
+        Stage("cooldown", 0.15 * duration_us, peak_rate, 0.2 * peak_rate),
+    ))
+
+
+def _steady(peak_rate: float, duration_us: float) -> LoadProfile:
+    return LoadProfile("steady", (
+        Stage("plateau", duration_us, peak_rate, peak_rate),
+    ))
+
+
+def _spike_train(peak_rate: float, duration_us: float) -> LoadProfile:
+    """Alternating calm/spike segments — flapping-load worst case."""
+    segment = duration_us / 6.0
+    stages = []
+    for i in range(3):
+        stages.append(Stage("calm%d" % i, segment,
+                            0.3 * peak_rate, 0.3 * peak_rate))
+        stages.append(Stage("spike%d" % i, segment,
+                            2.0 * peak_rate, 2.0 * peak_rate))
+    return LoadProfile("spike-train", tuple(stages))
+
+
+_BUILDERS = {
+    "staged-ramp": _staged_ramp,
+    "steady": _steady,
+    "spike-train": _spike_train,
+}
+
+PROFILE_NAMES: Tuple[str, ...] = tuple(_BUILDERS)
+
+
+def make_profile(name: str, peak_rate: float,
+                 duration_us: float) -> LoadProfile:
+    """Instantiate a built-in profile shape at a rate/duration scale."""
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        raise ValueError("unknown load profile %r (have: %s)"
+                         % (name, ", ".join(PROFILE_NAMES)))
+    if peak_rate <= 0.0:
+        raise ValueError("peak_rate must be positive, got %r" % (peak_rate,))
+    if duration_us <= 0.0:
+        raise ValueError("duration_us must be positive, got %r"
+                         % (duration_us,))
+    return builder(peak_rate, duration_us)

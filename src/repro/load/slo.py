@@ -1,0 +1,87 @@
+"""The frozen SLO specification a chaos campaign is graded against.
+
+An :class:`SloSpec` is pure data with a lossless dict/JSON round-trip
+and a canonical :attr:`~SloSpec.spec_hash`, exactly like the experiment
+specs in :mod:`repro.exp.spec` — a verdict document always names the
+hash of the SLO it was graded against, so two campaigns are comparable
+only when their hashes agree.
+
+Latency bounds are on *delivery latency*: scheduled (open-loop) send
+time to first receiver delivery, so client-side queueing and
+fault-recovery stalls both count against the SLO — the coordinated-
+omission-free measurement SHIFT-style evaluations use.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+__all__ = ["SloSpec", "DEFAULT_SLO"]
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """Per-stage service-level objectives for one load run.
+
+    * ``p50_us``/``p99_us``/``p999_us`` — delivery-latency percentile
+      bounds (µs, scheduled send → first delivery);
+    * ``availability_min`` — floor on completed/offered per stage;
+    * ``max_lost`` — accepted-but-never-delivered budget per stage;
+    * ``max_duplicated`` — duplicate-delivery budget per stage.
+    """
+
+    p50_us: float = 5_000.0
+    p99_us: float = 50_000.0
+    p999_us: float = 200_000.0
+    availability_min: float = 0.95
+    max_lost: int = 0
+    max_duplicated: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "p50_us": self.p50_us,
+            "p99_us": self.p99_us,
+            "p999_us": self.p999_us,
+            "availability_min": self.availability_min,
+            "max_lost": self.max_lost,
+            "max_duplicated": self.max_duplicated,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SloSpec":
+        defaults = cls()
+        return cls(
+            p50_us=data.get("p50_us", defaults.p50_us),
+            p99_us=data.get("p99_us", defaults.p99_us),
+            p999_us=data.get("p999_us", defaults.p999_us),
+            availability_min=data.get("availability_min",
+                                      defaults.availability_min),
+            max_lost=data.get("max_lost", defaults.max_lost),
+            max_duplicated=data.get("max_duplicated",
+                                    defaults.max_duplicated),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) \
+            + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "SloSpec":
+        return cls.from_dict(json.loads(text))
+
+    @property
+    def spec_hash(self) -> str:
+        """Stable 16-hex-digit digest of the canonical SLO JSON."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+#: The stock objectives ``slo-chaos`` grades against when the spec does
+#: not override them.  Calibrated so a fault-free FTGM run passes every
+#: stage with headroom, leaving latency/loss breaches attributable to
+#: the injected faults.
+DEFAULT_SLO = SloSpec()

@@ -1,0 +1,172 @@
+"""The SLO verdict engine: stage observations in, PASS/FAIL out.
+
+Grading is two steps, both deterministic and simulator-free:
+
+1. :func:`observe_stages` folds a :class:`~repro.load.generator.
+   LoadRunResult` into one :class:`StageObservation` per profile stage —
+   offered/accepted/completed/lost/duplicated counts plus a
+   delivery-latency :class:`~repro.obs.metrics.Histogram` on the
+   fine-grained ``LATENCY_BUCKETS`` edges.
+2. :func:`grade_stages` checks each observation against a frozen
+   :class:`~repro.load.slo.SloSpec` and emits a :class:`SloVerdict` —
+   overall ``"pass"``/``"fail"`` with per-stage breach strings naming
+   the objective violated and the measured value.
+
+The histograms here are plain local data structures, *not* the telemetry
+registry — verdicts must be byte-identical with telemetry on or off, so
+the registry only ever receives a read-only copy of these observations
+(see :func:`repro.obs.harvest.harvest_load`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..obs.metrics import LATENCY_BUCKETS, Histogram
+from .slo import SloSpec
+
+__all__ = [
+    "StageObservation",
+    "StageVerdict",
+    "SloVerdict",
+    "observe_stages",
+    "grade_stages",
+]
+
+
+@dataclass
+class StageObservation:
+    """Raw per-stage accounting of one load run.
+
+    * ``offered`` — sends scheduled during the stage (open-loop arrivals);
+    * ``accepted`` — offered sends the port actually took;
+    * ``rejected`` — offered − accepted (token exhaustion, closed port);
+    * ``completed`` — accepted sends delivered at least once;
+    * ``lost`` — accepted − completed;
+    * ``duplicated`` — deliveries beyond the first, summed;
+    * ``latency`` — first-delivery latency from the *scheduled* send
+      time, in µs.
+    """
+
+    name: str
+    offered: int = 0
+    accepted: int = 0
+    completed: int = 0
+    duplicated: int = 0
+    latency: Histogram = field(
+        default_factory=lambda: Histogram(edges=LATENCY_BUCKETS))
+
+    @property
+    def rejected(self) -> int:
+        return self.offered - self.accepted
+
+    @property
+    def lost(self) -> int:
+        return self.accepted - self.completed
+
+    @property
+    def availability(self) -> float:
+        """Completed fraction of offered load (1.0 on an idle stage)."""
+        if self.offered == 0:
+            return 1.0
+        return self.completed / self.offered
+
+
+@dataclass
+class StageVerdict:
+    """One stage graded against the SLO; part of the result document."""
+
+    stage: str
+    verdict: str                       # "pass" | "fail"
+    breaches: List[str]
+    offered: int
+    accepted: int
+    rejected: int
+    completed: int
+    lost: int
+    duplicated: int
+    availability: float
+    p50_us: Optional[float]
+    p99_us: Optional[float]
+    p999_us: Optional[float]
+
+
+@dataclass
+class SloVerdict:
+    """The whole run graded: fails if any stage fails."""
+
+    verdict: str                       # "pass" | "fail"
+    slo_hash: str
+    stages: List[StageVerdict]
+
+    @property
+    def passed(self) -> bool:
+        return self.verdict == "pass"
+
+    def failed_stages(self) -> List[StageVerdict]:
+        return [stage for stage in self.stages if stage.verdict != "pass"]
+
+
+def observe_stages(result) -> List[StageObservation]:
+    """Fold a :class:`LoadRunResult` into per-stage observations."""
+    profile = result.schedule.profile
+    observations = [StageObservation(name=stage.name)
+                    for stage in profile.stages]
+    for op in result.schedule.ops:
+        obs = observations[op.stage]
+        obs.offered += 1
+        if result.accepted.get(op.index):
+            obs.accepted += 1
+        count = result.deliveries.get(op.index, 0)
+        if count > 0:
+            obs.completed += 1
+            obs.duplicated += count - 1
+            latency = result.latency_of(op)
+            if latency is not None:
+                obs.latency.observe(latency)
+    return observations
+
+
+def _grade_one(spec: SloSpec, obs: StageObservation) -> StageVerdict:
+    breaches: List[str] = []
+    bounds: Tuple[Tuple[str, float, Optional[float]], ...] = (
+        ("p50", spec.p50_us, obs.latency.percentile(50.0)),
+        ("p99", spec.p99_us, obs.latency.percentile(99.0)),
+        ("p999", spec.p999_us, obs.latency.percentile(99.9)),
+    )
+    for label, bound, measured in bounds:
+        if measured is not None and measured > bound:
+            breaches.append("%s %.1fus > %.1fus" % (label, measured, bound))
+    if obs.availability < spec.availability_min:
+        breaches.append("availability %.4f < %.4f"
+                        % (obs.availability, spec.availability_min))
+    if obs.lost > spec.max_lost:
+        breaches.append("lost %d > %d" % (obs.lost, spec.max_lost))
+    if obs.duplicated > spec.max_duplicated:
+        breaches.append("duplicated %d > %d"
+                        % (obs.duplicated, spec.max_duplicated))
+    return StageVerdict(
+        stage=obs.name,
+        verdict="pass" if not breaches else "fail",
+        breaches=breaches,
+        offered=obs.offered,
+        accepted=obs.accepted,
+        rejected=obs.rejected,
+        completed=obs.completed,
+        lost=obs.lost,
+        duplicated=obs.duplicated,
+        availability=obs.availability,
+        p50_us=obs.latency.percentile(50.0),
+        p99_us=obs.latency.percentile(99.0),
+        p999_us=obs.latency.percentile(99.9),
+    )
+
+
+def grade_stages(spec: SloSpec,
+                 observations: List[StageObservation]) -> SloVerdict:
+    """Grade every stage; the run passes only if every stage does."""
+    stages = [_grade_one(spec, obs) for obs in observations]
+    verdict = "pass" if all(s.verdict == "pass" for s in stages) else "fail"
+    return SloVerdict(verdict=verdict, slo_hash=spec.spec_hash,
+                      stages=stages)

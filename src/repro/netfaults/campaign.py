@@ -36,6 +36,7 @@ __all__ = [
     "NetFaultConfig",
     "NetFaultOutcome",
     "NetFaultCampaignResult",
+    "inject_scenario",
     "run_netfault_injection",
     "boot_netfault",
     "resume_netfault",
@@ -161,37 +162,46 @@ def _pick_fault_time(config: NetFaultConfig, rng: SeededRng) -> float:
     return rng.uniform(lo, hi)
 
 
-def _inject(config: NetFaultConfig, plane: NetworkFaultPlane,
-            cluster, rng: SeededRng, fault_at: float) -> None:
-    """Arm the configured scenario on the uplink carrying the workload.
+def inject_scenario(plane: NetworkFaultPlane, cluster, rng: SeededRng,
+                    fault_at: float, scenario: str, *, n_nodes: int,
+                    flap_down_us: float = 12_000.0,
+                    corrupt_rate: float = 0.25) -> None:
+    """Arm ``scenario`` on the uplink carrying cross-switch traffic.
 
     The victim is the inter-switch link on the installed route of the
     first cross-switch pair (node 0 -> node n/2) — cutting an idle
-    uplink would test nothing.
+    uplink would test nothing.  Shared by the netfaults campaign and the
+    ``slo-chaos`` load-plane overlay (:mod:`repro.load.chaos`).
     """
     uplinks = plane.fabric.inter_switch_links()
     if not uplinks:
-        raise ValueError("topology %r has no inter-switch links"
-                         % (config.topology,))
-    route = cluster[0].mcp.routing_table.get(config.n_nodes // 2)
+        raise ValueError("fabric has no inter-switch links to fault")
+    route = cluster[0].mcp.routing_table.get(n_nodes // 2)
     on_path = [link for link in plane.links_on_route(0, route or [])
                if link in uplinks]
     victims = on_path or uplinks
     link = victims[rng.randrange(len(victims))]
-    if config.scenario == "link-cut":
+    if scenario == "link-cut":
         plane.cut_link(link, at=fault_at)
-    elif config.scenario == "link-flap":
-        plane.flap_link(link, at=fault_at, down_for=config.flap_down_us)
-    elif config.scenario == "switch-port-kill":
+    elif scenario == "link-flap":
+        plane.flap_link(link, at=fault_at, down_for=flap_down_us)
+    elif scenario == "switch-port-kill":
         # Kill the switch port at one (deterministically chosen) end of
         # the uplink.
         end = link.end_a if rng.random() < 0.5 else link.end_b
         plane.kill_switch_port(end.switch, end.index, at=fault_at)
-    elif config.scenario == "corrupt":
-        plane.corrupt_on_link(link, rate=config.corrupt_rate,
-                              at=fault_at)
+    elif scenario == "corrupt":
+        plane.corrupt_on_link(link, rate=corrupt_rate, at=fault_at)
     else:
-        raise ValueError("unknown scenario %r" % (config.scenario,))
+        raise ValueError("unknown scenario %r" % (scenario,))
+
+
+def _inject(config: NetFaultConfig, plane: NetworkFaultPlane,
+            cluster, rng: SeededRng, fault_at: float) -> None:
+    inject_scenario(plane, cluster, rng, fault_at, config.scenario,
+                    n_nodes=config.n_nodes,
+                    flap_down_us=config.flap_down_us,
+                    corrupt_rate=config.corrupt_rate)
 
 
 def netfault_family(config: NetFaultConfig):

@@ -20,7 +20,7 @@ from ..sim.trace import TraceRecord
 from . import runtime
 from .spans import emit_recovery_spans
 
-__all__ = ["harvest_cluster"]
+__all__ = ["harvest_cluster", "harvest_load"]
 
 _JSON_SCALARS = (int, float, str, bool, type(None))
 
@@ -144,3 +144,51 @@ def harvest_cluster(cluster, *, fault_at: Optional[float] = None) -> None:
             for label, start, end in record.segments():
                 if 0 < start <= end:
                     observe("reroute.phase.%s" % label, end - start)
+
+
+def harvest_load(result, observations=None) -> None:
+    """Harvest one finished load run into the active registry.
+
+    ``result`` is a :class:`repro.load.generator.LoadRunResult`;
+    ``observations`` the per-stage fold from
+    :func:`repro.load.verdict.observe_stages` (computed here when the
+    caller has not already graded the run).  Like
+    :func:`harvest_cluster` this runs after grading and only *reads*
+    run state, so SLO verdicts are byte-identical telemetry on or off.
+    """
+    registry = runtime.active_registry()
+    if registry is None:
+        return
+    from ..load.verdict import observe_stages
+
+    if observations is None:
+        observations = observe_stages(result)
+    inc = registry.inc
+    gauge = registry.gauge
+
+    inc("load.sends_ok", result.sends_ok)
+    inc("load.sends_errored", result.sends_errored)
+    inc("load.rejected", result.rejected)
+    inc("load.unknown_deliveries", result.unknown_deliveries)
+    inc("load.churn_executed", result.churn_executed)
+
+    gauge("load.horizon_us", result.horizon - result.started_at)
+    for obs in observations:
+        prefix = "load.stage.%s" % obs.name
+        inc("%s.offered" % prefix, obs.offered)
+        inc("%s.accepted" % prefix, obs.accepted)
+        inc("%s.completed" % prefix, obs.completed)
+        inc("%s.lost" % prefix, obs.lost)
+        inc("%s.duplicated" % prefix, obs.duplicated)
+        gauge("%s.availability" % prefix, obs.availability)
+        if obs.latency.n == 0:
+            continue
+        # The per-message latencies only exist as the verdict engine's
+        # local histograms; fold read-only copies straight in (observe()
+        # replays values, which we no longer have).
+        for name in ("%s.delivery_us" % prefix, "load.delivery_us"):
+            hist = registry.histograms.get(name)
+            if hist is None:
+                registry.histograms[name] = obs.latency.copy()
+            else:
+                hist.merge(obs.latency)

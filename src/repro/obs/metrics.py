@@ -23,6 +23,7 @@ __all__ = [
     "GAUGE",
     "HISTOGRAM",
     "DEFAULT_BUCKETS",
+    "LATENCY_BUCKETS",
     "BusyTracker",
     "GaugeStat",
     "Histogram",
@@ -41,6 +42,15 @@ HISTOGRAM = "histogram"
 # the overflow bucket and are reported via the exact max.
 DEFAULT_BUCKETS: Tuple[float, ...] = tuple(
     m * (10.0 ** k) for k in range(7) for m in (1.0, 1.5, 2.0, 3.0, 5.0, 7.0)
+)
+
+# Denser edges for SLO-graded delivery latency: twelve mantissas per
+# decade over 1 µs .. 10 s.  Latency SLOs interpolate p999 inside a
+# single bucket, so the low decades need finer resolution than the
+# recovery-phase buckets above.
+LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    m * (10.0 ** k) for k in range(7)
+    for m in (1.0, 1.2, 1.5, 1.8, 2.2, 2.7, 3.3, 3.9, 4.7, 5.6, 6.8, 8.2)
 )
 
 
@@ -229,7 +239,8 @@ class Histogram:
                 and self.min == other.min and self.max == other.max)
 
 
-def _noop_emit(name: str, value: float = 1.0, kind: str = COUNTER) -> None:
+def _noop_emit(name: str, value: float = 1.0, kind: str = COUNTER,
+               edges: Optional[Tuple[float, ...]] = None) -> None:
     """Placeholder ``emit`` installed while a registry is disabled."""
 
 
@@ -264,7 +275,14 @@ class MetricsRegistry:
             self.__dict__["emit"] = _noop_emit
 
     def emit(self, name: str, value: float = 1.0,
-             kind: str = COUNTER) -> None:
+             kind: str = COUNTER,
+             edges: Optional[Tuple[float, ...]] = None) -> None:
+        """Record one sample.
+
+        ``edges`` selects the bucket layout of a histogram on its
+        *first* sample; later samples must agree (snapshots of the same
+        metric merge across runs, and merging demands equal edges).
+        """
         if not self._enabled:
             return
         if kind == COUNTER:
@@ -272,7 +290,12 @@ class MetricsRegistry:
         elif kind == HISTOGRAM:
             hist = self.histograms.get(name)
             if hist is None:
-                hist = self.histograms[name] = Histogram()
+                hist = self.histograms[name] = Histogram(
+                    edges=edges if edges is not None else DEFAULT_BUCKETS)
+            elif edges is not None and tuple(edges) != hist.edges:
+                raise ValueError(
+                    "histogram %r already uses different bucket edges"
+                    % (name,))
             hist.observe(value)
         elif kind == GAUGE:
             stat = self.gauges.get(name)
@@ -288,8 +311,9 @@ class MetricsRegistry:
     def inc(self, name: str, value: float = 1.0) -> None:
         self.emit(name, value, COUNTER)
 
-    def observe(self, name: str, value: float) -> None:
-        self.emit(name, value, HISTOGRAM)
+    def observe(self, name: str, value: float,
+                edges: Optional[Tuple[float, ...]] = None) -> None:
+        self.emit(name, value, HISTOGRAM, edges=edges)
 
     def gauge(self, name: str, value: float) -> None:
         self.emit(name, value, GAUGE)

@@ -39,10 +39,12 @@ def _fmt_us(value: Optional[float]) -> str:
 
 def _phase_row(label: str, hist: Optional[Histogram]) -> str:
     if hist is None or hist.n == 0:
-        return "  %-26s %5s  %12s  %12s  %12s" % (label, "-", "-", "-", "-")
-    return "  %-26s %5d  %12s  %12s  %12s" % (
+        return "  %-26s %5s  %12s  %12s  %12s  %12s" % (
+            label, "-", "-", "-", "-", "-")
+    return "  %-26s %5d  %12s  %12s  %12s  %12s" % (
         label, hist.n, _fmt_us(hist.percentile(50)),
-        _fmt_us(hist.percentile(99)), _fmt_us(hist.mean()))
+        _fmt_us(hist.percentile(99)), _fmt_us(hist.percentile(99.9)),
+        _fmt_us(hist.mean()))
 
 
 def render_metrics_report(snapshot: MetricsSnapshot, *,
@@ -86,10 +88,12 @@ def render_metrics_report(snapshot: MetricsSnapshot, *,
         for name in shown:
             hist = snapshot.histograms[name]
             lines.append(
-                "  %-*s  n=%d  p50=%s  p99=%s  mean=%s  min=%s  max=%s"
+                "  %-*s  n=%d  p50=%s  p99=%s  p999=%s  mean=%s"
+                "  min=%s  max=%s"
                 % (width, name, hist.n,
                    _fmt_us(hist.percentile(50)),
-                   _fmt_us(hist.percentile(99)), _fmt_us(hist.mean()),
+                   _fmt_us(hist.percentile(99)),
+                   _fmt_us(hist.percentile(99.9)), _fmt_us(hist.mean()),
                    _fmt_us(hist.min), _fmt_us(hist.max)))
     else:
         lines.append("  (none)")
@@ -101,8 +105,8 @@ def render_metrics_report(snapshot: MetricsSnapshot, *,
     lines.append("")
     lines.append("Recovery latency breakdown (cf. paper Table 3)")
     lines.append("----------------------------------------------")
-    lines.append("  %-26s %5s  %12s  %12s  %12s"
-                 % ("phase", "n", "p50", "p99", "mean"))
+    lines.append("  %-26s %5s  %12s  %12s  %12s  %12s"
+                 % ("phase", "n", "p50", "p99", "p999", "mean"))
     lines.append(_phase_row("detection", hists.get("recovery.detection_us")))
     for label in RECOVERY_PHASES:
         lines.append(_phase_row(label,
@@ -117,8 +121,8 @@ def render_metrics_report(snapshot: MetricsSnapshot, *,
         lines.append("")
         lines.append("Reroute latency breakdown")
         lines.append("-------------------------")
-        lines.append("  %-26s %5s  %12s  %12s  %12s"
-                     % ("phase", "n", "p50", "p99", "mean"))
+        lines.append("  %-26s %5s  %12s  %12s  %12s  %12s"
+                     % ("phase", "n", "p50", "p99", "p999", "mean"))
         for label in REROUTE_PHASES:
             lines.append(_phase_row(label,
                                     hists.get("reroute.phase.%s" % label)))

@@ -1,24 +1,45 @@
-"""Validation shared by workloads that run between two cluster nodes.
+"""Validation shared by workloads that name explicit cluster nodes.
 
 The measurement workloads historically assumed the paper's 2-node
 testbed; with multi-switch topologies they take explicit ``a``/``b``
-node ids, and a bad pair should fail loudly up front instead of deep in
-the port machinery.
+node ids — and the load plane takes arbitrary fan-in target sets — so a
+bad node id should fail loudly up front instead of deep in the port
+machinery.
 """
 
 from __future__ import annotations
 
-__all__ = ["check_pair"]
+from typing import Iterable, Optional, Sequence
+
+__all__ = ["check_nodes", "check_pair"]
 
 
-def check_pair(cluster, a: int, b: int) -> None:
-    """Raise ValueError unless ``a`` and ``b`` are two distinct nodes."""
+def check_nodes(cluster, nodes: Iterable[int],
+                names: Optional[Sequence[str]] = None,
+                distinct: bool = False) -> None:
+    """Raise ValueError unless every id in ``nodes`` is a cluster node.
+
+    ``names`` optionally labels each position for the error message
+    (``a``/``b`` for the classic pair workloads); ``distinct`` also
+    rejects repeated ids, which pairwise workloads require but fan-in
+    target sets (several clients aiming at one hotspot) do not.
+    """
+    nodes = list(nodes)
     n = len(cluster)
-    for name, node in (("a", a), ("b", b)):
+    for position, node in enumerate(nodes):
+        name = names[position] if names else "#%d" % position
         if not 0 <= node < n:
             raise ValueError(
                 "workload node %s=%d outside cluster of %d nodes"
                 % (name, node, n))
+    if distinct and len(set(nodes)) != len(nodes):
+        raise ValueError(
+            "workload needs distinct nodes, got %s" % (nodes,))
+
+
+def check_pair(cluster, a: int, b: int) -> None:
+    """Raise ValueError unless ``a`` and ``b`` are two distinct nodes."""
+    check_nodes(cluster, (a, b), names=("a", "b"))
     if a == b:
         raise ValueError(
             "workload needs two distinct nodes, got a == b == %d" % a)

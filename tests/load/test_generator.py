@@ -1,0 +1,107 @@
+"""Pure-schedule properties of the load generator (no simulator)."""
+
+import pytest
+
+from repro.load.generator import (
+    SEND_PORTS,
+    LoadConfig,
+    build_schedule,
+    op_payload,
+)
+
+
+def _config(**overrides):
+    base = dict(seed=2003, n_nodes=4, clients=6, peak_rate=1_200.0,
+                duration_us=150_000.0)
+    base.update(overrides)
+    return LoadConfig(**base)
+
+
+def test_equal_configs_equal_schedules():
+    a = build_schedule(_config())
+    b = build_schedule(_config())
+    assert a.ops == b.ops
+    assert a.churn == b.churn
+
+
+def test_seed_changes_the_schedule():
+    a = build_schedule(_config(seed=1))
+    b = build_schedule(_config(seed=2))
+    assert a.ops != b.ops
+
+
+def test_churn_streams_do_not_perturb_sends():
+    # Churn draws from its own per-node RNG streams, so turning churn
+    # up must leave every scheduled send untouched.
+    quiet = build_schedule(_config(churn_per_node=0))
+    churny = build_schedule(_config(churn_per_node=2))
+    assert quiet.ops == churny.ops
+
+
+def test_ops_sorted_and_indexed():
+    schedule = build_schedule(_config())
+    assert schedule.ops
+    for a, b in zip(schedule.ops, schedule.ops[1:]):
+        assert (a.at_us, a.client) <= (b.at_us, b.client)
+    assert [op.index for op in schedule.ops] == \
+        list(range(len(schedule.ops)))
+
+
+def test_stage_attribution_matches_profile():
+    schedule = build_schedule(_config())
+    for op in schedule.ops:
+        assert op.stage == schedule.profile.stage_index_at(op.at_us)
+
+
+def test_sources_and_destinations_in_range():
+    config = _config()
+    schedule = build_schedule(config)
+    sizes = {size for size, _w in config.size_mix}
+    for op in schedule.ops:
+        assert 0 <= op.src < config.n_nodes
+        assert 0 <= op.dst < config.n_nodes
+        assert op.dst != op.src
+        assert op.size in sizes
+        assert op.src == op.client % config.n_nodes
+
+
+def test_hotspot_attracts_traffic():
+    schedule = build_schedule(_config(
+        clients=8, peak_rate=4_000.0, duration_us=400_000.0,
+        hotspot_node=2, hotspot_weight=0.6))
+    per_dst = {}
+    for op in schedule.ops:
+        per_dst[op.dst] = per_dst.get(op.dst, 0) + 1
+    assert per_dst[2] == max(per_dst.values())
+
+
+def test_payload_fingerprints_unique():
+    schedule = build_schedule(_config())
+    fingerprints = [op_payload(op).fingerprint for op in schedule.ops]
+    assert len(set(fingerprints)) == len(fingerprints)
+    # by_dst indexes every op under its destination by fingerprint.
+    indexed = sum(len(m) for m in schedule.by_dst.values())
+    assert indexed == len(schedule.ops)
+
+
+def test_churn_lands_inside_the_envelope():
+    config = _config(churn_per_node=2)
+    schedule = build_schedule(config)
+    assert len(schedule.churn) == config.n_nodes * config.churn_per_node
+    window = schedule.profile.total_duration_us
+    for c in schedule.churn:
+        assert 0.2 * window <= c.at_us <= 0.85 * window
+        assert c.down_us == config.churn_down_us
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        build_schedule(_config(n_nodes=1))
+    with pytest.raises(ValueError):
+        build_schedule(_config(clients=0))
+    with pytest.raises(ValueError):
+        build_schedule(_config(size_mix=()))
+    with pytest.raises(ValueError):
+        build_schedule(_config(hotspot_node=99))
+    with pytest.raises(ValueError):
+        build_schedule(_config(churn_per_node=len(SEND_PORTS)))

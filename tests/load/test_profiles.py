@@ -1,0 +1,84 @@
+"""Stage arithmetic of the load-profile DSL (pure, no simulator)."""
+
+import pytest
+
+from repro.load.profiles import PROFILE_NAMES, LoadProfile, Stage, make_profile
+
+
+class TestStage:
+    def test_rate_interpolates_linearly(self):
+        stage = Stage("ramp", 100.0, 10.0, 110.0)
+        assert stage.rate_at(0.0) == 10.0
+        assert stage.rate_at(50.0) == 60.0
+        assert stage.rate_at(100.0) == 110.0
+
+    def test_rate_clamps_outside_duration(self):
+        stage = Stage("ramp", 100.0, 10.0, 110.0)
+        assert stage.rate_at(-5.0) == 10.0
+        assert stage.rate_at(500.0) == 110.0
+
+    def test_expected_messages_is_trapezoid(self):
+        # mean rate 60 msgs/s over 0.5 s -> 30 messages.
+        stage = Stage("ramp", 500_000.0, 10.0, 110.0)
+        assert stage.expected_messages() == pytest.approx(30.0)
+
+    def test_dict_round_trip(self):
+        stage = Stage("spike", 25_000.0, 800.0, 1_600.0)
+        assert Stage.from_dict(stage.to_dict()) == stage
+
+
+class TestLoadProfile:
+    def test_stage_bounds_tile_the_duration(self):
+        profile = make_profile("staged-ramp", 1_000.0, 200_000.0)
+        bounds = profile.stage_bounds()
+        assert bounds[0][0] == 0.0
+        for (_, end), (start, _) in zip(bounds, bounds[1:]):
+            assert end == start
+        assert bounds[-1][1] == pytest.approx(profile.total_duration_us)
+
+    def test_stage_index_covers_every_instant(self):
+        profile = make_profile("staged-ramp", 1_000.0, 200_000.0)
+        for index, (start, end) in enumerate(profile.stage_bounds()):
+            assert profile.stage_index_at(start) == index
+            assert profile.stage_index_at((start + end) / 2.0) == index
+        # Past the end (the drain window) belongs to the last stage.
+        assert profile.stage_index_at(10 * profile.total_duration_us) \
+            == len(profile.stages) - 1
+
+    def test_rate_at_matches_owning_stage(self):
+        profile = make_profile("spike-train", 900.0, 600_000.0)
+        for start, end in profile.stage_bounds():
+            mid = (start + end) / 2.0
+            stage = profile.stages[profile.stage_index_at(mid)]
+            assert profile.rate_at(mid) == stage.rate_at(mid - start)
+        assert profile.rate_at(profile.total_duration_us + 1.0) == 0.0
+
+    def test_expected_messages_scales_with_peak(self):
+        base = make_profile("staged-ramp", 1_000.0, 300_000.0)
+        double = make_profile("staged-ramp", 2_000.0, 300_000.0)
+        assert double.expected_messages() == \
+            pytest.approx(2.0 * base.expected_messages())
+
+    def test_dict_round_trip(self):
+        profile = make_profile("spike-train", 700.0, 120_000.0)
+        assert LoadProfile.from_dict(profile.to_dict()) == profile
+
+    def test_staged_ramp_shape(self):
+        profile = make_profile("staged-ramp", 1_000.0, 1_000_000.0)
+        names = [stage.name for stage in profile.stages]
+        assert names == ["warmup", "ramp", "plateau", "spike", "cooldown"]
+        spike = profile.stages[3]
+        assert spike.start_rate == spike.end_rate == 2_000.0
+
+    def test_every_builtin_instantiates(self):
+        for name in PROFILE_NAMES:
+            profile = make_profile(name, 500.0, 100_000.0)
+            assert profile.total_duration_us == pytest.approx(100_000.0)
+
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            make_profile("nope", 100.0, 100.0)
+        with pytest.raises(ValueError):
+            make_profile("steady", 0.0, 100.0)
+        with pytest.raises(ValueError):
+            make_profile("steady", 100.0, -1.0)

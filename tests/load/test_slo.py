@@ -1,0 +1,45 @@
+"""SloSpec round-trips and the pinned canonical hash."""
+
+import dataclasses
+
+import pytest
+
+from repro.load.slo import DEFAULT_SLO, SloSpec
+
+
+def test_dict_round_trip():
+    spec = SloSpec(p50_us=1_000.0, p99_us=9_000.0, p999_us=20_000.0,
+                   availability_min=0.99, max_lost=3, max_duplicated=1)
+    assert SloSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_json_round_trip():
+    spec = SloSpec(p99_us=75_000.0, max_lost=2)
+    assert SloSpec.from_json(spec.to_json()) == spec
+
+
+def test_partial_dict_fills_defaults():
+    spec = SloSpec.from_dict({"p99_us": 10_000.0})
+    assert spec.p99_us == 10_000.0
+    assert spec.p50_us == SloSpec().p50_us
+    assert spec.max_lost == SloSpec().max_lost
+
+
+def test_default_slo_is_the_stock_spec():
+    assert DEFAULT_SLO == SloSpec()
+
+
+def test_spec_is_frozen():
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        SloSpec().p50_us = 1.0
+
+
+def test_hash_pinned():
+    # The verdict document names this hash; changing any default is a
+    # grading change and must be deliberate.
+    assert SloSpec().spec_hash == "589dcbf8ee8f547a"
+
+
+def test_hash_tracks_content():
+    assert SloSpec().spec_hash == SloSpec().spec_hash
+    assert SloSpec(max_lost=1).spec_hash != SloSpec().spec_hash

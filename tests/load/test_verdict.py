@@ -1,0 +1,88 @@
+"""Verdict grading on synthetic stage observations (no simulator)."""
+
+from repro.load.slo import SloSpec
+from repro.load.verdict import StageObservation, grade_stages
+
+
+def _obs(name="plateau", offered=100, accepted=100, completed=100,
+         duplicated=0, latencies=()):
+    obs = StageObservation(name=name, offered=offered, accepted=accepted,
+                           completed=completed, duplicated=duplicated)
+    for value in latencies:
+        obs.latency.observe(value)
+    return obs
+
+
+def test_clean_stage_passes():
+    obs = _obs(latencies=[100.0] * 100)
+    verdict = grade_stages(SloSpec(), [obs])
+    assert verdict.verdict == "pass"
+    assert verdict.passed
+    assert verdict.slo_hash == SloSpec().spec_hash
+    (stage,) = verdict.stages
+    assert stage.verdict == "pass"
+    assert stage.breaches == []
+    assert stage.offered == 100
+    assert stage.availability == 1.0
+
+
+def test_latency_breach_fails():
+    # Every delivery at 500ms blows all three percentile bounds.
+    obs = _obs(latencies=[500_000.0] * 100)
+    verdict = grade_stages(SloSpec(), [obs])
+    assert verdict.verdict == "fail"
+    (stage,) = verdict.stages
+    labels = {breach.split()[0] for breach in stage.breaches}
+    assert {"p50", "p99", "p999"} <= labels
+
+
+def test_availability_breach():
+    obs = _obs(offered=100, accepted=90, completed=90,
+               latencies=[100.0] * 90)
+    (stage,) = grade_stages(SloSpec(), [obs]).stages
+    assert stage.verdict == "fail"
+    assert stage.rejected == 10
+    assert any(b.startswith("availability") for b in stage.breaches)
+
+
+def test_lost_breach():
+    # Loosen availability so the lost budget is the only objective hit.
+    spec = SloSpec(availability_min=0.0)
+    obs = _obs(offered=100, accepted=100, completed=98,
+               latencies=[100.0] * 98)
+    (stage,) = grade_stages(spec, [obs]).stages
+    assert stage.lost == 2
+    assert stage.breaches == ["lost 2 > 0"]
+
+
+def test_duplicated_breach():
+    obs = _obs(duplicated=3, latencies=[100.0] * 100)
+    (stage,) = grade_stages(SloSpec(), [obs]).stages
+    assert stage.breaches == ["duplicated 3 > 0"]
+
+
+def test_lost_budget_allows_slack():
+    spec = SloSpec(availability_min=0.0, max_lost=5)
+    obs = _obs(offered=100, accepted=100, completed=98,
+               latencies=[100.0] * 98)
+    (stage,) = grade_stages(spec, [obs]).stages
+    assert stage.verdict == "pass"
+
+
+def test_idle_stage_passes_vacuously():
+    obs = _obs(offered=0, accepted=0, completed=0)
+    (stage,) = grade_stages(SloSpec(), [obs]).stages
+    assert stage.verdict == "pass"
+    assert stage.availability == 1.0
+    assert stage.p50_us is None
+    assert stage.p99_us is None
+
+
+def test_any_failing_stage_fails_the_run():
+    good = _obs(name="warmup", latencies=[100.0] * 100)
+    bad = _obs(name="spike", offered=100, accepted=80, completed=80,
+               latencies=[100.0] * 80)
+    verdict = grade_stages(SloSpec(), [good, bad])
+    assert verdict.verdict == "fail"
+    assert not verdict.passed
+    assert [s.stage for s in verdict.failed_stages()] == ["spike"]
