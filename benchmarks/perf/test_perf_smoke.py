@@ -48,10 +48,10 @@ def test_campaign_smoke():
 @pytest.mark.perf
 def test_merge_into_accumulates(tmp_path):
     out = tmp_path / "bench.json"
-    merge_into(str(out), "a", {"x": 1})
-    doc = merge_into(str(out), "b", {"y": 2})
-    assert set(doc["entries"]) == {"a", "b"}
+    assert merge_into(str(out), "a", {"x": 1, "cpus": 4}) == "a"
+    assert merge_into(str(out), "b", {"y": 2, "cpus": 4}) == "b"
     on_disk = json.loads(out.read_text())
+    assert set(on_disk["entries"]) == {"a", "b"}
     assert on_disk["entries"]["a"]["x"] == 1
 
 
@@ -60,7 +60,9 @@ def test_merge_into_records_manifest(tmp_path):
     out = tmp_path / "bench.json"
     manifest = {"spec_hash": "abc", "seed": 2003, "git_rev": "deadbeef",
                 "wall_time_s": 1.0, "recorded_at": "2026-01-01T00:00:00"}
-    doc = merge_into(str(out), "a", {"x": 1}, manifest=manifest)
+    assert merge_into(str(out), "a", {"x": 1, "cpus": 4},
+                      manifest=manifest) == "a"
+    doc = json.loads(out.read_text())
     assert doc["entries"]["a"]["manifest"] == manifest
 
 

@@ -222,6 +222,47 @@ def _cmd_metrics(argv: List[str]) -> int:
     return 0
 
 
+def _cmd_topo(argv: List[str]) -> int:
+    """Summarize (and optionally plot) a fabric shape without booting."""
+    from .net.topo import summarize, to_dot
+
+    parser = argparse.ArgumentParser(
+        prog="repro topo",
+        description="Summarize a fabric topology: switches per tier, "
+                    "link counts and path redundancy, computed from the "
+                    "same generators the cluster builder cables — no "
+                    "NICs, no SRAM, no boot.")
+    parser.add_argument("topology",
+                        choices=("star", "ring", "tree", "clos",
+                                 "fat-tree"),
+                        help="fabric shape (as build_cluster's topology)")
+    parser.add_argument("--nodes", type=int, default=16,
+                        help="host count (default 16)")
+    parser.add_argument("--switches", type=int, default=None,
+                        help="ring/tree switch count or Clos spine count")
+    parser.add_argument("--radix", type=int, default=None,
+                        help="Clos/fat-tree switch port count (default 8)")
+    parser.add_argument("--dot", default=None, metavar="PATH",
+                        help="also write a Graphviz DOT file here "
+                             "('-' for stdout)")
+    args = parser.parse_args(argv)
+    try:
+        print(summarize(args.nodes, args.topology,
+                        n_switches=args.switches, radix=args.radix))
+        if args.dot:
+            doc = to_dot(args.nodes, args.topology,
+                         n_switches=args.switches, radix=args.radix)
+            if args.dot == "-":
+                print(doc)
+            else:
+                with open(args.dot, "w") as fh:
+                    fh.write(doc + "\n")
+                print("wrote %s" % args.dot, file=sys.stderr)
+    except ValueError as exc:
+        raise SystemExit("error: %s" % exc)
+    return 0
+
+
 def _legacy_parser() -> argparse.ArgumentParser:
     from .exp.registry import all_experiments
 
@@ -252,6 +293,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(argv[1:])
     if argv and argv[0] == "metrics":
         return _cmd_metrics(argv[1:])
+    if argv and argv[0] == "topo":
+        return _cmd_topo(argv[1:])
     args = _legacy_parser().parse_args(argv)
     print(_run_registered(args.experiment, args))
     return 0

@@ -13,8 +13,8 @@ from typing import Generator, List, Optional, Tuple
 
 from .hw.host import Host
 from .hw.nic import Nic
-from .net.fabric import Fabric
-from .net.mapper import Mapper
+from .net.fabric import Fabric, clos_dimensions, fat_tree_dimensions
+from .net.mapper import make_mapper
 from .sim import SeededRng, ShardedScheduler, Simulator, Tracer
 from .sim import shards_from_env
 
@@ -46,20 +46,37 @@ class ShardPlan:
 
 
 def plan_shards(n_nodes: int, shards: int,
-                colocate_fabric: bool = False) -> ShardPlan:
+                colocate_fabric: bool = False,
+                rack_span: Optional[int] = None) -> ShardPlan:
     """Partition ``n_nodes`` nodes over at most ``shards`` shards.
 
     Nodes are assigned in balanced contiguous blocks (``i * s // n``),
     which keeps node 0 — the boot/mapper node — on wheel 0 and mirrors
     the fabric's contiguous NIC placement, so neighbouring nodes tend to
     share a shard.  Asking for more shards than nodes clamps.
+
+    ``rack_span`` makes the plan topology-aware: with hosts packed onto
+    leaf/edge switches in blocks of ``rack_span`` (the Clos and fat-tree
+    placement), shard boundaries snap to rack boundaries so no rack
+    straddles two wheels — the fabric builder then co-locates each leaf
+    switch with its rack's wheel and only leaf-spine uplinks (which have
+    wire latency, i.e. lookahead) cross shards.  Shards clamp to the
+    rack count.
     """
     if n_nodes < 1:
         raise ValueError("need at least one node")
     if shards < 1:
         raise ValueError("need at least one shard, got %r" % (shards,))
+    if rack_span is not None and rack_span < 1:
+        raise ValueError("rack_span must be >= 1, got %r" % (rack_span,))
     shards = min(shards, n_nodes)
-    node_shard = tuple(i * shards // n_nodes for i in range(n_nodes))
+    if rack_span is None or shards == 1:
+        node_shard = tuple(i * shards // n_nodes for i in range(n_nodes))
+    else:
+        n_racks = -(-n_nodes // rack_span)
+        shards = min(shards, n_racks)
+        node_shard = tuple((i // rack_span) * shards // n_racks
+                           for i in range(n_nodes))
     if shards == 1 or colocate_fabric:
         fabric_shard = 0
         n_wheels = shards
@@ -115,9 +132,16 @@ class MyrinetCluster:
         return self.nodes[index]
 
     def map_network(self, mapper_node: int = 0) -> Generator:
-        """Process: run the GM mapper from ``mapper_node``."""
-        mapper = Mapper(self.nodes[mapper_node].mcp.mapper_agent,
-                        expected_nodes=len(self.nodes))
+        """Process: run the GM mapper from ``mapper_node``.
+
+        Clos/fat-tree fabrics use the hierarchical two-phase mapper
+        (switch-graph census, then per-leaf discovery); everything else
+        keeps the paper's flat flood.
+        """
+        mapper = make_mapper(
+            self.nodes[mapper_node].mcp.mapper_agent,
+            hierarchical=self.topology in ("clos", "fat-tree"),
+            expected_nodes=len(self.nodes))
         found = yield from mapper.run()
         return found
 
@@ -154,6 +178,14 @@ def _driver_class(flavor):
     raise ValueError("unknown flavor %r (use 'gm' or 'ftgm')" % flavor)
 
 
+#: Clusters at or above this size default to lazy node parking (see
+#: ``repro.gm.mcp``): idle MCPs quiesce off the event wheel entirely.
+#: Below it the historical always-ticking execution is kept, so every
+#: pre-existing (small) experiment stays byte-identical.  REPRO_LAZY=1/0
+#: forces the mode either way.
+LAZY_AUTO_THRESHOLD = 16
+
+
 def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
                   trace: bool = False,
                   interpreted_nodes: Optional[List[int]] = None,
@@ -161,8 +193,10 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
                   start_ftd: bool = True,
                   topology: str = "star",
                   n_switches: Optional[int] = None,
+                  radix: Optional[int] = None,
                   shards: Optional[int] = None,
-                  shard_schedule: Optional[str] = None) -> MyrinetCluster:
+                  shard_schedule: Optional[str] = None,
+                  lazy: Optional[bool] = None) -> MyrinetCluster:
     """Build (and by default boot) an N-node Myrinet cluster.
 
     ``interpreted_nodes`` lists node ids whose MCP runs ``send_chunk`` on
@@ -181,6 +215,18 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
     * ``"tree"`` — a root switch over ``n_switches`` (default 2) leaf
       switches.  No redundancy: a severed uplink genuinely partitions
       that leaf.
+    * ``"clos"`` — a two-tier leaf-spine Clos: ``n_switches`` (default
+      2) spines over as many ``radix``-port leaves as the node count
+      needs; every leaf pair has ``n_switches`` equal-cost paths.
+    * ``"fat-tree"`` — a 3-tier radix-``radix`` (default 8) fat-tree
+      with only the pods the node count needs; cross-pod pairs have
+      ``(radix/2)**2`` equal-cost paths.
+
+    ``radix`` is the per-switch port count of the Clos/fat-tree
+    generators (ignored by the small topologies).  Clos/fat-tree
+    clusters boot through the hierarchical mapper and, at
+    ``LAZY_AUTO_THRESHOLD`` nodes or more, default to lazy node parking
+    (``lazy``/``REPRO_LAZY`` override).
 
     ``shards`` selects the execution mode (not part of the experiment's
     identity — results are byte-identical at equal seeds): ``1`` is the
@@ -193,17 +239,23 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
     """
     if n_nodes < 2:
         raise ValueError("a cluster needs at least 2 nodes")
-    if topology not in ("star", "ring", "tree"):
-        raise ValueError("unknown topology %r (use star, ring or tree)"
-                         % (topology,))
+    if topology not in ("star", "ring", "tree", "clos", "fat-tree"):
+        raise ValueError("unknown topology %r (use star, ring, tree, "
+                         "clos or fat-tree)" % (topology,))
     env_shards, env_schedule = shards_from_env()
     if shards is None:
         shards = env_shards
     if shard_schedule is None:
         shard_schedule = env_schedule
+    rack_span: Optional[int] = None
+    if topology == "clos":
+        rack_span = clos_dimensions(n_nodes, n_switches or 2,
+                                    radix or 8)[0]
+    elif topology == "fat-tree":
+        rack_span = fat_tree_dimensions(n_nodes, radix or 8)[0]
     plan: Optional[ShardPlan] = None
     if shards > 1:
-        plan = plan_shards(n_nodes, shards)
+        plan = plan_shards(n_nodes, shards, rack_span=rack_span)
     if plan is not None and plan.n_wheels > 1:
         scheduler = ShardedScheduler(plan.n_wheels, schedule=shard_schedule)
         sim: Simulator = scheduler
@@ -247,11 +299,23 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
     elif topology == "ring":
         switches = fabric.ring(nics, n_switches=n_switches or 2)
         switch = switches[0]
-    else:  # tree
+    elif topology == "tree":
         switches = fabric.tree(nics, n_leaves=n_switches or 2)
         switch = switches[0]
+    elif topology == "clos":
+        switches = fabric.clos(nics, n_spines=n_switches or 2,
+                               nports=radix or 8)
+        switch = switches[0]
+    else:  # fat-tree
+        switches = fabric.fat_tree(nics, nports=radix or 8)
+        switch = switches[0]
 
+    hierarchical = topology in ("clos", "fat-tree")
+    if lazy is None:
+        lazy = n_nodes >= LAZY_AUTO_THRESHOLD
     for node in nodes:
+        node.driver.hierarchical_mapper = hierarchical
+        node.driver.lazy_nodes = lazy
         node.driver.load_mcp()
         if start_ftd and hasattr(node.driver, "start_ftd"):
             node.driver.start_ftd()
@@ -278,5 +342,6 @@ def build_cluster_from_spec(spec, seed: int = 0,
         seed=seed,
         topology=spec.topology,
         n_switches=spec.n_switches or None,
+        radix=getattr(spec, "radix", 0) or None,
         interpreted_nodes=list(spec.interpreted_nodes) or None,
         **overrides)

@@ -53,6 +53,16 @@ from ..netfaults.campaign import (
     resume_netfault,
     run_netfault_injection,
 )
+from ..netfaults.clos import (
+    CLOS_SCENARIOS,
+    ClosFaultCampaignResult,
+    ClosFaultConfig,
+    boot_closfault,
+    closfault_family,
+    cross_fabric_pairs,
+    resume_closfault,
+    run_closfault_injection,
+)
 from ..workloads.allsize import BandwidthResult
 from ..workloads.pingpong import PingPongResult
 from ..workloads.recovery import RecoveryExperiment
@@ -296,6 +306,110 @@ register(Experiment(
     boot=boot_netfault,
     resume=resume_netfault,
     boot_family=netfault_family,
+))
+
+
+# -- closfault: correlated faults on Clos/fat-tree fabrics ---------------------
+
+
+def _closfault_spec(params: Dict[str, Any]) -> ExperimentSpec:
+    # --scale small trims the grid to the CI smoke cell: one scenario,
+    # FTGM only (explicit options win, as everywhere).
+    scale = _get(params, "scale", "full")
+    small = scale == "small"
+    scenarios = tuple(_get(params, "scenarios",
+                           ["rack-loss"] if small else CLOS_SCENARIOS))
+    flavors: tuple = ("ftgm",) if small else ("ftgm", "gm")
+    runs_per_cell = _get(params, "runs_per_cell", 1)
+    n_nodes = _get(params, "nodes", 16)
+    topology = _get(params, "topology", "fat-tree")
+    radix = _get(params, "radix", 4)
+    messages = _get(params, "messages", 6)
+    n_pairs = _get(params, "pairs", 2)
+    return ExperimentSpec(
+        experiment="closfault",
+        seed=_get(params, "seed", 2003),
+        runs=runs_per_cell * len(scenarios) * len(flavors),
+        scenarios=tuple(ScenarioSpec(
+            name="%s/%s" % (scenario, flavor), runs=runs_per_cell,
+            cluster=ClusterSpec(n_nodes=n_nodes, flavor=flavor,
+                                topology=topology, n_switches=2,
+                                radix=radix),
+            workload=WorkloadSpec(kind="cross-fabric-pairs",
+                                  messages=messages, message_bytes=512,
+                                  params=freeze_params(
+                                      {"pairs": n_pairs})),
+            fault=FaultSpec(kind=scenario))
+            for scenario in scenarios for flavor in flavors))
+
+
+def _closfault_expand(spec: ExperimentSpec) -> List[ClosFaultConfig]:
+    configs: List[ClosFaultConfig] = []
+    run_id = 0
+    for scenario in spec.scenarios:
+        flavor = scenario.name.split("/")[1]
+        cluster = scenario.cluster
+        pairs = cross_fabric_pairs(
+            cluster.n_nodes, topology=cluster.topology,
+            radix=cluster.radix or 8, n_spines=cluster.n_switches or 2,
+            n_pairs=thaw_params(scenario.workload.params).get("pairs", 2))
+        for _ in range(scenario.runs):
+            configs.append(ClosFaultConfig(
+                run_id=run_id,
+                seed=derive_run_seed(spec.seed, run_id),
+                scenario=scenario.name,
+                flavor=flavor,
+                n_nodes=cluster.n_nodes,
+                topology=cluster.topology,
+                n_switches=cluster.n_switches,
+                radix=cluster.radix,
+                pairs=tuple(pairs),
+                messages=scenario.workload.messages))
+            run_id += 1
+    return configs
+
+
+def _closfault_aggregate(spec, outcomes) -> ClosFaultCampaignResult:
+    return ClosFaultCampaignResult(spec.seed, outcomes)
+
+
+def _closfault_summary(result: ClosFaultCampaignResult) -> Dict[str, Any]:
+    return {"counts": {cell: dict(row)
+                       for cell, row in result.counts.items()}}
+
+
+register(Experiment(
+    name="closfault",
+    help="correlated fault campaign on a Clos/fat-tree fabric, "
+         "FT on vs off",
+    build_spec=_closfault_spec,
+    expand=_closfault_expand,
+    run_one=run_closfault_injection,
+    aggregate=_closfault_aggregate,
+    render=ClosFaultCampaignResult.render,
+    decode=typed_decoder(NetFaultOutcome),
+    summarize=_closfault_summary,
+    options=(Option("runs_per_cell", "--runs-per-cell", int, 1,
+                    "runs per scenario x flavor cell (default 1)",
+                    legacy_flag="--runs"),
+             Option("seed", "--seed", int, 2003, "campaign base seed"),
+             Option("nodes", "--nodes", int, 16, "cluster size"),
+             Option("radix", "--radix", int, 4,
+                    "switch port count of the generated fabric"),
+             Option("topology", "--topology", str, "fat-tree",
+                    "fabric shape", choices=("fat-tree", "clos")),
+             Option("pairs", "--pairs", int, 2,
+                    "cross-fabric workload pairs"),
+             Option("messages", "--messages", int, 6,
+                    "messages per directed pair"),
+             Option("scale", "--scale", str, "full",
+                    "grid size; 'small' keeps rack-loss/ftgm only "
+                    "(explicit options win)", ("small", "full"))),
+    progress_every=2,
+    progress_fmt="  ... %d/%d runs",
+    boot=boot_closfault,
+    resume=resume_closfault,
+    boot_family=closfault_family,
 ))
 
 

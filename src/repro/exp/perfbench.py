@@ -32,6 +32,8 @@ __all__ = [
     "bench_netfaults",
     "bench_loadgen",
     "bench_slo_chaos",
+    "bench_fabric_scaling",
+    "bench_closfault",
     "run_bench",
     "run_all",
     "environment_info",
@@ -319,6 +321,106 @@ def bench_slo_chaos(runs_per_cell: int = 1, workers: int = 1,
         "wall_s": round(wall, 3),
         "runs_per_sec": round(spec.runs / wall, 3),
         "verdicts": dict(result.summary["verdicts"]),
+    }
+
+
+def bench_fabric_scaling(sizes=(8, 64, 128, 256), radix: int = 8,
+                         idle_us: float = 1_000_000.0) -> dict:
+    """Boot+map+idle wall clock as the fabric scales (the lazy-model win).
+
+    Each point builds an FTGM cluster (the paper's single-switch star at
+    8 nodes, a three-tier fat-tree above), boots and maps it, then runs
+    the simulation one simulated second with nothing to do.  Above the
+    lazy auto-threshold every idle MCP parks off the event wheel, so the
+    idle leg of a 256-node fabric costs (near) nothing and the
+    boot+map+idle total stays within ~10x of the 8-node cluster instead
+    of scaling with ``nodes x housekeeping ticks``.
+
+    Every cluster is released (and the cyclic GC run) before the next
+    point, and the cyclic collector is paused *during* each point: a
+    256-node boot allocates half a gigabyte of SRAM images, and with a
+    big ambient heap (say, after a 200-run campaign in the same
+    process) the collector would otherwise fire hundreds of times
+    mid-boot and charge that heap's scanning cost to this benchmark.
+    """
+    import gc
+
+    from ..cluster import build_cluster
+
+    points = {}
+    for n in sizes:
+        topology = "star" if n <= 8 else "fat-tree"
+        gc.collect()
+        was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            cluster = build_cluster(
+                n, flavor="ftgm", seed=2003, topology=topology,
+                radix=radix if topology == "fat-tree" else None)
+            t1 = time.perf_counter()
+            cluster.sim.run(until=cluster.sim.now + idle_us)
+            t2 = time.perf_counter()
+        finally:
+            if was_enabled:
+                gc.enable()
+        parked = sum(1 for node in cluster.nodes
+                     if getattr(node.driver.mcp, "_parked", False))
+        points[str(n)] = {
+            "nodes": n,
+            "topology": topology,
+            "boot_wall_s": round(t1 - t0, 4),
+            "idle_wall_s": round(t2 - t1, 4),
+            "total_wall_s": round(t2 - t0, 4),
+            "parked_nodes": parked,
+        }
+        del cluster
+    base = points[str(sizes[0])]["total_wall_s"] or 1e-9
+    for point in points.values():
+        point["ratio_vs_%d" % sizes[0]] = round(
+            point["total_wall_s"] / base, 2)
+    return {
+        "idle_sim_us": idle_us,
+        "radix": radix,
+        "points": points,
+    }
+
+
+def bench_closfault(runs_per_cell: int = 1, workers: int = 1,
+                    nodes: int = 64, radix: int = 8,
+                    scale: str = "full", shards: int = None,
+                    shard_schedule: str = None) -> dict:
+    """Wall clock of the correlated-fault campaign on a fat-tree fabric.
+
+    The large-fabric analogue of :func:`bench_netfaults`: compound
+    scenarios (rack loss, spine loss, cascades, repair flaps) on a
+    multi-tier fabric, dominated by the 3-tier boot+map and the
+    detector-driven recovery rather than by raw packet counts.
+    """
+    from .registry import get_experiment
+    from .runner import run_experiment
+
+    experiment = get_experiment("closfault")
+    spec = experiment.build_spec({"runs_per_cell": runs_per_cell,
+                                  "nodes": nodes, "radix": radix,
+                                  "scale": scale})
+    shards, shard_schedule, _ = _shard_env(shards, shard_schedule)
+    t0 = time.perf_counter()
+    result = run_experiment(spec, workers=workers, shards=shards,
+                            shard_schedule=shard_schedule)
+    wall = time.perf_counter() - t0
+    counts = {scenario: sum(row.values())
+              for scenario, row in result.summary["counts"].items()}
+    return {
+        "runs": spec.runs,
+        "workers": workers,
+        "shards": shards,
+        "shard_schedule": shard_schedule,
+        "nodes": nodes,
+        "radix": radix,
+        "wall_s": round(wall, 3),
+        "runs_per_sec": round(spec.runs / wall, 3),
+        "scenario_runs": counts,
     }
 
 

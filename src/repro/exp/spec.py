@@ -71,18 +71,24 @@ class ClusterSpec:
 
     n_nodes: int = 2
     flavor: str = "gm"                      # 'gm' | 'ftgm'
-    topology: str = "star"                  # 'star' | 'ring' | 'tree'
+    topology: str = "star"       # 'star' | 'ring' | 'tree' | 'clos' | ...
     n_switches: int = 0                     # 0 = topology default
     interpreted_nodes: Tuple[int, ...] = ()
+    radix: int = 0       # Clos/fat-tree switch port count; 0 = default
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        data = {
             "n_nodes": self.n_nodes,
             "flavor": self.flavor,
             "topology": self.topology,
             "n_switches": self.n_switches,
             "interpreted_nodes": list(self.interpreted_nodes),
         }
+        # Emitted only when set: every spec predating the Clos/fat-tree
+        # generators keeps its canonical JSON (and therefore spec_hash).
+        if self.radix:
+            data["radix"] = self.radix
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ClusterSpec":
@@ -92,6 +98,7 @@ class ClusterSpec:
             topology=data.get("topology", "star"),
             n_switches=data.get("n_switches", 0),
             interpreted_nodes=tuple(data.get("interpreted_nodes", ())),
+            radix=data.get("radix", 0),
         )
 
 

@@ -170,14 +170,19 @@ class FaultToleranceDaemon:
         ROUTE_CHANGED to every open port (see Mcp._install_routes), so
         the library layer replays shadow-tokened sends over new routes.
         """
-        from ..net.mapper import Mapper, MappingFailed
+        from ..net.mapper import MappingFailed, make_mapper
         self.rerouting = True
         record = RerouteRecord(verdict_at=verdict_at, dest_node=dest_node,
                                woken_at=self.sim.now)
         self.tracer.emit(self.sim.now, self.name, "ftd_reroute_start",
                          dest=dest_node)
-        mapper = Mapper(self.driver.mcp.mapper_agent, strict=False,
-                        abort_on_empty=True)
+        # Multi-tier fabrics re-map hierarchically (a flat flood on a
+        # fat-tree visits every equal-cost path); the builder stamps the
+        # flag on the driver at cluster construction.
+        mapper = make_mapper(
+            self.driver.mcp.mapper_agent,
+            hierarchical=getattr(self.driver, "hierarchical_mapper", False),
+            strict=False, abort_on_empty=True)
         try:
             found = yield from mapper.run()
         except MappingFailed as exc:

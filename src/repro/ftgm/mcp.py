@@ -122,6 +122,32 @@ class FtgmMcp(Mcp):
         if self.nic.sram.read_word(MAGIC_WORD_ADDR) != 0:
             self.nic.sram.write_word(MAGIC_WORD_ADDR, 0)
 
+    # -- lazy parking (watchdog side) ------------------------------------------
+
+    def _park_timers(self) -> None:
+        """Stop IT1 for the parked span.
+
+        A parked MCP does not tick, so a counting IT1 would expire and
+        raise a FATAL for a perfectly healthy idle card.  With IT1
+        stopped the FTD never probes either (its wakeups are IT1-driven),
+        so the whole fault-domain sleeps with the node.
+        """
+        self.nic.timers[1].stop()
+
+    def _replay_windows(self, count: int) -> None:
+        """Each replayed window's L_timer would have re-armed IT1."""
+        self.watchdog_arms += count
+
+    def _unpark_timers(self, prev_window_end: float) -> None:
+        """Restore IT1 exactly where the live chain would have left it.
+
+        The last completed housekeeping window re-armed the watchdog at
+        its end; subsequent (live or replayed-tail) windows take over
+        from there.
+        """
+        self.nic.timers[1].set_deadline(
+            prev_window_end + self.watchdog_interval_us)
+
     # FTGM ticks do observable work even when the dispatch loop is idle:
     # every L_timer re-arms the watchdog (IT1) and clears the FTD's magic
     # probe word, and both the FTD and the peer watchdog may poke that

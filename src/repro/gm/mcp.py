@@ -109,6 +109,17 @@ class Mcp:
         self._fuse_end = -1.0
         self._fused_cb = self._fused_l_timer
         self._fused_tail_cb = self._fused_tail
+        # Lazy node parking: a fully quiescent MCP (no streams, no
+        # alarms, no pending work of any kind) leaves the event wheel
+        # entirely — IT0 disarmed, nothing scheduled — and is woken by
+        # the first doorbell/packet/host request, replaying the missed
+        # L_timer windows arithmetically on the exact tick chain.  Off
+        # by default; the cluster builder enables it at scale (see
+        # repro.cluster.LAZY_AUTO_THRESHOLD) via set_lazy().
+        self._lazy = False
+        self._parked = False
+        self._park_next_tick = 0.0   # when the next tick would start
+        self._park_prev_end = 0.0    # last completed housekeeping window
 
         # Interpreted-mode machinery.
         self.cpu: Optional[LanaiCpu] = None
@@ -134,6 +145,7 @@ class Mcp:
         self.l_timer_last: Optional[float] = None
         self.l_timer_max_gap = 0.0
         self.ticks_absorbed = 0   # idle ticks folded by the tickless path
+        self.ticks_parked = 0     # ticks replayed across parked spans
 
         # Test hooks for adversarially timed crashes (Figures 4 and 5).
         self.hang_after_ack_before_dma = False   # receiver-side, Fig. 5
@@ -141,6 +153,23 @@ class Mcp:
         self.hang_after_dma_before_ack = False   # FTGM window counterpart
 
     # -- lifecycle ------------------------------------------------------------------
+
+    def set_lazy(self, enabled: bool) -> None:
+        """Opt this MCP in (or out) of idle parking.
+
+        ``REPRO_LAZY=1``/``0`` overrides either way; anything else (or
+        unset) keeps the caller's choice.  Parking rides on the tickless
+        machinery and replays whole windows arithmetically, so it is
+        unavailable when tickless is disabled or the firmware path is
+        interpreted (an interpreter tick is not pure bookkeeping).
+        """
+        env = os.environ.get("REPRO_LAZY", "")
+        if env == "1":
+            enabled = True
+        elif env == "0":
+            enabled = False
+        self._lazy = bool(enabled) and self._tickless \
+            and not self.interpreted
 
     def start(self) -> None:
         """Begin dispatch; arm IT0 (the L_timer driver)."""
@@ -248,6 +277,10 @@ class Mcp:
         self._kick()
 
     def _kick(self) -> None:
+        if self._parked:
+            # First touch after a parked span: replay the missed ticks
+            # and restore the timer chain before waking dispatch.
+            self._unpark()
         wake = self._wake
         if wake is not None and wake.callbacks is not None \
                 and not wake._scheduled:  # i.e. not wake.triggered
@@ -429,6 +462,14 @@ class Mcp:
                 it0.set_us(C.L_TIMER_INTERVAL_US)
                 self._kick()
                 return
+        # Fully quiescent and lazy: leave the wheel entirely.  Unlike
+        # the fold below this needs no horizon scan — any event that
+        # could affect this MCP necessarily touches it (packet, bell,
+        # request), and the touch itself triggers the replay.
+        if self._lazy and not self.alarms and not self.host_requests \
+                and self._quiescent():
+            self._park(now)
+            return
         # Nothing to do and the dispatch loop stays parked.  Fold any
         # run of provably idle upcoming ticks into arithmetic
         # bookkeeping and arm IT0 directly at the first tick whose
@@ -503,6 +544,133 @@ class Mcp:
         self.l_timer_last = last
         self.l_timer_max_gap = max_gap
         return tick
+
+    # -- lazy node parking ---------------------------------------------------------
+
+    def _quiescent(self) -> bool:
+        """No stream holds state a timer tick could ever act on.
+
+        The fused tail already proved nothing is runnable *now*; this
+        asks the stronger question — could anything become runnable
+        without an external touch?  An armed retransmit deadline or
+        unacked window needs future ticks to fire it; partial
+        reassemblies are kept conservative (their ACK/NACK bookkeeping
+        rides the tick cadence).  All external touches (packet arrival,
+        doorbell, host request) go through set_bits/_kick and wake a
+        parked MCP themselves.
+        """
+        for stream in self.tx_streams.values():
+            if stream.deadline is not None or stream.has_unacked() \
+                    or stream.has_sendable():
+                return False
+        if self.rx_frags:
+            return False
+        return True
+
+    def _park(self, now: float) -> None:
+        """Quiesce off the wheel: no IT0, nothing scheduled at all.
+
+        Called from the fused tail's idle branch, so IT0 has expired
+        and was not re-armed; the watchdog hook stops IT1 (a parked
+        FTGM node must not trip its own watchdog — the FTD only probes
+        after an IT1 FATAL, so a stopped IT1 also parks the daemon).
+        ``now`` is the housekeeping window end; the next tick would
+        have started one interval later, which anchors the replay chain.
+        """
+        self._park_timers()
+        self._parked = True
+        self._park_prev_end = now
+        self._park_next_tick = now + C.L_TIMER_INTERVAL_US
+        self.tracer.emit(now, self.name, "mcp_parked")
+
+    def _unpark(self) -> None:
+        """Replay the parked span and restore the timer chain.
+
+        Runs inside the first ``_kick`` after parking, before dispatch
+        wakes.  Missed whole windows (tick start T, busy span
+        [T, T+1.5]) are applied arithmetically on the exact floats the
+        live chain would have produced; the straddled window — if the
+        wake lands inside one — is split exactly like the live fused
+        path: front-half stats now, tail callback at the window end,
+        kicks suppressed in between.  A wake landing exactly on a tick
+        start raw-sets IT0_EXPIRED so dispatch takes the real L_timer
+        path (the live ordering: the expiry event predates the waking
+        event's kick).
+        """
+        self._parked = False
+        now = self.sim._now
+        interval = C.L_TIMER_INTERVAL_US
+        tick = self._park_next_tick
+        prev_end = self._park_prev_end
+        last = self.l_timer_last
+        max_gap = self.l_timer_max_gap
+        replayed = 0
+        while tick + 1.5 <= now:
+            gap = tick - last
+            if gap > max_gap:
+                max_gap = gap
+            last = tick
+            replayed += 1
+            prev_end = tick + 1.5
+            tick = prev_end + interval
+        if replayed:
+            self.l_timer_invocations += replayed
+            self.busy_time += 1.5 * replayed
+            self.ticks_parked += replayed
+            self.l_timer_last = last
+            self.l_timer_max_gap = max_gap
+            self._replay_windows(replayed)
+        it0 = self.nic.timers[0]
+        status = self.nic.status
+        if tick > now:
+            # Between windows: arm IT0 on the exact chain float.  The
+            # plain-GM fold marks its committed expiries inert (pure
+            # bookkeeping ticks); FTGM ticks stay live.
+            it0.set_deadline(tick)
+            if self._idle_skip:
+                self.sim.inert.add(it0.pending_event)
+        elif tick == now:
+            # IT0 is not in the IMR, so expiry only sets the ISR bit —
+            # raw-set it and let dispatch run the real _l_timer.
+            status.isr |= IsrBits.IT0_EXPIRED
+        else:
+            # Mid-window wake (tick < now < tick + 1.5): the live fused
+            # front already ran at ``tick``; apply it and schedule the
+            # tail at the window end.
+            gap = tick - self.l_timer_last
+            if gap > self.l_timer_max_gap:
+                self.l_timer_max_gap = gap
+            self.l_timer_last = tick
+            self.l_timer_invocations += 1
+            self.ticks_parked += 1
+            status.clear_bits(IsrBits.HOST_REQUEST)
+            self.busy_time += 1.5
+            self._fuse_end = tick + 1.5
+            tail = self.sim.timeout_at(tick + 1.5)
+            tail.callbacks.append(self._fused_tail_cb)
+        self._unpark_timers(prev_end)
+        self.tracer.emit(now, self.name, "mcp_unparked",
+                         replayed=replayed)
+
+    def settle_idle(self) -> None:
+        """Replay a parked MCP up to the current instant (observation).
+
+        Harvest and outcome extraction read counters directly instead
+        of touching the MCP through its host interface; calling this
+        first brings a parked node's statistics to what the always-
+        ticking execution would show now.  A no-op when not parked.
+        """
+        if self._parked:
+            self._kick()
+
+    def _park_timers(self) -> None:
+        """FTGM hook: stop the watchdog timer across the parked span."""
+
+    def _replay_windows(self, count: int) -> None:
+        """FTGM hook: per-window L_timer side effects (watchdog arms)."""
+
+    def _unpark_timers(self, prev_window_end: float) -> None:
+        """FTGM hook: restore the watchdog deadline after a parked span."""
 
     def _handle_host_request(self, request: Tuple) -> Generator:
         kind = request[0]

@@ -3,7 +3,8 @@
 from .crc import crc32, crc32_words
 from .fabric import Fabric, NicPort
 from .link import LINK_BANDWIDTH, LINK_LATENCY, Link
-from .mapper import Mapper, MapperAgent, MappingFailed, NodeRoutes, derive_route
+from .mapper import (HierarchicalMapper, Mapper, MapperAgent, MappingFailed,
+                     NodeRoutes, derive_route, make_mapper)
 from .packet import CRC_BYTES, GM_MTU, HEADER_BYTES, Packet, PacketType
 from .switch import SWITCH_LATENCY, Switch, SwitchPort
 
@@ -12,6 +13,7 @@ __all__ = [
     "Fabric",
     "GM_MTU",
     "HEADER_BYTES",
+    "HierarchicalMapper",
     "LINK_BANDWIDTH",
     "LINK_LATENCY",
     "Link",
@@ -28,4 +30,5 @@ __all__ = [
     "crc32",
     "crc32_words",
     "derive_route",
+    "make_mapper",
 ]

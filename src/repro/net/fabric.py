@@ -14,7 +14,41 @@ from ..sim import Simulator, Tracer
 from .link import Link
 from .switch import Switch, SwitchPort
 
-__all__ = ["Fabric", "NicPort"]
+__all__ = ["Fabric", "NicPort", "clos_dimensions", "fat_tree_dimensions"]
+
+
+def clos_dimensions(n_nodes: int, n_spines: int = 2,
+                    nports: int = 8) -> tuple:
+    """Leaf-spine sizing shared by the generator and ``plan_shards``.
+
+    Returns ``(hosts_per_leaf, n_leaves)``: node ``i`` lives on leaf
+    ``i // hosts_per_leaf`` at port ``i % hosts_per_leaf``.
+    """
+    if not 1 <= n_spines <= nports - 1:
+        raise ValueError("clos needs 1 <= n_spines < nports, got %d/%d"
+                         % (n_spines, nports))
+    hosts_per_leaf = nports - n_spines
+    n_leaves = max(2, -(-n_nodes // hosts_per_leaf))
+    return hosts_per_leaf, n_leaves
+
+
+def fat_tree_dimensions(n_nodes: int, nports: int = 8) -> tuple:
+    """3-tier fat-tree sizing shared by the generator and ``plan_shards``.
+
+    A radix-``k`` fat-tree pod is ``k/2`` edge switches over ``k/2``
+    hosts each; we build only as many pods as the host count needs (the
+    ``(k/2)**2`` core switches always exist, so cross-pod multi-path is
+    present even when the fabric is partially populated).  Returns
+    ``(hosts_per_edge, n_pods)``: node ``i`` lives on edge switch
+    ``i // hosts_per_edge`` at port ``i % hosts_per_edge``.
+    """
+    if nports < 4 or nports % 2:
+        raise ValueError("fat-tree radix must be even and >= 4, got %d"
+                         % nports)
+    half = nports // 2
+    hosts_per_pod = half * half
+    n_pods = max(1, -(-n_nodes // hosts_per_pod))
+    return half, n_pods
 
 
 class NicPort:
@@ -49,8 +83,16 @@ class Fabric:
         self.links: List[Link] = []
         self.nic_ports: Dict[int, NicPort] = {}
 
-    def add_switch(self, nports: int = 8) -> Switch:
-        switch = Switch(self.sim, len(self.switches), nports, self.tracer)
+    def add_switch(self, nports: int = 8,
+                   sim: Optional[Simulator] = None) -> Switch:
+        """Add a switch, optionally on another shard's event wheel.
+
+        The sharded builder places leaf/edge switches on the wheel of
+        the hosts cabled to them (rack-local traffic then never crosses
+        a shard boundary); spine/core switches stay on the fabric wheel.
+        """
+        switch = Switch(sim if sim is not None else self.sim,
+                        len(self.switches), nports, self.tracer)
         self.switches.append(switch)
         return switch
 
@@ -147,6 +189,107 @@ class Fabric:
         for j, leaf in enumerate(leaves):
             self.connect(leaf.port(nports - 1), root.port(j))
         return [root] + leaves
+
+    def _rack_sim(self, nics: List[Nic]) -> Optional[Simulator]:
+        """The shared wheel of a rack's NICs, if they all agree.
+
+        Used to co-locate a leaf/edge switch with its hosts under
+        sharding; racks that straddle shards (or are empty) fall back to
+        the fabric wheel.
+        """
+        wheels = {id(nic.sim) for nic in nics}
+        if len(wheels) == 1:
+            return nics[0].sim
+        return None
+
+    def clos(self, nics: List[Nic], n_spines: int = 2,
+             nports: int = 8) -> List[Switch]:
+        """A two-tier leaf-spine Clos fabric.
+
+        Each leaf reserves its top ``n_spines`` ports as uplinks: port
+        ``nports-1-s`` cables to spine ``s`` (at the spine's port for
+        this leaf), so every leaf pair has ``n_spines`` equal-cost
+        two-hop paths — the ECMP redundancy the hierarchical mapper
+        spreads routes over.  NICs pack leaves in contiguous blocks
+        (node ``i`` on leaf ``i // hosts_per_leaf``), the same
+        arithmetic ``plan_shards`` aligns shard boundaries to.  Returns
+        ``[*leaves, *spines]``.
+        """
+        hosts_per_leaf, n_leaves = clos_dimensions(len(nics), n_spines,
+                                                   nports)
+        leaves = []
+        for leaf_index in range(n_leaves):
+            rack = nics[leaf_index * hosts_per_leaf:
+                        (leaf_index + 1) * hosts_per_leaf]
+            leaf = self.add_switch(nports, sim=self._rack_sim(rack))
+            leaf.tier = "leaf"
+            leaves.append(leaf)
+        spines = []
+        for _ in range(n_spines):
+            spine = self.add_switch(max(2, n_leaves))
+            spine.tier = "spine"
+            spines.append(spine)
+        for index, nic in enumerate(nics):
+            leaf = leaves[index // hosts_per_leaf]
+            self.connect(self.attach_nic(nic),
+                         leaf.port(index % hosts_per_leaf))
+        for leaf_index, leaf in enumerate(leaves):
+            for s, spine in enumerate(spines):
+                self.connect(leaf.port(nports - 1 - s),
+                             spine.port(leaf_index))
+        return leaves + spines
+
+    def fat_tree(self, nics: List[Nic], nports: int = 8) -> List[Switch]:
+        """A 3-tier radix-``k`` fat-tree (k = ``nports``).
+
+        Pods of ``k/2`` edge and ``k/2`` aggregation switches, with
+        ``(k/2)**2`` cores on top; only as many pods are built as the
+        host count needs.  Wiring follows the classic k-ary scheme:
+
+        * edge ``e`` of a pod: hosts on ports ``0..k/2-1``; uplink port
+          ``k/2+j`` to the pod's agg ``j`` (at agg port ``e``);
+        * agg ``j`` of pod ``p``: uplink port ``k/2+c`` to core
+          ``j*(k/2)+c`` (at core port ``p``).
+
+        Cross-pod host pairs therefore have ``(k/2)**2`` equal-cost
+        five-hop paths and the edge-level min-cut is ``k/2``.  Returns
+        ``[*edges, *aggs, *cores]`` (ids in that order).
+        """
+        half, n_pods = fat_tree_dimensions(len(nics), nports)
+        n_edges = n_pods * half
+        edges = []
+        for edge_index in range(n_edges):
+            rack = nics[edge_index * half:(edge_index + 1) * half]
+            edge = self.add_switch(nports,
+                                   sim=self._rack_sim(rack) if rack else None)
+            edge.tier = "edge"
+            edges.append(edge)
+        aggs = []
+        for _ in range(n_pods * half):
+            agg = self.add_switch(nports)
+            agg.tier = "agg"
+            aggs.append(agg)
+        cores = []
+        for _ in range(half * half):
+            core = self.add_switch(max(2, n_pods))
+            core.tier = "core"
+            cores.append(core)
+        for index, nic in enumerate(nics):
+            self.connect(self.attach_nic(nic),
+                         edges[index // half].port(index % half))
+        for edge_index, edge in enumerate(edges):
+            pod = edge_index // half
+            e = edge_index % half
+            for j in range(half):
+                self.connect(edge.port(half + j),
+                             aggs[pod * half + j].port(e))
+        for agg_index, agg in enumerate(aggs):
+            pod = agg_index // half
+            j = agg_index % half
+            for c in range(half):
+                self.connect(agg.port(half + c),
+                             cores[j * half + c].port(pod))
+        return edges + aggs + cores
 
     def inter_switch_links(self) -> List[Link]:
         """Links whose both ends are switch ports (fault-plane targets)."""

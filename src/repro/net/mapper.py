@@ -24,14 +24,16 @@ disappear); interfaces simply install the newest table.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..hw.nic import RECV_RING_SLOTS
 from ..sim import Simulator, Store, Tracer
 from .packet import Packet, PacketType
 
 __all__ = ["derive_route", "NodeRoutes", "MapperAgent", "Mapper",
-           "MappingFailed"]
+           "HierarchicalMapper", "make_mapper", "MappingFailed"]
 
 
 class MappingFailed(RuntimeError):
@@ -98,6 +100,7 @@ class MapperAgent:
         # Inboxes read by a co-located Mapper, when one runs on this node.
         self.replies: Store = Store(sim)
         self.dones: Store = Store(sim)
+        self.portinfos: Store = Store(sim)   # switch port-census answers
         self.scouts_seen = 0
         self.configs_installed = 0
 
@@ -137,6 +140,9 @@ class MapperAgent:
             return True
         if packet.ptype == PacketType.MAPPER_DONE:
             self.dones.put(packet.control)
+            return True
+        if packet.ptype == PacketType.MAPPER_PORTINFO:
+            self.portinfos.put(packet.control)
             return True
         return False
 
@@ -271,3 +277,311 @@ class Mapper:
                     raise MappingFailed(
                         "node %d never acknowledged its routes" % x)
                 self.unreached.append(x)
+
+
+def _pair_hash(x: int, y: int) -> int:
+    """Stable 32-bit mix of an ordered node pair (ECMP tie-breaking).
+
+    Python's ``hash`` would do, but being explicit keeps route choice
+    identical across interpreter versions and PYTHONHASHSEED settings.
+    """
+    h = (x * 0x9E3779B1 + y * 0x85EBCA77 + 0xC2B2AE35) & 0xFFFFFFFF
+    h ^= h >> 13
+    h = (h * 0x27D4EB2F) & 0xFFFFFFFF
+    h ^= h >> 16
+    return h
+
+
+class HierarchicalMapper(Mapper):
+    """Two-phase mapper for multi-tier (Clos / fat-tree) fabrics.
+
+    The flat mapper's TTL-bounded flood visits every path between every
+    switch pair — O(paths) scout copies, which on a fat-tree explodes
+    combinatorially.  This variant maps hierarchically instead:
+
+    1. **Switch survey** — breadth-first over the switch graph with
+       unicast ``MAPPER_QUERY`` packets; each switch answers one
+       ``MAPPER_PORTINFO`` census naming its neighbors.  O(switches)
+       round-trips.  A query lost to a dead port or cut cable times out
+       and the switch is retried over the next equal-cost path the BFS
+       frontier discovers.
+    2. **Per-leaf discovery** — one *directed* scout per host-bearing
+       switch: the scout source-routes to that leaf and floods with
+       TTL=1 only there, so each interface still proves liveness with a
+       real scout/reply round-trip (a host that answers a census but
+       whose NIC is wedged must not enter the tables).
+
+    Route computation is equal-cost-aware: each ordered pair walks a
+    shortest path over the surveyed graph, tie-breaking among
+    equal-cost next hops with a stable hash of the pair so traffic
+    spreads deterministically across the spine/core stage.
+
+    The CONFIG distribution phase, strictness semantics and
+    ``phase_times`` bookkeeping are inherited unchanged.
+    """
+
+    QUERY_TIMEOUT_US = 150.0
+    QUERY_RETRIES = 2            # resends of one query over one path
+    QUERY_PATHS = 2              # distinct paths tried per switch
+
+    def __init__(self, agent: MapperAgent,
+                 expected_nodes: Optional[int] = None,
+                 strict: bool = True,
+                 abort_on_empty: bool = False):
+        super().__init__(agent, expected_nodes=expected_nodes,
+                         strict=strict, abort_on_empty=abort_on_empty)
+        self.switch_infos: Dict[int, dict] = {}    # id -> port census
+        self.switch_routes: Dict[int, List[int]] = {}  # id -> route to it
+        self.host_attach: Dict[int, Tuple[int, int]] = {}  # node -> (sw, port)
+        self.unreached_switches: List[int] = []
+        self.queries_sent = 0
+        self.query_retries = 0
+
+    # -- phase 1: switch survey ----------------------------------------------
+
+    def _query_switch(self, route: List[int], expect: Optional[int]):
+        """One port census over one path; ``None`` after all retries.
+
+        ``expect`` filters stale answers (a reply from an earlier, timed
+        out query of a *different* switch may still be sitting in the
+        inbox); the very first query — our own leaf, id unknown —
+        accepts any answer.
+        """
+        for attempt in range(self.QUERY_RETRIES):
+            if attempt:
+                self.query_retries += 1
+            self.queries_sent += 1
+            query = Packet(
+                ptype=PacketType.MAPPER_QUERY,
+                src_node=self.agent.node_id,
+                dest_node=-1,
+                route=list(route),
+            )
+            self.agent.send_raw(query)
+            deadline = self.sim.now + self.QUERY_TIMEOUT_US
+            while True:
+                get = self.agent.portinfos.get()
+                timeout = self.sim.timeout(max(deadline - self.sim.now, 0.0))
+                fired = yield self.sim.any_of([get, timeout])
+                if get in fired:
+                    info = fired[get]
+                    if expect is None or info["switch"] == expect:
+                        return info
+                    continue        # stale answer from another switch
+                self.agent.portinfos.cancel(get)
+                break
+        return None
+
+    @staticmethod
+    def _switch_neighbors(info: dict) -> List[Tuple[int, int]]:
+        """Live (local_port, far_switch_id) edges of one port census."""
+        edges = []
+        for port in sorted(info["ports"]):
+            entry = info["ports"][port]
+            if entry["kind"] == "switch" and entry["up"] \
+                    and not entry["dead"]:
+                edges.append((port, entry["switch"]))
+        return edges
+
+    def _survey_switches(self):
+        first = yield from self._query_switch([], expect=None)
+        if first is None:
+            raise MappingFailed("own switch never answered its port census")
+        root = first["switch"]
+        self.switch_infos = {root: first}
+        self.switch_routes = {root: []}
+        failures: Dict[int, int] = {}   # switch id -> paths that timed out
+        pending = deque([root])
+        while pending:
+            sid = pending.popleft()
+            base = self.switch_routes[sid]
+            for port, far in self._switch_neighbors(self.switch_infos[sid]):
+                if far in self.switch_infos \
+                        or failures.get(far, 0) >= self.QUERY_PATHS:
+                    continue
+                info = yield from self._query_switch(base + [port],
+                                                     expect=far)
+                if info is None:
+                    # This path is broken; an equal-cost path through a
+                    # different already-surveyed switch may still reach
+                    # ``far`` when the BFS gets there.
+                    failures[far] = failures.get(far, 0) + 1
+                    continue
+                self.switch_infos[far] = info
+                self.switch_routes[far] = base + [port]
+                pending.append(far)
+        self.unreached_switches = sorted(
+            far for far, count in failures.items()
+            if far not in self.switch_infos)
+
+    # -- phase 2: per-leaf host discovery -------------------------------------
+
+    def _scout_leaf(self, sid: int) -> None:
+        # Routed hops stamp ingress but not egress, so the forward path
+        # carried by flood clones must be pre-seeded with the route.
+        route = self.switch_routes[sid]
+        scout = Packet(
+            ptype=PacketType.MAPPER_SCOUT,
+            src_node=self.agent.node_id,
+            dest_node=-1,
+            flood=True,
+            ttl=1,
+            route=list(route),
+            egress_ports=list(route),
+        )
+        self.agent.send_raw(scout)
+
+    def _leaf_waves(self, leaves: List[int]) -> List[List[int]]:
+        """Split leaf scouts into waves the NIC receive ring can absorb.
+
+        Every host of a scouted leaf replies within a handful of
+        microseconds; a wave of more replies than ``RECV_RING_SLOTS``
+        would overflow our own ring and silently drop interfaces.  Half
+        the ring is a safe wave budget (the MCP drains concurrently, and
+        stragglers from the previous wave may still be in flight).
+        """
+        budget = max(1, RECV_RING_SLOTS // 2)
+        hosts_on = {sid: 0 for sid in leaves}
+        for node, (sid, _port) in self.host_attach.items():
+            if sid in hosts_on:
+                hosts_on[sid] += 1
+        waves: List[List[int]] = []
+        batch: List[int] = []
+        load = 0
+        for sid in leaves:
+            if batch and load + hosts_on[sid] > budget:
+                waves.append(batch)
+                batch, load = [], 0
+            batch.append(sid)
+            load += hosts_on[sid]
+        if batch:
+            waves.append(batch)
+        return waves
+
+    def _discover(self):
+        yield from self._survey_switches()
+        self.phase_times["surveyed"] = self.sim.now
+        me = self.agent.node_id
+        expected: Dict[int, int] = {}   # node id -> its switch
+        for sid, info in self.switch_infos.items():
+            for port in sorted(info["ports"]):
+                entry = info["ports"][port]
+                if entry["kind"] == "host" and entry["up"] \
+                        and not entry["dead"]:
+                    self.host_attach[entry["node"]] = (sid, port)
+                    if entry["node"] != me:
+                        expected[entry["node"]] = sid
+        for _round in range(2):
+            missing = sorted(n for n in expected
+                             if n not in self.discovered)
+            if not missing:
+                break
+            leaves = sorted({expected[n] for n in missing})
+            for wave in self._leaf_waves(leaves):
+                wanted = {n for n in expected if expected[n] in set(wave)}
+                for sid in wave:
+                    self._scout_leaf(sid)
+                deadline = self.sim.now + self.SETTLE_US
+                while any(n not in self.discovered for n in wanted):
+                    get = self.agent.replies.get()
+                    timeout = self.sim.timeout(
+                        max(deadline - self.sim.now, 0.0))
+                    fired = yield self.sim.any_of([get, timeout])
+                    if get in fired:
+                        info = fired[get]
+                        node_id = info["node_id"]
+                        if node_id == me:
+                            continue
+                        routes = NodeRoutes(node_id, info["forward"],
+                                            info["reverse"])
+                        known = self.discovered.get(node_id)
+                        if known is None or routes.hops < known.hops:
+                            self.discovered[node_id] = routes
+                    else:
+                        self.agent.replies.cancel(get)
+                        break
+        if (self.expected_nodes is not None
+                and len(self.discovered) < self.expected_nodes - 1):
+            raise MappingFailed(
+                "found %d of %d expected interfaces"
+                % (len(self.discovered) + 1, self.expected_nodes))
+
+    # -- equal-cost route computation -----------------------------------------
+
+    def _compute_tables(self) -> None:
+        me = self.agent.node_id
+        adjacency = {
+            sid: [(port, far)
+                  for port, far in self._switch_neighbors(info)
+                  if far in self.switch_infos]
+            for sid, info in self.switch_infos.items()
+        }
+        # Hop counts toward each destination leaf, computed once per
+        # leaf and shared by every pair that lands there.
+        dist_cache: Dict[int, Dict[int, int]] = {}
+        # Equal-cost next hops per (here, destination leaf): every pair
+        # landing on the same leaf walks the same candidate lists, so an
+        # all-pairs table build does O(switches^2) list constructions
+        # instead of O(pairs * hops).
+        hop_cache: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+
+        def dist_toward(target: int) -> Dict[int, int]:
+            dist = dist_cache.get(target)
+            if dist is None:
+                dist = {target: 0}
+                frontier = deque([target])
+                while frontier:
+                    sid = frontier.popleft()
+                    for _port, far in adjacency[sid]:
+                        if far not in dist:
+                            dist[far] = dist[sid] + 1
+                            frontier.append(far)
+                dist_cache[target] = dist
+            return dist
+
+        hop_get = hop_cache.get
+        attach = self.host_attach
+
+        def route_between(x: int, y: int) -> Optional[List[int]]:
+            sx, _px = attach[x]
+            sy, py = attach[y]
+            if sx == sy:
+                return [py]
+            dist = dist_toward(sy)
+            if sx not in dist:
+                return None         # partitioned switch graph
+            choice = _pair_hash(x, y)
+            route = []
+            sid = sx
+            while sid != sy:
+                key = (sid, sy)
+                nearer = hop_get(key)
+                if nearer is None:
+                    want = dist[sid] - 1
+                    absent = len(dist) + 1
+                    nearer = [(port, far) for port, far in adjacency[sid]
+                              if dist.get(far, absent) == want]
+                    hop_cache[key] = nearer
+                port, sid = nearer[choice % len(nearer)]
+                route.append(port)
+            return route + [py]
+
+        self.tables = {}
+        hosts = sorted(set(self.discovered) | {me})
+        for x in hosts:
+            table: Dict[int, List[int]] = {}
+            if x in self.host_attach:
+                for y in hosts:
+                    if y == x or y not in self.host_attach:
+                        continue
+                    found = route_between(x, y)
+                    if found is not None:
+                        table[y] = found
+            self.tables[x] = table
+
+
+def make_mapper(agent: MapperAgent, hierarchical: bool = False,
+                **kwargs) -> Mapper:
+    """The mapping program suited to a fabric: flat flood or two-phase."""
+    cls = HierarchicalMapper if hierarchical else Mapper
+    return cls(agent, **kwargs)

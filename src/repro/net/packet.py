@@ -43,12 +43,15 @@ class PacketType:
     MAPPER_DONE = 7       # interface acknowledges configuration
     HEARTBEAT = 8         # peer-watchdog liveness probe (extension)
     HEARTBEAT_REPLY = 9
+    MAPPER_QUERY = 10     # hierarchical mapper: "describe your ports"
+    MAPPER_PORTINFO = 11  # switch's answer to a query
 
     NAMES = {
         DATA: "DATA", ACK: "ACK", NACK: "NACK",
         MAPPER_SCOUT: "SCOUT", MAPPER_REPLY: "REPLY",
         MAPPER_CONFIG: "CONFIG", MAPPER_DONE: "DONE",
         HEARTBEAT: "HB", HEARTBEAT_REPLY: "HB-RE",
+        MAPPER_QUERY: "QUERY", MAPPER_PORTINFO: "PORTINFO",
     }
 
 

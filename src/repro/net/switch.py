@@ -30,7 +30,8 @@ __all__ = ["Switch", "SwitchPort", "SWITCH_LATENCY"]
 SWITCH_LATENCY = 0.15  # us of cut-through routing delay per hop
 
 _MAPPER_TYPES = (PacketType.MAPPER_SCOUT, PacketType.MAPPER_REPLY,
-                 PacketType.MAPPER_CONFIG, PacketType.MAPPER_DONE)
+                 PacketType.MAPPER_CONFIG, PacketType.MAPPER_DONE,
+                 PacketType.MAPPER_QUERY, PacketType.MAPPER_PORTINFO)
 
 
 class SwitchPort:
@@ -73,6 +74,8 @@ class Switch:
         self.misrouted = 0      # invalid or uncabled output port
         self.dead_ports: set = set()   # killed ports (netfault injection)
         self.dead_port_drops = 0
+        self.queries_answered = 0
+        self.tier: Optional[str] = None  # set by Clos/fat-tree generators
 
     def port(self, index: int) -> SwitchPort:
         return self.ports[index]
@@ -103,9 +106,15 @@ class Switch:
             self.tracer.emit(self.sim.now, self.name, "switch_dead_port_drop",
                              port=in_port, packet=packet.describe())
             return False
-        if packet.ptype == PacketType.MAPPER_SCOUT and packet.flood:
+        if packet.ptype == PacketType.MAPPER_SCOUT and packet.flood \
+                and not packet.route:
+            # A directed scout routes its prefix first (popping bytes
+            # below) and floods only once the route is exhausted — the
+            # hierarchical mapper's per-leaf discovery.
             return self._flood(in_port, packet)
         if not packet.route:
+            if packet.ptype == PacketType.MAPPER_QUERY:
+                return self._answer_query(in_port, packet)
             # Route exhausted inside the fabric: the packet dies here.
             # (Mapper scouts probing a switch-terminated route do this.)
             self.absorbed += 1
@@ -130,6 +139,54 @@ class Switch:
         out_port = self.ports[out_index]
         self.sim.spawn(self._forward(out_port, packet),
                        name="%s.fwd" % self.name)
+        return True
+
+    def port_info(self) -> dict:
+        """What management firmware can see of this switch's ports.
+
+        For every cabled port: what hangs off the far end (a host NIC's
+        node id, or a peer switch and its port), whether the cable is up
+        and whether the local port is dead.  The hierarchical mapper
+        builds its switch graph from these answers — the same mild
+        idealization as replication-in-switch (DESIGN.md): real Myrinet
+        management gets this from per-hop probe packets.
+        """
+        ports = {}
+        for port in self.ports:
+            if port.link is None:
+                continue
+            far = port.link.other(port)
+            entry = {
+                "up": port.link.up,
+                "dead": port.index in self.dead_ports,
+            }
+            if isinstance(far, SwitchPort):
+                entry["kind"] = "switch"
+                entry["switch"] = far.switch.switch_id
+                entry["port"] = far.index
+            else:
+                entry["kind"] = "host"
+                entry["node"] = far.nic.node_id
+            ports[port.index] = entry
+        return {"switch": self.switch_id, "nports": self.nports,
+                "ports": ports}
+
+    def _answer_query(self, in_port: int, packet: Packet) -> bool:
+        """Answer a mapper port-census query out the port it came in on.
+
+        The reply is source-routed back over the reversed ingress stamps
+        the query accumulated, exactly like a host's scout reply.
+        """
+        self.queries_answered += 1
+        reply = Packet(PacketType.MAPPER_PORTINFO,
+                       src_node=-1 - self.switch_id,
+                       dest_node=packet.src_node,
+                       route=list(reversed(packet.ingress_ports)),
+                       control=self.port_info())
+        self.tracer.emit(self.sim.now, self.name, "switch_query_answered",
+                         to=packet.src_node)
+        self.sim.spawn(self._forward(self.ports[in_port], reply),
+                       name="%s.query" % self.name)
         return True
 
     def _forward(self, out_port: SwitchPort, packet: Packet):

@@ -1,0 +1,195 @@
+"""Topology inspection: summarize and plot a fabric without booting it.
+
+``repro topo <shape>`` answers the questions that come up before
+committing to a hundreds-of-nodes campaign — how many switches does a
+256-node radix-8 fat-tree need, how wide is the spine cross-section a
+``rack-loss`` scenario has to sever, what does the wiring actually look
+like — without paying for NICs, SRAM images or a boot (a 256-node
+cluster holds half a gigabyte of SRAM; the graph alone is free).
+
+The graph is built by the *same* :class:`~repro.net.fabric.Fabric`
+generators the cluster builder uses, cabled to stub NICs, so the
+summary can never drift from the simulated wiring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim import Simulator
+from .fabric import Fabric
+from .switch import SwitchPort
+
+__all__ = ["build_graph", "summarize", "min_cut", "to_dot"]
+
+
+class _StubNic:
+    """Just enough NIC for :meth:`Fabric.attach_nic` to cable a host."""
+
+    def __init__(self, node_id: int):
+        self.node_id = node_id
+        self.name = "nic%d" % node_id
+        self.link = None
+        self.sim = None
+
+
+def build_graph(n_nodes: int, topology: str = "fat-tree",
+                n_switches: Optional[int] = None,
+                radix: Optional[int] = None) -> Fabric:
+    """The fabric graph a :func:`repro.cluster.build_cluster` call with
+    the same shape parameters would cable — switches and links only."""
+    if n_nodes < 2:
+        raise ValueError("a fabric needs at least 2 nodes")
+    fabric = Fabric(Simulator())
+    nics = [_StubNic(i) for i in range(n_nodes)]
+    if topology == "star":
+        fabric.star(nics)
+    elif topology == "ring":
+        fabric.ring(nics, n_switches=n_switches or 2)
+    elif topology == "tree":
+        fabric.tree(nics, n_leaves=n_switches or 2)
+    elif topology == "clos":
+        fabric.clos(nics, n_spines=n_switches or 2, nports=radix or 8)
+    elif topology == "fat-tree":
+        fabric.fat_tree(nics, nports=radix or 8)
+    else:
+        raise ValueError("unknown topology %r (use star, ring, tree, "
+                         "clos or fat-tree)" % (topology,))
+    return fabric
+
+
+def _capacities(fabric: Fabric) -> Tuple[Dict[int, Set[int]],
+                                         Dict[Tuple[int, int], int]]:
+    """Switch-graph adjacency plus per-edge capacities.
+
+    Parallel cables count: a 2-switch ring carries two inter-switch
+    links, and its min-cut is 2, not 1.
+    """
+    adj: Dict[int, Set[int]] = {s.switch_id: set() for s in fabric.switches}
+    capacity: Dict[Tuple[int, int], int] = {}
+    for link in fabric.inter_switch_links():
+        a = link.end_a.switch.switch_id
+        b = link.end_b.switch.switch_id
+        adj[a].add(b)
+        adj[b].add(a)
+        capacity[(a, b)] = capacity.get((a, b), 0) + 1
+        capacity[(b, a)] = capacity.get((b, a), 0) + 1
+    return adj, capacity
+
+
+def _edge_switch_of(fabric: Fabric, node_id: int):
+    port = fabric.nic_ports[node_id]
+    return port.link.other(port).switch
+
+
+def min_cut(fabric: Fabric, src_switch: int, dst_switch: int) -> int:
+    """Link-disjoint path count between two switches (Edmonds-Karp on
+    the unit-capacity inter-switch graph) — the number of simultaneous
+    link failures a flow between their racks survives."""
+    if src_switch == dst_switch:
+        return 0
+    adj, residual = _capacities(fabric)
+    flow = 0
+    while True:
+        parent = {src_switch: None}
+        queue = deque([src_switch])
+        while queue and dst_switch not in parent:
+            here = queue.popleft()
+            for there in adj[here]:
+                if there not in parent and residual.get((here, there), 0) > 0:
+                    parent[there] = here
+                    queue.append(there)
+        if dst_switch not in parent:
+            return flow
+        node = dst_switch
+        while parent[node] is not None:
+            prev = parent[node]
+            residual[(prev, node)] -= 1
+            residual[(node, prev)] = residual.get((node, prev), 0) + 1
+            node = prev
+        flow += 1
+
+
+def summarize(n_nodes: int, topology: str = "fat-tree",
+              n_switches: Optional[int] = None,
+              radix: Optional[int] = None) -> str:
+    """A text summary of the fabric's shape, wiring and redundancy."""
+    fabric = build_graph(n_nodes, topology, n_switches, radix)
+    tiers: "OrderedDict[str, int]" = OrderedDict()
+    for switch in fabric.switches:
+        tier = getattr(switch, "tier", None) or "switch"
+        tiers[tier] = tiers.get(tier, 0) + 1
+    uplinks = fabric.inter_switch_links()
+    host_links = len(fabric.links) - len(uplinks)
+
+    lines = ["%s fabric: %d hosts, %d switches, %d links"
+             % (topology, n_nodes, len(fabric.switches), len(fabric.links))]
+    lines.append("  tiers:      " + ", ".join(
+        "%d %s" % (count, tier) for tier, count in tiers.items()))
+    lines.append("  links:      %d host, %d inter-switch"
+                 % (host_links, len(uplinks)))
+    # A host link occupies one switch port, an inter-switch link two.
+    ports_used = host_links + 2 * len(uplinks)
+    ports_total = sum(s.nports for s in fabric.switches)
+    lines.append("  ports:      %d of %d in use" % (ports_used, ports_total))
+
+    # Redundancy: link-disjoint paths between the first same-rack,
+    # adjacent-rack and cross-fabric host pairs that exist.
+    first_edge = _edge_switch_of(fabric, 0)
+    cross: List[Tuple[str, int]] = []
+    seen: Set[int] = set()
+    for other in range(1, n_nodes):
+        edge = _edge_switch_of(fabric, other)
+        if edge.switch_id == first_edge.switch_id or edge.switch_id in seen:
+            continue
+        seen.add(edge.switch_id)
+        cross.append(("host0 %s <-> host%d %s"
+                      % (first_edge.name, other, edge.name),
+                      min_cut(fabric, first_edge.switch_id,
+                              edge.switch_id)))
+        if len(cross) >= 2:
+            break
+    if cross:
+        lines.append("  redundancy (link-disjoint switch paths):")
+        for label, width in cross:
+            lines.append("    %-34s %d" % (label, width))
+    else:
+        lines.append("  redundancy: single switch, no inter-switch paths")
+    return "\n".join(lines)
+
+
+_TIER_RANK = {"edge": 0, "leaf": 0, "agg": 1, "spine": 1, "core": 2,
+              "switch": 1}
+
+
+def to_dot(n_nodes: int, topology: str = "fat-tree",
+           n_switches: Optional[int] = None,
+           radix: Optional[int] = None) -> str:
+    """Graphviz DOT of the fabric: hosts bottom, tiers ranked upward."""
+    fabric = build_graph(n_nodes, topology, n_switches, radix)
+    lines = ["graph fabric {", "  rankdir=BT;",
+             '  node [shape=box, fontsize=9];']
+    ranks: Dict[int, List[str]] = {}
+    for switch in fabric.switches:
+        tier = getattr(switch, "tier", None) or "switch"
+        label = "%s\\n(%s)" % (switch.name, tier)
+        lines.append('  "%s" [label="%s"];' % (switch.name, label))
+        ranks.setdefault(_TIER_RANK.get(tier, 1), []).append(switch.name)
+    for node_id in sorted(fabric.nic_ports):
+        lines.append('  "host%d" [shape=ellipse, fontsize=8];' % node_id)
+    ranks.setdefault(-1, []).extend(
+        "host%d" % node_id for node_id in sorted(fabric.nic_ports))
+    for link in fabric.links:
+        names = []
+        for end in (link.end_a, link.end_b):
+            if isinstance(end, SwitchPort):
+                names.append(end.switch.name)
+            else:
+                names.append("host%d" % end.nic.node_id)
+        lines.append('  "%s" -- "%s";' % tuple(names))
+    for rank in sorted(ranks):
+        members = "; ".join('"%s"' % name for name in ranks[rank])
+        lines.append("  { rank=same; %s }" % members)
+    lines.append("}")
+    return "\n".join(lines)

@@ -72,6 +72,12 @@ class NetFaultConfig:
     n_nodes: int = 4
     topology: str = "ring"
     n_switches: int = 2
+    radix: int = 0                    # Clos/fat-tree port count; 0 = default
+    # Directed workload endpoints.  None keeps the historic sweep shape
+    # (every node i paired with i + n/2, both directions); large-fabric
+    # campaigns name a handful of explicit cross-rack (src, dst) pairs
+    # instead of flooding hundreds of nodes with traffic.
+    pairs: Optional[Tuple[Tuple[int, int], ...]] = None
     messages: int = 12                # per directed pair
     message_bytes: int = 512
     message_gap_us: float = 2_000.0   # pacing, so the fault lands mid-stream
@@ -165,19 +171,23 @@ def _pick_fault_time(config: NetFaultConfig, rng: SeededRng) -> float:
 def inject_scenario(plane: NetworkFaultPlane, cluster, rng: SeededRng,
                     fault_at: float, scenario: str, *, n_nodes: int,
                     flap_down_us: float = 12_000.0,
-                    corrupt_rate: float = 0.25) -> None:
+                    corrupt_rate: float = 0.25,
+                    pair: Optional[Tuple[int, int]] = None) -> None:
     """Arm ``scenario`` on the uplink carrying cross-switch traffic.
 
     The victim is the inter-switch link on the installed route of the
-    first cross-switch pair (node 0 -> node n/2) — cutting an idle
-    uplink would test nothing.  Shared by the netfaults campaign and the
-    ``slo-chaos`` load-plane overlay (:mod:`repro.load.chaos`).
+    watched cross-switch pair — by default node 0 -> node n/2, the
+    first pair of the historic sweep; campaigns on larger fabrics pass
+    the (src, dst) pair their workload actually drives.  Cutting an
+    idle uplink would test nothing.  Shared by the netfaults campaign
+    and the ``slo-chaos`` load-plane overlay (:mod:`repro.load.chaos`).
     """
     uplinks = plane.fabric.inter_switch_links()
     if not uplinks:
         raise ValueError("fabric has no inter-switch links to fault")
-    route = cluster[0].mcp.routing_table.get(n_nodes // 2)
-    on_path = [link for link in plane.links_on_route(0, route or [])
+    src, dst = pair if pair is not None else (0, n_nodes // 2)
+    route = cluster[src].mcp.routing_table.get(dst)
+    on_path = [link for link in plane.links_on_route(src, route or [])
                if link in uplinks]
     victims = on_path or uplinks
     link = victims[rng.randrange(len(victims))]
@@ -201,7 +211,8 @@ def _inject(config: NetFaultConfig, plane: NetworkFaultPlane,
     inject_scenario(plane, cluster, rng, fault_at, config.scenario,
                     n_nodes=config.n_nodes,
                     flap_down_us=config.flap_down_us,
-                    corrupt_rate=config.corrupt_rate)
+                    corrupt_rate=config.corrupt_rate,
+                    pair=config.pairs[0] if config.pairs else None)
 
 
 def netfault_family(config: NetFaultConfig):
@@ -210,14 +221,16 @@ def netfault_family(config: NetFaultConfig):
     The boot depends on the cluster shape only — every scenario of a
     sweep reuses the same booted fabric.
     """
-    return (config.n_nodes, config.topology, config.n_switches)
+    return (config.n_nodes, config.topology, config.n_switches,
+            config.radix)
 
 
 def boot_netfault(config: NetFaultConfig):
     """Build and boot the shared pre-fault prefix (seed-independent)."""
     return build_cluster(config.n_nodes, flavor="ftgm",
                          seed=config.seed, topology=config.topology,
-                         n_switches=config.n_switches)
+                         n_switches=config.n_switches,
+                         radix=config.radix or None)
 
 
 def run_netfault_injection(config: NetFaultConfig) -> NetFaultOutcome:
@@ -225,21 +238,42 @@ def run_netfault_injection(config: NetFaultConfig) -> NetFaultOutcome:
     return resume_netfault(boot_netfault(config), config)
 
 
-def resume_netfault(cluster, config: NetFaultConfig) -> NetFaultOutcome:
-    """Arm, inject, observe and classify on an already-booted cluster."""
+def resume_netfault(cluster, config: NetFaultConfig,
+                    inject_fn: Optional[Callable] = None,
+                    detector_nodes: Optional[List[int]] = None,
+                    detector_kwargs: Optional[Dict] = None
+                    ) -> NetFaultOutcome:
+    """Arm, inject, observe and classify on an already-booted cluster.
+
+    ``inject_fn(config, plane, cluster, rng, fault_at)`` overrides the
+    default :func:`inject_scenario` dispatch — the Clos campaign's
+    compound scenarios (rack loss, cascades) plug in here while reusing
+    the whole workload/observe/classify machinery.  ``detector_nodes``
+    and ``detector_kwargs`` pass through to :func:`arm_detectors`: on a
+    hundreds-of-nodes fabric only the workload-active nodes are armed,
+    so idle nodes can stay parked.
+    """
     rng = SeededRng(config.seed, "netfault/%d" % config.run_id)
     sim = cluster.sim
     # The plane mutates switches and links, which live on the fabric's
     # wheel under sharded execution — co-locate its processes with them.
     plane = NetworkFaultPlane(cluster.fabric_sim, cluster.fabric,
                               rng.spawn("plane"), tracer=cluster.tracer)
-    detectors = arm_detectors(cluster)
+    detectors = arm_detectors(cluster, nodes=detector_nodes,
+                              **(detector_kwargs or {}))
     fault_at = sim.now + _pick_fault_time(config, rng)
-    _inject(config, plane, cluster, rng.spawn("target"), fault_at)
+    if inject_fn is not None:
+        inject_fn(config, plane, cluster, rng.spawn("target"), fault_at)
+    else:
+        _inject(config, plane, cluster, rng.spawn("target"), fault_at)
 
-    # Cross-switch directed pairs: node i <-> node i + n/2 both ways.
-    half = config.n_nodes // 2
-    pairs = [(i, i + half) for i in range(half)]
+    # Cross-switch directed pairs, both ways.  Historic shape: node i
+    # <-> node i + n/2; explicit ``pairs`` on large fabrics.
+    if config.pairs is not None:
+        pairs = [tuple(p) for p in config.pairs]
+    else:
+        half = config.n_nodes // 2
+        pairs = [(i, i + half) for i in range(half)]
     directed = [(a, b) for a, b in pairs] + [(b, a) for a, b in pairs]
     expected = {
         (src, dst, i): Payload.pattern(config.message_bytes,
@@ -371,6 +405,8 @@ def resume_netfault(cluster, config: NetFaultConfig) -> NetFaultOutcome:
 class NetFaultCampaignResult:
     """Aggregate of one netfault campaign."""
 
+    TITLE = "Netfault campaign"
+
     seed: int
     outcomes: List[NetFaultOutcome]
     counts: Dict[str, Dict[str, int]] = field(init=False)
@@ -405,8 +441,8 @@ class NetFaultCampaignResult:
 
     def render(self) -> str:
         lines = [
-            "Netfault campaign (seed=%d, %d runs)"
-            % (self.seed, len(self.outcomes)),
+            "%s (seed=%d, %d runs)"
+            % (self.TITLE, self.seed, len(self.outcomes)),
             "%-18s %9s %11s %6s %11s" % ("Scenario", "reroute",
                                          "retransmit", "lost",
                                          "deadlocked"),

@@ -58,6 +58,7 @@ class PathDetector:
                  scout_settle_us: float = 1_500.0,
                  min_reverdict_us: float = 250_000.0,
                  phase_us: Optional[float] = None,
+                 scout_ttl: Optional[int] = None,
                  tracer: Optional[Tracer] = None):
         self.sim = driver.sim
         self.driver = driver
@@ -69,6 +70,11 @@ class PathDetector:
         self.probe_retries = probe_retries
         self.scout_settle_us = scout_settle_us
         self.min_reverdict_us = min_reverdict_us
+        # Hop budget of the escalation scout flood.  The default (the
+        # mapper's own TTL) is fine on small fabrics; large multi-tier
+        # fabrics cap it to what reaches any host (5 hops on a 3-tier
+        # fat-tree) because flood cost grows with path multiplicity.
+        self.scout_ttl = scout_ttl
         # Stagger sweeps across nodes so concurrent detectors do not all
         # classify the same fault in the same deterministic instant.
         self.phase_us = phase_us if phase_us is not None \
@@ -209,9 +215,11 @@ class PathDetector:
         agent = mcp.mapper_agent
         agent.replies.drain()   # discard stale replies from older rounds
         from ..net.mapper import Mapper
+        ttl = self.scout_ttl if self.scout_ttl is not None \
+            else Mapper.SCOUT_TTL
         scout = Packet(ptype=PacketType.MAPPER_SCOUT,
                        src_node=self.node_id, dest_node=-1,
-                       flood=True, ttl=Mapper.SCOUT_TTL)
+                       flood=True, ttl=ttl)
         mcp._transmit(scout)
         self.scouts_sent += 1
         yield self.sim.timeout(self.scout_settle_us)
@@ -220,10 +228,20 @@ class PathDetector:
         return alive
 
 
-def arm_detectors(cluster, **kwargs) -> List[PathDetector]:
-    """Start one :class:`PathDetector` per node of an FTGM cluster."""
+def arm_detectors(cluster, nodes: Optional[List[int]] = None,
+                  **kwargs) -> List[PathDetector]:
+    """Start one :class:`PathDetector` per node of an FTGM cluster.
+
+    ``nodes`` restricts arming to the listed node ids — on a
+    hundreds-of-nodes fabric only the workload-active nodes have tx
+    streams to sweep, and idle nodes must stay parked (a sweeping
+    detector would keep every MCP awake).
+    """
     detectors = []
+    wanted = None if nodes is None else set(nodes)
     for node in cluster.nodes:
+        if wanted is not None and node.node_id not in wanted:
+            continue
         detector = PathDetector(node.driver, tracer=cluster.tracer,
                                 **kwargs)
         detector.start()

@@ -56,6 +56,15 @@ class NetworkFaultPlane:
         """The deterministic per-link child stream."""
         return self.rng.spawn("link%d" % self.link_index(link))
 
+    def scenario_rng(self, name: str) -> SeededRng:
+        """A deterministic child stream for one compound scenario.
+
+        Compound scenarios (rack loss, cascades) draw victims and
+        stagger times from their own named child, so adding a scenario
+        to a campaign never perturbs the draws of another.
+        """
+        return self.rng.spawn("scenario/%s" % name)
+
     def links_on_route(self, src_node: int,
                        route: Sequence[int]) -> List[Link]:
         """The links a source-routed packet from ``src_node`` traverses.
@@ -135,6 +144,44 @@ class NetworkFaultPlane:
                          "%s.p%d" % (switch.name, port))
         self._schedule(at if at is not None else self.sim.now, act,
                        "revive")
+
+    # -- compound faults ------------------------------------------------------
+
+    def kill_switch(self, switch: Switch,
+                    at: Optional[float] = None) -> None:
+        """Kill every cabled port of a switch at once (rack/spine loss).
+
+        Models a whole switch dying — power, backplane — in one
+        instant: everything behind a leaf partitions simultaneously and
+        every equal-cost path through a spine vanishes at once.
+        """
+        def act() -> None:
+            for port in switch.ports:
+                if port.link is not None:
+                    switch.kill_port(port.index)
+            self._record("kill_switch", switch.name)
+        self._schedule(at if at is not None else self.sim.now, act,
+                       "kill-sw")
+
+    def revive_switch(self, switch: Switch,
+                      at: Optional[float] = None) -> None:
+        def act() -> None:
+            for port in list(switch.dead_ports):
+                switch.revive_port(port)
+            self._record("revive_switch", switch.name)
+        self._schedule(at if at is not None else self.sim.now, act,
+                       "revive-sw")
+
+    def cascade_cut(self, links: Sequence[Link], at: float,
+                    stagger_us: float = 0.0) -> None:
+        """Sever several links in sequence, ``stagger_us`` apart.
+
+        ``stagger_us = 0`` is a correlated simultaneous failure; a
+        positive stagger models a spreading fault (each cut lands while
+        recovery from the previous one may still be in flight).
+        """
+        for index, link in enumerate(links):
+            self.cut_link(link, at=at + index * stagger_us)
 
     # -- packet-level faults --------------------------------------------------
 

@@ -9,9 +9,9 @@ machinery.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
-__all__ = ["check_nodes", "check_pair"]
+__all__ = ["check_nodes", "check_pair", "fan_in_pairs"]
 
 
 def check_nodes(cluster, nodes: Iterable[int],
@@ -43,3 +43,37 @@ def check_pair(cluster, a: int, b: int) -> None:
     if a == b:
         raise ValueError(
             "workload needs two distinct nodes, got a == b == %d" % a)
+
+
+def fan_in_pairs(cluster, hotspot: int, n_clients: int,
+                 stride: int = 1) -> List[Tuple[int, int]]:
+    """Directed (client, hotspot) pairs converging on one node.
+
+    The fan-in shape the load plane's ``hotspot_node`` weighting
+    approximates stochastically, as an explicit deterministic pair
+    list: ``n_clients`` distinct senders, picked by walking the node
+    ids from the hotspot in ``stride`` steps (mod cluster size) —
+    ``stride = hosts-per-rack`` spreads the clients one per rack, which
+    makes every flow cross the spine/core stage.
+    """
+    n = len(cluster)
+    check_nodes(cluster, (hotspot,), names=("hotspot",))
+    if stride < 1:
+        raise ValueError("stride must be >= 1, got %d" % stride)
+    if not 1 <= n_clients < n:
+        raise ValueError(
+            "fan-in of %d clients impossible with %d nodes"
+            % (n_clients, n))
+    clients: List[int] = []
+    taken = {hotspot}
+    node = hotspot
+    while len(clients) < n_clients:
+        node = (node + stride) % n
+        while node in taken:
+            # Stride orbit closed (gcd(stride, n) > 1) or revisited a
+            # client; slide to the next free id — n_clients < n
+            # guarantees one exists.
+            node = (node + 1) % n
+        taken.add(node)
+        clients.append(node)
+    return [(client, hotspot) for client in clients]

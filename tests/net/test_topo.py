@@ -1,0 +1,112 @@
+"""`repro topo`: graph construction, summaries, min-cut and DOT."""
+
+import pytest
+
+from repro.cli import main
+from repro.net.topo import build_graph, min_cut, summarize, to_dot
+
+
+class TestBuildGraph:
+    def test_fat_tree_dimensions(self):
+        fabric = build_graph(16, "fat-tree", radix=4)
+        tiers = {}
+        for switch in fabric.switches:
+            tiers[switch.tier] = tiers.get(switch.tier, 0) + 1
+        assert tiers == {"edge": 8, "agg": 8, "core": 4}
+        assert len(fabric.nic_ports) == 16
+
+    def test_fat_tree_256_at_radix_8(self):
+        fabric = build_graph(256, "fat-tree", radix=8)
+        assert len(fabric.switches) == 144          # 64 + 64 + 16
+        assert len(fabric.links) == 256 + 512
+
+    def test_clos_leaf_spine(self):
+        fabric = build_graph(16, "clos", n_switches=2, radix=8)
+        leaves = [s for s in fabric.switches if s.tier == "leaf"]
+        spines = [s for s in fabric.switches if s.tier == "spine"]
+        assert len(spines) == 2
+        # 8-port leaves keep 2 ports for spines -> 6 hosts per leaf.
+        assert len(leaves) == 3
+        assert len(fabric.inter_switch_links()) == len(leaves) * 2
+
+    def test_stub_graph_has_no_sram(self):
+        # The whole point: inspecting a 256-node fabric must not build
+        # NICs (2 MB SRAM each).
+        fabric = build_graph(64, "fat-tree", radix=8)
+        for port in fabric.nic_ports.values():
+            assert not hasattr(port.nic, "sram")
+
+    def test_tiny_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            build_graph(1, "star")
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_graph(8, "hypercube")
+
+
+class TestMinCut:
+    def test_parallel_ring_uplinks_both_count(self):
+        fabric = build_graph(8, "ring", n_switches=2)
+        assert min_cut(fabric, 0, 1) == 2
+
+    def test_fat_tree_cross_pod_width(self):
+        fabric = build_graph(16, "fat-tree", radix=4)
+        # Edge uplink fan-out is radix/2 = 2, the bottleneck stage.
+        assert min_cut(fabric, 0, 2) == 2
+
+    def test_clos_width_is_spine_count(self):
+        fabric = build_graph(16, "clos", n_switches=2, radix=8)
+        assert min_cut(fabric, 0, 1) == 2
+
+    def test_tree_has_single_paths(self):
+        fabric = build_graph(8, "tree", n_switches=2)
+        leaves = [s.switch_id for s in fabric.switches if s.switch_id != 0]
+        assert min_cut(fabric, leaves[0], leaves[1]) == 1
+
+    def test_same_switch_is_zero(self):
+        fabric = build_graph(8, "ring", n_switches=2)
+        assert min_cut(fabric, 0, 0) == 0
+
+
+class TestSummarize:
+    def test_fat_tree_summary_lines(self):
+        text = summarize(16, "fat-tree", radix=4)
+        assert "16 hosts, 20 switches" in text
+        assert "8 edge, 8 agg, 4 core" in text
+        assert "32 inter-switch" in text
+
+    def test_star_reports_no_redundancy(self):
+        text = summarize(8, "star")
+        assert "no inter-switch paths" in text
+
+
+class TestDot:
+    def test_every_link_appears(self):
+        fabric = build_graph(16, "fat-tree", radix=4)
+        doc = to_dot(16, "fat-tree", radix=4)
+        assert doc.count(" -- ") == len(fabric.links)
+        assert doc.startswith("graph fabric {")
+        assert '"host0"' in doc and '"sw19"' in doc
+
+    def test_tiers_are_ranked(self):
+        doc = to_dot(16, "clos", n_switches=2, radix=8)
+        assert doc.count("rank=same") == 3   # hosts, leaves, spines
+
+
+class TestCliVerb:
+    def test_summary_to_stdout(self, capsys):
+        assert main(["topo", "fat-tree", "--nodes", "16",
+                     "--radix", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "20 switches" in out
+
+    def test_dot_to_file(self, tmp_path, capsys):
+        out_path = tmp_path / "fabric.dot"
+        assert main(["topo", "clos", "--nodes", "8", "--switches", "2",
+                     "--dot", str(out_path)]) == 0
+        assert out_path.read_text().startswith("graph fabric {")
+
+    def test_bad_shape_exits(self):
+        with pytest.raises(SystemExit):
+            main(["topo", "moebius"])

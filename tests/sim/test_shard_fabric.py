@@ -1,0 +1,103 @@
+"""Topology-aware sharding at scale: plans and 64-node identity."""
+
+from repro.cluster import build_cluster, plan_shards
+from repro.net.fabric import fat_tree_dimensions
+from repro.payload import Payload
+
+
+class TestPlanShardsLargeN:
+    def test_uneven_partition_stays_balanced(self):
+        plan = plan_shards(250, 8)
+        sizes = [plan.node_shard.count(s) for s in range(plan.n_shards)]
+        assert sum(sizes) == 250
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_shards_beyond_nodes_clamp(self):
+        plan = plan_shards(5, 64)
+        assert plan.n_shards == 5
+        assert plan.node_shard == (0, 1, 2, 3, 4)
+
+    def test_rack_span_keeps_racks_whole(self):
+        # 64-node radix-8 fat-tree: 4 hosts per edge switch.
+        half, _pods = fat_tree_dimensions(64, 8)
+        plan = plan_shards(64, 4, rack_span=half)
+        for rack_start in range(0, 64, half):
+            rack = plan.node_shard[rack_start:rack_start + half]
+            assert len(set(rack)) == 1, \
+                "rack at %d straddles wheels %s" % (rack_start, set(rack))
+
+    def test_rack_span_clamps_shards_to_racks(self):
+        # 8 nodes in racks of 4: at most 2 rack-aligned shards.
+        plan = plan_shards(8, 6, rack_span=4)
+        assert plan.n_shards == 2
+
+    def test_partial_last_rack_allowed(self):
+        plan = plan_shards(10, 2, rack_span=4)   # racks of 4, 4, 2
+        assert len(plan.node_shard) == 10
+        for rack_start in range(0, 10, 4):
+            rack = plan.node_shard[rack_start:rack_start + 4]
+            assert len(set(rack)) == 1
+
+    def test_fabric_keeps_dedicated_wheel_at_scale(self):
+        plan = plan_shards(256, 8, rack_span=4)
+        assert plan.fabric_shard == plan.n_shards
+        assert plan.n_wheels == plan.n_shards + 1
+
+
+class TestShardedFatTreePlacement:
+    def test_edge_switches_ride_their_racks_wheel(self):
+        cluster = build_cluster(64, flavor="gm", seed=11,
+                                topology="fat-tree", radix=8, shards=4)
+        plan = cluster.shard_plan
+        assert plan is not None and plan.n_shards == 4
+        wheels = {id(w): i
+                  for i, w in enumerate(cluster.sim.wheels)}
+        for node in cluster.nodes:
+            port = cluster.fabric.nic_ports[node.node_id]
+            edge = port.link.other(port).switch
+            assert wheels[id(edge.sim)] == plan.wheel_of(node.node_id)
+        # Aggregation and core switches stay on the fabric wheel.
+        for switch in cluster.fabric.switches:
+            if getattr(switch, "tier", None) in ("agg", "core", "spine"):
+                assert wheels[id(switch.sim)] == plan.fabric_shard
+
+
+def _drive_traffic(cluster, pairs):
+    """Send one cross-pod message per pair; return delivery fingerprints."""
+    results = {}
+
+    def flow(src, dst):
+        sport = yield from cluster[src].driver.open_port(2)
+        dport = yield from cluster[dst].driver.open_port(2)
+        data = (b"shard-identity %3d -> %3d " % (src, dst)) * 4
+        payload = Payload(len(data), data=data)
+        yield from dport.provide_receive_buffer(len(data))
+        yield from sport.send_and_wait(payload, dst, 2)
+        event = yield from dport.receive_message(timeout=50_000.0)
+        results[(src, dst)] = (None if event is None
+                               else event.payload.fingerprint)
+
+    for src, dst in pairs:
+        cluster[src].host.spawn(flow(src, dst), "flow%d-%d" % (src, dst))
+    cluster.sim.run(until=cluster.sim.now + 100_000.0)
+    return results
+
+
+class TestMergedScheduleIdentity:
+    def test_64_node_sharded_boot_and_traffic_match_serial(self):
+        pairs = [(0, 36), (17, 55)]          # both cross pods
+        snapshots = []
+        for shards in (1, 4):
+            cluster = build_cluster(64, flavor="gm", seed=11,
+                                    topology="fat-tree", radix=8,
+                                    shards=shards)
+            deliveries = _drive_traffic(cluster, pairs)
+            tables = [dict(node.mcp.routing_table)
+                      for node in cluster.nodes]
+            stats = [dict(node.mcp.stats) for node in cluster.nodes]
+            snapshots.append((deliveries, tables, stats))
+        serial, sharded = snapshots
+        assert serial[0] == sharded[0]
+        assert all(fp is not None for fp in serial[0].values())
+        assert serial[1] == sharded[1]
+        assert serial[2] == sharded[2]
