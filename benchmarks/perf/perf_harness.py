@@ -60,8 +60,11 @@ def _validate_entry(label: str, results: dict) -> None:
     every sub-result that reports ``runs_per_sec`` (the campaign-style
     benchmarks, whose wall clock scales with parallel fan-out) must say
     how many ``workers`` processes and simulator ``shards`` were in
-    play.  Applies to *new* merges only — historical entries predate the
-    shard axis and stay as recorded.
+    play, and whether the ``branch``-at-injection executor (one shared
+    prefix per group) produced the number — a branched runs/s is not
+    comparable to a cold-boot one without that flag.  Applies to *new*
+    merges only — historical entries predate these axes and stay as
+    recorded.
     """
     if not isinstance(results.get("cpus"), int):
         raise SystemExit(
@@ -70,7 +73,7 @@ def _validate_entry(label: str, results: dict) -> None:
     for name, sub in results.items():
         if not isinstance(sub, dict) or "runs_per_sec" not in sub:
             continue
-        missing = [axis for axis in ("workers", "shards")
+        missing = [axis for axis in ("workers", "shards", "branch")
                    if axis not in sub]
         if missing:
             raise SystemExit(

@@ -1,0 +1,206 @@
+"""Branch-at-injection: fork per-run branches from a shared live prefix.
+
+The fork-server (PR 4) amortizes the *boot*; this layer amortizes the
+whole **pre-injection window**.  A branch group's parent process boots
+the scenario family once and runs the shared, seed-independent prefix of
+the workload.  At each divergence gate — the message index an injection
+lands on, or the simulated instant a network fault fires — the parent
+``os.fork()``\\ s one copy-on-write child per run branching there.  The
+child adopts its run's resolved parameters, continues the simulation
+naturally to classification, spools its outcome frame, and exits; the
+parent never injects anything and keeps streaming to serve later gates.
+
+Byte-identity argument (docs/CHECKPOINT.md has the long form): the
+parent's trajectory up to a gate is exactly the trajectory every cold
+run of the family executes up to that gate — boot and workload prefix
+are seed-independent, per-run RNG draws are pure (no simulation side
+effects), and gates are synchronous calls invisible to the event wheel.
+A forked child therefore holds, bit for bit, the state a cold run holds
+at its own injection point: every tie-break counter, heap entry, RNG
+stream and SRAM byte.  Time-keyed gates additionally require that the
+per-run fault arming consumed its wheel ids in the shared prefix — the
+netfaults plane arms *placeholder* waiters there and the child rewrites
+their wheel entries to the run's true fire times (same entries, same
+tie-break seqs, true ``when``), which :mod:`repro.netfaults.plane`
+implements.
+
+Outcome frames use the fork-server's wire format and travel through
+per-run spool files (atomic rename), so arbitrarily large frames —
+telemetry envelopes included — never deadlock against a parent that is
+deep inside the simulation when the child finishes.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["BranchPlan", "Brancher", "BranchController",
+           "branching_available", "frame_bytes"]
+
+
+def branching_available() -> bool:
+    """Branch execution needs POSIX fork (and honors the fork-server
+    escape hatches, since a branch *is* a fork-server refinement)."""
+    if os.environ.get("REPRO_FORKSERVER", "1") == "0":
+        return False
+    if os.environ.get("REPRO_MP_START_METHOD", "fork") != "fork":
+        return False
+    return hasattr(os, "fork")
+
+
+def frame_bytes(obj: Any) -> bytes:
+    """One outcome frame, in the fork-server's length-prefixed format."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return struct.pack("!I", len(payload)) + payload
+
+
+class BranchPlan:
+    """One run's branch point within its group.
+
+    ``key`` orders and addresses the gate: the message index for
+    injection experiments, the absolute fault time for netfault
+    experiments.  ``config`` is the fully resolved per-run config (all
+    lazily-drawn parameters materialized by the planner, in cold draw
+    order) that the forked child adopts.
+    """
+
+    __slots__ = ("index", "config", "key")
+
+    def __init__(self, index: int, config: Any, key: Any):
+        self.index = index
+        self.config = config
+        self.key = key
+
+
+@dataclass
+class Brancher:
+    """An experiment's branch protocol (registry field ``brancher``).
+
+    ``group(config)`` keys the runs that can share one live prefix —
+    everything but the per-run seed and draws must match within a group.
+    ``plan(state, items)`` resolves each pending ``(index, config)``
+    into a :class:`BranchPlan` against the booted ``state``.
+    ``parent(state, config, controller)`` runs the gated resume: in the
+    parent it returns a discarded clean-run outcome after serving every
+    gate; in each forked child it returns that run's real outcome.
+    """
+
+    group: Callable[[Any], Any]
+    plan: Callable[[Any, List[Tuple[int, Any]]], List[BranchPlan]]
+    parent: Callable[[Any, Any, "BranchController"], Any]
+
+
+class BranchController:
+    """Fork bookkeeping shared by the gated resume functions.
+
+    Injection-style resumes call :meth:`gate` at each candidate index;
+    time-keyed resumes hand the wheel to :meth:`serve_time_gates`.
+    ``on_frame`` (set by the executor) receives each reaped child's
+    spooled frame bytes, in completion order, from the parent process.
+    """
+
+    def __init__(self, plans: List[BranchPlan], workers: int,
+                 spool_dir: str):
+        self.workers = max(1, workers)
+        self.spool_dir = spool_dir
+        self.child_plan: Optional[BranchPlan] = None
+        self.on_frame: Optional[Callable[[bytes], None]] = None
+        self._by_key: Dict[Any, List[BranchPlan]] = {}
+        for plan in plans:
+            self._by_key.setdefault(plan.key, []).append(plan)
+        self._ordered = sorted(plans, key=lambda p: (p.key, p.index))
+        self._live: Dict[int, Tuple[int, str]] = {}   # pid -> (index, path)
+
+    # -- child side ------------------------------------------------------------
+
+    def spool_path(self, plan: BranchPlan) -> str:
+        return os.path.join(self.spool_dir, "run%d.frame" % plan.index)
+
+    def ship_and_exit(self, tag: str, payload: Any) -> None:
+        """Child epilogue: spool this run's frame atomically, exit hard."""
+        plan = self.child_plan
+        path = self.spool_path(plan)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(frame_bytes((plan.index, tag, payload)))
+            os.replace(tmp, path)
+        finally:
+            os._exit(0)
+
+    # -- parent side -----------------------------------------------------------
+
+    def _fork(self, plan: BranchPlan) -> bool:
+        """Fork one child for ``plan``; True in the child."""
+        while len(self._live) >= self.workers:
+            self._reap_one()
+        pid = os.fork()
+        if pid == 0:
+            self._live = {}
+            self._by_key = {}
+            self.child_plan = plan
+            return True
+        self._live[pid] = (plan.index, self.spool_path(plan))
+        return False
+
+    def _reap_one(self) -> None:
+        pid, status = os.wait()
+        index, path = self._live.pop(pid)
+        data = None
+        if os.path.exists(path):
+            with open(path, "rb") as fh:
+                data = fh.read()
+            os.unlink(path)
+        if not data:
+            data = frame_bytes((index, "err",
+                                "branch child for run %d died without "
+                                "reporting an outcome (status %d)"
+                                % (index, status)))
+        if self.on_frame is not None:
+            self.on_frame(data)
+
+    def drain(self) -> None:
+        """Reap every outstanding child and relay its frame."""
+        while self._live:
+            self._reap_one()
+
+    # -- gates -----------------------------------------------------------------
+
+    def gate(self, key: Any) -> Optional[BranchPlan]:
+        """Index-keyed gate: fork every run branching at ``key``.
+
+        Called synchronously from inside the workload (no yield, no
+        event, no RNG — invisible to the simulation).  Returns the
+        adopted plan in a freshly forked child, None in the parent and
+        in children revisiting later gates.
+        """
+        if self.child_plan is not None:
+            return None
+        for plan in self._by_key.pop(key, ()):
+            if self._fork(plan):
+                return plan
+        return None
+
+    def serve_time_gates(self, sim, adopt: Callable[[BranchPlan], Any]
+                         ) -> Optional[Tuple[BranchPlan, Any]]:
+        """Time-keyed gates: advance, fork, and adopt at each fault time.
+
+        For each plan in ascending key order the parent drives the
+        wheel through every event *strictly before* the fault instant
+        (``run_before`` — the same pops a cold run performs), forks the
+        child, and moves on.  In the child, ``adopt(plan)`` rebinds the
+        placeholder arms to the run's true schedule before anything at
+        or after the fault instant executes; its result is returned with
+        the plan.  The parent returns None after the last gate.
+        """
+        if self.child_plan is not None:
+            return None
+        for plan in self._ordered:
+            sim.run_before(plan.key)
+            if self._fork(plan):
+                return plan, adopt(plan)
+        return None

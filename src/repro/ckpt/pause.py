@@ -1,0 +1,62 @@
+"""Paused runs: the live handle behind snapshots and time-travel debug.
+
+A resume function invoked with ``pause_at=<t_us>`` drives its workload
+up to simulated time ``t`` and hands back a :class:`PausedRun` instead
+of an outcome: the cluster is live, every process is parked exactly
+where the event wheel left it, and the caller can inspect state, step
+the clock forward, capture a snapshot, or finish the run.  This is the
+"re-enter a failed run just before the fault" workflow from
+docs/CHECKPOINT.md — no re-run from zero.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from .capture import capture_state
+
+__all__ = ["PausedRun"]
+
+
+class PausedRun:
+    """A run paused mid-flight at a simulated instant.
+
+    ``extras`` carries the run-scoped stateful objects that live outside
+    the cluster (the netfaults plane, armed detectors) so captures see
+    them; ``finish()`` resumes the run's own drive loop and returns the
+    classified outcome.
+    """
+
+    def __init__(self, cluster, config, extras: Optional[Dict[str, Any]],
+                 finish: Callable[[], Any]):
+        self.cluster = cluster
+        self.config = config
+        self.extras = extras or {}
+        self._finish = finish
+        self.finished = False
+
+    @property
+    def now(self) -> float:
+        return self.cluster.sim.now
+
+    def step(self, dt_us: float) -> float:
+        """Advance the simulation by ``dt_us``; returns the new clock."""
+        return self.run_until(self.cluster.sim.now + dt_us)
+
+    def run_until(self, at_us: float) -> float:
+        """Advance the simulation to absolute time ``at_us``."""
+        if self.finished:
+            raise RuntimeError("run already finished")
+        self.cluster.sim.run(until=at_us)
+        return self.cluster.sim.now
+
+    def capture(self) -> Dict[str, Any]:
+        """Canonical state capture of this instant (see ckpt.capture)."""
+        return capture_state(self.cluster, self.extras)
+
+    def finish(self) -> Any:
+        """Drive the run to completion and classify; returns the outcome."""
+        if self.finished:
+            raise RuntimeError("run already finished")
+        self.finished = True
+        return self._finish()

@@ -13,6 +13,11 @@ engine verbs drive anything registered::
     python -m repro run slo-chaos --peak-rate 2500 --profile spike-train
     python -m repro run spec.json       # re-run a saved spec exactly
     python -m repro metrics table1 --scale small --workers 4
+    python -m repro run table1 --scale small --branch-at injection
+    python -m repro snapshot netfaults --runs-per-scenario 1 \\
+        --at 4000 --run 2 --out nf.snapshot.json
+    python -m repro run netfaults --runs-per-scenario 1 \\
+        --from-snapshot nf.snapshot.json    # splice the restored run in
 
     python -m repro table1 --runs 300
     python -m repro table2
@@ -65,7 +70,10 @@ def _execute(experiment, spec, *, workers: int,
              telemetry: bool = False,
              trace: Optional[str] = None,
              shards: Optional[int] = None,
-             shard_schedule: Optional[str] = None):
+             shard_schedule: Optional[str] = None,
+             branch: bool = False,
+             from_snapshot: Optional[str] = None):
+    from .ckpt.snapshot import SnapshotMismatch
     from .exp.runner import JournalMismatch, run_experiment
 
     try:
@@ -74,8 +82,9 @@ def _execute(experiment, spec, *, workers: int,
             progress=_progress_printer(experiment, spec.runs),
             journal_path=journal, forkserver=forkserver,
             telemetry=telemetry, trace=trace is not None,
-            shards=shards, shard_schedule=shard_schedule)
-    except JournalMismatch as exc:
+            shards=shards, shard_schedule=shard_schedule,
+            branch=branch, from_snapshot=from_snapshot)
+    except (JournalMismatch, SnapshotMismatch) as exc:
         raise SystemExit("error: %s" % exc)
     if out:
         result.write(out)
@@ -107,7 +116,9 @@ def _run_registered(experiment, args) -> str:
                       forkserver=not getattr(args, "no_forkserver", False),
                       trace=trace,
                       shards=getattr(args, "shards", None),
-                      shard_schedule=getattr(args, "shard_schedule", None))
+                      shard_schedule=getattr(args, "shard_schedule", None),
+                      branch=getattr(args, "branch_at", None) == "injection",
+                      from_snapshot=getattr(args, "from_snapshot", None))
     return result.rendered
 
 
@@ -140,6 +151,20 @@ def _add_common_options(parser) -> None:
                              "(deterministic single-process, default), "
                              "windowed (conservative lookahead rounds), "
                              "or threads (windowed on a thread pool)")
+    parser.add_argument("--branch-at", default=None, dest="branch_at",
+                        choices=("injection", "stage"),
+                        help="fan runs out from one shared live prefix: "
+                             "'injection' boots each branch group once "
+                             "and forks every run at its fault gate "
+                             "(byte-identical results; experiments "
+                             "without a brancher fall back), 'stage' "
+                             "keeps the fork-server boot sharing")
+    parser.add_argument("--from-snapshot", default=None,
+                        dest="from_snapshot", metavar="PATH",
+                        help="restore this snapshot's pinned run from "
+                             "its checkpoint instead of re-running it "
+                             "(must match the spec); other runs execute "
+                             "normally")
 
 
 def _cmd_list(argv: List[str]) -> int:
@@ -156,8 +181,10 @@ def _cmd_list(argv: List[str]) -> int:
     return 0
 
 
-def _parse_engine_argv(prog: str, argv: List[str]):
-    """Shared target/options parsing for the ``run``/``metrics`` verbs."""
+def _parse_engine_argv(prog: str, argv: List[str],
+                       add_options: Callable = _add_common_options):
+    """Shared target/options parsing for the engine verbs
+    (``run``/``metrics``/``snapshot``)."""
     from .exp.registry import experiment_names, get_experiment
     from .exp.spec import ExperimentSpec
 
@@ -167,7 +194,7 @@ def _parse_engine_argv(prog: str, argv: List[str]):
     base.add_argument("target",
                       help="experiment name (see 'repro list') or a "
                            "spec .json path")
-    _add_common_options(base)
+    add_options(base)
     ns, rest = base.parse_known_args(argv)
 
     if ns.target.endswith(".json") or os.path.exists(ns.target):
@@ -201,8 +228,44 @@ def _cmd_run(argv: List[str]) -> int:
                       journal=ns.journal,
                       forkserver=not ns.no_forkserver,
                       trace=ns.trace,
-                      shards=ns.shards, shard_schedule=ns.shard_schedule)
+                      shards=ns.shards, shard_schedule=ns.shard_schedule,
+                      branch=ns.branch_at == "injection",
+                      from_snapshot=ns.from_snapshot)
     print(result.rendered)
+    return 0
+
+
+def _add_snapshot_options(parser) -> None:
+    parser.add_argument("--at", type=float, required=True, dest="at_us",
+                        metavar="T_US",
+                        help="simulated instant (us) to pause and "
+                             "checkpoint the run at")
+    parser.add_argument("--run", type=int, default=0, dest="run_index",
+                        metavar="N",
+                        help="run index within the expanded spec "
+                             "(default 0)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="snapshot file to write (default "
+                             "<experiment>-run<N>.snapshot.json)")
+
+
+def _cmd_snapshot(argv: List[str]) -> int:
+    """Checkpoint one run of an experiment at a simulated instant."""
+    from .ckpt.snapshot import (SnapshotMismatch, take_snapshot,
+                                write_snapshot)
+
+    experiment, spec, ns = _parse_engine_argv(
+        "repro snapshot", argv, add_options=_add_snapshot_options)
+    out = ns.out or "%s-run%d.snapshot.json" % (experiment.name,
+                                                ns.run_index)
+    try:
+        snapshot = take_snapshot(spec, ns.at_us, run_index=ns.run_index)
+    except SnapshotMismatch as exc:
+        raise SystemExit("error: %s" % exc)
+    write_snapshot(snapshot, out)
+    print("wrote %s (run %d of %s at %.1f us, state %s)"
+          % (out, ns.run_index, experiment.name, snapshot.at_us,
+             snapshot.state_hash[:16]))
     return 0
 
 
@@ -215,7 +278,9 @@ def _cmd_metrics(argv: List[str]) -> int:
                       journal=ns.journal,
                       forkserver=not ns.no_forkserver,
                       telemetry=True, trace=ns.trace,
-                      shards=ns.shards, shard_schedule=ns.shard_schedule)
+                      shards=ns.shards, shard_schedule=ns.shard_schedule,
+                      branch=ns.branch_at == "injection",
+                      from_snapshot=ns.from_snapshot)
     print(render_metrics_report(
         result.telemetry,
         title="%s (%d runs)" % (experiment.name, spec.runs)))
@@ -293,6 +358,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(argv[1:])
     if argv and argv[0] == "metrics":
         return _cmd_metrics(argv[1:])
+    if argv and argv[0] == "snapshot":
+        return _cmd_snapshot(argv[1:])
     if argv and argv[0] == "topo":
         return _cmd_topo(argv[1:])
     args = _legacy_parser().parse_args(argv)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import asdict
 from typing import Any, Dict, List
 
+from ..ckpt.branch import Brancher
 from ..faults.campaign import (
     CampaignResult,
     aggregate_effectiveness,
@@ -26,6 +27,8 @@ from ..faults.injector import (
     InjectionConfig,
     boot_injection,
     injection_family,
+    injection_group,
+    plan_injection_runs,
     resume_injection,
     run_injection,
 )
@@ -50,6 +53,8 @@ from ..netfaults.campaign import (
     NetFaultOutcome,
     boot_netfault,
     netfault_family,
+    netfault_group,
+    plan_netfault_runs,
     resume_netfault,
     run_netfault_injection,
 )
@@ -59,7 +64,9 @@ from ..netfaults.clos import (
     ClosFaultConfig,
     boot_closfault,
     closfault_family,
+    closfault_group,
     cross_fabric_pairs,
+    plan_closfault_runs,
     resume_closfault,
     run_closfault_injection,
 )
@@ -90,6 +97,58 @@ def _get(params: Dict[str, Any], key: str, default: Any) -> Any:
 
 def _identity(rendered: str) -> str:
     return rendered
+
+
+# -- checkpoint / branch hooks -------------------------------------------------
+#
+# ``pause`` runs a booted run to a simulated instant and hands back a
+# PausedRun (the hook behind ``repro snapshot``); a ``Brancher`` drives
+# one shared prefix per group and forks a child per run at its gate (the
+# hook behind ``repro run --branch-at injection``).  Module-level defs,
+# like every other registered callable.
+
+
+def _injection_pause(state, config, at):
+    return resume_injection(state, config, pause_at=at)
+
+
+def _injection_parent(state, config, controller):
+    return resume_injection(state, config, branch=controller)
+
+
+_INJECTION_BRANCHER = Brancher(group=injection_group,
+                               plan=plan_injection_runs,
+                               parent=_injection_parent)
+
+
+def _netfault_pause(state, config, at):
+    return resume_netfault(state, config, pause_at=at)
+
+
+def _netfault_parent(state, config, controller):
+    return resume_netfault(state, config, branch=controller)
+
+
+_NETFAULT_BRANCHER = Brancher(group=netfault_group,
+                              plan=plan_netfault_runs,
+                              parent=_netfault_parent)
+
+
+def _closfault_pause(state, config, at):
+    return resume_closfault(state, config, pause_at=at)
+
+
+def _closfault_parent(state, config, controller):
+    return resume_closfault(state, config, branch=controller)
+
+
+_CLOSFAULT_BRANCHER = Brancher(group=closfault_group,
+                               plan=plan_closfault_runs,
+                               parent=_closfault_parent)
+
+
+def _slo_chaos_pause(state, config, at):
+    return resume_slo_chaos(state, config, pause_at=at)
 
 
 # -- SWIFI campaigns: table1 / effectiveness / surface -------------------------
@@ -162,6 +221,8 @@ register(Experiment(
     boot=boot_injection,
     resume=resume_injection,
     boot_family=injection_family,
+    pause=_injection_pause,
+    brancher=_INJECTION_BRANCHER,
 ))
 
 
@@ -192,6 +253,8 @@ register(Experiment(
     boot=boot_injection,
     resume=resume_injection,
     boot_family=injection_family,
+    pause=_injection_pause,
+    brancher=_INJECTION_BRANCHER,
 ))
 
 
@@ -233,6 +296,8 @@ register(Experiment(
     boot=boot_injection,
     resume=resume_injection,
     boot_family=injection_family,
+    pause=_injection_pause,
+    brancher=_INJECTION_BRANCHER,
 ))
 
 
@@ -306,6 +371,8 @@ register(Experiment(
     boot=boot_netfault,
     resume=resume_netfault,
     boot_family=netfault_family,
+    pause=_netfault_pause,
+    brancher=_NETFAULT_BRANCHER,
 ))
 
 
@@ -410,6 +477,8 @@ register(Experiment(
     boot=boot_closfault,
     resume=resume_closfault,
     boot_family=closfault_family,
+    pause=_closfault_pause,
+    brancher=_CLOSFAULT_BRANCHER,
 ))
 
 
@@ -520,6 +589,7 @@ register(Experiment(
     boot=boot_slo_chaos,
     resume=resume_slo_chaos,
     boot_family=slo_chaos_family,
+    pause=_slo_chaos_pause,
 ))
 
 

@@ -34,6 +34,8 @@ __all__ = [
     "bench_slo_chaos",
     "bench_fabric_scaling",
     "bench_closfault",
+    "bench_snapshot",
+    "bench_branch_latefault",
     "run_bench",
     "run_all",
     "environment_info",
@@ -42,7 +44,7 @@ __all__ = [
 ]
 
 BENCH_NAMES = ("kernel_timeouts", "kernel_wakeups", "lanai_interpreter",
-               "campaign")
+               "campaign", "snapshot")
 
 
 def bench_kernel_events(total_yields: int = 200_000,
@@ -204,21 +206,28 @@ class _env_overrides:
 
 def bench_campaign(runs: int = 200, workers: int = 1, seed: int = 2003,
                    messages: int = 16, shards: int = None,
-                   shard_schedule: str = None) -> dict:
-    """Wall clock of a Table 1 campaign (the paper-scale workload)."""
+                   shard_schedule: str = None,
+                   branch: bool = False) -> dict:
+    """Wall clock of a Table 1 campaign (the paper-scale workload).
+
+    ``branch=True`` runs the same campaign through the branch-at-
+    injection executor (one shared live prefix per group, one forked
+    child per run) — same outcomes, the A side of the pr9 ledger entry.
+    """
     from ..faults import run_campaign
 
     shards, shard_schedule, overrides = _shard_env(shards, shard_schedule)
     t0 = time.perf_counter()
     with _env_overrides(overrides):
         result = run_campaign(runs=runs, seed=seed, messages=messages,
-                              workers=workers)
+                              workers=workers, branch=branch)
     wall = time.perf_counter() - t0
     return {
         "runs": runs,
         "workers": workers,
         "shards": shards,
         "shard_schedule": shard_schedule,
+        "branch": branch,
         "wall_s": round(wall, 3),
         "runs_per_sec": round(runs / wall, 3),
         "counts": dict(result.counts),
@@ -252,6 +261,7 @@ def bench_netfaults(runs_per_scenario: int = 1, workers: int = 1,
         "workers": workers,
         "shards": shards,
         "shard_schedule": shard_schedule,
+        "branch": False,
         "nodes": nodes,
         "wall_s": round(wall, 3),
         "runs_per_sec": round(spec.runs / wall, 3),
@@ -318,6 +328,7 @@ def bench_slo_chaos(runs_per_cell: int = 1, workers: int = 1,
         "workers": workers,
         "shards": shards,
         "shard_schedule": shard_schedule,
+        "branch": False,
         "wall_s": round(wall, 3),
         "runs_per_sec": round(spec.runs / wall, 3),
         "verdicts": dict(result.summary["verdicts"]),
@@ -389,13 +400,16 @@ def bench_fabric_scaling(sizes=(8, 64, 128, 256), radix: int = 8,
 def bench_closfault(runs_per_cell: int = 1, workers: int = 1,
                     nodes: int = 64, radix: int = 8,
                     scale: str = "full", shards: int = None,
-                    shard_schedule: str = None) -> dict:
+                    shard_schedule: str = None,
+                    branch: bool = False) -> dict:
     """Wall clock of the correlated-fault campaign on a fat-tree fabric.
 
     The large-fabric analogue of :func:`bench_netfaults`: compound
     scenarios (rack loss, spine loss, cascades, repair flaps) on a
     multi-tier fabric, dominated by the 3-tier boot+map and the
     detector-driven recovery rather than by raw packet counts.
+    ``branch=True`` shares one booted fabric + pre-fault prefix per
+    branch group and forks each run at its fault time (the pr9 A side).
     """
     from .registry import get_experiment
     from .runner import run_experiment
@@ -407,7 +421,7 @@ def bench_closfault(runs_per_cell: int = 1, workers: int = 1,
     shards, shard_schedule, _ = _shard_env(shards, shard_schedule)
     t0 = time.perf_counter()
     result = run_experiment(spec, workers=workers, shards=shards,
-                            shard_schedule=shard_schedule)
+                            shard_schedule=shard_schedule, branch=branch)
     wall = time.perf_counter() - t0
     counts = {scenario: sum(row.values())
               for scenario, row in result.summary["counts"].items()}
@@ -416,11 +430,103 @@ def bench_closfault(runs_per_cell: int = 1, workers: int = 1,
         "workers": workers,
         "shards": shards,
         "shard_schedule": shard_schedule,
+        "branch": branch,
         "nodes": nodes,
         "radix": radix,
         "wall_s": round(wall, 3),
         "runs_per_sec": round(spec.runs / wall, 3),
         "scenario_runs": counts,
+    }
+
+
+def bench_snapshot(sizes=(8, 64, 256), at_us: float = 4_000.0) -> dict:
+    """Snapshot/restore cost vs fabric size (the ckpt layer's price tag).
+
+    Each point pauses run 0 of a one-cell closfault spec at ``at_us``,
+    captures the canonical state, then restores it from the in-memory
+    snapshot (boot + prefix replay + verifying re-capture) — the two
+    legs of the ``repro snapshot`` / ``--from-snapshot`` workflow.
+    ``state_bytes`` is the canonical-JSON size of the hashed state
+    section, i.e. what a snapshot file costs on disk before the recipe.
+    """
+    from ..ckpt.capture import canonical_json
+    from ..ckpt.snapshot import restore_snapshot, take_snapshot
+    from .registry import get_experiment
+
+    experiment = get_experiment("closfault")
+    points = {}
+    for n in sizes:
+        spec = experiment.build_spec({
+            "scale": "small", "nodes": n,
+            "radix": 4 if n <= 16 else 8})
+        t0 = time.perf_counter()
+        snapshot = take_snapshot(spec, at_us, run_index=0)
+        t1 = time.perf_counter()
+        restore_snapshot(snapshot)
+        t2 = time.perf_counter()
+        points[str(n)] = {
+            "nodes": n,
+            "snapshot_wall_s": round(t1 - t0, 4),
+            "restore_wall_s": round(t2 - t1, 4),
+            "state_bytes": len(canonical_json(snapshot.capture["state"])),
+            "state_hash": snapshot.state_hash[:16],
+        }
+    return {"at_us": at_us, "points": points}
+
+
+def bench_branch_latefault(runs: int = 6, nodes: int = 64,
+                           radix: int = 8, n_pairs: int = 8,
+                           messages: int = 30,
+                           message_gap_us: float = 1_500.0,
+                           fault_at_us: float = 42_000.0) -> dict:
+    """Branch-at-injection in its design regime: busy fabric, late fault.
+
+    One rack-loss/ftgm cell where the pre-fault window is genuinely
+    expensive — ``n_pairs`` cross-fabric flows pace ``messages``
+    messages each over a big fat-tree and the fault lands near the end
+    of the stream — measured cold (fork-server, the pr8 executor) and
+    branched (one shared live prefix, a forked child per run) over the
+    same configs.  Both legs produce byte-identical outcomes; on the
+    default closfault/table1 grids the pre-fault window is already
+    nearly free (tickless fold + lazy parking), so this is where the
+    executor's prefix sharing actually shows up on the clock.
+    """
+    from ..faults.campaign import derive_run_seed
+    from ..netfaults.clos import ClosFaultConfig, cross_fabric_pairs
+    from .registry import get_experiment
+    from .runner import ForkBoot, run_branched, run_many
+
+    experiment = get_experiment("closfault")
+    pairs = tuple(cross_fabric_pairs(nodes, "fat-tree", radix,
+                                     n_pairs=n_pairs))
+    configs = [ClosFaultConfig(run_id=i, seed=derive_run_seed(2003, i),
+                               scenario="rack-loss/ftgm", flavor="ftgm",
+                               n_nodes=nodes, topology="fat-tree",
+                               radix=radix, pairs=pairs,
+                               messages=messages,
+                               message_gap_us=message_gap_us,
+                               fault_at_us=fault_at_us)
+               for i in range(runs)]
+    fork_boot = ForkBoot(family=experiment.boot_family or (lambda c: 0),
+                         boot=experiment.boot, resume=experiment.resume)
+    t0 = time.perf_counter()
+    run_many(configs, experiment.run_one, workers=1, fork_boot=fork_boot)
+    t1 = time.perf_counter()
+    run_branched(configs, experiment)
+    t2 = time.perf_counter()
+    cold_wall, branch_wall = t1 - t0, t2 - t1
+    return {
+        "runs": runs,
+        "workers": 1,
+        "shards": 1,
+        "branch": True,
+        "nodes": nodes,
+        "fault_at_us": fault_at_us,
+        "cold_wall_s": round(cold_wall, 3),
+        "branch_wall_s": round(branch_wall, 3),
+        "cold_runs_per_sec": round(runs / cold_wall, 3),
+        "runs_per_sec": round(runs / branch_wall, 3),
+        "speedup": round(cold_wall / branch_wall, 2),
     }
 
 
@@ -454,6 +560,12 @@ def run_bench(config: Dict[str, Any]) -> dict:
     if name == "campaign":
         return bench_campaign(config.get("campaign_runs", 200),
                               config.get("campaign_workers", 1))
+    if name == "snapshot":
+        return bench_snapshot(sizes=(8,) if quick else (8, 64, 256))
+    if name == "branch_latefault":
+        return bench_branch_latefault(runs=2 if quick else 6,
+                                      nodes=16 if quick else 64,
+                                      radix=4 if quick else 8)
     raise ValueError("unknown benchmark %r (have: %s)"
                      % (name, ", ".join(BENCH_NAMES)))
 
@@ -493,4 +605,20 @@ def render_results(results: Dict[str, Any]) -> str:
                  % ("campaign", campaign["runs_per_sec"],
                     campaign["runs"], campaign["workers"],
                     campaign["wall_s"]))
+    snapshot = results.get("snapshot")
+    if snapshot:
+        for point in snapshot["points"].values():
+            lines.append(
+                "%-18s %4d nodes: snapshot %.2fs, restore %.2fs, "
+                "%.1f KiB state"
+                % ("snapshot", point["nodes"], point["snapshot_wall_s"],
+                   point["restore_wall_s"], point["state_bytes"] / 1024.0))
+    latefault = results.get("branch_latefault")
+    if latefault:
+        lines.append(
+            "%-18s cold %.2f runs/sec, branched %.2f runs/sec (%.2fx, "
+            "%d runs on %d nodes)"
+            % ("branch_latefault", latefault["cold_runs_per_sec"],
+               latefault["runs_per_sec"], latefault["speedup"],
+               latefault["runs"], latefault["nodes"]))
     return "\n".join(lines)

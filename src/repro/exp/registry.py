@@ -78,6 +78,16 @@ class Experiment:
     boot: Optional[Callable[[Any], Any]] = None
     resume: Optional[Callable[[Any, Any], Any]] = None
     boot_family: Optional[Callable[[Any], Any]] = None
+    # Checkpoint support (optional): ``pause(state, config, at)`` runs a
+    # booted run up to simulated time ``at`` and returns a
+    # ``repro.ckpt.PausedRun`` — the hook behind ``repro snapshot``.
+    pause: Optional[Callable[[Any, Any, float], Any]] = None
+    # Branch-at-injection support (optional): a ``Brancher`` whose
+    # ``group(config)`` keys configs sharing one common prefix,
+    # ``plan(state, configs)`` resolves each run's fork gate, and
+    # ``parent(state, config, controller)`` drives the shared prefix,
+    # forking one child per run at its gate (see repro.ckpt.branch).
+    brancher: Optional[Any] = None
 
 
 _REGISTRY: Dict[str, Experiment] = {}

@@ -51,7 +51,9 @@ from .spec import ExperimentSpec
 __all__ = [
     "derive_run_seed",
     "run_many",
+    "run_branched",
     "run_experiment",
+    "branch_supported",
     "ForkBoot",
     "forkserver_available",
     "Journal",
@@ -392,6 +394,147 @@ def _run_forkserver(pending: List, fork_boot: ForkBoot, workers: int,
                 % (got, len(items)))
 
 
+# -- branch-at-injection execution ---------------------------------------------
+
+
+def branch_supported(experiment) -> bool:
+    """True when ``experiment`` can run branch-at-injection here."""
+    from ..ckpt.branch import branching_available
+
+    return (experiment.brancher is not None
+            and experiment.boot is not None
+            and branching_available())
+
+
+def _serve_branch_group(items: List, experiment, workers: int,
+                        result_fd: int, telemetry: bool,
+                        trace: bool) -> None:
+    """Branch-group server body: boot once, run the shared live prefix,
+    fork one copy-on-write child per run at its gate.
+
+    The parent process *is* the shared prefix: it executes the gated
+    resume with the group's template config, never injecting anything,
+    and ``BranchController`` forks a child per plan at that run's gate.
+    Children finish their runs naturally, spool their outcome frames
+    (atomic rename — no pipe to deadlock against a parent that is deep
+    inside the simulation), and the parent relays reaped frames to
+    ``result_fd`` in completion order.
+    """
+    import shutil
+    import tempfile
+
+    from ..ckpt.branch import BranchController
+
+    brancher = experiment.brancher
+    template = items[0][1]
+    state = experiment.boot(template)
+    plans = brancher.plan(state, items)
+    spool_dir = tempfile.mkdtemp(prefix="repro-branch-")
+    ctl = BranchController(plans, workers, spool_dir)
+    ctl.on_frame = lambda data: os.write(result_fd, data)
+    telemetry_on = telemetry or trace
+    if telemetry_on:
+        from ..obs import runtime as obs_runtime
+        obs_runtime.configure(metrics=telemetry, tracing=trace)
+        obs_runtime.begin_run()
+    try:
+        outcome = brancher.parent(state, template, ctl)
+    except BaseException as exc:  # noqa: BLE001 — relayed to the parent
+        if ctl.child_plan is not None:
+            ctl.ship_and_exit("err", "%s: %s"
+                              % (type(exc).__name__, exc))
+        raise
+    if ctl.child_plan is not None:
+        # Forked child: ship this run's real outcome and exit hard.
+        payload = outcome
+        if telemetry_on:
+            from ..obs import runtime as obs_runtime
+            payload = _TelemetryEnvelope(outcome, obs_runtime.collect(),
+                                         obs_runtime.take_trace())
+        ctl.ship_and_exit("ok", payload)
+    # Parent: its clean, fault-free outcome is discarded by design.
+    ctl.drain()
+    shutil.rmtree(spool_dir, ignore_errors=True)
+
+
+def _run_branched(pending: List, experiment, workers: int,
+                  record: Callable[[int, Any], None], telemetry: bool,
+                  trace: bool) -> None:
+    """Group pending runs by branch group; one group server per group."""
+    brancher = experiment.brancher
+    groups: Dict[Any, List] = {}
+    for index, config in pending:
+        groups.setdefault(brancher.group(config),
+                          []).append((index, config))
+    for items in groups.values():
+        r_fd, w_fd = os.pipe()
+        server_pid = os.fork()
+        if server_pid == 0:
+            status = 1
+            try:
+                os.close(r_fd)
+                _serve_branch_group(items, experiment, workers, w_fd,
+                                    telemetry, trace)
+                status = 0
+            finally:
+                os.close(w_fd)
+                os._exit(status)
+        os.close(w_fd)
+        got = 0
+        try:
+            while True:
+                frame = _read_frame(r_fd)
+                if frame is None:
+                    break
+                index, tag, payload = frame
+                if tag != "ok":
+                    raise RuntimeError("branch run %d failed: %s"
+                                       % (index, payload))
+                record(index, payload)
+                got += 1
+        finally:
+            os.close(r_fd)
+            os.waitpid(server_pid, 0)
+        if got != len(items):
+            raise RuntimeError(
+                "branch group returned %d of %d outcomes"
+                % (got, len(items)))
+
+
+def run_branched(configs: Sequence[Any], experiment, *, workers: int = 1,
+                 progress: Optional[Callable[[int], None]] = None,
+                 completed: Optional[Dict[int, Any]] = None,
+                 on_outcome: Optional[Callable[[int, Any], None]] = None,
+                 telemetry: bool = False, trace: bool = False
+                 ) -> List[Any]:
+    """Branch-at-injection counterpart of :func:`run_many`.
+
+    Same contract — outcomes in config order, monotonic progress ticks,
+    ``completed`` runs skipped, ``on_outcome`` in completion order — but
+    runs execute as copy-on-write branches forked from each group's
+    shared live prefix at the injection point.  Outcomes are
+    byte-identical to the serial/pool/fork-server paths.
+    """
+    completed = dict(completed or {})
+    outcomes: List[Any] = [None] * len(configs)
+    for index, outcome in completed.items():
+        outcomes[index] = outcome
+    pending = [(index, config) for index, config in enumerate(configs)
+               if index not in completed]
+    ticker = _Ticker(progress, already_done=len(configs) - len(pending))
+
+    def record(index: int, outcome: Any) -> None:
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(index, outcome)
+        ticker.tick()
+
+    if pending:
+        _run_branched(pending, experiment, workers, record, telemetry,
+                      trace)
+    return outcomes
+
+
 def run_many(configs: Sequence[Any], runner: Callable[[Any], Any], *,
              workers: int = 1,
              progress: Optional[Callable[[int], None]] = None,
@@ -460,7 +603,9 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
                    telemetry: bool = False,
                    trace: bool = False,
                    shards: Optional[int] = None,
-                   shard_schedule: Optional[str] = None) -> ExperimentResult:
+                   shard_schedule: Optional[str] = None,
+                   branch: bool = False,
+                   from_snapshot: Optional[str] = None) -> ExperimentResult:
     """Expand, fan out, (optionally) journal, aggregate and render.
 
     With ``journal_path``, every completed run is appended to the
@@ -486,6 +631,20 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     seeds, so it never appears in the spec.  It travels through the
     ``REPRO_SHARDS``/``REPRO_SHARD_SCHEDULE`` environment so pool and
     fork-server children inherit it.
+
+    ``branch`` (the CLI's ``--branch-at injection``) runs the campaign
+    on the branch-at-injection executor where the experiment registered
+    a brancher: each group boots once, runs its live prefix once, and
+    forks a copy-on-write child per run at the injection point.  Like
+    sharding it is pure execution mode — outcomes are byte-identical —
+    and experiments without a brancher (or windowed/threaded shard
+    schedules, whose wheels cannot be single-stepped to an exact
+    instant) silently fall back to the normal executors.
+
+    ``from_snapshot`` restores a snapshot file (``repro snapshot``)
+    whose spec must match, finishes the checkpointed run from its
+    restored instant, and computes the remaining runs normally — the
+    combined result is byte-identical to a cold-boot campaign.
     """
     from .registry import get_experiment
 
@@ -513,6 +672,19 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
         decode = experiment.decode or (lambda value: value)
         completed = {index: decode(encoded)
                      for index, encoded in journal.load().items()}
+    if from_snapshot is not None:
+        from ..ckpt import SnapshotMismatch, load_snapshot, restore_snapshot
+
+        snap = load_snapshot(from_snapshot)
+        if ExperimentSpec.from_dict(snap.spec).spec_hash != spec.spec_hash:
+            raise SnapshotMismatch(
+                "snapshot %s pins spec %s; running spec %s from it would "
+                "mix configurations" % (from_snapshot,
+                                        ExperimentSpec.from_dict(
+                                            snap.spec).spec_hash,
+                                        spec.spec_hash))
+        if snap.run_index not in completed:
+            completed[snap.run_index] = restore_snapshot(snap).finish()
     on_outcome = None
     if journal is not None:
         def on_outcome(index: int, outcome: Any) -> None:
@@ -540,9 +712,16 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
             shard_env[key] = os.environ.get(key)
             os.environ[key] = value
     try:
-        outcomes = run_many(configs, runner, workers=workers,
-                            progress=progress, completed=completed,
-                            on_outcome=on_outcome, fork_boot=fork_boot)
+        if branch and branch_supported(experiment) \
+                and shard_schedule in (None, "merged"):
+            outcomes = run_branched(configs, experiment, workers=workers,
+                                    progress=progress, completed=completed,
+                                    on_outcome=on_outcome,
+                                    telemetry=telemetry, trace=trace)
+        else:
+            outcomes = run_many(configs, runner, workers=workers,
+                                progress=progress, completed=completed,
+                                on_outcome=on_outcome, fork_boot=fork_boot)
     finally:
         if telemetry_on:
             obs_runtime.reset()

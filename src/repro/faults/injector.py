@@ -33,7 +33,8 @@ except ImportError:                      # pragma: no cover
     _np = None
 
 __all__ = ["InjectionConfig", "run_injection", "boot_injection",
-           "resume_injection", "injection_family", "classify_deliveries"]
+           "resume_injection", "injection_family", "injection_group",
+           "plan_injection_runs", "classify_deliveries"]
 
 
 def classify_deliveries(received, expected) -> "tuple[int, int]":
@@ -91,6 +92,52 @@ def injection_family(config: InjectionConfig):
     return (config.flavor,)
 
 
+def injection_group(config: InjectionConfig):
+    """Key of the live prefix all runs in a branch group can share.
+
+    Everything that shapes the pre-injection trajectory must match; the
+    parent process runs one un-injected stream and forks each run off at
+    its gate.  The per-run ``seed`` is deliberately absent: boot never
+    draws the cluster rng, stream payloads are keyed by message index,
+    and the seed feeds only the run's private injection draws — which the
+    planner resolves per run and each child adopts at its gate.  (The
+    fork-server's ``injection_family`` leans on the same independence.)
+    """
+    return (config.flavor, config.messages,
+            config.message_bytes, config.observe_horizon_us)
+
+
+def plan_injection_runs(cluster, items):
+    """Resolve each pending run's branch gate against the booted cluster.
+
+    Materializes the lazily-drawn parameters in **cold draw order** (bit
+    first, then the injection index — the exact `randrange` sequence
+    :func:`resume_injection` performs) so a forked child that adopts the
+    resolved config holds precisely the values its cold run would have
+    drawn.  The draws touch only the run's private RNG stream, never the
+    simulation, so resolving them here is invisible to the prefix.
+    """
+    from dataclasses import replace
+
+    from ..ckpt.branch import BranchPlan
+
+    firmware = cluster[0].mcp.firmware
+    start, end = firmware.send_chunk_extent
+    section_bits = (end - start) * 8
+    plans = []
+    for index, config in items:
+        rng = SeededRng(config.seed, "inject/%d" % config.run_id)
+        bit = config.bit_offset if config.bit_offset is not None \
+            else rng.randrange(section_bits)
+        inject_after = config.inject_after_messages \
+            if config.inject_after_messages is not None \
+            else rng.randrange(1, config.messages)
+        resolved = replace(config, bit_offset=bit,
+                           inject_after_messages=inject_after)
+        plans.append(BranchPlan(index, resolved, inject_after))
+    return plans
+
+
 def boot_injection(config: InjectionConfig):
     """Build and boot the shared pre-fault prefix of an injection run.
 
@@ -110,8 +157,17 @@ def run_injection(config: InjectionConfig) -> InjectionOutcome:
     return resume_injection(boot_injection(config), config)
 
 
-def resume_injection(cluster, config: InjectionConfig) -> InjectionOutcome:
-    """Inject, observe and classify on an already-booted cluster."""
+def resume_injection(cluster, config: InjectionConfig,
+                     branch=None, pause_at: Optional[float] = None):
+    """Inject, observe and classify on an already-booted cluster.
+
+    ``branch`` (a :class:`repro.ckpt.branch.BranchController`) turns
+    this into the gated prefix of a branch group: the parent streams
+    without ever injecting, forking one child per run at its gate; each
+    child adopts its resolved config and continues exactly as a cold run
+    would.  ``pause_at`` instead parks the run at a simulated instant
+    and returns a :class:`repro.ckpt.PausedRun` (snapshot/time-travel).
+    """
     rng = SeededRng(config.seed, "inject/%d" % config.run_id)
     sim = cluster.sim
     target = cluster[0]
@@ -120,11 +176,19 @@ def resume_injection(cluster, config: InjectionConfig) -> InjectionOutcome:
     firmware = mcp.firmware
     start, end = firmware.send_chunk_extent
     section_bits = (end - start) * 8
-    bit = config.bit_offset if config.bit_offset is not None \
-        else rng.randrange(section_bits)
-    inject_after = config.inject_after_messages \
-        if config.inject_after_messages is not None \
-        else rng.randrange(1, config.messages)
+    if branch is not None:
+        # The branch parent never injects; children adopt their resolved
+        # (bit, inject_after) at the gate.  Cold runs draw here — the
+        # draws touch only this run's private stream, so skipping them
+        # in the parent is invisible to the shared prefix.
+        bit = None
+        inject_after = None
+    else:
+        bit = config.bit_offset if config.bit_offset is not None \
+            else rng.randrange(section_bits)
+        inject_after = config.inject_after_messages \
+            if config.inject_after_messages is not None \
+            else rng.randrange(1, config.messages)
 
     state = {
         "recv": {},          # index -> payload
@@ -139,6 +203,7 @@ def resume_injection(cluster, config: InjectionConfig) -> InjectionOutcome:
     }
 
     def sender():
+        nonlocal config, bit, inject_after, branch
         port = yield from target.driver.open_port(1)
 
         def make_cb(index):
@@ -150,6 +215,19 @@ def resume_injection(cluster, config: InjectionConfig) -> InjectionOutcome:
             return cb
 
         for i in range(config.messages):
+            if branch is not None:
+                # Fork every run branching at this message index; the
+                # gate is a synchronous call — no yield, no event, no
+                # draw — so the wheel never sees it.
+                adopted = branch.gate(i)
+                if adopted is not None:
+                    # Forked child: become this run.  The injection
+                    # check below fires with the adopted values at this
+                    # very index, exactly like the cold run.
+                    config = adopted.config
+                    bit = config.bit_offset
+                    inject_after = config.inject_after_messages
+                    branch = None
             if i == inject_after and state["injected_at"] is None:
                 # Flip the bit mid-stream, right before this send.
                 target.nic.sram.flip_bit(start * 8 + bit)
@@ -201,48 +279,61 @@ def resume_injection(cluster, config: InjectionConfig) -> InjectionOutcome:
     # field is frozen by the time _done() turns true (all sends resolved,
     # all receives recorded, no further activity), so observing up to a
     # slice past that instant classifies identically.
-    horizon = config.observe_horizon_us
-    while not _done():
-        next_at = sim.peek()
-        if next_at > horizon:
-            break
-        sim.run(until=min(next_at + 1_000.0, horizon))
-    # Small grace period so trailing events (late ACKs) settle.
-    sim.run(until=min(sim.now + 10_000.0, config.observe_horizon_us))
+    def drive(limit: float) -> None:
+        while not _done():
+            next_at = sim.peek()
+            if next_at > limit:
+                break
+            sim.run(until=min(next_at + 1_000.0, limit))
 
-    # -- observe and classify --------------------------------------------------
+    def finish():
+        drive(config.observe_horizon_us)
+        # Small grace period so trailing events (late ACKs) settle.
+        sim.run(until=min(sim.now + 10_000.0, config.observe_horizon_us))
 
-    delivered_ok, corrupted = classify_deliveries(state["recv"], expected)
+        # -- observe and classify ----------------------------------------------
 
-    current_mcp = target.driver.mcp  # may be a post-recovery reload
-    outcome = InjectionOutcome(
-        run_id=config.run_id,
-        bit_offset=bit,
-        injected_at=state["injected_at"] or -1.0,
-        faulting_source_line=firmware.source_line(start + bit // 8
-                                                  - (bit // 8) % 4),
-        local_hung=mcp.hung or (mcp.cpu is not None and mcp.cpu.hung),
-        hang_reason=mcp.dead_reason or (mcp.cpu.hang_reason
-                                        if mcp.cpu else None),
-        remote_hung=peer.mcp.hung,
-        mcp_restarts=mcp.stats["mcp_restarts"],
-        host_crashed=target.host.crashed or peer.host.crashed,
-        messages_expected=config.messages,
-        messages_delivered_ok=delivered_ok,
-        messages_corrupted=corrupted,
-        sends_errored=state["send_err"],
-        workload_completed=(state["send_done"] == config.messages
-                            and len(state["recv"]) == config.messages),
-    )
-    if config.flavor == "ftgm":
-        driver = target.driver
-        outcome.watchdog_fired = driver.fatal_interrupts > 0
-        outcome.recovery_attempted = bool(driver.ftd.recoveries)
-        # Full recovery: the stream finished exactly-once after reload.
-        outcome.recovered_fully = (
-            outcome.recovery_attempted
-            and outcome.workload_completed
-            and corrupted == 0
-            and delivered_ok == config.messages)
-    harvest_cluster(cluster, fault_at=state["injected_at"])
-    return outcome.finalize()
+        delivered_ok, corrupted = classify_deliveries(state["recv"],
+                                                      expected)
+
+        outcome = InjectionOutcome(
+            run_id=config.run_id,
+            bit_offset=bit if bit is not None else -1,
+            injected_at=state["injected_at"] or -1.0,
+            faulting_source_line=(
+                firmware.source_line(start + bit // 8 - (bit // 8) % 4)
+                if bit is not None else None),
+            local_hung=mcp.hung or (mcp.cpu is not None and mcp.cpu.hung),
+            hang_reason=mcp.dead_reason or (mcp.cpu.hang_reason
+                                            if mcp.cpu else None),
+            remote_hung=peer.mcp.hung,
+            mcp_restarts=mcp.stats["mcp_restarts"],
+            host_crashed=target.host.crashed or peer.host.crashed,
+            messages_expected=config.messages,
+            messages_delivered_ok=delivered_ok,
+            messages_corrupted=corrupted,
+            sends_errored=state["send_err"],
+            workload_completed=(state["send_done"] == config.messages
+                                and len(state["recv"]) == config.messages),
+        )
+        if config.flavor == "ftgm":
+            driver = target.driver
+            outcome.watchdog_fired = driver.fatal_interrupts > 0
+            outcome.recovery_attempted = bool(driver.ftd.recoveries)
+            # Full recovery: the stream finished exactly-once after
+            # reload.
+            outcome.recovered_fully = (
+                outcome.recovery_attempted
+                and outcome.workload_completed
+                and corrupted == 0
+                and delivered_ok == config.messages)
+        harvest_cluster(cluster, fault_at=state["injected_at"])
+        return outcome.finalize()
+
+    if pause_at is not None:
+        limit = min(pause_at, config.observe_horizon_us)
+        drive(limit)
+        sim.run(until=limit)
+        from ..ckpt.pause import PausedRun
+        return PausedRun(cluster, config, None, finish)
+    return finish()

@@ -36,6 +36,13 @@ class FtgmDriver(GmDriver):
         self.ftd = FaultToleranceDaemon(sim, self, self.tracer)
         self.fatal_interrupts = 0
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: GM driver state plus the FT additions."""
+        state = super().ckpt_state()
+        state["fatal_interrupts"] = self.fatal_interrupts
+        state["ftd"] = self.ftd.ckpt_state()
+        return state
+
     def start_ftd(self) -> None:
         """Launch the daemon ("run anytime before fault recovery")."""
         self.ftd.start()

@@ -115,6 +115,18 @@ class FaultToleranceDaemon:
         self.running = True
         self._proc = self.host.spawn(self._run(), self.name)
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: daemon latches and recovery history sizes."""
+        return {
+            "running": self.running,
+            "rerouting": self.rerouting,
+            "false_alarms": self.false_alarms,
+            "recoveries": len(self.recoveries),
+            "reroutes": len(self.reroutes),
+            "last_reroute_at": self._last_reroute_at,
+            "wakeups": self._wakeups.ckpt_state(),
+        }
+
     def notify(self) -> None:
         """Called from the driver's FATAL interrupt handler."""
         self._wakeups.put(self.sim.now)

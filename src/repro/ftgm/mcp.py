@@ -51,6 +51,14 @@ class FtgmMcp(Mcp):
     lanai_send_extra_us = 0.40
     lanai_recv_extra_us = 0.40
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: GM state plus the FTGM watchdog additions."""
+        state = super().ckpt_state()
+        state["watchdog_arms"] = self.watchdog_arms
+        state["seq_rewinds"] = self.seq_rewinds
+        state["watchdog_interval_us"] = self.watchdog_interval_us
+        return state
+
     # -- deviation 1 & 2: stream keying ------------------------------------------
 
     def tx_stream_key(self, token: SendToken) -> StreamKey:

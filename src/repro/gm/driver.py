@@ -91,6 +91,16 @@ class GmDriver:
         self.mcp.event_sinks[port_id] = port._event_sink
         return port
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: host-side driver state (MCP captured apart)."""
+        return {
+            "trace_source": self.trace_source,
+            "interpreted": self.interpreted,
+            "ports": sorted(self.ports),
+            "host_routes": {str(dest): list(route) for dest, route
+                            in sorted(self.host_routes.items())},
+        }
+
     def _free_port_id(self) -> int:
         for candidate in range(C.NUM_PORTS):
             if candidate not in self.ports:

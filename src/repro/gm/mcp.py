@@ -214,6 +214,58 @@ class Mcp:
     def hung(self) -> bool:
         return not self.running and self.dead_reason not in (None, "stopped")
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: the full control-program protocol state.
+
+        Covers lifecycle (incl. the lazy-parking latches — a parked MCP
+        must restore parked, with its arithmetic tick chain intact),
+        routing, per-port token queues, both stream directions, pending
+        host work, and the calibration counters.  Firmware bytes are not
+        repeated here: interpreted-mode firmware lives in SRAM, which the
+        NIC contract already digests.
+        """
+        return {
+            "name": self.name,
+            "running": self.running,
+            "paused": self.paused,
+            "dead_reason": self.dead_reason,
+            "interpreted": self.interpreted,
+            "lazy": self._lazy,
+            "parked": self._parked,
+            "park_next_tick": self._park_next_tick,
+            "park_prev_end": self._park_prev_end,
+            "fuse_end": self._fuse_end,
+            "routing_table": {str(dest): list(route) for dest, route
+                              in sorted(self.routing_table.items())},
+            "ports": {
+                str(port_id): {
+                    "open": port.open,
+                    "recv_tokens": [token.token_id
+                                    for token in port.recv_tokens],
+                }
+                for port_id, port in sorted(self.ports.items())
+            },
+            "tx_streams": [self.tx_streams[key].ckpt_state()
+                           for key in sorted(self.tx_streams)],
+            "rx_streams": [self.rx_streams[key].ckpt_state()
+                           for key in sorted(self.rx_streams)],
+            "rx_frags": {str(list(key)): len(frags) for key, frags
+                         in sorted(self.rx_frags.items())},
+            "doorbells": self.doorbells.ckpt_state(),
+            "host_requests": len(self.host_requests),
+            "alarms": [[alarm[0], alarm[1]] for alarm in self.alarms],
+            "stats": dict(sorted(self.stats.items())),
+            "busy_time": self.busy_time,
+            "send_busy_time": self.send_busy_time,
+            "recv_busy_time": self.recv_busy_time,
+            "l_timer_invocations": self.l_timer_invocations,
+            "l_timer_last": self.l_timer_last,
+            "l_timer_max_gap": self.l_timer_max_gap,
+            "ticks_absorbed": self.ticks_absorbed,
+            "ticks_parked": self.ticks_parked,
+            "cpu": self.cpu.ckpt_state() if self.cpu is not None else None,
+        }
+
     # -- host-facing entry points (called via driver/library) ------------------------
 
     def doorbell_send(self, token: SendToken) -> None:

@@ -271,6 +271,33 @@ class TxStream:
         return any(not r.failed for r in self.msgs.values()) \
             and self.acked_upto + 1 < self.send_cursor
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: complete Go-Back-N sender state."""
+        return {
+            "key": list(self.key),
+            "window": self.window,
+            "next_seq": self.next_seq,
+            "send_cursor": self.send_cursor,
+            "acked_upto": self.acked_upto,
+            "rto": self.rto,
+            "retries": self.retries,
+            "deadline": self.deadline,
+            "last_nack_expected": self._last_nack_expected,
+            "progressed_via_nack": self.progressed_via_nack,
+            "last_progress_at": self.last_progress_at,
+            "msgs": [
+                {
+                    "msg_id": msg_id,
+                    "seq_base": record.seq_base,
+                    "nfrags": record.nfrags,
+                    "acked_frags": record.acked_frags,
+                    "failed": record.failed,
+                    "size": record.token.size,
+                }
+                for msg_id, record in self.msgs.items()
+            ],
+        }
+
     def has_sendable(self) -> bool:
         if not self.msgs:
             # Idle stream: both sendable conditions below need a live
@@ -320,3 +347,16 @@ class RxStream:
         self.open_msg_id = None
         self.open_token = None
         self.received_bytes = 0
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: receive cursor plus open reassembly."""
+        return {
+            "key": list(self.key),
+            "expected_seq": self.expected_seq,
+            "last_acked": self.last_acked,
+            "last_nack_at": self.last_nack_at,
+            "open_msg_id": self.open_msg_id,
+            "open_token": self.open_token.token_id
+            if self.open_token is not None else None,
+            "received_bytes": self.received_bytes,
+        }

@@ -57,6 +57,19 @@ class SendToken:
             return 1
         return -(-self.size // mtu)
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: wire-relevant token fields."""
+        return {
+            "kind": "send",
+            "msg_id": self.msg_id,
+            "src_port": self.src_port,
+            "dest_node": self.dest_node,
+            "dest_port": self.dest_port,
+            "size": self.size,
+            "priority": self.priority,
+            "seq_base": self.seq_base,
+        }
+
 
 @dataclass
 class RecvToken:
@@ -75,3 +88,13 @@ class RecvToken:
 
     def matches(self, msg_size: int, priority: int) -> bool:
         return self.size >= msg_size and self.priority == priority
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: wire-relevant token fields."""
+        return {
+            "kind": "recv",
+            "token_id": self.token_id,
+            "port": self.port,
+            "size": self.size,
+            "priority": self.priority,
+        }

@@ -61,6 +61,11 @@ class DmaEngine:
         self.transactions = 0
         self.errors = 0
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: engine flag and transaction accounting."""
+        return {"enabled": self.enabled, "transactions": self.transactions,
+                "errors": self.errors}
+
     def _validate(self, host_addr: int, length: int) -> Optional[DmaResult]:
         """Common address checks; returns a failure result or None if OK."""
         if not self.enabled:

@@ -196,3 +196,32 @@ class Host:
     def _check_alive(self) -> None:
         if self.crashed:
             raise HostCrashed(self.crash_reason or "host crashed")
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: crash state, CPU, pinned memory, processes."""
+        regions = [
+            {
+                "id": region.region_id,
+                "addr": region.addr,
+                "size": region.size,
+                "port": region.owner_port,
+                "payload_size": region.payload.size
+                if region.payload is not None else None,
+                "payload_fp": region.payload.fingerprint
+                if region.payload is not None else None,
+            }
+            for addr, region in sorted(self._regions.items())
+        ]
+        return {
+            "name": self.name,
+            "crashed": self.crashed,
+            "crash_reason": self.crash_reason,
+            "cpu": self.cpu.ckpt_state(),
+            "cpu_time": dict(sorted(self.cpu_time.items())),
+            "page_table_entries": len(self.page_hash_table),
+            "regions": regions,
+            "next_addr": self._next_addr,
+            "next_region_id": self._next_region_id,
+            "irq_lines": sorted(self._irq_handlers),
+            "processes_alive": sum(1 for p in self._processes if p.is_alive),
+        }

@@ -127,6 +127,27 @@ class Nic:
         ok = yield from self.link.send(packet)
         return ok
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: the whole board below the control program.
+
+        The MCP itself is captured separately by the node walker (it is
+        firmware, not board hardware); the attached link belongs to the
+        fabric section.
+        """
+        return {
+            "name": self.name,
+            "powered": self.powered,
+            "resets": self.resets,
+            "timers_functional": self.timers_functional,
+            "dropped_arrivals": self.dropped_arrivals,
+            "status": self.status.ckpt_state(),
+            "timers": [timer.ckpt_state() for timer in self.timers],
+            "sram": self.sram.ckpt_state(),
+            "dma": self.dma.ckpt_state(),
+            "pci": self.pci.ckpt_state(),
+            "recv_ring": self.recv_ring.ckpt_state(),
+        }
+
     # -- lifecycle ------------------------------------------------------------------
 
     def reset(self) -> None:

@@ -106,3 +106,8 @@ class StatusRegister:
         """Power-on state; listeners survive (they model soldered wires)."""
         self.isr = 0
         self.imr = 0
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: both registers plus wired-listener count."""
+        return {"isr": self.isr, "imr": self.imr,
+                "listeners": len(self._listeners)}

@@ -136,3 +136,19 @@ class Sram:
         if length is None:
             length = self.size - address
         return self.read_bytes(address, length)
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: the bytes (as a digest) and write accounting.
+
+        The decode/block caches are deliberately absent: they are pure
+        functions of the memory content, dropped by a checkpoint and
+        rebuilt lazily as the restored interpreter re-executes — caching
+        state must never make two captures of identical memory unequal.
+        """
+        import hashlib
+
+        return {
+            "size": self.size,
+            "mem_sha256": hashlib.sha256(bytes(self._mem)).hexdigest(),
+            "invalidations": self.invalidations,
+        }

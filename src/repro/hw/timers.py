@@ -118,3 +118,8 @@ class IntervalTimer:
         self._armed = False
         self._deadline = None
         self._pending = None
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: armed flag and the absolute deadline."""
+        return {"index": self.index, "armed": self._armed,
+                "deadline": self._deadline}

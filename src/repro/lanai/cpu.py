@@ -78,6 +78,23 @@ class LanaiCpu:
         self.hung = False
         self.hang_reason = None
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: architectural state plus retire accounting.
+
+        The fused-block counters (``block_hits``/``blocks_translated``)
+        are cache effectiveness metrics, not architectural state — a
+        restore drops the caches, so they are excluded for the same
+        reason the SRAM excludes its decode caches.
+        """
+        return {
+            "regs": list(self.regs),
+            "pc": self.pc,
+            "hung": self.hung,
+            "hang_reason": self.hang_reason,
+            "instructions_retired": self.instructions_retired,
+            "busy_time": self.busy_time,
+        }
+
     def _hang(self, reason: str, pc: int) -> None:
         self.hung = True
         self.hang_reason = reason

@@ -119,14 +119,21 @@ def run_slo_chaos(config: SloChaosConfig) -> SloChaosOutcome:
     return resume_slo_chaos(boot_slo_chaos(config), config)
 
 
-def resume_slo_chaos(cluster, config: SloChaosConfig) -> SloChaosOutcome:
-    """Overlay fault + load on a booted cluster, grade against the SLO."""
+def resume_slo_chaos(cluster, config: SloChaosConfig, pause_at=None):
+    """Overlay fault + load on a booted cluster, grade against the SLO.
+
+    ``pause_at`` parks the run at a simulated instant and returns a
+    :class:`repro.ckpt.PausedRun` instead of an outcome (snapshot /
+    time-travel support); the chaos plane is seed-dependent from t=0, so
+    slo-chaos pauses but never branch-shares a prefix.
+    """
     rng = SeededRng(config.seed, "slo-chaos/%d" % config.run_id)
     sim = cluster.sim
     load_config = config.load_config()
     schedule = build_schedule(load_config)
 
     fault_at = -1.0
+    plane = None
     if config.scenario != "baseline":
         plane = NetworkFaultPlane(cluster.fabric_sim, cluster.fabric,
                                   rng.spawn("plane"),
@@ -142,31 +149,40 @@ def resume_slo_chaos(cluster, config: SloChaosConfig) -> SloChaosOutcome:
         # them — that asymmetry *is* the experiment.
         arm_detectors(cluster)
 
-    result = run_load(cluster, load_config, schedule)
-    observations = observe_stages(result)
-    verdict = grade_stages(config.slo, observations)
+    def grade(result) -> SloChaosOutcome:
+        observations = observe_stages(result)
+        verdict = grade_stages(config.slo, observations)
 
-    harvest_cluster(cluster,
-                    fault_at=result.started_at + fault_at
-                    if fault_at >= 0 else None)
-    harvest_load(result, observations)
+        harvest_cluster(cluster,
+                        fault_at=result.started_at + fault_at
+                        if fault_at >= 0 else None)
+        harvest_load(result, observations)
 
-    return SloChaosOutcome(
-        run_id=config.run_id,
-        scenario=config.scenario,
-        flavor=config.flavor,
-        fault_at=fault_at,
-        offered=sum(obs.offered for obs in observations),
-        accepted=sum(obs.accepted for obs in observations),
-        rejected=sum(obs.rejected for obs in observations),
-        completed=sum(obs.completed for obs in observations),
-        lost=sum(obs.lost for obs in observations),
-        duplicated=sum(obs.duplicated for obs in observations),
-        sends_ok=result.sends_ok,
-        sends_errored=result.sends_errored,
-        churn_executed=result.churn_executed,
-        verdict=verdict,
-    )
+        return SloChaosOutcome(
+            run_id=config.run_id,
+            scenario=config.scenario,
+            flavor=config.flavor,
+            fault_at=fault_at,
+            offered=sum(obs.offered for obs in observations),
+            accepted=sum(obs.accepted for obs in observations),
+            rejected=sum(obs.rejected for obs in observations),
+            completed=sum(obs.completed for obs in observations),
+            lost=sum(obs.lost for obs in observations),
+            duplicated=sum(obs.duplicated for obs in observations),
+            sends_ok=result.sends_ok,
+            sends_errored=result.sends_errored,
+            churn_executed=result.churn_executed,
+            verdict=verdict,
+        )
+
+    if pause_at is not None:
+        _partial, finish_load = run_load(cluster, load_config, schedule,
+                                         pause_at=pause_at)
+        from ..ckpt.pause import PausedRun
+        extras = {"plane": plane} if plane is not None else None
+        return PausedRun(cluster, config, extras,
+                         lambda: grade(finish_load()))
+    return grade(run_load(cluster, load_config, schedule))
 
 
 # -- the campaign --------------------------------------------------------------

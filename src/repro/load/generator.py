@@ -268,7 +268,8 @@ class LoadRunResult:
 
 
 def run_load(cluster, config: LoadConfig,
-             schedule: Optional[Schedule] = None) -> LoadRunResult:
+             schedule: Optional[Schedule] = None,
+             pause_at: Optional[float] = None):
     """Drive one load schedule against a booted cluster.
 
     The caller may pass a prebuilt ``schedule`` (the chaos runner does,
@@ -276,6 +277,12 @@ def run_load(cluster, config: LoadConfig,
     from the config.  Runs the simulator up to profile end + drain and
     returns the raw observations — grading lives in
     :mod:`repro.load.verdict`.
+
+    With ``pause_at`` (an absolute simulated instant), the run stops at
+    that time instead and a ``(result, finish)`` pair comes back:
+    ``result`` is the accounting-so-far (still mutating) and ``finish()``
+    drives the remaining schedule to the horizon and returns it settled —
+    the split behind ``repro snapshot`` for load-plane runs.
     """
     if len(cluster) != config.n_nodes:
         raise ValueError("config says %d nodes but cluster has %d"
@@ -372,9 +379,22 @@ def run_load(cluster, config: LoadConfig,
     for node in cluster.nodes:
         node.host.spawn(sender(node), "load-snd%d" % node.node_id)
 
-    while True:
-        next_at = sim.peek()
-        if next_at > horizon:
-            break
-        sim.run(until=min(next_at + 10_000.0, horizon))
+    def drive(limit: float) -> None:
+        while True:
+            next_at = sim.peek()
+            if next_at > limit:
+                break
+            sim.run(until=min(next_at + 10_000.0, limit))
+
+    if pause_at is not None:
+        limit = min(pause_at, horizon)
+        drive(limit)
+        sim.run(until=limit)
+
+        def finish() -> LoadRunResult:
+            drive(horizon)
+            return result
+
+        return result, finish
+    drive(horizon)
     return result

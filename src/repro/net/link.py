@@ -80,6 +80,22 @@ class _DeliveryQueue:
         if queue:
             self._arm(queue[0][0])
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: in-flight arrivals of this direction."""
+        return {
+            "armed": self.armed is not None,
+            "queue": [
+                {
+                    "when": when,
+                    "packet": packet.ckpt_state(),
+                    "duplicate": duplicate.ckpt_state()
+                    if duplicate is not None else None,
+                    "on_accept": on_accept is not None,
+                }
+                for when, packet, duplicate, on_accept in self.queue
+            ],
+        }
+
 
 class Link:
     """Two endpoints, one pipe per direction.
@@ -229,3 +245,24 @@ class Link:
         """Stable human-readable identity, e.g. 'nic0.port<->sw0.p0'."""
         return "%s<->%s" % (getattr(self.end_a, "name", "?"),
                             getattr(self.end_b, "name", "?"))
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: direction pipes, in-flight queues, faults."""
+        ka, kb = id(self.end_a), id(self.end_b)
+        return {
+            "ends": self.describe_ends(),
+            "up": self.up,
+            "latency": self.latency,
+            "carried": self.packets_carried,
+            "dropped": self.packets_dropped,
+            "duplicated": self.packets_duplicated,
+            "corrupted": self.packets_corrupted,
+            "cuts": self.cuts,
+            "fault_filter": self.fault_filter is not None,
+            "pipes": [self._pipes[ka].ckpt_state(),
+                      self._pipes[kb].ckpt_state()],
+            "delivery": [self._delivery[ka].ckpt_state(),
+                         self._delivery[kb].ckpt_state()],
+            "channels": [self._channels[k].ckpt_state()
+                         for k in (ka, kb) if k in self._channels],
+        }

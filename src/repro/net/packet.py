@@ -16,7 +16,7 @@ we keep that property: both stacks use this same class.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import List, Optional
 
 from ..payload import Payload
@@ -89,15 +89,22 @@ class Packet:
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
 
     def clone_flood_copy(self, in_port: int, out_port: int) -> "Packet":
-        """A replica of a flooded scout exiting ``out_port``."""
-        return replace(
-            self,
-            packet_id=next(_packet_ids),
-            route=[],
-            ttl=self.ttl - 1,
-            ingress_ports=self.ingress_ports + [in_port],
-            egress_ports=self.egress_ports + [out_port],
-        )
+        """A replica of a flooded scout exiting ``out_port``.
+
+        Hand-rolled field copy: ``dataclasses.replace`` re-runs the full
+        generated ``__init__`` per clone and flood fan-out makes this the
+        busiest allocation in a mapping wave.  There is no
+        ``__post_init__``, so a dict copy is behaviour-identical.
+        """
+        clone = Packet.__new__(Packet)
+        d = clone.__dict__
+        d.update(self.__dict__)
+        d["packet_id"] = next(_packet_ids)
+        d["route"] = []
+        d["ttl"] = self.ttl - 1
+        d["ingress_ports"] = self.ingress_ports + [in_port]
+        d["egress_ports"] = self.egress_ports + [out_port]
+        return clone
 
     # -- wire properties ---------------------------------------------------------
 
@@ -154,9 +161,44 @@ class Packet:
 
     def clone_for_retransmit(self) -> "Packet":
         """Fresh copy with a new packet id and un-consumed route."""
-        return replace(self, packet_id=next(_packet_ids),
-                       route=list(self.route),
-                       ingress_ports=[])
+        clone = Packet.__new__(Packet)
+        d = clone.__dict__
+        d.update(self.__dict__)
+        d["packet_id"] = next(_packet_ids)
+        d["route"] = list(self.route)
+        d["ingress_ports"] = []
+        return clone
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: every wire-visible field.
+
+        ``packet_id`` is deliberately absent — it comes from a
+        process-global diagnostic counter (see ckpt.capture's exclusion
+        list) and never influences simulated behaviour.
+        """
+        return {
+            "ptype": self.ptype,
+            "src_node": self.src_node,
+            "dest_node": self.dest_node,
+            "route": list(self.route),
+            "src_port": self.src_port,
+            "dst_port": self.dst_port,
+            "seq": self.seq,
+            "ack_seq": self.ack_seq,
+            "msg_id": self.msg_id,
+            "frag_offset": self.frag_offset,
+            "msg_total": self.msg_total,
+            "declared_len": self.declared_len,
+            "priority": self.priority,
+            "payload_size": self.payload.size,
+            "payload_fp": self.payload.fingerprint,
+            "hdr_csum": self.hdr_csum,
+            "crc": self.crc,
+            "ingress_ports": list(self.ingress_ports),
+            "egress_ports": list(self.egress_ports),
+            "flood": self.flood,
+            "ttl": self.ttl,
+        }
 
     def describe(self) -> str:
         return "%s %d->%d port %d->%d seq=%d frag@%d/%d (%dB)" % (

@@ -41,6 +41,8 @@ __all__ = [
     "boot_netfault",
     "resume_netfault",
     "netfault_family",
+    "netfault_group",
+    "plan_netfault_runs",
     "run_netfaults_campaign",
 ]
 
@@ -225,6 +227,42 @@ def netfault_family(config: NetFaultConfig):
             config.radix)
 
 
+def netfault_group(config: NetFaultConfig):
+    """Key of the live prefix all runs in a branch group can share.
+
+    Everything except the per-run identity (run_id, seed): the workload
+    is keyed by message indices, never by the run seed, so two runs
+    differing only in seed walk the same trajectory until their faults
+    fire — which is the whole branch-at-injection premise.
+    """
+    return (config.scenario, config.n_nodes, config.topology,
+            config.n_switches, config.radix, config.pairs,
+            config.messages, config.message_bytes,
+            config.message_gap_us, config.fault_at_us,
+            config.fault_window_us, config.flap_down_us,
+            config.corrupt_rate, config.observe_horizon_us)
+
+
+def plan_netfault_runs(cluster, items):
+    """Resolve each pending run's fault instant against the booted state.
+
+    Mirrors :func:`resume_netfault`'s draw order exactly — RNG children
+    are keyed by (seed, purpose) so spawning the plane stream first and
+    drawing the fault time second reproduces the cold sequence bit for
+    bit; the gate key **is** that replayed fault time.
+    """
+    from ..ckpt.branch import BranchPlan
+
+    t0 = cluster.sim.now
+    plans = []
+    for index, config in items:
+        crng = SeededRng(config.seed, "netfault/%d" % config.run_id)
+        crng.spawn("plane")
+        plans.append(BranchPlan(index, config,
+                                t0 + _pick_fault_time(config, crng)))
+    return plans
+
+
 def boot_netfault(config: NetFaultConfig):
     """Build and boot the shared pre-fault prefix (seed-independent)."""
     return build_cluster(config.n_nodes, flavor="ftgm",
@@ -241,8 +279,8 @@ def run_netfault_injection(config: NetFaultConfig) -> NetFaultOutcome:
 def resume_netfault(cluster, config: NetFaultConfig,
                     inject_fn: Optional[Callable] = None,
                     detector_nodes: Optional[List[int]] = None,
-                    detector_kwargs: Optional[Dict] = None
-                    ) -> NetFaultOutcome:
+                    detector_kwargs: Optional[Dict] = None,
+                    branch=None, pause_at: Optional[float] = None):
     """Arm, inject, observe and classify on an already-booted cluster.
 
     ``inject_fn(config, plane, cluster, rng, fault_at)`` overrides the
@@ -252,6 +290,14 @@ def resume_netfault(cluster, config: NetFaultConfig,
     and ``detector_kwargs`` pass through to :func:`arm_detectors`: on a
     hundreds-of-nodes fabric only the workload-active nodes are armed,
     so idle nodes can stay parked.
+
+    ``branch`` (a :class:`repro.ckpt.branch.BranchController`) turns the
+    run into a branch group's shared prefix: the parent arms far-future
+    *placeholder* waiters (same wheel entries, same tie-break seqs as a
+    cold arm), drives the wheel to each run's fault instant, forks, and
+    the child grafts its own fault schedule onto the placeholders.
+    ``pause_at`` instead parks the run at a simulated instant and
+    returns a :class:`repro.ckpt.PausedRun`.
     """
     rng = SeededRng(config.seed, "netfault/%d" % config.run_id)
     sim = cluster.sim
@@ -261,11 +307,19 @@ def resume_netfault(cluster, config: NetFaultConfig,
                               rng.spawn("plane"), tracer=cluster.tracer)
     detectors = arm_detectors(cluster, nodes=detector_nodes,
                               **(detector_kwargs or {}))
-    fault_at = sim.now + _pick_fault_time(config, rng)
-    if inject_fn is not None:
-        inject_fn(config, plane, cluster, rng.spawn("target"), fault_at)
+    inject = inject_fn if inject_fn is not None else _inject
+    start_at = sim.now
+    fault_at = start_at + _pick_fault_time(config, rng)
+    if branch is not None:
+        # Learn the template schedule's shape without touching the
+        # wheel, then arm one placeholder per action at the exact code
+        # position a cold run arms its waiters — identical spawn/seq
+        # consumption, parked fire times.
+        plane.begin_capture()
+        inject(config, plane, cluster, rng.spawn("target"), fault_at)
+        plane.arm_branch_slots(plane.drain_capture())
     else:
-        _inject(config, plane, cluster, rng.spawn("target"), fault_at)
+        inject(config, plane, cluster, rng.spawn("target"), fault_at)
 
     # Cross-switch directed pairs, both ways.  Historic shape: node i
     # <-> node i + n/2; explicit ``pairs`` on large fabrics.
@@ -346,56 +400,106 @@ def resume_netfault(cluster, config: NetFaultConfig,
         resolved = state["send_done"] + state["send_err"] >= total_sends
         return resolved and state["receivers_done"] >= len(directed)
 
+    if branch is not None:
+        def _adopt(plan):
+            """Forked-child epilogue: graft this run's true schedule.
+
+            Replays the run's private draws and its inject against a
+            capture-mode proxy plane (pure: RNG children derive from
+            (seed, purpose), the capture never touches the wheel), then
+            rewrites the parent's placeholders to the captured times.
+            """
+            cfg = plan.config
+            crng = SeededRng(cfg.seed, "netfault/%d" % cfg.run_id)
+            proxy = NetworkFaultPlane(cluster.fabric_sim, cluster.fabric,
+                                      crng.spawn("plane"),
+                                      tracer=cluster.tracer)
+            far = start_at + _pick_fault_time(cfg, crng)
+            if far != plan.key:
+                raise RuntimeError(
+                    "branch plan fault time %r != replayed draw %r"
+                    % (plan.key, far))
+            proxy.begin_capture()
+            inject(cfg, proxy, cluster, crng.spawn("target"), far)
+            plane.adopt_captured(proxy.drain_capture())
+            return far, proxy
+
+        got = branch.serve_time_gates(sim, _adopt)
+        if got is not None:
+            # We are a forked child: become this run.
+            plan, (child_fault_at, child_plane) = got
+            config = plan.config
+            fault_at = child_fault_at
+            plane = child_plane
+        # The parent falls through with its placeholders parked at
+        # _FAR_FUTURE: it completes as a clean, fault-free run whose
+        # outcome the executor discards.
+
     horizon = config.observe_horizon_us
-    while not _done():
-        next_at = sim.peek()
-        if next_at > horizon:
-            break
-        sim.run(until=min(next_at + 1_000.0, horizon))
-    sim.run(until=min(sim.now + 10_000.0, horizon))
 
-    # -- observe and classify --------------------------------------------------
+    def drive(limit: float) -> None:
+        while not _done():
+            next_at = sim.peek()
+            if next_at > limit:
+                break
+            sim.run(until=min(next_at + 1_000.0, limit))
 
-    outcome = NetFaultOutcome(run_id=config.run_id,
-                              scenario=config.scenario,
-                              fault_at=fault_at)
-    outcome.messages_expected = len(expected)
-    counts = state["deliveries"]
-    outcome.delivered_once = sum(1 for key in expected
-                                 if counts.get(key, 0) == 1)
-    outcome.duplicates = sum(count - 1 for key, count in counts.items()
-                             if key in expected and count > 1)
-    outcome.missing = sum(1 for key in expected if counts.get(key, 0) == 0)
-    outcome.sends_ok = state["send_done"]
-    outcome.sends_errored = state["send_err"]
-    outcome.workload_completed = (state["send_done"] == total_sends
-                                  and outcome.delivered_once
-                                  == len(expected))
-    outcome.resolved = _done()
-    outcome.nic_resets = sum(node.nic.resets for node in cluster.nodes)
-    outcome.card_recoveries = sum(len(ftd.recoveries)
-                                  for ftd in cluster.ftds())
-    reroutes = [record for ftd in cluster.ftds() for record in ftd.reroutes]
-    outcome.reroutes = len(reroutes)
-    outcome.reroutes_failed = sum(1 for r in reroutes if r.failed)
-    for detector in detectors:
-        outcome.verdicts.extend(detector.verdicts)
-    outcome.verdicts.sort()
+    def finish() -> NetFaultOutcome:
+        drive(horizon)
+        sim.run(until=min(sim.now + 10_000.0, horizon))
 
-    good = sorted((r for r in reroutes if not r.failed),
-                  key=lambda r: r.woken_at)
-    if good:
-        first = good[0]
-        outcome.verdict_at = first.verdict_at
-        outcome.reroute_woken_at = first.woken_at
-        outcome.reroute_mapped_at = first.mapped_at
-        outcome.reroute_installed_at = first.installed_at
-        after = [t for t, _s, _d, _i in state["delivery_times"]
-                 if t >= first.installed_at]
-        if after:
-            outcome.first_delivery_after_install = min(after)
-    harvest_cluster(cluster, fault_at=fault_at)
-    return outcome.finalize()
+        # -- observe and classify ----------------------------------------------
+
+        outcome = NetFaultOutcome(run_id=config.run_id,
+                                  scenario=config.scenario,
+                                  fault_at=fault_at)
+        outcome.messages_expected = len(expected)
+        counts = state["deliveries"]
+        outcome.delivered_once = sum(1 for key in expected
+                                     if counts.get(key, 0) == 1)
+        outcome.duplicates = sum(count - 1 for key, count in counts.items()
+                                 if key in expected and count > 1)
+        outcome.missing = sum(1 for key in expected
+                              if counts.get(key, 0) == 0)
+        outcome.sends_ok = state["send_done"]
+        outcome.sends_errored = state["send_err"]
+        outcome.workload_completed = (state["send_done"] == total_sends
+                                      and outcome.delivered_once
+                                      == len(expected))
+        outcome.resolved = _done()
+        outcome.nic_resets = sum(node.nic.resets for node in cluster.nodes)
+        outcome.card_recoveries = sum(len(ftd.recoveries)
+                                      for ftd in cluster.ftds())
+        reroutes = [record for ftd in cluster.ftds()
+                    for record in ftd.reroutes]
+        outcome.reroutes = len(reroutes)
+        outcome.reroutes_failed = sum(1 for r in reroutes if r.failed)
+        for detector in detectors:
+            outcome.verdicts.extend(detector.verdicts)
+        outcome.verdicts.sort()
+
+        good = sorted((r for r in reroutes if not r.failed),
+                      key=lambda r: r.woken_at)
+        if good:
+            first = good[0]
+            outcome.verdict_at = first.verdict_at
+            outcome.reroute_woken_at = first.woken_at
+            outcome.reroute_mapped_at = first.mapped_at
+            outcome.reroute_installed_at = first.installed_at
+            after = [t for t, _s, _d, _i in state["delivery_times"]
+                     if t >= first.installed_at]
+            if after:
+                outcome.first_delivery_after_install = min(after)
+        harvest_cluster(cluster, fault_at=fault_at)
+        return outcome.finalize()
+
+    if pause_at is not None:
+        limit = min(pause_at, horizon)
+        drive(limit)
+        sim.run(until=limit)
+        from ..ckpt.pause import PausedRun
+        return PausedRun(cluster, config, {"plane": plane}, finish)
+    return finish()
 
 
 # -- the campaign --------------------------------------------------------------

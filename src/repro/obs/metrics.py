@@ -86,6 +86,10 @@ class BusyTracker:
             return self.busy_time + (now - self._since)
         return self.busy_time
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: closed total plus the open interval start."""
+        return {"busy_time": self.busy_time, "since": self._since}
+
 
 class GaugeStat:
     """Summary of a sampled value: n, total, min, max (mean derivable)."""

@@ -611,6 +611,37 @@ class Simulator:
                 raise exc
         self._now = until
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: the wheel, exactly (docs/CHECKPOINT.md).
+
+        Captures the clock, both shared counters' positions, and every
+        heap entry in pop order ``(when, seq, kind, name)``.  The heap
+        list's internal layout is *not* part of the contract — two heaps
+        with different layouts but identical entry sets pop identically,
+        so the canonical form sorts by the globally unique ``(when,
+        seq)`` key.
+        """
+        from ..ckpt.capture import count_position
+
+        entries = []
+        for when, seq, item in self._queue:
+            cls = item.__class__
+            if cls is _Resume:
+                kind, name = "resume", item.process.name
+            elif cls is Process or isinstance(item, Process):
+                kind, name = "process", item.name
+            else:
+                kind, name = cls.__name__.lower(), ""
+            entries.append((when, seq, kind, name))
+        entries.sort(key=lambda e: (e[0], e[1]))
+        return {
+            "now": self._now,
+            "next_seq": count_position(self._seq),
+            "next_id": count_position(self.ids),
+            "queue": [list(e) for e in entries],
+            "inert": len(self.inert),
+        }
+
     def run_before(self, bound: float) -> None:
         """Process every queued event strictly earlier than ``bound``.
 

@@ -76,6 +76,15 @@ class Resource:
         while self._waiters and self.in_use < self.capacity:
             self._grant(self._waiters.popleft())
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: occupancy, queue depth, busy accounting."""
+        return {
+            "capacity": self.capacity,
+            "in_use": self.in_use,
+            "waiters": len(self._waiters),
+            "busy": self._busy.ckpt_state(),
+        }
+
     def acquire(self, hold: float) -> Generator:
         """Process helper: acquire, hold for ``hold`` time units, release."""
         req = self.request()
@@ -155,6 +164,22 @@ class Store:
         self.items.clear()
         return items
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: queued items in order, blocked-getter depth.
+
+        Items go through :func:`repro.ckpt.capture.stable_value` — model
+        objects supply their own contract, containers recurse, and
+        anything without a contract collapses to its type name (never a
+        default ``repr``, whose embedded address would poison the hash).
+        """
+        from ..ckpt.capture import stable_value
+
+        return {
+            "capacity": self.capacity,
+            "items": [stable_value(item) for item in self.items],
+            "getters": len(self._getters),
+        }
+
 
 class Pipe:
     """A serialized, rate-limited conduit.
@@ -197,3 +222,12 @@ class Pipe:
 
     def utilization(self, elapsed: Optional[float] = None) -> float:
         return self._res.utilization(elapsed)
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: rate parameters, moved bytes, inner resource."""
+        return {
+            "bandwidth": self.bandwidth,
+            "setup": self.setup,
+            "bytes_moved": self.bytes_moved,
+            "resource": self._res.ckpt_state(),
+        }

@@ -196,6 +196,26 @@ class ShardChannel:
             self.batches += 1
         return released
 
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: boundary stats plus buffered crossings."""
+        return {
+            "src": self.src.shard_id,
+            "dst": self.dst.shard_id,
+            "lookahead": self.lookahead,
+            "handoffs": self.handoffs,
+            "batches": self.batches,
+            "buffer": [
+                {
+                    "when": when,
+                    "packet": packet.ckpt_state(),
+                    "duplicate": duplicate.ckpt_state()
+                    if duplicate is not None else None,
+                    "on_accept": on_accept is not None,
+                }
+                for when, packet, duplicate, on_accept in self.buffer
+            ],
+        }
+
 
 class ShardedScheduler:
     """Coordinator for a set of shard wheels.
@@ -407,6 +427,58 @@ class ShardedScheduler:
             for wheel in wheels:
                 if wheel._now < until:
                     wheel._now = until
+
+    def run_before(self, bound: float) -> None:
+        """Process every queued event strictly earlier than ``bound``.
+
+        The sharded twin of :meth:`Simulator.run_before`, used by the
+        branch executor to advance a group parent to the instant just
+        before a fault fires.  It always uses the exact global-minimum
+        pop (with channel buffers flushed each step so a windowed
+        buffer cannot hide an earlier arrival) — the byte-identity
+        invariant makes exact stepping equivalent under every schedule.
+        Like the serial version, the clock is left at the last processed
+        event; the caller owns window-edge bookkeeping.
+        """
+        wheels = self.wheels
+        while True:
+            self._flush_all()
+            best = None
+            best_time = _INF
+            best_seq = 0
+            for wheel in wheels:
+                queue = wheel._queue
+                if queue:
+                    head = queue[0]
+                    when = head[0]
+                    if when < best_time or (when == best_time
+                                            and head[1] < best_seq):
+                        best, best_time, best_seq = wheel, when, head[1]
+            if best is None or best_time >= bound:
+                break
+            self._now = best_time
+            best.step()
+
+    def ckpt_state(self) -> dict:
+        """Snapshot contract: the whole sharded schedule, wheel by wheel.
+
+        The shared tie-break/id counters appear once here and once per
+        wheel (each wheel reports the shared position) — redundancy is
+        harmless and keeps the per-wheel contract uniform with serial.
+        """
+        from ..ckpt.capture import count_position
+
+        return {
+            "schedule": self.schedule + ("+threads" if self._threaded
+                                         else ""),
+            "now": self._now,
+            "next_seq": count_position(self._seq),
+            "next_id": count_position(self.ids),
+            "lookahead": None if self.lookahead is _INF else self.lookahead,
+            "windows": self.windows,
+            "wheels": [wheel.ckpt_state() for wheel in self.wheels],
+            "channels": [channel.ckpt_state() for channel in self.channels],
+        }
 
     # -- windowed (conservative rounds) schedule ---------------------------------
 

@@ -1,0 +1,184 @@
+"""Branch-at-injection vs cold boot: byte-identical, everywhere.
+
+The executor is pure execution mode: one shared prefix per branch group
+plus a copy-on-write fork per run must reproduce the cold-boot outcomes
+exactly — under serial and pooled fan-out, shards on and off, telemetry
+on and off — and experiments without a brancher must fall back to the
+normal executors with identical results.  Two golden tests pin the
+netfaults and closfault rendered documents both ways, so a future drift
+in either executor fails loudly against a recorded constant.
+"""
+
+import hashlib
+import pickle
+
+import pytest
+
+from repro.ckpt.branch import branching_available
+from repro.ckpt.snapshot import (
+    SnapshotMismatch,
+    take_snapshot,
+    write_snapshot,
+)
+from repro.exp.registry import get_experiment
+from repro.exp.runner import branch_supported, run_experiment
+
+SEEDS = [2003, 99]
+
+needs_fork = pytest.mark.skipif(
+    not branching_available(),
+    reason="branch executor needs os.fork")
+
+# Small-scale parameters for every registered data experiment (perf is
+# the benchmark harness, not a data experiment).
+SMALL_PARAMS = {
+    "table1": {"runs": 4, "scale": "small"},
+    "effectiveness": {"runs": 4, "scale": "small"},
+    "surface": {"runs": 4, "scale": "small"},
+    "netfaults": {"runs_per_scenario": 1},
+    "closfault": {"scale": "small"},
+    "slo-chaos": {"scale": "small"},
+    "table2": {"iterations": 2},
+    "table3": {},
+    "fig9": {},
+    "fig7": {"messages": 2},
+    "fig8": {"iterations": 2},
+    "fig45": {},
+}
+
+
+def _run(name, params, **kwargs):
+    spec = get_experiment(name).build_spec(params)
+    return run_experiment(spec, **kwargs)
+
+
+def _assert_same(cold, branched):
+    # Outcomes unpickled from branch frames don't share references the
+    # way in-process outcomes do, so the list-level pickle can differ
+    # while every element is byte-identical; compare element-wise.
+    assert len(cold.outcomes) == len(branched.outcomes)
+    for a, b in zip(cold.outcomes, branched.outcomes):
+        assert pickle.dumps(a) == pickle.dumps(b)
+    assert cold.summary == branched.summary
+    assert cold.rendered == branched.rendered
+
+
+@needs_fork
+class TestBranchMatchesCold:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_table1_serial(self, seed):
+        params = {"runs": 6, "scale": "small", "seed": seed}
+        _assert_same(_run("table1", params),
+                     _run("table1", params, branch=True))
+
+    def test_table1_workers_4(self):
+        params = {"runs": 6, "scale": "small"}
+        _assert_same(_run("table1", params),
+                     _run("table1", params, branch=True, workers=4))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_netfaults_serial(self, seed):
+        params = {"runs_per_scenario": 2, "seed": seed}
+        _assert_same(_run("netfaults", params),
+                     _run("netfaults", params, branch=True))
+
+    def test_closfault_serial(self):
+        params = {"scale": "small"}
+        _assert_same(_run("closfault", params),
+                     _run("closfault", params, branch=True))
+
+    def test_shards_merged(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        monkeypatch.setenv("REPRO_SHARD_SCHEDULE", "merged")
+        params = {"runs_per_scenario": 2}
+        _assert_same(_run("netfaults", params),
+                     _run("netfaults", params, branch=True))
+
+    def test_shards_windowed_falls_back_identically(self, monkeypatch):
+        # Windowed wheels can't be single-stepped to an exact instant,
+        # so branch=True must quietly take the cold path — and match.
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        monkeypatch.setenv("REPRO_SHARD_SCHEDULE", "windowed")
+        params = {"runs_per_scenario": 2}
+        _assert_same(_run("netfaults", params),
+                     _run("netfaults", params, branch=True))
+
+    def test_telemetry_on(self):
+        params = {"runs_per_scenario": 2}
+        cold = _run("netfaults", params, telemetry=True)
+        branched = _run("netfaults", params, branch=True, telemetry=True)
+        _assert_same(cold, branched)
+
+    def test_every_registered_experiment(self):
+        for name, params in SMALL_PARAMS.items():
+            _assert_same(_run(name, params),
+                         _run(name, params, branch=True))
+
+
+class TestFallback:
+    def test_slo_chaos_has_no_brancher(self):
+        assert not branch_supported(get_experiment("slo-chaos"))
+        assert branch_supported(get_experiment("table1"))
+
+    @needs_fork
+    def test_unbranchable_experiment_matches_cold(self):
+        params = {"scale": "small"}
+        _assert_same(_run("slo-chaos", params),
+                     _run("slo-chaos", params, branch=True))
+
+
+class TestFromSnapshot:
+    def test_from_snapshot_matches_cold_campaign(self, tmp_path):
+        spec = get_experiment("netfaults").build_spec(
+            {"runs_per_scenario": 1})
+        path = tmp_path / "nf.json"
+        write_snapshot(take_snapshot(spec, 4_000.0, run_index=2),
+                       str(path))
+        cold = run_experiment(spec)
+        spliced = run_experiment(spec, from_snapshot=str(path))
+        _assert_same(cold, spliced)
+
+    def test_wrong_spec_is_refused(self, tmp_path):
+        spec = get_experiment("netfaults").build_spec(
+            {"runs_per_scenario": 1})
+        path = tmp_path / "nf.json"
+        write_snapshot(take_snapshot(spec, 4_000.0, run_index=2),
+                       str(path))
+        other = get_experiment("netfaults").build_spec(
+            {"runs_per_scenario": 1, "seed": 99})
+        with pytest.raises(SnapshotMismatch):
+            run_experiment(other, from_snapshot=str(path))
+
+
+@needs_fork
+class TestGoldenDocs:
+    """Pinned rendered-document hashes, cold and branched.
+
+    Recorded from the tree at the PR that introduced the branch
+    executor.  A change here means the *simulation* changed, not just
+    the executor — update the constants only alongside a deliberate,
+    explained behavior change.
+    """
+
+    NETFAULTS_DOC = ("7b9302fd65f30ab9cca41231a5234c94c0d4"
+                     "1597385e036fa3ea8353ac210467")
+    CLOSFAULT_DOC = ("62bb32659387d0df8dd691c32123b61ae70f"
+                     "bc720cf9a01df709e34b1556466a")
+
+    @staticmethod
+    def _doc_hash(result):
+        return hashlib.sha256(result.rendered.encode()).hexdigest()
+
+    def test_netfaults_doc_pinned_both_ways(self):
+        params = {"runs_per_scenario": 1, "seed": 2003}
+        assert self._doc_hash(_run("netfaults", params)) \
+            == self.NETFAULTS_DOC
+        assert self._doc_hash(_run("netfaults", params, branch=True)) \
+            == self.NETFAULTS_DOC
+
+    def test_closfault_doc_pinned_both_ways(self):
+        params = {"scale": "small", "runs_per_cell": 1, "seed": 2003}
+        assert self._doc_hash(_run("closfault", params)) \
+            == self.CLOSFAULT_DOC
+        assert self._doc_hash(_run("closfault", params, branch=True)) \
+            == self.CLOSFAULT_DOC
