@@ -135,8 +135,18 @@ def capture_state(cluster, extras: Optional[Dict[str, Any]] = None
         state["extras"] = {key: _state_of(value)
                            for key, value in sorted(extras.items())}
     tracer = getattr(cluster, "tracer", None)
+    sampler = getattr(cluster, "sampler", None)
+    flight = getattr(cluster, "flight", None)
     observability = {
         "tracer": _state_of(tracer) if tracer is not None
+        else None,
+        # The continuous plane stays outside the hash like the tracer:
+        # the sampler's tracks and the recorder's ring describe how the
+        # run was *watched*, not what the simulation *is*.
+        "sampler": {"every_us": sampler.every_us,
+                    "samples": len(sampler.times)}
+        if sampler is not None else None,
+        "flight": {"ring": len(flight.ring)} if flight is not None
         else None,
     }
     return {

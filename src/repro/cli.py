@@ -13,6 +13,10 @@ engine verbs drive anything registered::
     python -m repro run slo-chaos --peak-rate 2500 --profile spike-train
     python -m repro run spec.json       # re-run a saved spec exactly
     python -m repro metrics table1 --scale small --workers 4
+    python -m repro metrics --from t1.json --json
+    python -m repro run slo-chaos --scale small --sample-every 5000 \\
+        --flight-recorder flights/ --out slo.json
+    python -m repro report slo.json
     python -m repro run table1 --scale small --branch-at injection
     python -m repro snapshot netfaults --runs-per-scenario 1 \\
         --at 4000 --run 2 --out nf.snapshot.json
@@ -69,6 +73,8 @@ def _execute(experiment, spec, *, workers: int,
              forkserver: bool = True,
              telemetry: bool = False,
              trace: Optional[str] = None,
+             sample_every: Optional[float] = None,
+             flight_dir: Optional[str] = None,
              shards: Optional[int] = None,
              shard_schedule: Optional[str] = None,
              branch: bool = False,
@@ -82,6 +88,7 @@ def _execute(experiment, spec, *, workers: int,
             progress=_progress_printer(experiment, spec.runs),
             journal_path=journal, forkserver=forkserver,
             telemetry=telemetry, trace=trace is not None,
+            sample_every=sample_every, flight_dir=flight_dir,
             shards=shards, shard_schedule=shard_schedule,
             branch=branch, from_snapshot=from_snapshot)
     except (JournalMismatch, SnapshotMismatch) as exc:
@@ -89,6 +96,8 @@ def _execute(experiment, spec, *, workers: int,
     if out:
         result.write(out)
         print("wrote %s" % out, file=sys.stderr)
+    for path in result.flight_dumps or []:
+        print("flight dump: %s" % path, file=sys.stderr)
     if trace:
         import json
 
@@ -115,6 +124,8 @@ def _run_registered(experiment, args) -> str:
                       journal=getattr(args, "journal", None),
                       forkserver=not getattr(args, "no_forkserver", False),
                       trace=trace,
+                      sample_every=getattr(args, "sample_every", None),
+                      flight_dir=getattr(args, "flight_recorder", None),
                       shards=getattr(args, "shards", None),
                       shard_schedule=getattr(args, "shard_schedule", None),
                       branch=getattr(args, "branch_at", None) == "injection",
@@ -139,6 +150,18 @@ def _add_common_options(parser) -> None:
                         help="capture per-run event traces and write a "
                              "Chrome-trace JSON here (load in Perfetto "
                              "or chrome://tracing)")
+    parser.add_argument("--sample-every", type=float, default=None,
+                        dest="sample_every", metavar="T_US",
+                        help="sample hot-loop counters every T_US of "
+                             "simulated time into per-run timeseries "
+                             "tracks (a 'timeseries' key in --out; "
+                             "Perfetto counter plots with --trace)")
+    parser.add_argument("--flight-recorder", default=None,
+                        dest="flight_recorder", metavar="DIR",
+                        help="arm the flight recorder: anomalous runs "
+                             "(SLO breach, deadlock, exception) dump "
+                             "their recent-event ring plus an anomaly-"
+                             "instant snapshot into DIR")
     parser.add_argument("--shards", type=int, default=None, metavar="N",
                         help="shard each simulated cluster across N "
                              "per-node event wheels (execution mode "
@@ -228,6 +251,8 @@ def _cmd_run(argv: List[str]) -> int:
                       journal=ns.journal,
                       forkserver=not ns.no_forkserver,
                       trace=ns.trace,
+                      sample_every=ns.sample_every,
+                      flight_dir=ns.flight_recorder,
                       shards=ns.shards, shard_schedule=ns.shard_schedule,
                       branch=ns.branch_at == "injection",
                       from_snapshot=ns.from_snapshot)
@@ -269,21 +294,121 @@ def _cmd_snapshot(argv: List[str]) -> int:
     return 0
 
 
-def _cmd_metrics(argv: List[str]) -> int:
-    """Run an experiment with metrics on and print the telemetry report."""
-    from .obs.report import render_metrics_report
+def _add_metrics_options(parser) -> None:
+    _add_common_options(parser)
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the report as JSON instead of text")
 
-    experiment, spec, ns = _parse_engine_argv("repro metrics", argv)
+
+def _print_metrics(snapshot, title: str, as_json: bool) -> None:
+    from .obs.report import metrics_report_doc, render_metrics_report
+
+    if as_json:
+        import json
+
+        print(json.dumps(metrics_report_doc(snapshot, title=title),
+                         indent=2, sort_keys=True))
+    else:
+        print(render_metrics_report(snapshot, title=title))
+
+
+def _cmd_metrics(argv: List[str]) -> int:
+    """Run an experiment with metrics on and print the telemetry report.
+
+    ``--from result.json`` re-renders the report from a saved result
+    document's ``telemetry`` key instead of re-running the campaign.
+    """
+    if "--from" in argv:
+        import json
+
+        from .obs.metrics import MetricsSnapshot
+
+        parser = argparse.ArgumentParser(
+            prog="repro metrics",
+            description="Re-render the telemetry report from a saved "
+                        "result document.")
+        parser.add_argument("--from", dest="from_path", required=True,
+                            metavar="RESULT_JSON",
+                            help="result file written by --out")
+        parser.add_argument("--json", action="store_true", dest="as_json",
+                            help="print the report as JSON instead of text")
+        ns = parser.parse_args(argv)
+        with open(ns.from_path) as fh:
+            doc = json.load(fh)
+        telemetry = doc.get("telemetry")
+        if telemetry is None:
+            raise SystemExit(
+                "error: %s has no 'telemetry' key — write it with "
+                "'repro metrics <name> --out %s' (telemetry must be on "
+                "when the campaign runs)" % (ns.from_path, ns.from_path))
+        title = "%s (%d runs, from %s)" % (
+            (doc.get("spec", {}) or {}).get("experiment", "?"),
+            len(doc.get("outcomes", [])), ns.from_path)
+        _print_metrics(MetricsSnapshot.from_doc(telemetry), title,
+                       ns.as_json)
+        return 0
+
+    experiment, spec, ns = _parse_engine_argv(
+        "repro metrics", argv, add_options=_add_metrics_options)
     result = _execute(experiment, spec, workers=ns.workers, out=ns.out,
                       journal=ns.journal,
                       forkserver=not ns.no_forkserver,
                       telemetry=True, trace=ns.trace,
+                      sample_every=ns.sample_every,
+                      flight_dir=ns.flight_recorder,
                       shards=ns.shards, shard_schedule=ns.shard_schedule,
                       branch=ns.branch_at == "injection",
                       from_snapshot=ns.from_snapshot)
-    print(render_metrics_report(
-        result.telemetry,
-        title="%s (%d runs)" % (experiment.name, spec.runs)))
+    _print_metrics(result.telemetry,
+                   "%s (%d runs)" % (experiment.name, spec.runs),
+                   ns.as_json)
+    return 0
+
+
+def _cmd_report(argv: List[str]) -> int:
+    """Campaign-level report: CDFs, SLO attribution, latency summaries.
+
+    The target is either a result JSON written by ``--out`` (reported
+    as-is, no execution) or an experiment name/spec — then the campaign
+    runs with telemetry on first, exactly like ``repro metrics``.
+    """
+    import json
+
+    from .exp.results import RESULT_SCHEMA
+    from .obs.report import campaign_report_doc, render_campaign_report
+
+    saved_doc = None
+    if argv and not argv[0].startswith("-") and os.path.exists(argv[0]):
+        with open(argv[0]) as fh:
+            candidate = json.load(fh)
+        if candidate.get("schema") == RESULT_SCHEMA:
+            saved_doc = candidate
+            parser = argparse.ArgumentParser(prog="repro report")
+            parser.add_argument("target")
+            parser.add_argument("--json", action="store_true",
+                                dest="as_json",
+                                help="print the report as JSON")
+            ns = parser.parse_args(argv)
+        # Not a result document: fall through — a spec .json runs below.
+    if saved_doc is None:
+        experiment, spec, ns = _parse_engine_argv(
+            "repro report", argv, add_options=_add_metrics_options)
+        result = _execute(experiment, spec, workers=ns.workers,
+                          out=ns.out, journal=ns.journal,
+                          forkserver=not ns.no_forkserver,
+                          telemetry=True, trace=ns.trace,
+                          sample_every=ns.sample_every,
+                          flight_dir=ns.flight_recorder,
+                          shards=ns.shards,
+                          shard_schedule=ns.shard_schedule,
+                          branch=ns.branch_at == "injection",
+                          from_snapshot=ns.from_snapshot)
+        saved_doc = result.to_doc()
+    report = campaign_report_doc(saved_doc)
+    if ns.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_campaign_report(report))
     return 0
 
 
@@ -339,7 +464,10 @@ def _legacy_parser() -> argparse.ArgumentParser:
                "experiment; 'repro run <name|spec.json> [options]' runs "
                "one with --out/--journal/--trace support; 'repro "
                "metrics <name|spec.json>' runs with telemetry on and "
-               "prints the aggregated metrics report.")
+               "prints the aggregated metrics report ('--from "
+               "result.json' re-renders a saved one); 'repro report "
+               "<name|result.json>' prints the campaign-level report "
+               "(CDFs, SLO attribution); both take --json.")
     sub = parser.add_subparsers(dest="command", required=True)
     for experiment in all_experiments():
         verb = sub.add_parser(experiment.name, help=experiment.help)
@@ -358,6 +486,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_run(argv[1:])
     if argv and argv[0] == "metrics":
         return _cmd_metrics(argv[1:])
+    if argv and argv[0] == "report":
+        return _cmd_report(argv[1:])
     if argv and argv[0] == "snapshot":
         return _cmd_snapshot(argv[1:])
     if argv and argv[0] == "topo":

@@ -124,6 +124,10 @@ class MyrinetCluster:
         # Serial clusters have one wheel, so it is simply ``sim``.
         self.fabric_sim = fabric_sim if fabric_sim is not None else sim
         self.shard_plan = shard_plan
+        # Continuous-telemetry plane: wired by build_cluster only when
+        # the sampling / flight-recorder intents are set; None otherwise.
+        self.sampler = None
+        self.flight = None
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -267,18 +271,23 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
         sim = Simulator()
         node_sim = [sim] * n_nodes
         fabric_sim = sim
+    from .obs import runtime as obs_runtime
     if trace:
         tracer = Tracer(enabled=True)
+    elif obs_runtime.tracing():
+        # Engine-requested trace capture (--trace): record everything
+        # except the idle-tick heartbeat, which would swamp the trace
+        # with ~2k records per simulated millisecond.
+        from .obs.spans import forced_trace_kinds
+        tracer = Tracer(enabled=True, kinds=forced_trace_kinds())
     else:
-        from .obs import runtime as obs_runtime
-        if obs_runtime.tracing():
-            # Engine-requested trace capture (--trace): record everything
-            # except the idle-tick heartbeat, which would swamp the trace
-            # with ~2k records per simulated millisecond.
-            from .obs.spans import forced_trace_kinds
-            tracer = Tracer(enabled=True, kinds=forced_trace_kinds())
-        else:
-            tracer = Tracer(enabled=False)
+        tracer = Tracer(enabled=False)
+    flight = None
+    if obs_runtime.flight_on():
+        from .obs.flightrec import FlightRecorder
+        flight = FlightRecorder()
+        flight.attach(tracer)
+        obs_runtime.note_flight(flight)
     rng = SeededRng(seed, "cluster")
     driver_cls = _driver_class(flavor)
     interpreted = set(interpreted_nodes or [])
@@ -323,6 +332,11 @@ def build_cluster(n_nodes: int = 2, flavor: str = "gm", seed: int = 0,
     cluster = MyrinetCluster(sim, nodes, fabric, switch, tracer, rng, flavor,
                              topology=topology, fabric_sim=fabric_sim,
                              shard_plan=plan)
+    cluster.flight = flight
+    every = obs_runtime.sample_every()
+    if every is not None:
+        from .obs.timeseries import TimeSeriesSampler
+        cluster.sampler = TimeSeriesSampler(cluster, every, flight=flight)
     if boot:
         cluster.boot()
     return cluster

@@ -185,6 +185,14 @@ class ExperimentResult:
     per-run ``(index, records)`` pairs for Chrome-trace export and is
     never serialized into the result document (the CLI writes it to its
     own file).
+
+    ``timeseries`` (the continuous sampler's per-run track documents)
+    follows the telemetry discipline: a ``"timeseries"`` key appears
+    only when sampling was armed, so sampling-off results stay
+    byte-identical to pre-sampling ones.  ``flight_dumps`` lists the
+    flight-dump paths written for this campaign's anomalous runs; like
+    ``traces`` it never enters the document (the dumps are their own
+    files).
     """
 
     spec: ExperimentSpec
@@ -194,6 +202,8 @@ class ExperimentResult:
     summary: Optional[Dict[str, Any]] = None
     telemetry: Optional[Any] = None
     traces: Optional[List[Any]] = None
+    timeseries: Optional[Dict[str, Any]] = None
+    flight_dumps: Optional[List[str]] = None
 
     def to_doc(self) -> Dict[str, Any]:
         doc = {
@@ -206,6 +216,8 @@ class ExperimentResult:
         }
         if self.telemetry is not None:
             doc["telemetry"] = self.telemetry.to_doc()
+        if self.timeseries is not None:
+            doc["timeseries"] = self.timeseries
         return doc
 
     def to_json(self) -> str:
@@ -261,5 +273,37 @@ def validate_result(doc: Dict[str, Any]) -> None:
             for key in ("counters", "gauges", "histograms"):
                 if not isinstance(telemetry.get(key), dict):
                     problems.append("telemetry.%s missing or mistyped" % key)
+    if "timeseries" in doc:     # optional; validated only when present
+        series = doc["timeseries"]
+        if not isinstance(series, dict):
+            problems.append("timeseries present but not an object")
+        else:
+            if not isinstance(series.get("sample_every_us"), (int, float)):
+                problems.append("timeseries.sample_every_us missing "
+                                "or mistyped")
+            runs = series.get("runs")
+            if not isinstance(runs, list):
+                problems.append("timeseries.runs missing or not a list")
+            else:
+                for entry in runs:
+                    if (not isinstance(entry, list) or len(entry) != 2
+                            or not isinstance(entry[0], int)
+                            or not isinstance(entry[1], dict)):
+                        problems.append("timeseries.runs entries must be "
+                                        "[run_index, track_doc] pairs")
+                        break
+                    t = entry[1].get("t")
+                    tracks = entry[1].get("tracks")
+                    if not isinstance(t, list) \
+                            or not isinstance(tracks, dict):
+                        problems.append("timeseries run %s missing t/tracks"
+                                        % entry[0])
+                        break
+                    if any(not isinstance(track, list)
+                           or len(track) != len(t)
+                           for track in tracks.values()):
+                        problems.append("timeseries run %s has tracks not "
+                                        "spanning t" % entry[0])
+                        break
     if problems:
         raise ValueError("invalid result document: " + "; ".join(problems))

@@ -172,12 +172,15 @@ class _TelemetryEnvelope:
     process, so their telemetry is absent by construction.
     """
 
-    __slots__ = ("outcome", "snapshot", "trace")
+    __slots__ = ("outcome", "snapshot", "trace", "timeseries", "flight")
 
-    def __init__(self, outcome: Any, snapshot: Any, trace: Any):
+    def __init__(self, outcome: Any, snapshot: Any, trace: Any,
+                 timeseries: Any = None, flight: Any = None):
         self.outcome = outcome
         self.snapshot = snapshot
         self.trace = trace
+        self.timeseries = timeseries
+        self.flight = flight
 
 
 def _unwrap_outcome(outcome: Any) -> Any:
@@ -186,29 +189,85 @@ def _unwrap_outcome(outcome: Any) -> Any:
     return outcome
 
 
+def _flight_payload(flight_dir: Optional[str],
+                    outcome: Any) -> Optional[Dict[str, Any]]:
+    """Classify the finished run; a triggered ring report or None.
+
+    Runs in the run's own process (serial, pool worker or forked
+    child), where the ring and the outcome both live; the parent takes
+    the anomaly-instant snapshot later, from the report's ``at_us``.
+    """
+    if flight_dir is None:
+        return None
+    from ..obs import runtime as obs_runtime
+    from ..obs.flightrec import classify_anomaly
+
+    recorder = obs_runtime.active_flight()
+    if recorder is None:
+        return None
+    reason = classify_anomaly(outcome)
+    if reason is None:
+        return None
+    return recorder.report(reason)
+
+
+def _flight_exception(flight_dir: Optional[str], config: Any,
+                      exc: BaseException) -> None:
+    """Best-effort ring dump for a run that raised (child side)."""
+    if flight_dir is None:
+        return
+    from ..obs import runtime as obs_runtime
+    from ..obs.flightrec import dump_exception
+
+    recorder = obs_runtime.active_flight()
+    if recorder is None:
+        return
+    try:
+        dump_exception(flight_dir, config, recorder, exc)
+    except OSError:
+        pass
+
+
 def _telemetry_invoke(run_one: Callable[[Any], Any], metrics: bool,
-                      tracing: bool, config: Any) -> "_TelemetryEnvelope":
+                      tracing: bool, sample_every: Optional[float],
+                      flight_dir: Optional[str],
+                      config: Any) -> "_TelemetryEnvelope":
     """run_one, bracketed by a per-run telemetry scope."""
     from ..obs import runtime as obs_runtime
 
-    obs_runtime.configure(metrics=metrics, tracing=tracing)
+    obs_runtime.configure(metrics=metrics, tracing=tracing,
+                          sample_every=sample_every, flight_dir=flight_dir)
     obs_runtime.begin_run()
-    outcome = run_one(config)
+    try:
+        outcome = run_one(config)
+    except BaseException as exc:
+        _flight_exception(flight_dir, config, exc)
+        raise
     return _TelemetryEnvelope(outcome, obs_runtime.collect(),
-                              obs_runtime.take_trace())
+                              obs_runtime.take_trace(),
+                              obs_runtime.take_timeseries(),
+                              _flight_payload(flight_dir, outcome))
 
 
 def _telemetry_resume(resume: Callable[[Any, Any], Any], metrics: bool,
-                      tracing: bool, state: Any,
+                      tracing: bool, sample_every: Optional[float],
+                      flight_dir: Optional[str], state: Any,
                       config: Any) -> "_TelemetryEnvelope":
     """Fork-server counterpart of :func:`_telemetry_invoke`."""
     from ..obs import runtime as obs_runtime
 
-    obs_runtime.configure(metrics=metrics, tracing=tracing)
+    obs_runtime.configure(metrics=metrics, tracing=tracing,
+                          sample_every=sample_every, flight_dir=flight_dir)
     obs_runtime.begin_run()
-    outcome = resume(state, config)
+    try:
+        outcome = resume(state, config)
+    except BaseException as exc:
+        _flight_exception(flight_dir, config, exc)
+        raise
     return _TelemetryEnvelope(outcome, obs_runtime.collect(),
-                              obs_runtime.take_trace())
+                              obs_runtime.take_trace(),
+                              obs_runtime.take_timeseries(),
+                              _flight_payload(flight_dir, outcome))
 
 
 # -- fork-server execution -----------------------------------------------------
@@ -602,6 +661,8 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
                    forkserver: bool = True,
                    telemetry: bool = False,
                    trace: bool = False,
+                   sample_every: Optional[float] = None,
+                   flight_dir: Optional[str] = None,
                    shards: Optional[int] = None,
                    shard_schedule: Optional[str] = None,
                    branch: bool = False,
@@ -624,6 +685,19 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     records for Chrome-trace export.  Both leave the experiment outcomes
     byte-identical to a plain run; journal-resumed runs carry no
     telemetry (they were computed in an earlier process).
+
+    ``sample_every`` (µs of simulated time) arms the continuous
+    sampler: every run's clusters carry a :class:`TimeSeriesSampler`
+    and the result grows a ``"timeseries"`` key with one track document
+    per run, assembled in config order so serial, pool, fork-server and
+    sharded execution produce identical documents.  ``flight_dir`` arms
+    the flight recorder: anomalous runs (SLO breach, deadlock outcome,
+    exception) dump their trace ring plus an anomaly-instant ``ckpt``
+    snapshot into that directory; the written paths land on
+    ``result.flight_dumps`` (never in the serialized doc).  Both follow
+    the telemetry discipline — outcomes stay byte-identical — and both
+    fall back from the branch executor to the normal paths (a sampler's
+    timer chain crosses the branch gate; recorder rings are per-child).
 
     ``shards``/``shard_schedule`` select the sharded-simulator execution
     mode (the CLI's ``--shards``/``--shard-schedule``).  Like telemetry,
@@ -650,15 +724,16 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
 
     experiment = get_experiment(spec.experiment)
     configs = experiment.expand(spec)
-    telemetry_on = telemetry or trace
+    telemetry_on = telemetry or trace \
+        or sample_every is not None or flight_dir is not None
     runner = experiment.run_one
     resume = experiment.resume
     if telemetry_on:
         runner = partial(_telemetry_invoke, experiment.run_one,
-                         telemetry, trace)
+                         telemetry, trace, sample_every, flight_dir)
         if resume is not None:
             resume = partial(_telemetry_resume, experiment.resume,
-                             telemetry, trace)
+                             telemetry, trace, sample_every, flight_dir)
     fork_boot = None
     if forkserver and experiment.boot is not None \
             and experiment.resume is not None:
@@ -696,7 +771,9 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
         # install the forced tracer — so the parent sets the flags now
         # and the servers inherit them through fork.
         from ..obs import runtime as obs_runtime
-        obs_runtime.configure(metrics=telemetry, tracing=trace)
+        obs_runtime.configure(metrics=telemetry, tracing=trace,
+                              sample_every=sample_every,
+                              flight_dir=flight_dir)
     shard_env: Dict[str, Optional[str]] = {}
     if shards is not None or shard_schedule is not None:
         # build_cluster reads these at boot time, in this process and in
@@ -713,7 +790,8 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
             os.environ[key] = value
     try:
         if branch and branch_supported(experiment) \
-                and shard_schedule in (None, "merged"):
+                and shard_schedule in (None, "merged") \
+                and sample_every is None and flight_dir is None:
             outcomes = run_branched(configs, experiment, workers=workers,
                                     progress=progress, completed=completed,
                                     on_outcome=on_outcome,
@@ -733,16 +811,24 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     wall = time.perf_counter() - started
     snapshot = None
     traces: Optional[List] = None
+    timeseries = None
+    flight_dumps: List[str] = []
     if telemetry_on:
         snapshots = []
         traces = []
         unwrapped = []
+        series_runs = []
+        flight_reports = []
         for index, outcome in enumerate(outcomes):
             if isinstance(outcome, _TelemetryEnvelope):
                 if outcome.snapshot is not None:
                     snapshots.append(outcome.snapshot)
                 if outcome.trace is not None:
                     traces.append((index, outcome.trace))
+                if outcome.timeseries is not None:
+                    series_runs.append([index, outcome.timeseries])
+                if outcome.flight is not None:
+                    flight_reports.append((index, outcome.flight))
                 unwrapped.append(outcome.outcome)
             else:       # resumed from a journal: plain outcome
                 unwrapped.append(outcome)
@@ -750,6 +836,21 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
         if telemetry:
             from ..obs.metrics import MetricsSnapshot
             snapshot = MetricsSnapshot.merged(snapshots)
+        if series_runs:
+            # Enumeration above walks config order, so the document is
+            # identical whichever executor (or completion order)
+            # produced the envelopes.
+            from ..obs.timeseries import TIMESERIES_SCHEMA
+            timeseries = {"schema": TIMESERIES_SCHEMA,
+                          "sample_every_us": float(sample_every),
+                          "runs": series_runs}
+        if flight_reports:
+            # The runtime was reset in the finally above, so these
+            # replays run exactly like restore_flight_dump's — plain
+            # telemetry-off executions to the anomaly instant.
+            from ..obs.flightrec import write_flight_dumps
+            flight_dumps = write_flight_dumps(flight_dir, spec,
+                                              flight_reports)
     aggregate = experiment.aggregate(spec, outcomes)
     rendered = experiment.render(aggregate)
     summary = experiment.summarize(aggregate) \
@@ -758,4 +859,5 @@ def run_experiment(spec: ExperimentSpec, *, workers: int = 1,
     return ExperimentResult(spec=spec, manifest=manifest,
                             outcomes=outcomes, rendered=rendered,
                             summary=summary, telemetry=snapshot,
-                            traces=traces)
+                            traces=traces, timeseries=timeseries,
+                            flight_dumps=flight_dumps)

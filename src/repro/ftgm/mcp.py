@@ -146,6 +146,22 @@ class FtgmMcp(Mcp):
         """Each replayed window's L_timer would have re-armed IT1."""
         self.watchdog_arms += count
 
+    def sample_stats(self, now: float) -> dict:
+        """Add the watchdog track to the read-only projection.
+
+        Only whole parked windows re-arm IT1 in the replay
+        (``_replay_windows``); a straddled window's front half counts an
+        invocation but its arm rides the tail callback, so the
+        projection mirrors that split exactly.
+        """
+        stats = super().sample_stats(now)
+        arms = self.watchdog_arms
+        if self._parked:
+            whole, _mid = self._parked_projection(now)
+            arms += whole
+        stats["watchdog_arms"] = arms
+        return stats
+
     def _unpark_timers(self, prev_window_end: float) -> None:
         """Restore IT1 exactly where the live chain would have left it.
 

@@ -715,6 +715,54 @@ class Mcp:
         if self._parked:
             self._kick()
 
+    def sample_stats(self, now: float) -> dict:
+        """Read-only counter projection at ``now`` (never wakes a node).
+
+        The continuous sampler reads counters mid-run, where
+        ``settle_idle`` would be wrong: replaying the parked span into
+        the live counters changes every later fold, so a sampled run
+        would diverge from an unsampled one.  Instead, project what the
+        always-ticking execution would show at ``now`` over the frozen
+        park state — the same window arithmetic as ``_unpark``, applied
+        to local copies.
+        """
+        invocations = self.l_timer_invocations
+        parked = self.ticks_parked
+        if self._parked:
+            whole, mid = self._parked_projection(now)
+            invocations += whole + mid
+            parked += whole + mid
+        return {"l_timer_invocations": invocations,
+                "ticks_parked": parked}
+
+    def _parked_projection(self, now: float) -> Tuple[int, int]:
+        """(whole windows elapsed, straddled window) while parked at ``now``.
+
+        Mirrors ``_unpark``'s replay chain — tick starts at
+        ``_park_next_tick``, each window spans ``[T, T + 1.5]`` and the
+        next starts one interval after the end — computed closed-form
+        with a float-correction loop so the count lands on the exact
+        floats the live chain produces.
+        """
+        interval = C.L_TIMER_INTERVAL_US
+        span = interval + 1.5
+        tick = self._park_next_tick
+        whole = 0
+        if tick + 1.5 <= now:
+            whole = int((now - 1.5 - tick) // span) + 1
+            tick += whole * span
+            # Float rounding can land the closed form one window short
+            # (or long) of the exact chain; settle on the replay's own
+            # predicate.
+            while tick + 1.5 <= now:
+                whole += 1
+                tick += span
+            while whole and tick - span + 1.5 > now:
+                whole -= 1
+                tick -= span
+        mid = 1 if tick < now else 0
+        return whole, mid
+
     def _park_timers(self) -> None:
         """FTGM hook: stop the watchdog timer across the parked span."""
 

@@ -294,6 +294,10 @@ def run_load(cluster, config: LoadConfig,
     horizon = start + schedule.profile.total_duration_us + config.drain_us
     result = LoadRunResult(schedule=schedule, started_at=start,
                            horizon=horizon)
+    sampler = getattr(cluster, "sampler", None)
+    if sampler is not None:
+        from ..obs.timeseries import register_load_tracks
+        register_load_tracks(sampler, result)
     max_size = schedule.max_size()
 
     def _sent_cb(outcome) -> None:

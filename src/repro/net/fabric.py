@@ -117,6 +117,21 @@ class Fabric:
         self.links.append(link)
         return link
 
+    def sample_counters(self) -> Dict[str, int]:
+        """Fabric-wide counter totals for the continuous sampler.
+
+        Pure reads over live per-element counters — safe to call at any
+        simulated instant, any number of times.
+        """
+        return {
+            "link.packets_carried":
+                sum(link.packets_carried for link in self.links),
+            "link.packets_corrupted":
+                sum(link.packets_corrupted for link in self.links),
+            "switch.forwarded":
+                sum(switch.forwarded for switch in self.switches),
+        }
+
     # -- convenience topologies ---------------------------------------------------
 
     def star(self, nics: List[Nic], nports: Optional[int] = None) -> Switch:

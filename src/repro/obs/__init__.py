@@ -1,10 +1,13 @@
-"""The telemetry plane: metrics registry, runtime scope, spans, harvest.
+"""The telemetry plane: metrics registry, runtime scope, spans, harvest,
+continuous sampling and the flight recorder.
 
-See docs/OBSERVABILITY.md for the registry API, the span taxonomy and
-the metric name glossary.  Import layering: this package root pulls in
-only :mod:`.metrics` and :mod:`.runtime` (no simulation imports), so low
-layers can depend on it; :mod:`.spans`, :mod:`.harvest` and
-:mod:`.report` are imported lazily by their callers.
+See docs/OBSERVABILITY.md for the registry API, the span taxonomy, the
+metric name glossary, the sampler cadence semantics and the
+flight-recorder trigger taxonomy.  Import layering: this package root
+pulls in only :mod:`.metrics` and :mod:`.runtime` (no simulation
+imports), so low layers can depend on it; :mod:`.spans`,
+:mod:`.harvest`, :mod:`.report`, :mod:`.timeseries` and
+:mod:`.flightrec` are imported lazily by their callers.
 """
 
 from . import runtime

@@ -61,6 +61,16 @@ def harvest_cluster(cluster, *, fault_at: Optional[float] = None) -> None:
         if settle is not None:
             settle()
 
+    # Continuous plane: the sampler's tracks and the flight recorder's
+    # end instant are fixed here, where the run is known finished.  Both
+    # handles are None unless their intents armed them at build time.
+    sampler = getattr(cluster, "sampler", None)
+    if sampler is not None:
+        runtime.stash_timeseries(sampler.to_doc())
+    flight = getattr(cluster, "flight", None)
+    if flight is not None:
+        flight.note_end(cluster.sim.now)
+
     registry = runtime.active_registry()
     tracing = runtime.tracing()
     if registry is None and not tracing:
@@ -68,7 +78,10 @@ def harvest_cluster(cluster, *, fault_at: Optional[float] = None) -> None:
 
     if tracing:
         emit_recovery_spans(cluster)
-        runtime.stash_trace(_sanitize_records(cluster.tracer.records))
+        records = _sanitize_records(cluster.tracer.records)
+        if sampler is not None:
+            records.extend(sampler.counter_records())
+        runtime.stash_trace(records)
     if registry is None:
         return
 

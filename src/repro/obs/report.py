@@ -1,19 +1,38 @@
-"""Human-readable rendering of a merged MetricsSnapshot.
+"""Rendering of telemetry: metrics reports and campaign-level reports.
 
 ``repro metrics <experiment>`` runs a campaign with telemetry on and
-prints this report: every counter and gauge, every histogram summary,
-and — always, even when empty — a Table-3-style recovery-latency block
-with per-phase p50/p99 so the paper's breakdown is one command away.
+prints :func:`render_metrics_report`: every counter and gauge, every
+histogram summary, and — always, even when empty — a Table-3-style
+recovery-latency block with per-phase p50/p99 so the paper's breakdown
+is one command away.
+
+``repro report <name|result.json>`` aggregates a finished campaign's
+result document into :func:`campaign_report_doc`: per-scenario
+detection/recovery-latency CDFs (from each run's recovery timeline),
+stage-by-stage SLO attribution (which stage breached, by how much),
+campaign-wide latency percentiles rebuilt from the serialized telemetry
+histograms, and a summary of any sampled timeseries.  Both reports have
+a machine-readable ``--json`` form built from the same doc functions,
+so CI validates structure instead of grepping rendered text.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .metrics import Histogram, MetricsSnapshot
 from .spans import RECOVERY_PHASES, REROUTE_PHASES
 
-__all__ = ["render_metrics_report"]
+__all__ = [
+    "REPORT_SCHEMA",
+    "render_metrics_report",
+    "metrics_report_doc",
+    "campaign_report_doc",
+    "render_campaign_report",
+]
+
+#: Schema tag of the ``repro report --json`` document.
+REPORT_SCHEMA = "repro.obs.report/1"
 
 
 def _fmt(value: Optional[float]) -> str:
@@ -127,4 +146,255 @@ def render_metrics_report(snapshot: MetricsSnapshot, *,
             lines.append(_phase_row(label,
                                     hists.get("reroute.phase.%s" % label)))
 
+    return "\n".join(lines) + "\n"
+
+
+# -- machine-readable metrics report -------------------------------------------
+
+
+def _hist_summary(hist: Histogram) -> Dict[str, Any]:
+    return {"n": hist.n,
+            "p50": hist.percentile(50),
+            "p99": hist.percentile(99),
+            "p999": hist.percentile(99.9),
+            "mean": hist.mean(),
+            "min": hist.min,
+            "max": hist.max}
+
+
+def metrics_report_doc(snapshot: MetricsSnapshot, *,
+                       title: str = "") -> Dict[str, Any]:
+    """The ``repro metrics --json`` document: same data as the text
+    report, as structure (percentiles precomputed, not bucket edges —
+    consumers get numbers, not a histogram implementation)."""
+    doc: Dict[str, Any] = {"schema": "repro.obs.metrics_report/1"}
+    if title:
+        doc["title"] = title
+    doc["counters"] = {name: snapshot.counters[name]
+                       for name in sorted(snapshot.counters)}
+    doc["gauges"] = {name: {"n": stat.n, "mean": stat.mean(),
+                            "min": stat.min, "max": stat.max}
+                     for name, stat in sorted(snapshot.gauges.items())}
+    doc["histograms"] = {name: _hist_summary(hist)
+                         for name, hist in
+                         sorted(snapshot.histograms.items())}
+    return doc
+
+
+# -- campaign-level report -----------------------------------------------------
+
+
+def _cdf(values: List[float]) -> Dict[str, Any]:
+    """An empirical CDF: the sorted sample plus standard quantiles.
+
+    Campaigns are tens-to-hundreds of runs, so the full sorted sample
+    ships in the document (plot-ready); the quantiles use the nearest-
+    rank method — exact sample values, no interpolation — because at
+    campaign sizes an interpolated p99 would be an invented number.
+    """
+    if not values:
+        return {"n": 0, "values": [], "p50": None, "p90": None,
+                "p99": None, "min": None, "max": None}
+    ordered = sorted(values)
+    n = len(ordered)
+
+    def rank(q: float) -> float:
+        index = max(0, min(n - 1, -(-int(q * n) // 100) - 1))
+        return ordered[index]
+
+    return {"n": n, "values": ordered,
+            "p50": rank(50), "p90": rank(90), "p99": rank(99),
+            "min": ordered[0], "max": ordered[-1]}
+
+
+def _slo_attribution(outcomes: List[Any]) -> Dict[str, Any]:
+    """Stage-by-stage SLO attribution over SloChaosOutcome documents."""
+    cells: Dict[str, Dict[str, Any]] = {}
+    for outcome in outcomes:
+        verdict = outcome.get("verdict")
+        if not isinstance(verdict, dict) \
+                or not isinstance(verdict.get("stages"), list):
+            continue
+        cell = "%s/%s" % (outcome.get("scenario"), outcome.get("flavor"))
+        row = cells.setdefault(cell, {"runs": 0, "failed_runs": 0,
+                                      "stages": {}})
+        row["runs"] += 1
+        if verdict.get("verdict") != "pass":
+            row["failed_runs"] += 1
+        for stage in verdict["stages"]:
+            name = stage.get("stage", "?")
+            agg = row["stages"].setdefault(
+                name, {"runs": 0, "failed": 0, "breaches": [],
+                       "worst_availability": None, "worst_p99_us": None})
+            agg["runs"] += 1
+            if stage.get("verdict") != "pass":
+                agg["failed"] += 1
+                agg["breaches"].extend(stage.get("breaches", []))
+            availability = stage.get("availability")
+            if isinstance(availability, (int, float)) \
+                    and (agg["worst_availability"] is None
+                         or availability < agg["worst_availability"]):
+                agg["worst_availability"] = availability
+            p99 = stage.get("p99_us")
+            if isinstance(p99, (int, float)) and p99 >= 0 \
+                    and (agg["worst_p99_us"] is None
+                         or p99 > agg["worst_p99_us"]):
+                agg["worst_p99_us"] = p99
+    return {cell: cells[cell] for cell in sorted(cells)}
+
+
+def _scenario_cdfs(outcomes: List[Any]) -> Dict[str, Any]:
+    """Per-scenario detection/recovery CDFs over recovery timelines.
+
+    Works on any outcome carrying the netfault timeline fields
+    (``fault_at``/``verdict_at``/``reroute_installed_at``); runs whose
+    timeline never progressed (fields still -1) contribute nothing to
+    the latency samples but are counted, so the CDF's ``n`` against the
+    scenario's ``runs`` shows how many runs even *reached* detection.
+    """
+    scenarios: Dict[str, Dict[str, List[float]]] = {}
+    counts: Dict[str, int] = {}
+    for outcome in outcomes:
+        if "fault_at" not in outcome or "verdict_at" not in outcome:
+            continue
+        name = outcome.get("scenario", "?")
+        counts[name] = counts.get(name, 0) + 1
+        data = scenarios.setdefault(name, {"detection_us": [],
+                                           "recovery_us": []})
+        fault_at = outcome.get("fault_at", -1.0)
+        verdict_at = outcome.get("verdict_at", -1.0)
+        installed_at = outcome.get("reroute_installed_at", -1.0)
+        if fault_at >= 0 and verdict_at >= fault_at:
+            data["detection_us"].append(verdict_at - fault_at)
+        if fault_at >= 0 and installed_at >= fault_at:
+            data["recovery_us"].append(installed_at - fault_at)
+    return {name: {"runs": counts[name],
+                   "detection_us": _cdf(data["detection_us"]),
+                   "recovery_us": _cdf(data["recovery_us"])}
+            for name, data in sorted(scenarios.items())}
+
+
+def campaign_report_doc(result_doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Aggregate a result document into the campaign report.
+
+    Pure document-to-document: everything is computed from the saved
+    JSON (outcome dicts, serialized telemetry histograms, timeseries
+    tracks), so a report renders identically from a file written last
+    month and from a result produced a millisecond ago.
+    """
+    spec = result_doc.get("spec", {}) or {}
+    outcomes = [o for o in result_doc.get("outcomes", [])
+                if isinstance(o, dict)]
+    report: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "experiment": spec.get("experiment", "?"),
+        "spec_hash": (result_doc.get("manifest", {})
+                      or {}).get("spec_hash"),
+        "runs": len(result_doc.get("outcomes", [])),
+    }
+    attribution = _slo_attribution(outcomes)
+    if attribution:
+        report["slo_attribution"] = attribution
+    scenarios = _scenario_cdfs(outcomes)
+    if scenarios:
+        report["scenarios"] = scenarios
+    telemetry = result_doc.get("telemetry")
+    if isinstance(telemetry, dict):
+        latencies = {}
+        for key in ("recovery.detection_us", "recovery.total_us",
+                    "recovery.port_recover_us", "load.delivery_us"):
+            hist_doc = (telemetry.get("histograms") or {}).get(key)
+            if hist_doc is not None:
+                latencies[key] = _hist_summary(Histogram.from_doc(hist_doc))
+        if latencies:
+            report["latency"] = latencies
+    series = result_doc.get("timeseries")
+    if isinstance(series, dict):
+        runs = series.get("runs", [])
+        tracks = sorted({name for _, doc in runs
+                         for name in doc.get("tracks", {})})
+        report["timeseries"] = {
+            "sample_every_us": series.get("sample_every_us"),
+            "runs_sampled": len(runs),
+            "samples": sum(len(doc.get("t", [])) for _, doc in runs),
+            "tracks": tracks,
+        }
+    return report
+
+
+def _cdf_row(label: str, cdf: Dict[str, Any]) -> str:
+    if not cdf["n"]:
+        return "    %-14s %5s  %12s  %12s  %12s  %12s" % (
+            label, "-", "-", "-", "-", "-")
+    return "    %-14s %5d  %12s  %12s  %12s  %12s" % (
+        label, cdf["n"], _fmt_us(cdf["p50"]), _fmt_us(cdf["p90"]),
+        _fmt_us(cdf["p99"]), _fmt_us(cdf["max"]))
+
+
+def render_campaign_report(report: Dict[str, Any]) -> str:
+    """Text rendering of :func:`campaign_report_doc`."""
+    title = "Campaign report: %s (%d runs)" % (report.get("experiment"),
+                                               report.get("runs", 0))
+    lines = [title, "=" * len(title)]
+
+    scenarios = report.get("scenarios")
+    if scenarios:
+        lines.append("")
+        lines.append("Detection / recovery latency CDFs")
+        lines.append("---------------------------------")
+        lines.append("    %-14s %5s  %12s  %12s  %12s  %12s"
+                     % ("", "n", "p50", "p90", "p99", "max"))
+        for name, data in scenarios.items():
+            lines.append("  %s (%d runs)" % (name, data["runs"]))
+            lines.append(_cdf_row("detection", data["detection_us"]))
+            lines.append(_cdf_row("recovery", data["recovery_us"]))
+
+    attribution = report.get("slo_attribution")
+    if attribution:
+        lines.append("")
+        lines.append("SLO attribution by stage")
+        lines.append("------------------------")
+        for cell, row in attribution.items():
+            lines.append("  %s: %d/%d runs failed"
+                         % (cell, row["failed_runs"], row["runs"]))
+            for stage, agg in row["stages"].items():
+                worst = []
+                if agg["worst_availability"] is not None:
+                    worst.append("worst avail %.4f"
+                                 % agg["worst_availability"])
+                if agg["worst_p99_us"] is not None:
+                    worst.append("worst p99 %s"
+                                 % _fmt_us(agg["worst_p99_us"]))
+                lines.append("    %-10s %d/%d failed%s"
+                             % (stage, agg["failed"], agg["runs"],
+                                ("  (%s)" % ", ".join(worst))
+                                if worst else ""))
+                for breach in agg["breaches"]:
+                    lines.append("      breach: %s" % breach)
+
+    latency = report.get("latency")
+    if latency:
+        lines.append("")
+        lines.append("Campaign-wide latency (from telemetry histograms)")
+        lines.append("-------------------------------------------------")
+        width = max(len(name) for name in latency)
+        for name, row in latency.items():
+            lines.append("  %-*s  n=%d  p50=%s  p99=%s  p999=%s"
+                         % (width, name, row["n"], _fmt_us(row["p50"]),
+                            _fmt_us(row["p99"]), _fmt_us(row["p999"])))
+
+    series = report.get("timeseries")
+    if series:
+        lines.append("")
+        lines.append("Timeseries")
+        lines.append("----------")
+        lines.append("  %d runs sampled every %s (%d samples, %d tracks)"
+                     % (series["runs_sampled"],
+                        _fmt_us(series["sample_every_us"]),
+                        series["samples"], len(series["tracks"])))
+
+    if len(lines) == 2:
+        lines.append("")
+        lines.append("(no per-stage verdicts, recovery timelines, "
+                     "telemetry or timeseries in this result)")
     return "\n".join(lines) + "\n"

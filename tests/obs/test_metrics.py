@@ -106,6 +106,71 @@ class TestHistogram:
         assert Histogram.from_doc(h.to_doc()) == h
 
 
+class TestPercentileEdgeCases:
+    def test_empty_histogram_has_no_percentiles(self):
+        h = Histogram()
+        for q in (0, 50, 99, 99.9, 100):
+            assert h.percentile(q) is None
+
+    def test_q_zero_is_the_observed_min(self):
+        h = Histogram()
+        for v in (3.0, 7.0, 90.0):
+            h.observe(v)
+        assert h.percentile(0) == 3.0
+
+    def test_single_bucket_clamps_to_the_exact_sample(self):
+        # Every observation lands in one bucket; interpolation inside
+        # the bucket would invent values below/around 5.0, but the
+        # [min, max] clamp pins every percentile to the exact constant.
+        h = Histogram()
+        for _ in range(7):
+            h.observe(5.0)
+        assert sum(1 for c in h.counts if c) == 1
+        for q in (1, 50, 99, 99.9):
+            assert h.percentile(q) == 5.0
+
+    def test_overflow_bucket_p999_is_clamped_to_max(self):
+        # Values beyond the last edge (7e6 in DEFAULT_BUCKETS) land in
+        # the overflow bucket, whose upper bound is the observed max —
+        # p999 must interpolate toward and never exceed it.
+        h = Histogram()
+        for v in (8e6, 9e6, 4e9):
+            h.observe(v)
+        assert h.counts[len(h.edges)] == 3      # all in overflow
+        p999 = h.percentile(99.9)
+        assert h.edges[-1] < p999 <= h.max == 4e9
+        assert h.percentile(100) == h.max
+
+    def test_merge_then_percentile_matches_percentile_of_halves(self):
+        # Two identically-distributed halves merged must report the
+        # same percentiles as either half: counts and rank targets
+        # scale together, so the interpolation is unchanged.
+        values = (1.0, 12.0, 340.0, 4400.0, 2.5e6)
+        a, b = Histogram(), Histogram()
+        for v in values:
+            a.observe(v)
+            b.observe(v)
+        before = {q: a.percentile(q) for q in (50, 90, 99, 99.9)}
+        a.merge(b)
+        assert a.n == 2 * len(values)
+        for q, expected in before.items():
+            assert a.percentile(q) == expected
+
+    def test_merge_order_does_not_change_percentiles(self):
+        lo, hi = Histogram(), Histogram()
+        for v in (1.0, 2.0, 3.0):
+            lo.observe(v)
+        for v in (1e4, 2e4, 1e8):               # incl. overflow
+            hi.observe(v)
+        ab = lo.copy()
+        ab.merge(hi)
+        ba = hi.copy()
+        ba.merge(lo)
+        assert ab == ba
+        for q in (50, 90, 99, 99.9):
+            assert ab.percentile(q) == ba.percentile(q)
+
+
 class TestGaugeStat:
     def test_merge_combines_extremes_and_mean(self):
         a, b = GaugeStat(), GaugeStat()

@@ -1,0 +1,267 @@
+"""Campaign report aggregation and its CLI surfaces.
+
+The doc functions are pure document-to-document, so most tests run on
+hand-built outcome dicts — no simulation; one module-scoped real
+campaign backs the CLI round-trip tests.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.exp.registry import get_experiment
+from repro.exp.runner import run_experiment
+from repro.obs import runtime as obs_runtime
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.report import (
+    REPORT_SCHEMA,
+    _cdf,
+    campaign_report_doc,
+    metrics_report_doc,
+    render_campaign_report,
+    render_metrics_report,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    obs_runtime.reset()
+    yield
+    obs_runtime.reset()
+
+
+class TestCdf:
+    def test_empty_sample(self):
+        cdf = _cdf([])
+        assert cdf["n"] == 0 and cdf["values"] == []
+        assert cdf["p50"] is cdf["p99"] is cdf["min"] is None
+
+    def test_nearest_rank_on_a_decade(self):
+        cdf = _cdf([float(v) for v in range(10, 110, 10)])
+        assert cdf["n"] == 10
+        assert cdf["p50"] == 50.0
+        assert cdf["p90"] == 90.0
+        assert cdf["p99"] == 100.0
+        assert cdf["min"] == 10.0 and cdf["max"] == 100.0
+
+    def test_quantiles_are_exact_sample_values(self):
+        # Nearest-rank never interpolates: every quantile of a 2-point
+        # sample is one of the 2 points, not an invented midpoint.
+        cdf = _cdf([1.0, 1000.0])
+        assert cdf["p50"] == 1.0
+        assert cdf["p90"] == 1000.0
+
+    def test_singleton_collapses_every_quantile(self):
+        cdf = _cdf([7.0])
+        assert cdf["p50"] == cdf["p90"] == cdf["p99"] == 7.0
+
+    def test_values_ship_sorted(self):
+        assert _cdf([3.0, 1.0, 2.0])["values"] == [1.0, 2.0, 3.0]
+
+
+def _stage(stage, verdict="pass", breaches=(), availability=None,
+           p99_us=None):
+    return {"stage": stage, "verdict": verdict,
+            "breaches": list(breaches), "availability": availability,
+            "p99_us": p99_us}
+
+
+def _slo_outcome(scenario, flavor, verdict, stages):
+    return {"scenario": scenario, "flavor": flavor,
+            "verdict": {"verdict": verdict, "slo_hash": "h",
+                        "stages": stages}}
+
+
+def _nf_outcome(scenario, fault_at, verdict_at, installed_at=-1.0):
+    return {"scenario": scenario, "fault_at": fault_at,
+            "verdict_at": verdict_at,
+            "reroute_installed_at": installed_at}
+
+
+def _result_doc(outcomes, **extra):
+    doc = {"schema": "repro.exp.result/1",
+           "spec": {"experiment": "synthetic"},
+           "manifest": {"spec_hash": "cafe"},
+           "outcomes": outcomes, "rendered": "", "summary": None}
+    doc.update(extra)
+    return doc
+
+
+class TestSloAttribution:
+    def test_attribution_aggregates_per_cell_and_stage(self):
+        outcomes = [
+            _slo_outcome("link-cut", "gm", "fail", [
+                _stage("spike", "fail", ["availability 0.4 < 0.95"],
+                       availability=0.4, p99_us=9000.0),
+                _stage("cooldown", "pass", availability=0.99),
+            ]),
+            _slo_outcome("link-cut", "gm", "pass", [
+                _stage("spike", "pass", availability=0.97,
+                       p99_us=1500.0),
+                _stage("cooldown", "pass", availability=0.98),
+            ]),
+            _slo_outcome("link-cut", "ftgm", "pass", [
+                _stage("spike", "pass", availability=0.99),
+            ]),
+        ]
+        report = campaign_report_doc(_result_doc(outcomes))
+        attribution = report["slo_attribution"]
+        assert sorted(attribution) == ["link-cut/ftgm", "link-cut/gm"]
+        gm = attribution["link-cut/gm"]
+        assert gm["runs"] == 2 and gm["failed_runs"] == 1
+        spike = gm["stages"]["spike"]
+        assert spike["failed"] == 1
+        assert spike["breaches"] == ["availability 0.4 < 0.95"]
+        assert spike["worst_availability"] == 0.4
+        assert spike["worst_p99_us"] == 9000.0
+        assert gm["stages"]["cooldown"]["failed"] == 0
+
+    def test_outcomes_without_verdicts_are_skipped(self):
+        report = campaign_report_doc(
+            _result_doc([{"scenario": "x", "resolved": True}]))
+        assert "slo_attribution" not in report
+
+
+class TestScenarioCdfs:
+    def test_detection_and_recovery_deltas(self):
+        outcomes = [
+            _nf_outcome("link-cut", 100.0, 150.0, 180.0),
+            _nf_outcome("link-cut", 200.0, 270.0, 300.0),
+            _nf_outcome("corrupt", 50.0, -1.0),   # never detected
+        ]
+        scenarios = campaign_report_doc(
+            _result_doc(outcomes))["scenarios"]
+        cut = scenarios["link-cut"]
+        assert cut["runs"] == 2
+        assert cut["detection_us"]["values"] == [50.0, 70.0]
+        assert cut["recovery_us"]["values"] == [80.0, 100.0]
+        # The undetected run is counted but contributes no samples —
+        # n vs runs is the "how many even reached detection" signal.
+        corrupt = scenarios["corrupt"]
+        assert corrupt["runs"] == 1
+        assert corrupt["detection_us"]["n"] == 0
+
+
+class TestCampaignReportDoc:
+    def test_minimal_doc_has_only_the_header(self):
+        report = campaign_report_doc(_result_doc([]))
+        assert report == {"schema": REPORT_SCHEMA,
+                          "experiment": "synthetic",
+                          "spec_hash": "cafe", "runs": 0}
+
+    def test_latency_rebuilds_from_serialized_histograms(self):
+        hist = Histogram()
+        for v in (100.0, 200.0, 300.0):
+            hist.observe(v)
+        doc = _result_doc([], telemetry={
+            "counters": {}, "gauges": {},
+            "histograms": {"recovery.detection_us": hist.to_doc(),
+                           "unrelated.metric_us": hist.to_doc()}})
+        latency = campaign_report_doc(doc)["latency"]
+        assert set(latency) == {"recovery.detection_us"}
+        assert latency["recovery.detection_us"]["n"] == 3
+        assert latency["recovery.detection_us"]["max"] == 300.0
+
+    def test_timeseries_summary_counts_runs_samples_tracks(self):
+        doc = _result_doc([], timeseries={
+            "schema": "repro.obs.timeseries/1",
+            "sample_every_us": 5000.0,
+            "runs": [[0, {"t": [1.0, 2.0], "tracks": {"a": [1, 2]}}],
+                     [2, {"t": [1.0], "tracks": {"b": [5]}}]]})
+        series = campaign_report_doc(doc)["timeseries"]
+        assert series == {"sample_every_us": 5000.0, "runs_sampled": 2,
+                          "samples": 3, "tracks": ["a", "b"]}
+
+
+class TestRendering:
+    def test_campaign_render_names_every_section(self):
+        outcomes = [
+            _slo_outcome("link-cut", "gm", "fail",
+                         [_stage("spike", "fail", ["lost 16 > 0"])]),
+            _nf_outcome("link-cut", 100.0, 150.0, 180.0),
+        ]
+        text = render_campaign_report(
+            campaign_report_doc(_result_doc(outcomes)))
+        assert "Campaign report: synthetic (2 runs)" in text
+        assert "Detection / recovery latency CDFs" in text
+        assert "SLO attribution by stage" in text
+        assert "link-cut/gm: 1/1 runs failed" in text
+        assert "breach: lost 16 > 0" in text
+
+    def test_campaign_render_empty_fallback(self):
+        text = render_campaign_report(campaign_report_doc(
+            _result_doc([])))
+        assert "(no per-stage verdicts" in text
+
+    def test_metrics_report_doc_mirrors_the_snapshot(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.inc("packets", 3)
+        reg.gauge("depth", 2.0)
+        reg.observe("lat_us", 50.0)
+        doc = metrics_report_doc(reg.snapshot(), title="t")
+        assert doc["schema"] == "repro.obs.metrics_report/1"
+        assert doc["title"] == "t"
+        assert doc["counters"] == {"packets": 3}
+        assert doc["gauges"]["depth"]["mean"] == 2.0
+        assert doc["histograms"]["lat_us"]["n"] == 1
+        json.dumps(doc)    # must be serializable as-is
+
+    def test_metrics_render_always_shows_table3_block(self):
+        text = render_metrics_report(
+            MetricsRegistry(enabled=True).snapshot())
+        assert "Recovery latency breakdown (cf. paper Table 3)" in text
+        assert "detection" in text
+
+
+@pytest.fixture(scope="module")
+def nf_result_path(tmp_path_factory):
+    """One real telemetry-on campaign backing the CLI round-trips."""
+    spec = get_experiment("netfaults").build_spec(
+        {"runs_per_scenario": 1, "scenarios": ["link-cut"], "nodes": 4})
+    result = run_experiment(spec, telemetry=True)
+    path = tmp_path_factory.mktemp("reports") / "nf.json"
+    result.write(str(path))
+    return str(path)
+
+
+class TestCli:
+    def test_metrics_from_rerenders_saved_telemetry(self, nf_result_path,
+                                                    capsys):
+        assert main(["metrics", "--from", nf_result_path]) == 0
+        out = capsys.readouterr().out
+        assert "netfaults (1 runs, from" in out
+        assert "Counters" in out
+
+    def test_metrics_from_json(self, nf_result_path, capsys):
+        assert main(["metrics", "--from", nf_result_path,
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.obs.metrics_report/1"
+        assert "netfaults" in doc["title"]
+
+    def test_metrics_from_requires_telemetry(self, nf_result_path,
+                                             tmp_path):
+        with open(nf_result_path) as fh:
+            doc = json.load(fh)
+        doc.pop("telemetry")
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(doc))
+        with pytest.raises(SystemExit, match="no 'telemetry' key"):
+            main(["metrics", "--from", str(bare)])
+
+    def test_report_renders_a_saved_result(self, nf_result_path,
+                                           capsys):
+        assert main(["report", nf_result_path]) == 0
+        out = capsys.readouterr().out
+        assert "Campaign report: netfaults (1 runs)" in out
+        assert "Detection / recovery latency CDFs" in out
+
+    def test_report_json_is_the_report_doc(self, nf_result_path,
+                                           capsys):
+        assert main(["report", nf_result_path, "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["runs"] == 1
+        assert "link-cut" in doc["scenarios"]
+        assert doc["scenarios"]["link-cut"]["detection_us"]["n"] == 1
